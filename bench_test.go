@@ -1,0 +1,274 @@
+package fantasticjoules
+
+// Benchmarks regenerating every table and figure of the paper plus the
+// design-choice ablations DESIGN.md calls out. Each benchmark reports the
+// time to (re)compute one artifact; the shared suite caches the expensive
+// substrates (the fleet simulation and the lab derivations) after the
+// first run, so steady-state numbers measure the analysis itself. Run
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured values.
+
+import (
+	"sync"
+	"testing"
+
+	"fantasticjoules/internal/experiments"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/stats"
+	"fantasticjoules/internal/units"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() { benchSuite = experiments.New(42) })
+	return benchSuite
+}
+
+func BenchmarkFig1NetworkPowerTraffic(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2aASICTrend(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if pts := s.Fig2a(); len(pts) == 0 {
+			b.Fatal("empty trend")
+		}
+	}
+}
+
+func BenchmarkFig2bDatasheetTrend(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig2b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1DatasheetAccuracy(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ModelDerivation(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6AdditionalModels(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Validation(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9OffsetCorrected(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5EfficiencyCurve(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if res := s.Fig5(); len(res.PFE600) == 0 {
+			b.Fatal("empty curve")
+		}
+	}
+}
+
+func BenchmarkFig6PSUScatter(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3PSUSavings(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4RightSizing(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5PortTypePower(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table5(); len(rows) != 4 {
+			b.Fatal("bad table5")
+		}
+	}
+}
+
+func BenchmarkFig8OSUpgrade(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSection7Insights(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Section7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSection8LinkSleeping(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Section8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblationDynamicTerms(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationDynamicTerms(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSmoothing(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationSmoothing(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSweepDensity(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationSweepDensity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core operation microbenchmarks ---
+
+func BenchmarkModelPredict(b *testing.B) {
+	m, err := PublishedModel("NCS-55A1-24H")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * units.GigabitPerSecond}
+	cfg := model.Config{}
+	for i := 0; i < 24; i++ {
+		cfg.Interfaces = append(cfg.Interfaces, model.Interface{
+			Profile: key, TransceiverPresent: true, AdminUp: true, OperUp: true,
+			Bits: 10 * units.GigabitPerSecond, Packets: 1e6,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictPower(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinearRegression(b *testing.B) {
+	xs := make([]float64, 1000)
+	ys := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 2*xs[i] + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.LinearRegression(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelDerivationEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := DeriveModel("Wedge100BF-32X", model.PassiveDAC, 100*units.GigabitPerSecond, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Model.PBase <= 0 {
+			b.Fatal("bad derivation")
+		}
+	}
+}
+
+func BenchmarkAblationHypnosThreshold(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationHypnosThreshold(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselinesComparison(b *testing.B) {
+	s := suite(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Baselines(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

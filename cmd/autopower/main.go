@@ -1,0 +1,182 @@
+// Command autopower runs the paper's Autopower measurement system (§6.1):
+// a collection server and measurement units that meter simulated routers.
+//
+// Usage:
+//
+//	autopower serve -addr 127.0.0.1:7600
+//	autopower unit  -server 127.0.0.1:7600 -id unit-1 -router 8201-32FH
+//	autopower demo                         run server + 3 units in-process
+//
+// Real deployments run `serve` centrally and one `unit` per Raspberry
+// Pi + meter; here the unit meters a simulated router so the whole
+// pipeline is exercisable on one machine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"fantasticjoules/internal/autopower"
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "unit":
+		err = unit(os.Args[2:])
+	case "demo":
+		err = demo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autopower:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: autopower serve|unit|demo [flags]")
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7600", "listen address")
+	webAddr := fs.String("web", "127.0.0.1:7680", "web interface address (empty to disable)")
+	interval := fs.Duration("status", 10*time.Second, "status print interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := autopower.NewServer()
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Println("autopower server listening on", bound)
+	if *webAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*webAddr, srv.WebHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "autopower: web interface:", err)
+			}
+		}()
+		fmt.Printf("web interface on http://%s/\n", *webAddr)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			for _, u := range srv.Units() {
+				fmt.Printf("  %-12s router=%-16s connected=%-5v samples=%d\n",
+					u.UnitID, u.Router, u.Connected, u.Samples)
+			}
+		}
+	}
+}
+
+func unit(args []string) error {
+	fs := flag.NewFlagSet("unit", flag.ExitOnError)
+	server := fs.String("server", "127.0.0.1:7600", "autopower server address")
+	id := fs.String("id", "unit-1", "unit identifier")
+	router := fs.String("router", "8201-32FH", "simulated router model to meter")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	interval := fs.Duration("interval", 500*time.Millisecond, "sample interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u, _, err := newSimulatedUnit(*id, *router, *server, *seed, *interval)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("unit %s measuring a simulated %s, uploading to %s\n", *id, *router, *server)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	_ = u.Run(ctx)
+	return nil
+}
+
+// newSimulatedUnit builds an Autopower unit metering a freshly deployed
+// simulated router.
+func newSimulatedUnit(id, routerModel, server string, seed int64, interval time.Duration) (*autopower.Unit, *device.Router, error) {
+	spec, err := device.Spec(routerModel)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := device.New(spec, id+"-"+routerModel, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := meter.New(seed + 7)
+	if err := m.Attach(0, dev); err != nil {
+		return nil, nil, err
+	}
+	u, err := autopower.NewUnit(autopower.UnitConfig{
+		UnitID:         id,
+		Router:         dev.Name(),
+		ServerAddr:     server,
+		Meter:          m,
+		SampleInterval: interval,
+		UploadEvery:    10,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, dev, nil
+}
+
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	duration := fs.Duration("for", 10*time.Second, "how long to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := autopower.NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Println("demo server on", addr)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	routers := []string{"8201-32FH", "NCS-55A1-24H", "N540X-8Z16G-SYS-A"}
+	for i, r := range routers {
+		u, _, err := newSimulatedUnit(fmt.Sprintf("unit-%d", i+1), r, addr, int64(i+1), 100*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		go func() { _ = u.Run(ctx) }()
+	}
+	<-ctx.Done()
+	fmt.Println("\ncollected:")
+	for _, u := range srv.Units() {
+		series, err := srv.Series(u.UnitID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-8s %-28s %4d samples, median %.1f W\n",
+			u.UnitID, u.Router, series.Len(), series.Median())
+	}
+	return nil
+}

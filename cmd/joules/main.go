@@ -1,0 +1,191 @@
+// Command joules regenerates the tables and figures of "Fantastic Joules
+// and Where to Find Them" from the simulated substrates and prints them in
+// the paper's layout.
+//
+// Usage:
+//
+//	joules run all            regenerate everything
+//	joules run table1         one artifact (fig1, fig2b, table1, table2,
+//	                          table3, table4, table5, table6, fig4, fig5,
+//	                          fig6, fig8, fig9, section7, section8,
+//	                          ablations)
+//	joules list               list the artifacts
+//	joules -seed 7 run fig4   change the simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fantasticjoules/internal/experiments"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/zoo"
+)
+
+type artifact struct {
+	name  string
+	about string
+	run   func(*experiments.Suite) error
+}
+
+func artifacts() []artifact {
+	return []artifact{
+		{"fig1", "network-wide power and traffic over time", runFig1},
+		{"fig2a", "ASIC efficiency trend (redrawn)", runFig2a},
+		{"fig2b", "datasheet efficiency trend", runFig2b},
+		{"table1", "measured median vs datasheet typical power", runTable1},
+		{"table2", "derived power models (four routers)", runTable2},
+		{"table6", "additional derived power models", runTable6},
+		{"fig4", "PSU vs Autopower vs model predictions", runFig4},
+		{"fig9", "offset-corrected model precision", runFig9},
+		{"fig5", "PSU efficiency curve and 80 Plus levels", runFig5},
+		{"fig6", "fleet PSU efficiency scatter", runFig6},
+		{"table3", "savings from better PSUs / one PSU / both", runTable3},
+		{"table4", "savings from right-sizing PSU capacity", runTable4},
+		{"table5", "per-port-type power constants", runTable5},
+		{"fig8", "OS-upgrade fan power bump", runFig8},
+		{"section7", "traffic vs transceiver power split", runSection7},
+		{"section8", "Hypnos link-sleeping savings", runSection8},
+		{"baselines", "lab models vs datasheet-interpolation baseline (§2)", runBaselines},
+		{"ablations", "design-choice ablations", runAblations},
+	}
+}
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed (changes the synthetic dataset)")
+	zooDir := flag.String("zoo", "", "export derived models and traces into a Network Power Zoo store at this directory")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, a := range artifacts() {
+			fmt.Printf("  %-9s %s\n", a.name, a.about)
+		}
+	case "run":
+		if len(args) < 2 {
+			usage()
+			os.Exit(2)
+		}
+		if err := run(*seed, *zooDir, args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "joules:", err)
+			os.Exit(1)
+		}
+	case "report":
+		if err := writeReport(os.Stdout, experiments.New(*seed), *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "joules:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: joules [-seed N] [-zoo dir] run <artifact|all> | joules report | joules list`)
+}
+
+func run(seed int64, zooDir string, names []string) error {
+	byName := map[string]artifact{}
+	var order []string
+	for _, a := range artifacts() {
+		byName[a.name] = a
+		order = append(order, a.name)
+	}
+	var selected []string
+	if len(names) == 1 && names[0] == "all" {
+		selected = order
+	} else {
+		for _, n := range names {
+			if _, ok := byName[strings.ToLower(n)]; !ok {
+				known := append([]string(nil), order...)
+				sort.Strings(known)
+				return fmt.Errorf("unknown artifact %q (known: %s, all)", n, strings.Join(known, ", "))
+			}
+			selected = append(selected, strings.ToLower(n))
+		}
+	}
+	suite := experiments.New(seed)
+	for _, n := range selected {
+		a := byName[n]
+		fmt.Printf("━━━ %s — %s ━━━\n", strings.ToUpper(a.name), a.about)
+		if err := a.run(suite); err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		fmt.Println()
+	}
+	if zooDir != "" {
+		n, err := exportZoo(suite, zooDir)
+		if err != nil {
+			return fmt.Errorf("zoo export: %w", err)
+		}
+		fmt.Printf("exported %d records to the zoo at %s\n", n, zooDir)
+	}
+	return nil
+}
+
+// exportZoo publishes the suite's derived models and measurement traces
+// into a Network Power Zoo store, so other tools can consume them.
+func exportZoo(suite *experiments.Suite, dir string) (int, error) {
+	store, err := zoo.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+
+	// Derived models, assembled per router from the Table 2/6 rows.
+	var rows []experiments.ModelRow
+	for _, fetch := range []func() ([]experiments.ModelRow, error){suite.Table2, suite.Table6} {
+		rs, err := fetch()
+		if err != nil {
+			return count, err
+		}
+		rows = append(rows, rs...)
+	}
+	models := map[string]*model.Model{}
+	for _, row := range rows {
+		m, ok := models[row.Router]
+		if !ok {
+			m = model.New(row.Router, row.PBase)
+			models[row.Router] = m
+		}
+		m.AddProfile(row.Derived)
+	}
+	var names []string
+	for name := range models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := store.PutModel(models[name]); err != nil {
+			return count, err
+		}
+		count++
+	}
+
+	// Autopower and PSU traces of the instrumented routers.
+	ds, err := suite.Dataset()
+	if err != nil {
+		return count, err
+	}
+	for name, series := range ds.Autopower {
+		if err := store.PutTrace(name+".autopower", series); err != nil {
+			return count, err
+		}
+		count++
+	}
+	for name, series := range ds.SNMPPower {
+		if err := store.PutTrace(name+".psu", series); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}

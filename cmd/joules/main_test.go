@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunCheapArtifacts exercises the CLI pipeline end-to-end for the
+// artifacts that need no fleet simulation (corpus- and constant-backed
+// ones), capturing stdout to check the rendering.
+func TestRunCheapArtifacts(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(1, "", []string{"fig2a", "fig2b", "fig5", "table5"})
+	w.Close()
+	os.Stdout = old
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	output := string(out[:n])
+
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	for _, want := range []string{
+		"FIG2A", "Tomahawk",
+		"FIG2B", "no clear router-level trend",
+		"FIG5", "PFE600",
+		"TABLE5", "QSFP28",
+	} {
+		if !strings.Contains(output, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllSelectsEveryArtifact(t *testing.T) {
+	// "all" must expand to the full registry (checked without executing).
+	names := map[string]bool{}
+	for _, a := range artifacts() {
+		names[a.name] = true
+	}
+	if len(names) < 17 {
+		t.Errorf("registry has %d artifacts", len(names))
+	}
+}

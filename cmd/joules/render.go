@@ -1,0 +1,401 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fantasticjoules/internal/experiments"
+	"fantasticjoules/internal/timeseries"
+)
+
+// sparkline renders a series as a one-line unicode chart, the terminal
+// stand-in for the paper's plots.
+func sparkline(s *timeseries.Series, width int) string {
+	if s.Len() == 0 {
+		return "(empty)"
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	vals := s.Values()
+	bucket := len(vals) / width
+	if bucket < 1 {
+		bucket = 1
+	}
+	var compressed []float64
+	for i := 0; i < len(vals); i += bucket {
+		end := i + bucket
+		if end > len(vals) {
+			end = len(vals)
+		}
+		var sum float64
+		for _, v := range vals[i:end] {
+			sum += v
+		}
+		compressed = append(compressed, sum/float64(end-i))
+	}
+	min, max := compressed[0], compressed[0]
+	for _, v := range compressed {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range compressed {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return fmt.Sprintf("%s  [%.1f … %.1f]", sb.String(), min, max)
+}
+
+func runFig1(s *experiments.Suite) error {
+	res, err := s.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Total power   (W):    %s\n", sparkline(res.Power, 64))
+	fmt.Printf("Total traffic (Tbps): %s\n", sparkline(res.Traffic.Scale(1e-12), 64))
+	fmt.Printf("mean power %.1f kW | mean traffic %.2f Tbps (%.1f%% of %.1f Tbps capacity)\n",
+		res.Power.Mean()/1e3, res.Traffic.Mean()/1e12,
+		100*res.Traffic.Mean()/res.CapacityBps, res.CapacityBps/1e12)
+	fmt.Printf("power–traffic correlation: %.2f (invisible at network scale, §7)\n",
+		res.PowerTrafficCorrelation)
+	days := res.Power.At(res.Power.Len()-1).T.Sub(res.Power.At(0).T).Hours() / 24
+	if days > 0 {
+		kwh := timeseries.IntegratePower(res.Power) / 3.6e6
+		fmt.Printf("energy over the %.0f-day window: %.0f kWh (%.0f kWh/day)\n",
+			days, kwh, kwh/days)
+	}
+	return nil
+}
+
+func runFig2a(s *experiments.Suite) error {
+	for _, p := range s.Fig2a() {
+		fmt.Printf("  %d  %-10s %5.1f W/100Gbps\n", p.Year, p.Model, p.Efficiency)
+	}
+	return nil
+}
+
+func runFig2b(s *experiments.Suite) error {
+	res, err := s.Fig2b()
+	if err != nil {
+		return err
+	}
+	// Per-year summary of the scatter.
+	byYear := map[int][]float64{}
+	for _, p := range res.Points {
+		byYear[p.Year] = append(byYear[p.Year], p.Efficiency)
+	}
+	var years []int
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	for _, y := range years {
+		vs := byYear[y]
+		var sum, max float64
+		min := vs[0]
+		for _, v := range vs {
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Printf("  %d  n=%-3d mean %5.1f  range [%5.1f, %6.1f] W/100Gbps\n",
+			y, len(vs), sum/float64(len(vs)), min, max)
+	}
+	fmt.Printf("trend: %.2f W/100Gbps per year (R²=%.2f) over %d models — no clear router-level trend\n",
+		res.Fit.Slope, res.Fit.R2, res.Plotted)
+	return nil
+}
+
+func runTable1(s *experiments.Suite) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %10s %10s %8s\n", "Router model", "Measured", "Datasheet", "Overest.")
+	for _, r := range rows {
+		fmt.Printf("%-20s %8.0f W %8.0f W %7.0f%%\n",
+			r.Model, r.Measured.Watts(), r.Datasheet.Watts(), r.Overestimate*100)
+	}
+	return nil
+}
+
+func renderModelRows(rows []experiments.ModelRow) {
+	fmt.Printf("%-19s %-28s %7s %7s %8s %8s %7s %7s %8s\n",
+		"Router", "Profile", "Pbase", "Pport", "Ptrx,in", "Ptrx,up", "Ebit", "Epkt", "Poffset")
+	for _, r := range rows {
+		fmt.Printf("%-19s %-28s %6.0fW %6.2fW %7.2fW %7.2fW %5.1fpJ %5.1fnJ %7.2fW\n",
+			r.Router, r.Key.String(),
+			r.PBase.Watts(), r.Derived.PPort.Watts(), r.Derived.PTrxIn.Watts(),
+			r.Derived.PTrxUp.Watts(), r.Derived.EBit.Picojoules(),
+			r.Derived.EPkt.Nanojoules(), r.Derived.POffset.Watts())
+		if r.Published != nil {
+			fmt.Printf("%-19s %-28s %6.0fW %6.2fW %7.2fW %7.2fW %5.1fpJ %5.1fnJ %7.2fW\n",
+				"  (published)", "",
+				r.PBasePublished.Watts(), r.Published.PPort.Watts(), r.Published.PTrxIn.Watts(),
+				r.Published.PTrxUp.Watts(), r.Published.EBit.Picojoules(),
+				r.Published.EPkt.Nanojoules(), r.Published.POffset.Watts())
+		}
+	}
+}
+
+func runTable2(s *experiments.Suite) error {
+	rows, err := s.Table2()
+	if err != nil {
+		return err
+	}
+	renderModelRows(rows)
+	return nil
+}
+
+func runTable6(s *experiments.Suite) error {
+	rows, err := s.Table6()
+	if err != nil {
+		return err
+	}
+	renderModelRows(rows)
+	return nil
+}
+
+func runFig4(s *experiments.Suite) error {
+	rows, err := s.Fig4()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%s (%s)\n", r.Router, r.Model)
+		fmt.Printf("  Autopower: %s\n", sparkline(r.Autopower, 56))
+		if r.SNMP != nil {
+			fmt.Printf("  PSU      : %s  (offset %+.1f W, shape corr %.2f)\n",
+				sparkline(r.SNMP, 56), r.SNMPOffset.Watts(), r.SNMPShapeCorrelation)
+		} else {
+			fmt.Printf("  PSU      : (this model does not report PSU power)\n")
+		}
+		fmt.Printf("  Model    : %s  (underestimates by %.1f W, shape corr %.2f)\n",
+			sparkline(r.Prediction, 56), r.ModelOffset.Watts(), r.ModelShapeCorrelation)
+	}
+	return nil
+}
+
+func runFig9(s *experiments.Suite) error {
+	rows, err := s.Fig9()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%s (%s)\n", r.Router, r.Model)
+		fmt.Printf("  Autopower     : %s\n", sparkline(r.Autopower, 56))
+		fmt.Printf("  Model+offset  : %s  residual RMSE %.2f W\n",
+			sparkline(r.ShiftedPrediction, 56), r.ResidualRMSE.Watts())
+	}
+	return nil
+}
+
+func runFig5(s *experiments.Suite) error {
+	res := s.Fig5()
+	fmt.Println("PFE600-12-054xA efficiency curve:")
+	for _, p := range res.PFE600 {
+		fmt.Printf("  %5.1f%% load → %5.1f%%\n", p.Load*100, p.Efficiency*100)
+	}
+	fmt.Println("80 Plus set points:")
+	for _, level := range []string{"Bronze", "Silver", "Gold", "Platinum", "Titanium"} {
+		fmt.Printf("  %-9s", level)
+		for _, p := range res.SetPoints[level] {
+			fmt.Printf("  %3.0f%%→%2.0f%%", p.Load*100, p.Efficiency*100)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig6(s *experiments.Suite) error {
+	res, err := s.Fig6()
+	if err != nil {
+		return err
+	}
+	summarize := func(name string, pts []experiments.Fig6Point) {
+		if len(pts) == 0 {
+			return
+		}
+		var sum float64
+		min, max := 1.0, 0.0
+		for _, p := range pts {
+			sum += p.Efficiency
+			if p.Efficiency < min {
+				min = p.Efficiency
+			}
+			if p.Efficiency > max {
+				max = p.Efficiency
+			}
+		}
+		fmt.Printf("  %-20s n=%-4d eff mean %4.1f%%  range [%4.1f%%, %5.1f%%]\n",
+			name, len(pts), 100*sum/float64(len(pts)), 100*min, 100*max)
+	}
+	summarize("all PSUs", res.All)
+	for _, m := range []string{"NCS-55A1-24H", "8201-32FH", "ASR-920-24SZ-M"} {
+		summarize(m, res.ByModel[m])
+	}
+	return nil
+}
+
+func runTable3(s *experiments.Suite) error {
+	res, err := s.Table3()
+	if err != nil {
+		return err
+	}
+	levels := []string{"Bronze", "Silver", "Gold", "Platinum", "Titanium"}
+	fmt.Printf("%-28s", "Measure \\ 80 Plus standard")
+	for _, l := range levels {
+		fmt.Printf(" %14s", l)
+	}
+	fmt.Println()
+	fmt.Printf("%-28s", "More efficient PSUs")
+	for _, l := range levels {
+		fmt.Printf(" %14s", res.MoreEfficient[l].String())
+	}
+	fmt.Println()
+	fmt.Printf("%-28s %14s\n", "Only one PSU", res.SinglePSU.String())
+	fmt.Printf("%-28s", "Both")
+	for _, l := range levels {
+		fmt.Printf(" %14s", res.Combined[l].String())
+	}
+	fmt.Println()
+	fmt.Printf("(fleet input power: %.1f kW)\n", res.FleetInput.Kilowatts())
+	return nil
+}
+
+func runTable4(s *experiments.Suite) error {
+	res, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s", "k \\ C")
+	for _, c := range res.Capacities {
+		fmt.Printf(" %13.0fW", c.Watts())
+	}
+	fmt.Println()
+	fmt.Printf("%-6s", "k=1")
+	for _, sv := range res.K1 {
+		fmt.Printf(" %14s", sv.String())
+	}
+	fmt.Println()
+	fmt.Printf("%-6s", "k=2")
+	for _, sv := range res.K2 {
+		fmt.Printf(" %14s", sv.String())
+	}
+	fmt.Println()
+	return nil
+}
+
+func runTable5(s *experiments.Suite) error {
+	fmt.Printf("%-10s %10s %10s\n", "Port type", "Pport", "Ptrx,up")
+	for _, r := range s.Table5() {
+		fmt.Printf("%-10s %9.3fW %9.3fW\n", r.Port, r.PPort.Watts(), r.PTrxUp.Watts())
+	}
+	return nil
+}
+
+func runFig8(s *experiments.Suite) error {
+	res, err := s.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PSU-reported power: %s\n", sparkline(res.Power, 64))
+	fmt.Printf("OS upgrade on %s: +%.1f W (%.1f%%) from the new fan management\n",
+		res.UpgradeAt.Format(time.DateOnly), res.Bump.Watts(), res.RelativeBump*100)
+	return nil
+}
+
+func runSection7(s *experiments.Suite) error {
+	res, err := s.Section7()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Forwarding the network's traffic costs %.1f W — %.3f%% of the %.1f kW total.\n",
+		res.TrafficPower.Watts(), res.TrafficShare*100, res.TotalPower.Kilowatts())
+	fmt.Printf("Transceivers collectively draw %.1f kW — %.1f%% of total power.\n",
+		res.TransceiverPower.Kilowatts(), res.TransceiverShare*100)
+	return nil
+}
+
+func runSection8(s *experiments.Suite) error {
+	res, err := s.Section8()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Hypnos puts %.0f of %d internal links to sleep on average (%.0f%%).\n",
+		res.Savings.MeanSleepingLinks, res.InternalLinks, res.Savings.SleepableFraction*100)
+	fmt.Printf("Naive accounting (full Pport+Ptrx):  %6.0f W (%.1f%%)\n",
+		res.Savings.Naive.Watts(), res.NaiveShare*100)
+	fmt.Printf("Refined savings range:              %6.0f – %.0f W (%.1f–%.1f%%)\n",
+		res.Savings.RefinedLow.Watts(), res.Savings.RefinedHigh.Watts(),
+		res.LowShare*100, res.HighShare*100)
+	fmt.Printf("Table 5 point estimate:             %6.0f W (near the lower end — Ptrx,in dominates)\n",
+		res.Savings.Table5.Watts())
+	fmt.Printf("External interfaces: %.0f%% of interfaces, %.0f%% of transceiver power (unsleepable).\n",
+		res.ExternalIfaceShare*100, res.ExternalTrxPowerShare*100)
+	return nil
+}
+
+func runBaselines(s *experiments.Suite) error {
+	rows, err := s.Baselines()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %12s %14s %14s\n", "Router", "Lab MAE", "Baseline MAE", "Baseline bias")
+	for _, r := range rows {
+		fmt.Printf("%-22s %10.1f W %12.1f W %+12.1f W\n",
+			r.Model, r.LabModelMAE.Watts(), r.BaselineMAE.Watts(), r.BaselineBias.Watts())
+	}
+	fmt.Println("(the datasheet-interpolation model of [16,33] misses by whole tens")
+	fmt.Println(" of watts — the §2 motivation for lab-derived models)")
+	return nil
+}
+
+func runAblations(s *experiments.Suite) error {
+	dyn, err := s.AblationDynamicTerms()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Dynamic-term ablation (prediction RMSE on a loaded router):")
+	for _, r := range dyn {
+		fmt.Printf("  %-12s %6.2f W\n", r.Variant, r.RMSE.Watts())
+	}
+	sm, err := s.AblationSmoothing()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Smoothing-window ablation (offset-corrected residual):")
+	for _, r := range sm {
+		fmt.Printf("  %-8s %6.2f W\n", r.Window, r.ResidualRMSE.Watts())
+	}
+	sd, err := s.AblationSweepDensity()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Rate-sweep density ablation:")
+	for _, r := range sd {
+		fmt.Printf("  %d rates: Ebit error %.1f%%, fit R² %.3f\n", r.Rates, r.EBitErrorPct, r.FitQuality)
+	}
+	ht, err := s.AblationHypnosThreshold()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Hypnos utilization-cap ablation:")
+	for _, r := range ht {
+		fmt.Printf("  cap %.0f%%: %.0f links asleep, ≥%.0f W saved\n",
+			r.MaxUtilization*100, r.SleepingLinks, r.RefinedLow.Watts())
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/timeseries"
+)
+
+func TestSparkline(t *testing.T) {
+	t0 := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	s := timeseries.New("x")
+	for i := 0; i < 128; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	line := sparkline(s, 64)
+	if !strings.Contains(line, "[0.") {
+		t.Errorf("sparkline missing range: %q", line)
+	}
+	// A ramp starts at the lowest glyph and ends at the highest.
+	runes := []rune(line)
+	if runes[0] != '▁' {
+		t.Errorf("ramp start glyph = %q", string(runes[0]))
+	}
+	if !strings.Contains(line, "█") {
+		t.Errorf("ramp missing peak glyph: %q", line)
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if got := sparkline(timeseries.New("empty"), 10); got != "(empty)" {
+		t.Errorf("empty = %q", got)
+	}
+	t0 := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	flat := timeseries.New("flat")
+	for i := 0; i < 5; i++ {
+		flat.Append(t0.Add(time.Duration(i)*time.Minute), 42)
+	}
+	line := sparkline(flat, 10)
+	if strings.Contains(line, "█") {
+		t.Errorf("flat series should render at the floor: %q", line)
+	}
+}
+
+func TestArtifactRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range artifacts() {
+		if a.name == "" || a.about == "" || a.run == nil {
+			t.Errorf("incomplete artifact %+v", a)
+		}
+		if seen[a.name] {
+			t.Errorf("duplicate artifact %q", a.name)
+		}
+		seen[a.name] = true
+	}
+	// Every table and figure of the evaluation must be present.
+	for _, want := range []string{
+		"fig1", "fig2a", "fig2b", "table1", "table2", "table6",
+		"fig4", "fig9", "fig5", "fig6", "table3", "table4", "table5",
+		"fig8", "section7", "section8", "ablations",
+	} {
+		if !seen[want] {
+			t.Errorf("missing artifact %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknownArtifact(t *testing.T) {
+	if err := run(1, "", []string{"fig99"}); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+}

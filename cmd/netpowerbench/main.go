@@ -1,0 +1,102 @@
+// Command netpowerbench runs the paper's §5 lab methodology against a
+// simulated device under test and prints the derived power model next to
+// the regression diagnostics — the open-source NetPowerBench workflow.
+//
+// Usage:
+//
+//	netpowerbench -dut NCS-55A1-24H -trx "Passive DAC" -speed 100G
+//	netpowerbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/labbench"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+func main() {
+	dutName := flag.String("dut", "", "router model to derive (see -list)")
+	trx := flag.String("trx", string(model.PassiveDAC), "transceiver type (e.g. \"Passive DAC\", LR4, T)")
+	speedStr := flag.String("speed", "100G", "interface speed (e.g. 100G, 25G, 1G)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list available router models and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range device.CatalogNames() {
+			spec, _ := device.Spec(name)
+			var profiles []string
+			for key := range spec.Truth {
+				profiles = append(profiles, key.String())
+			}
+			sort.Strings(profiles)
+			fmt.Printf("%-20s %2d ports  %s\n", name, spec.NumPorts, strings.Join(profiles, ", "))
+		}
+		return
+	}
+	if *dutName == "" {
+		fmt.Fprintln(os.Stderr, "netpowerbench: -dut is required (see -list)")
+		os.Exit(2)
+	}
+	speed, err := units.ParseBitRate(*speedStr)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := device.Spec(*dutName)
+	if err != nil {
+		fatal(err)
+	}
+	dut, err := device.New(spec, "dut", *seed)
+	if err != nil {
+		fatal(err)
+	}
+	m := meter.New(*seed + 1)
+	if err := m.Attach(0, dut); err != nil {
+		fatal(err)
+	}
+	orch, err := labbench.New(dut, m, labbench.Config{
+		Transceiver: model.TransceiverType(*trx),
+		Speed:       speed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Deriving %s / %s @ %s (%d port pairs)...\n", *dutName, *trx, speed, spec.NumPorts/2)
+	res, err := orch.Run()
+	if err != nil {
+		fatal(err)
+	}
+	p := res.Profile
+	u := res.Uncertainty
+	fmt.Printf("\nDerived model for %s (± is the 95%% CI where the term is regression-derived):\n", *dutName)
+	fmt.Printf("  Pbase   = %8.2f W\n", res.Model.PBase.Watts())
+	fmt.Printf("  Pport   = %8.3f W  ± %.3f\n", p.PPort.Watts(), u.PPort.Watts())
+	fmt.Printf("  Ptrx,in = %8.3f W\n", p.PTrxIn.Watts())
+	fmt.Printf("  Ptrx,up = %8.3f W  ± %.3f\n", p.PTrxUp.Watts(), u.PTrxUp.Watts())
+	fmt.Printf("  Ebit    = %8.2f pJ ± %.2f\n", p.EBit.Picojoules(), u.EBit.Picojoules())
+	fmt.Printf("  Epkt    = %8.2f nJ ± %.2f\n", p.EPkt.Nanojoules(), u.EPkt.Nanojoules())
+	fmt.Printf("  Poffset = %8.3f W\n", p.POffset.Watts())
+	fmt.Printf("\nRegression diagnostics:\n")
+	fmt.Printf("  port sweep: %s\n", res.Report.PortFit)
+	fmt.Printf("  trx sweep : %s\n", res.Report.TrxFit)
+	fmt.Printf("  energy fit: %s\n", res.Report.EnergyFit)
+	fmt.Printf("  weakest R²: %.4f\n", res.Report.FitQuality())
+	if err := res.Model.Validate(); err != nil {
+		fmt.Printf("  validation: %v\n", err)
+	} else {
+		fmt.Printf("  validation: ok\n")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netpowerbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command powerzoo serves the Network Power Zoo: the HTTP database that
+// aggregates datasheet extractions, power models, and measurement traces.
+//
+// Usage:
+//
+//	powerzoo -addr 127.0.0.1:8600 -dir ./zoo-data [-preload]
+//
+// With -preload the zoo starts populated with the paper's eight published
+// power models and the extracted synthetic datasheet corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"fantasticjoules/internal/datasheet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/zoo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
+	dir := flag.String("dir", "zoo-data", "storage directory")
+	preload := flag.Bool("preload", false, "preload published models and the datasheet corpus")
+	flag.Parse()
+
+	store, err := zoo.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	if *preload {
+		n, err := preloadStore(store)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("preloaded %d records into %s\n", n, *dir)
+	}
+	fmt.Printf("Network Power Zoo on http://%s/api/v1/{datasheets,models,traces}\n", *addr)
+	if err := http.ListenAndServe(*addr, zoo.Handler(store)); err != nil {
+		fatal(err)
+	}
+}
+
+func preloadStore(store *zoo.Store) (int, error) {
+	n := 0
+	for _, name := range model.PublishedModels() {
+		m, err := model.Published(name)
+		if err != nil {
+			return n, err
+		}
+		if err := store.PutModel(m); err != nil {
+			return n, err
+		}
+		n++
+	}
+	for _, rec := range datasheet.ExtractAll(datasheet.Generate(42)) {
+		if err := store.PutDatasheet(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerzoo:", err)
+	os.Exit(1)
+}

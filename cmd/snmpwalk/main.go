@@ -1,0 +1,114 @@
+// Command snmpwalk is a small SNMPv2c poller for the simulated routers'
+// agents (and any v2c agent speaking the supported subset).
+//
+// Usage:
+//
+//	snmpwalk -agent 127.0.0.1:16100 -community public .1.3.6.1.2.1.31.1.1.1.6
+//	snmpwalk -demo        start a simulated router agent and walk it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/snmp"
+	"fantasticjoules/internal/units"
+)
+
+func main() {
+	agent := flag.String("agent", "", "agent address (host:port)")
+	community := flag.String("community", "public", "community string")
+	demo := flag.Bool("demo", false, "start a demo agent backed by a simulated router and walk it")
+	flag.Parse()
+
+	if *demo {
+		if err := runDemo(*community); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *agent == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: snmpwalk -agent host:port [-community c] <oid> | snmpwalk -demo")
+		os.Exit(2)
+	}
+	oid, err := snmp.ParseOID(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if err := walk(*agent, *community, oid); err != nil {
+		fatal(err)
+	}
+}
+
+func walk(addr, community string, oid snmp.OID) error {
+	c, err := snmp.Dial(addr, snmp.ClientOptions{Community: community})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	vbs, err := c.Walk(oid)
+	if err != nil {
+		return err
+	}
+	for _, vb := range vbs {
+		fmt.Printf("%s = %s\n", vb.OID, vb.Value)
+	}
+	fmt.Printf("(%d objects)\n", len(vbs))
+	return nil
+}
+
+func runDemo(community string) error {
+	spec, err := device.Spec("NCS-55A1-24H")
+	if err != nil {
+		return err
+	}
+	r, err := device.New(spec, "demo-rtr", 1)
+	if err != nil {
+		return err
+	}
+	// Bring up a few loaded interfaces so the counters move.
+	for _, name := range r.InterfaceNames()[:4] {
+		if err := r.PlugTransceiver(name, model.PassiveDAC, 100*units.GigabitPerSecond); err != nil {
+			return err
+		}
+		if err := r.SetAdmin(name, true); err != nil {
+			return err
+		}
+		if err := r.SetLink(name, true); err != nil {
+			return err
+		}
+		if err := r.SetTraffic(name, 8*units.GigabitPerSecond, 1e6); err != nil {
+			return err
+		}
+	}
+	r.Advance(5 * time.Minute)
+
+	var mib snmp.MIB
+	snmp.BindRouter(&mib, r)
+	agent := snmp.NewAgent(&mib, community)
+	addr, err := agent.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+	fmt.Println("demo agent on", addr)
+	for _, prefix := range []snmp.OID{
+		snmp.MustOID(".1.3.6.1.2.1.1"), // system subtree
+		snmp.OIDIfHCInOctets,
+		snmp.OIDPSUPower,
+	} {
+		if err := walk(addr, community, prefix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snmpwalk:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Fleet monitor: the full measurement pipeline over real sockets on one
+// machine — simulated routers expose SNMP agents (UDP), a poller collects
+// their PSU power and counters, and an Autopower unit meters one router
+// externally (TCP), reproducing the paper's three data sources side by
+// side.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"fantasticjoules/internal/autopower"
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/snmp"
+	"fantasticjoules/internal/units"
+)
+
+func main() {
+	g := units.GigabitPerSecond
+
+	// --- Three simulated routers with live traffic ---
+	fleetModels := []string{"8201-32FH", "NCS-55A1-24H", "Nexus9336-FX2"}
+	var routers []*device.Router
+	var agents []*snmp.Agent
+	var addrs []string
+	for i, name := range fleetModels {
+		spec, err := device.Spec(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := device.New(spec, fmt.Sprintf("mon-rtr-%d", i+1), int64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		trx := model.PassiveDAC
+		if spec.PortType == model.QSFP28 && name == "Nexus9336-FX2" {
+			trx = model.LR
+		}
+		for _, ifName := range r.InterfaceNames()[:4] {
+			must(r.PlugTransceiver(ifName, trx, 100*g))
+			must(r.SetAdmin(ifName, true))
+			must(r.SetLink(ifName, true))
+			must(r.SetTraffic(ifName, 5*g, units.PacketRateFor(5*g, 353, 24)))
+		}
+		routers = append(routers, r)
+
+		var mib snmp.MIB
+		snmp.BindRouter(&mib, r)
+		agent := snmp.NewAgent(&mib, "public")
+		addr, err := agent.Start("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		agents = append(agents, agent)
+		addrs = append(addrs, addr)
+		fmt.Printf("agent for %-14s on %s\n", name, addr)
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+
+	// --- Autopower server + one unit metering the first router ---
+	srv := autopower.NewServer()
+	apAddr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	mtr := meter.New(99)
+	must(mtr.Attach(0, routers[0]))
+	unit, err := autopower.NewUnit(autopower.UnitConfig{
+		UnitID: "unit-1", Router: routers[0].Name(), ServerAddr: apAddr,
+		Meter: mtr, SampleInterval: 100 * time.Millisecond, UploadEvery: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+	defer cancel()
+	go func() { _ = unit.Run(ctx) }()
+	fmt.Printf("autopower unit metering %s via %s\n\n", routers[0].Name(), apAddr)
+
+	// --- Poll each agent over UDP (two rounds, 1 s apart) ---
+	for round := 1; round <= 2; round++ {
+		for _, r := range routers {
+			r.Advance(time.Second)
+		}
+		fmt.Printf("poll round %d:\n", round)
+		for i, addr := range addrs {
+			c, err := snmp.Dial(addr, snmp.ClientOptions{Community: "public"})
+			if err != nil {
+				log.Fatal(err)
+			}
+			name, _ := c.Get(snmp.OIDSysName)
+			psuRows, err := c.Walk(snmp.OIDPSUPower)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var psuTotal uint64
+			for _, vb := range psuRows {
+				psuTotal += vb.Value.Uint
+			}
+			octets, err := c.Walk(snmp.OIDIfHCInOctets)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var inOctets uint64
+			for _, vb := range octets {
+				inOctets += vb.Value.Uint
+			}
+			fmt.Printf("  %-12s psu-reported %4d W | in-octets %d | true wall %6.1f W\n",
+				string(name[0].Value.Bytes), psuTotal, inOctets, routers[i].WallPower().Watts())
+			c.Close()
+		}
+		time.Sleep(time.Second)
+	}
+
+	// --- Compare the external measurement with the PSU reports ---
+	<-ctx.Done()
+	series, err := srv.Series("unit-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nautopower collected %d samples for %s, median %.1f W\n",
+		series.Len(), routers[0].Name(), series.Median())
+	fmt.Println("(the 8201's PSU reports sit a constant ≈17 W above this — Fig. 4a)")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

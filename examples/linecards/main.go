@@ -1,0 +1,68 @@
+// Linecards: the §4.3 future-work extension in action — derive a
+// Plinecard term for a modular chassis exactly the way transceiver terms
+// are derived, then predict a mixed-card configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/labbench"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+)
+
+func main() {
+	spec, err := device.Spec("ASR-9910")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dut, err := device.New(spec, "lab-chassis", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := meter.New(2)
+	if err := m.Attach(0, dut); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Deriving linecard power for the %s (%d slots)...\n", spec.Name, spec.Slots)
+	res, err := labbench.DeriveLinecards(dut, m, labbench.LinecardConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  empty chassis: %.0f W\n", res.PBase.Watts())
+	for name, p := range res.PLinecard {
+		fmt.Printf("  %-13s %.0f W per card (fit %s)\n", name, p.Watts(), res.Fits[name])
+	}
+
+	// Extend a power model and predict a realistic line-up.
+	pm := model.New(spec.Name, res.PBase)
+	res.ExtendModel(pm)
+	cfg := model.Config{Linecards: map[string]int{
+		"A99-48X10GE": 4,
+		"A99-8X100GE": 2,
+	}}
+	pred, err := pm.PredictPower(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPredicted power with 4× A99-48X10GE + 2× A99-8X100GE: %.0f W\n", pred.Watts())
+
+	// Compare against the chassis itself.
+	for card, n := range cfg.Linecards {
+		for i := 0; i < n; i++ {
+			if err := dut.InstallLinecard(card); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	var truth float64
+	for i := 0; i < 30; i++ {
+		truth += dut.WallPower().Watts()
+	}
+	truth /= 30
+	fmt.Printf("True wall power of that configuration:                 %.0f W\n", truth)
+	fmt.Println("\nThe paper's sketch holds: Plinecard derives just like Ptrx (§4.3).")
+}

@@ -1,0 +1,51 @@
+// Link sleeping: run the Hypnos baseline over the synthetic Tier-2 ISP
+// and account for the savings the way §8 does — showing why the refined
+// power model predicts far smaller savings than the literature's naive
+// estimate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fantasticjoules/internal/hypnos"
+	"fantasticjoules/internal/ispnet"
+)
+
+func main() {
+	fmt.Println("Building the 107-router synthetic ISP...")
+	network, err := ispnet.Build(ispnet.Config{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, traffic, err := hypnos.FromNetwork(network)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ifaceShare, trxShare := hypnos.ExternalShare(network)
+	fmt.Printf("Backbone: %d internal links; %.0f%% of interfaces are external\n",
+		len(topo.Links), ifaceShare*100)
+	fmt.Printf("(external links hold %.0f%% of transceiver power and cannot sleep)\n\n",
+		trxShare*100)
+
+	fmt.Println("Running Hypnos over one week (hourly steps)...")
+	sched, err := hypnos.Run(topo, traffic, hypnos.Options{
+		Start:  network.Config.Start,
+		Window: 7 * 24 * time.Hour,
+		Step:   time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := hypnos.Evaluate(sched)
+	fmt.Printf("Sleeping on average %.0f links (%.0f%% of the backbone)\n\n",
+		s.MeanSleepingLinks, s.SleepableFraction*100)
+	fmt.Printf("%-42s %8.0f W\n", "Naive estimate (full Pport+Ptrx, both ends):", s.Naive.Watts())
+	fmt.Printf("%-42s %8.0f W\n", "Refined lower bound (Ptrx,up = 0):", s.RefinedLow.Watts())
+	fmt.Printf("%-42s %8.0f W\n", "Refined upper bound (Ptrx,up = Ptrx):", s.RefinedHigh.Watts())
+	fmt.Printf("%-42s %8.0f W\n", "Table 5 point estimate:", s.Table5.Watts())
+	fmt.Println("\nBecause transceivers keep drawing Ptrx,in while plugged (§7), the")
+	fmt.Println("real savings sit near the lower bound — link sleeping yields less")
+	fmt.Println("than the literature anticipated (§8).")
+}

@@ -1,0 +1,50 @@
+// Model derivation: run the complete §5 lab methodology (NetPowerBench)
+// against a simulated DUT — the Base/Idle/Port/Trx/Snake experiments and
+// their regressions — and compare the recovered parameters against the
+// paper's published model for the same hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fantasticjoules "fantasticjoules"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+func main() {
+	const router = "NCS-55A1-24H"
+	g := units.GigabitPerSecond
+
+	fmt.Printf("Deriving a power model for %s (Passive DAC @ 100G)...\n", router)
+	fmt.Println("  experiments: Base → Idle → Port sweep → Trx sweep → Snake sweeps")
+	res, err := fantasticjoules.DeriveModel(router, model.PassiveDAC, 100*g, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pub, err := fantasticjoules.PublishedModel(router)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pubProfile, _ := pub.Profile(res.Profile.Key)
+
+	fmt.Printf("\n%-10s %12s %12s\n", "Term", "Derived", "Published")
+	row := func(name string, got, want float64, unit string) {
+		fmt.Printf("%-10s %9.2f %s %9.2f %s\n", name, got, unit, want, unit)
+	}
+	row("Pbase", res.Model.PBase.Watts(), pub.PBase.Watts(), "W ")
+	row("Pport", res.Profile.PPort.Watts(), pubProfile.PPort.Watts(), "W ")
+	row("Ptrx,in", res.Profile.PTrxIn.Watts(), pubProfile.PTrxIn.Watts(), "W ")
+	row("Ptrx,up", res.Profile.PTrxUp.Watts(), pubProfile.PTrxUp.Watts(), "W ")
+	row("Ebit", res.Profile.EBit.Picojoules(), pubProfile.EBit.Picojoules(), "pJ")
+	row("Epkt", res.Profile.EPkt.Nanojoules(), pubProfile.EPkt.Nanojoules(), "nJ")
+	row("Poffset", res.Profile.POffset.Watts(), pubProfile.POffset.Watts(), "W ")
+
+	fmt.Printf("\nRegression quality (weakest R²): %.4f\n", res.Report.FitQuality())
+	fmt.Printf("Port sweep: %s\n", res.Report.PortFit)
+	fmt.Printf("Energy fit: %s\n", res.Report.EnergyFit)
+	fmt.Println("\nThe derivation only ever saw wall-power measurements — the")
+	fmt.Println("device's hidden parameters were recovered, not copied.")
+}

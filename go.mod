@@ -1,0 +1,3 @@
+module fantasticjoules
+
+go 1.22

@@ -1,0 +1,271 @@
+package autopower
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/units"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{
+		Type: TypeUpload, UnitID: "unit-1", Seq: 42,
+		Samples: []Sample{{UnixMilli: 1700000000000, Watts: 358.2}},
+	}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != TypeUpload || out.Seq != 42 || len(out.Samples) != 1 {
+		t.Errorf("frame = %+v", out)
+	}
+	if out.Samples[0].Watts != 358.2 {
+		t.Errorf("sample = %+v", out.Samples[0])
+	}
+	if !out.Samples[0].Time().Equal(time.UnixMilli(1700000000000).UTC()) {
+		t.Errorf("timestamp = %v", out.Samples[0].Time())
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0})); err == nil {
+		t.Error("oversized length must error")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Error("zero length must error")
+	}
+	if _, err := ReadFrame(strings.NewReader("")); err == nil {
+		t.Error("empty stream must error")
+	}
+	// Valid length, garbage JSON.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 2, '{', 'x'})); err == nil {
+		t.Error("bad JSON must error")
+	}
+	// Valid JSON, missing type.
+	body := []byte(`{"seq":1}`)
+	hdr := []byte{0, 0, 0, byte(len(body))}
+	if _, err := ReadFrame(bytes.NewReader(append(hdr, body...))); err == nil {
+		t.Error("missing type must error")
+	}
+}
+
+func TestUnitConfigValidation(t *testing.T) {
+	m := meter.New(1)
+	cases := []UnitConfig{
+		{ServerAddr: "x", Meter: m},    // no ID
+		{UnitID: "u", Meter: m},        // no server
+		{UnitID: "u", ServerAddr: "x"}, // no meter
+	}
+	for i, cfg := range cases {
+		if _, err := NewUnit(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// startPipeline spins up a server and one unit measuring a controllable
+// source, with fast intervals for testing.
+func startPipeline(t *testing.T, truth *atomic.Int64) (*Server, *Unit, context.CancelFunc) {
+	t.Helper()
+	m := meter.New(7)
+	if err := m.Attach(0, meter.SourceFunc(func() units.Power {
+		return units.Power(truth.Load())
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewUnit(UnitConfig{
+		UnitID: "unit-1", Router: "rtr-9", ServerAddr: addr,
+		Meter: m, Channel: 0,
+		SampleInterval: 5 * time.Millisecond,
+		UploadEvery:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = unit.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		srv.Close()
+	})
+	return srv, unit, cancel
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, desc string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", desc)
+}
+
+func TestEndToEndCollection(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(400)
+	srv, _, _ := startPipeline(t, &truth)
+
+	waitFor(t, 5*time.Second, func() bool {
+		units := srv.Units()
+		return len(units) == 1 && units[0].Samples >= 20
+	}, "20 samples at the server")
+
+	st := srv.Units()[0]
+	if st.UnitID != "unit-1" || st.Router != "rtr-9" || !st.Connected {
+		t.Errorf("status = %+v", st)
+	}
+	series, err := srv.Series("unit-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := series.Median()
+	if med < 390 || med > 410 {
+		t.Errorf("median collected power = %v, want ≈400", med)
+	}
+	// Timestamps must be strictly increasing (dedupe works).
+	pts := series.Points()
+	for i := 1; i < len(pts); i++ {
+		if !pts[i].T.After(pts[i-1].T) {
+			t.Fatalf("non-increasing timestamps at %d", i)
+		}
+	}
+}
+
+func TestRemoteStartStop(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(100)
+	srv, _, _ := startPipeline(t, &truth)
+
+	waitFor(t, 5*time.Second, func() bool {
+		u := srv.Units()
+		return len(u) == 1 && u[0].Connected && u[0].Samples > 0
+	}, "unit connected and uploading")
+
+	if err := srv.StopMeasurement("unit-1"); err != nil {
+		t.Fatal(err)
+	}
+	// After the stop settles, the sample count must stabilize.
+	var frozen int
+	waitFor(t, 5*time.Second, func() bool {
+		n := srv.Units()[0].Samples
+		if n == frozen && n > 0 {
+			return true
+		}
+		frozen = n
+		time.Sleep(50 * time.Millisecond)
+		return false
+	}, "sample count to freeze after stop")
+
+	if err := srv.StartMeasurement("unit-1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return srv.Units()[0].Samples > frozen
+	}, "samples to resume after start")
+
+	if err := srv.StartMeasurement("ghost"); err == nil {
+		t.Error("unknown unit must error")
+	}
+}
+
+func TestUnitSurvivesServerRestart(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(250)
+	m := meter.New(9)
+	if err := m.Attach(0, meter.SourceFunc(func() units.Power {
+		return units.Power(truth.Load())
+	})); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := NewUnit(UnitConfig{
+		UnitID: "unit-r", ServerAddr: addr, Meter: m,
+		SampleInterval:   5 * time.Millisecond,
+		UploadEvery:      5,
+		ReconnectBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = unit.Run(ctx) }()
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, 5*time.Second, func() bool {
+		u := srv.Units()
+		return len(u) == 1 && u[0].Samples > 0
+	}, "first collection")
+
+	// Kill the server: the unit keeps spooling.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return unit.SpoolLen() > 10 }, "spool growth while offline")
+
+	// Restart on the same address: the unit reconnects and drains.
+	srv2 := NewServer()
+	if _, err := srv2.Start(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	waitFor(t, 10*time.Second, func() bool {
+		u := srv2.Units()
+		return len(u) == 1 && u[0].Samples > 10 && unit.SpoolLen() < 10
+	}, "spool drain after reconnect")
+	if unit.Dropped() != 0 {
+		t.Errorf("dropped %d samples during a short outage", unit.Dropped())
+	}
+}
+
+func TestServerSeriesUnknownUnit(t *testing.T) {
+	srv := NewServer()
+	if _, err := srv.Series("nope"); err == nil {
+		t.Error("unknown unit must error")
+	}
+}
+
+func TestServerDoubleStart(t *testing.T) {
+	srv := NewServer()
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start must error")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Close(); err != nil {
+		t.Errorf("closing a never-started server: %v", err)
+	}
+}

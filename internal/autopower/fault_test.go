@@ -1,0 +1,136 @@
+package autopower
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesCorruptStream connects raw TCP clients that speak
+// garbage and verifies the server drops them while staying usable for a
+// legitimate unit afterwards.
+func TestServerSurvivesCorruptStream(t *testing.T) {
+	attackSrv := NewServer()
+	attackAddr, err := attackSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attackSrv.Close()
+
+	attacks := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),                  // wrong protocol
+		{0xff, 0xff, 0xff, 0xff, 0x00},                    // absurd frame length
+		{0x00, 0x00, 0x00, 0x05, 'h', 'e', 'l', 'l', 'o'}, // length ok, not JSON
+		{0x00, 0x00, 0x00, 0x02, '{', '}'},                // JSON without type
+	}
+	for i, payload := range attacks {
+		conn, err := net.Dial("tcp", attackAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("attack %d write: %v", i, err)
+		}
+		// Server must close or ignore; either way a follow-up valid session
+		// must still work.
+		conn.Close()
+	}
+
+	// A legitimate unit still registers on the attacked server.
+	conn, err := net.Dial("tcp", attackAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, Frame{Type: TypeHello, UnitID: "survivor"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, Frame{Type: TypeUpload, Seq: 1, Samples: []Sample{
+		{UnixMilli: time.Now().UnixMilli(), Watts: 42},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != TypeAck || ack.Seq != 1 {
+		t.Errorf("ack = %+v", ack)
+	}
+	units := attackSrv.Units()
+	if len(units) != 1 || units[0].UnitID != "survivor" || units[0].Samples != 1 {
+		t.Errorf("units after attacks = %+v", units)
+	}
+}
+
+// TestServerIgnoresHelloWithoutID rejects anonymous units.
+func TestServerIgnoresHelloWithoutID(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, Frame{Type: TypeHello}); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the connection; a read must fail quickly.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadFrame(conn); err == nil {
+		t.Error("server kept an anonymous session alive")
+	}
+	if len(srv.Units()) != 0 {
+		t.Errorf("anonymous unit registered: %+v", srv.Units())
+	}
+}
+
+// TestReconnectReplacesStaleConnection verifies a unit's second connection
+// supersedes the first.
+func TestReconnectReplacesStaleConnection(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(c, Frame{Type: TypeHello, UnitID: "u", Router: "r"}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	first := dial()
+	defer first.Close()
+	waitFor(t, 2*time.Second, func() bool {
+		u := srv.Units()
+		return len(u) == 1 && u[0].Connected
+	}, "first connection registered")
+
+	second := dial()
+	defer second.Close()
+	// The first connection gets closed by the server; reading from it must
+	// fail, while the second stays usable.
+	_ = first.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ReadFrame(first); err == nil {
+		t.Error("stale connection still served")
+	}
+	if err := WriteFrame(second, Frame{Type: TypeUpload, Seq: 1, Samples: []Sample{
+		{UnixMilli: time.Now().UnixMilli(), Watts: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := ReadFrame(second)
+	if err != nil || ack.Type != TypeAck {
+		t.Errorf("second connection broken: %v %+v", err, ack)
+	}
+}

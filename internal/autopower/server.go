@@ -1,0 +1,222 @@
+package autopower
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"fantasticjoules/internal/timeseries"
+)
+
+// UnitStatus describes one unit known to the server.
+type UnitStatus struct {
+	UnitID    string
+	Router    string
+	Connected bool
+	// Samples is the number of samples collected from the unit so far.
+	Samples int
+	// LastSample is the timestamp of the newest collected sample.
+	LastSample time.Time
+}
+
+// Server is the collection side of Autopower: it accepts unit connections,
+// stores uploaded samples per unit, and can remotely start/stop
+// measurements. Create with NewServer, start with Start, stop with Close.
+type Server struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+
+	units map[string]*unitState
+}
+
+type unitState struct {
+	router   string
+	conn     net.Conn // nil when disconnected
+	series   *timeseries.Series
+	lastSeen time.Time
+	// dedupe: highest sample timestamp stored, to drop re-uploaded overlap.
+	lastMilli int64
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{units: make(map[string]*unitState)}
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// begins accepting unit connections. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("autopower: server listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("autopower: server already started")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and drops all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.closed = true
+	for _, u := range s.units {
+		if u.conn != nil {
+			u.conn.Close()
+			u.conn = nil
+		}
+	}
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	err := ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	hello, err := ReadFrame(conn)
+	if err != nil || hello.Type != TypeHello || hello.UnitID == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	st, ok := s.units[hello.UnitID]
+	if !ok {
+		st = &unitState{series: timeseries.New(hello.UnitID)}
+		s.units[hello.UnitID] = st
+	}
+	if st.conn != nil {
+		st.conn.Close() // a reconnect replaces the stale connection
+	}
+	st.conn = conn
+	st.router = hello.Router
+	st.lastSeen = time.Now()
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		if st.conn == conn {
+			st.conn = nil
+		}
+		s.mu.Unlock()
+	}()
+
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.Type != TypeUpload {
+			continue
+		}
+		s.mu.Lock()
+		for _, sample := range f.Samples {
+			if sample.UnixMilli <= st.lastMilli {
+				continue // overlap from an unacked re-upload
+			}
+			st.series.Append(sample.Time(), sample.Watts)
+			st.lastMilli = sample.UnixMilli
+		}
+		st.lastSeen = time.Now()
+		s.mu.Unlock()
+		if err := WriteFrame(conn, Frame{Type: TypeAck, Seq: f.Seq}); err != nil {
+			return
+		}
+	}
+}
+
+// Units lists all known units sorted by ID.
+func (s *Server) Units() []UnitStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]UnitStatus, 0, len(s.units))
+	for id, st := range s.units {
+		us := UnitStatus{
+			UnitID:    id,
+			Router:    st.router,
+			Connected: st.conn != nil,
+			Samples:   st.series.Len(),
+		}
+		if st.series.Len() > 0 {
+			us.LastSample = st.series.At(st.series.Len() - 1).T
+		}
+		out = append(out, us)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UnitID < out[j].UnitID })
+	return out
+}
+
+// Series returns a copy of the samples collected from a unit.
+func (s *Server) Series(unitID string) (*timeseries.Series, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.units[unitID]
+	if !ok {
+		return nil, fmt.Errorf("autopower: unknown unit %q", unitID)
+	}
+	return timeseries.FromPoints(unitID, st.series.Points()), nil
+}
+
+// command sends a control frame to a connected unit.
+func (s *Server) command(unitID string, f Frame) error {
+	s.mu.Lock()
+	st, ok := s.units[unitID]
+	var conn net.Conn
+	if ok {
+		conn = st.conn
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("autopower: unknown unit %q", unitID)
+	}
+	if conn == nil {
+		return fmt.Errorf("autopower: unit %q is not connected", unitID)
+	}
+	return WriteFrame(conn, f)
+}
+
+// StartMeasurement remotely resumes a unit's measurements.
+func (s *Server) StartMeasurement(unitID string) error {
+	return s.command(unitID, Frame{Type: TypeStart})
+}
+
+// StopMeasurement remotely pauses a unit's measurements.
+func (s *Server) StopMeasurement(unitID string) error {
+	return s.command(unitID, Frame{Type: TypeStop})
+}

@@ -1,0 +1,276 @@
+package autopower
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fantasticjoules/internal/meter"
+)
+
+// UnitConfig configures an Autopower measurement unit.
+type UnitConfig struct {
+	// UnitID identifies the unit to the server, e.g. "unit-zrh-01".
+	UnitID string
+	// Router is the (anonymized) name of the router being measured.
+	Router string
+	// ServerAddr is the TCP address of the Autopower server.
+	ServerAddr string
+	// Meter and Channel select the power source.
+	Meter   *meter.Meter
+	Channel int
+	// SampleInterval is the measurement cadence (default 500 ms, the
+	// paper's Autopower resolution).
+	SampleInterval time.Duration
+	// UploadEvery is how many samples accumulate between uploads
+	// (default 60, i.e. every 30 s at the default cadence).
+	UploadEvery int
+	// ReconnectBackoff is the initial backoff after a failed connection
+	// (default 200 ms, doubling up to 30×).
+	ReconnectBackoff time.Duration
+	// Now supplies timestamps (defaults to time.Now); the fleet simulator
+	// injects simulated clocks here.
+	Now func() time.Time
+}
+
+func (c *UnitConfig) applyDefaults() error {
+	if c.UnitID == "" {
+		return errors.New("autopower: unit needs an ID")
+	}
+	if c.ServerAddr == "" {
+		return errors.New("autopower: unit needs a server address")
+	}
+	if c.Meter == nil {
+		return errors.New("autopower: unit needs a meter")
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 500 * time.Millisecond
+	}
+	if c.UploadEvery <= 0 {
+		c.UploadEvery = 60
+	}
+	if c.ReconnectBackoff <= 0 {
+		c.ReconnectBackoff = 200 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return nil
+}
+
+// Unit is the client side of Autopower: it samples its meter on a fixed
+// cadence into a local spool and uploads batches whenever a server
+// connection is available. Measurement starts as soon as Run is called —
+// the "measure on boot" resilience requirement — and continues across
+// connection losses.
+type Unit struct {
+	cfg UnitConfig
+
+	mu        sync.Mutex
+	spool     []Sample
+	seq       uint64 // sequence number of the last spooled sample
+	ackedSeq  uint64
+	measuring bool
+	dropped   int
+}
+
+// maxSpool bounds the local spool; beyond it the oldest samples are
+// dropped (a real unit's disk would hold weeks — this guards runaway
+// growth when a server stays unreachable).
+const maxSpool = 1 << 20
+
+// NewUnit validates the configuration and returns a unit ready to Run.
+func NewUnit(cfg UnitConfig) (*Unit, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Unit{cfg: cfg, measuring: true}, nil
+}
+
+// SpoolLen returns the number of samples waiting for upload.
+func (u *Unit) SpoolLen() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.spool)
+}
+
+// Dropped returns how many samples were lost to spool overflow.
+func (u *Unit) Dropped() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.dropped
+}
+
+// Run samples and uploads until the context is cancelled. It returns the
+// context's error on shutdown; connection failures are retried with
+// exponential backoff and never abort the run.
+func (u *Unit) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		u.sampleLoop(ctx)
+	}()
+	u.connectLoop(ctx)
+	wg.Wait()
+	return ctx.Err()
+}
+
+func (u *Unit) sampleLoop(ctx context.Context) {
+	ticker := time.NewTicker(u.cfg.SampleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			u.mu.Lock()
+			measuring := u.measuring
+			u.mu.Unlock()
+			if !measuring {
+				continue
+			}
+			w, err := u.cfg.Meter.Read(u.cfg.Channel)
+			if err != nil {
+				continue // meter glitch: skip the sample
+			}
+			s := Sample{UnixMilli: u.cfg.Now().UnixMilli(), Watts: w.Watts()}
+			u.mu.Lock()
+			u.spool = append(u.spool, s)
+			u.seq++
+			if len(u.spool) > maxSpool {
+				drop := len(u.spool) - maxSpool
+				u.spool = u.spool[drop:]
+				u.dropped += drop
+				// The dropped prefix can never be acked; keep the
+				// ack bookkeeping aligned with the spool head.
+				u.ackedSeq += uint64(drop)
+			}
+			u.mu.Unlock()
+		}
+	}
+}
+
+func (u *Unit) connectLoop(ctx context.Context) {
+	backoff := u.cfg.ReconnectBackoff
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		err := u.session(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			// Exponential backoff, capped.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < 30*u.cfg.ReconnectBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = u.cfg.ReconnectBackoff
+	}
+}
+
+// session runs one server connection: hello, then alternating uploads and
+// command handling until the connection breaks.
+func (u *Unit) session(ctx context.Context) error {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", u.cfg.ServerAddr)
+	if err != nil {
+		return fmt.Errorf("autopower: dial: %w", err)
+	}
+	defer conn.Close()
+	go func() {
+		<-ctx.Done()
+		conn.Close() // unblock reads on shutdown
+	}()
+
+	if err := WriteFrame(conn, Frame{Type: TypeHello, UnitID: u.cfg.UnitID, Router: u.cfg.Router}); err != nil {
+		return err
+	}
+
+	// Reader goroutine: acks and commands.
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			f, err := ReadFrame(conn)
+			if err != nil {
+				errc <- err
+				return
+			}
+			switch f.Type {
+			case TypeAck:
+				u.trimSpool(f.Seq)
+			case TypeStart:
+				u.mu.Lock()
+				u.measuring = true
+				u.mu.Unlock()
+			case TypeStop:
+				u.mu.Lock()
+				u.measuring = false
+				u.mu.Unlock()
+			}
+		}
+	}()
+
+	// Upload loop: ship pending batches at the upload cadence.
+	interval := time.Duration(u.cfg.UploadEvery) * u.cfg.SampleInterval
+	if interval <= 0 || interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-errc:
+			return err
+		case <-ticker.C:
+			batch, seq := u.pendingBatch()
+			if len(batch) == 0 {
+				continue
+			}
+			if err := WriteFrame(conn, Frame{Type: TypeUpload, UnitID: u.cfg.UnitID, Seq: seq, Samples: batch}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// pendingBatch snapshots the unsent spool tail.
+func (u *Unit) pendingBatch() ([]Sample, uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if len(u.spool) == 0 {
+		return nil, u.seq
+	}
+	batch := make([]Sample, len(u.spool))
+	copy(batch, u.spool)
+	return batch, u.seq
+}
+
+// trimSpool drops samples acknowledged through seq.
+func (u *Unit) trimSpool(seq uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if seq <= u.ackedSeq {
+		return
+	}
+	acked := int(seq - u.ackedSeq)
+	if acked >= len(u.spool) {
+		u.spool = u.spool[:0]
+	} else {
+		u.spool = u.spool[acked:]
+	}
+	u.ackedSeq = seq
+}

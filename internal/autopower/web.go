@@ -1,0 +1,122 @@
+package autopower
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The paper's Autopower server ships a web interface to "conveniently
+// start/stop measurements or download the power data" (Fig. 7). This file
+// provides that surface: a status page plus a small JSON API.
+//
+//	GET  /               HTML status page listing the units
+//	GET  /api/units      unit statuses as JSON
+//	GET  /api/units/{id}/data?since=RFC3339   collected samples as JSON
+//	POST /api/units/{id}/start               resume measuring
+//	POST /api/units/{id}/stop                pause measuring
+
+// WebHandler returns the server's HTTP control interface.
+func (s *Server) WebHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		s.serveIndex(w)
+	})
+	mux.HandleFunc("/api/units", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, s.Units())
+	})
+	mux.HandleFunc("/api/units/", s.serveUnitAPI)
+	return mux
+}
+
+func (s *Server) serveUnitAPI(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/units/")
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[0] == "" {
+		http.NotFound(w, r)
+		return
+	}
+	unitID, action := parts[0], parts[1]
+	switch {
+	case action == "data" && r.Method == http.MethodGet:
+		series, err := s.Series(unitID)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		since := time.Time{}
+		if q := r.URL.Query().Get("since"); q != "" {
+			t, err := time.Parse(time.RFC3339, q)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = t
+		}
+		type sample struct {
+			T time.Time `json:"t"`
+			W float64   `json:"w"`
+		}
+		var out []sample
+		for _, p := range series.Points() {
+			if p.T.Before(since) {
+				continue
+			}
+			out = append(out, sample{T: p.T, W: p.V})
+		}
+		writeJSON(w, out)
+	case action == "start" && r.Method == http.MethodPost:
+		if err := s.StartMeasurement(unitID); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case action == "stop" && r.Method == http.MethodPost:
+		if err := s.StopMeasurement(unitID); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "unknown action or method", http.StatusMethodNotAllowed)
+	}
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>Autopower</title></head><body>
+<h1>Autopower units</h1>
+<table border="1" cellpadding="4">
+<tr><th>Unit</th><th>Router</th><th>Connected</th><th>Samples</th><th>Last sample</th><th>Data</th></tr>
+{{range .}}<tr>
+<td>{{.UnitID}}</td><td>{{.Router}}</td><td>{{.Connected}}</td>
+<td>{{.Samples}}</td><td>{{.LastSample.Format "2006-01-02 15:04:05"}}</td>
+<td><a href="/api/units/{{.UnitID}}/data">download</a></td>
+</tr>{{end}}
+</table></body></html>
+`))
+
+func (s *Server) serveIndex(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := indexTemplate.Execute(w, s.Units()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; nothing sensible to do.
+		_ = fmt.Errorf("autopower: encode response: %w", err)
+	}
+}

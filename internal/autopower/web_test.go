@@ -1,0 +1,172 @@
+package autopower
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWebStatusAndData(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(350)
+	srv, _, _ := startPipeline(t, &truth)
+	web := httptest.NewServer(srv.WebHandler())
+	defer web.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		u := srv.Units()
+		return len(u) == 1 && u[0].Samples >= 10
+	}, "samples before web checks")
+
+	// Status JSON.
+	resp, err := http.Get(web.URL + "/api/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var units []UnitStatus
+	if err := json.NewDecoder(resp.Body).Decode(&units); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(units) != 1 || units[0].UnitID != "unit-1" {
+		t.Fatalf("units = %+v", units)
+	}
+
+	// Data download.
+	resp, err = http.Get(web.URL + "/api/units/unit-1/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []struct {
+		T time.Time `json:"t"`
+		W float64   `json:"w"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&samples); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(samples) < 10 {
+		t.Fatalf("downloaded %d samples", len(samples))
+	}
+	if samples[0].W < 340 || samples[0].W > 360 {
+		t.Errorf("sample = %+v", samples[0])
+	}
+
+	// Incremental download with since.
+	mid := samples[len(samples)/2].T
+	resp, err = http.Get(web.URL + "/api/units/unit-1/data?since=" + mid.Format(time.RFC3339Nano))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []struct {
+		T time.Time `json:"t"`
+		W float64   `json:"w"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(tail) >= len(samples) {
+		t.Errorf("since filter returned %d of %d samples", len(tail), len(samples))
+	}
+
+	// HTML index.
+	resp, err = http.Get(web.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "unit-1") {
+		t.Error("index page does not list the unit")
+	}
+}
+
+func TestWebStartStop(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(100)
+	srv, _, _ := startPipeline(t, &truth)
+	web := httptest.NewServer(srv.WebHandler())
+	defer web.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		u := srv.Units()
+		return len(u) == 1 && u[0].Connected
+	}, "unit connection")
+
+	resp, err := http.Post(web.URL+"/api/units/unit-1/stop", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("stop status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(web.URL+"/api/units/unit-1/start", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("start status = %d", resp.StatusCode)
+	}
+	// Unknown unit.
+	resp, err = http.Post(web.URL+"/api/units/ghost/start", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("ghost start status = %d", resp.StatusCode)
+	}
+}
+
+func TestWebErrors(t *testing.T) {
+	srv := NewServer()
+	web := httptest.NewServer(srv.WebHandler())
+	defer web.Close()
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/api/units/ghost/data", http.StatusNotFound},
+		{http.MethodGet, "/nope", http.StatusNotFound},
+		{http.MethodPost, "/api/units", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/api/units/x/start", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/api/units/", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, web.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestWebDataBadSince(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(100)
+	srv, _, _ := startPipeline(t, &truth)
+	web := httptest.NewServer(srv.WebHandler())
+	defer web.Close()
+	waitFor(t, 5*time.Second, func() bool { return len(srv.Units()) == 1 }, "unit registration")
+
+	resp, err := http.Get(web.URL + "/api/units/unit-1/data?since=yesterday")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since status = %d", resp.StatusCode)
+	}
+}

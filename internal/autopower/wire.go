@@ -1,0 +1,115 @@
+// Package autopower implements the paper's Autopower system (§6.1): remote
+// units that measure a production router's wall power with an MCP39F511N
+// meter and ship the samples to a central server.
+//
+// Design constraints carried over from the paper:
+//
+//   - The unit initiates the connection (outgoing TCP only), so it works
+//     behind NAT; the server never dials the unit.
+//   - Samples are spooled locally and uploaded periodically, so network
+//     interruptions lose nothing.
+//   - Measurement starts automatically when the unit starts, surviving
+//     power failures.
+//   - The server can remotely start/stop measurements and serve collected
+//     data for download.
+//
+// The paper's artifact uses gRPC; this implementation uses a
+// length-prefixed JSON frame protocol over TCP from the standard library,
+// preserving the same client-initiated, resumable-upload semantics.
+package autopower
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// maxFrameBytes bounds a single protocol frame; larger frames indicate a
+// corrupt stream and abort the connection.
+const maxFrameBytes = 4 << 20
+
+// Frame types exchanged between unit and server.
+const (
+	// unit → server
+	TypeHello  = "hello"  // unit introduces itself after connecting
+	TypeUpload = "upload" // batch of spooled samples
+	// server → unit
+	TypeAck   = "ack"   // upload accepted through Seq
+	TypeStart = "start" // begin measuring at IntervalMS
+	TypeStop  = "stop"  // pause measuring
+)
+
+// Sample is one power measurement.
+type Sample struct {
+	// UnixMilli is the sample timestamp in Unix milliseconds.
+	UnixMilli int64 `json:"t"`
+	// Watts is the measured wall power.
+	Watts float64 `json:"w"`
+}
+
+// Time returns the sample timestamp.
+func (s Sample) Time() time.Time { return time.UnixMilli(s.UnixMilli).UTC() }
+
+// Frame is the single message envelope of the protocol.
+type Frame struct {
+	Type string `json:"type"`
+
+	// Hello fields.
+	UnitID string `json:"unit_id,omitempty"`
+	Router string `json:"router,omitempty"`
+
+	// Upload fields: Seq is the sequence number of the last sample in the
+	// batch; the server's ack echoes it so the unit can trim its spool.
+	Seq     uint64   `json:"seq,omitempty"`
+	Samples []Sample `json:"samples,omitempty"`
+
+	// Start fields.
+	IntervalMS int64 `json:"interval_ms,omitempty"`
+}
+
+// WriteFrame sends a frame as a 4-byte big-endian length prefix followed by
+// the JSON body.
+func WriteFrame(w io.Writer, f Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("autopower: marshal frame: %w", err)
+	}
+	if len(body) > maxFrameBytes {
+		return fmt.Errorf("autopower: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("autopower: write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("autopower: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return Frame{}, fmt.Errorf("autopower: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("autopower: read frame body: %w", err)
+	}
+	var f Frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return Frame{}, fmt.Errorf("autopower: decode frame: %w", err)
+	}
+	if f.Type == "" {
+		return Frame{}, fmt.Errorf("autopower: frame without type")
+	}
+	return f, nil
+}

@@ -1,0 +1,137 @@
+package datasheet
+
+import (
+	"sort"
+
+	"fantasticjoules/internal/stats"
+	"fantasticjoules/internal/units"
+)
+
+// EfficiencyPoint is one (release year, W per 100 Gbps) sample for the
+// Fig. 2 trend plots.
+type EfficiencyPoint struct {
+	Year       int
+	Efficiency float64 // watts per 100 Gbps
+	Model      string
+}
+
+// ASICTrend returns the Broadcom switching-ASIC efficiency trend of
+// Fig. 2a, redrawn from the vendor's own presentation [21]: a clean,
+// steady halving roughly every two generations.
+func ASICTrend() []EfficiencyPoint {
+	return []EfficiencyPoint{
+		{Year: 2010, Efficiency: 24.0, Model: "Trident+"},
+		{Year: 2012, Efficiency: 14.2, Model: "Trident2"},
+		{Year: 2014, Efficiency: 9.4, Model: "Tomahawk"},
+		{Year: 2016, Efficiency: 6.2, Model: "Tomahawk2"},
+		{Year: 2018, Efficiency: 4.3, Model: "Tomahawk3"},
+		{Year: 2020, Efficiency: 2.9, Model: "Tomahawk4"},
+		{Year: 2022, Efficiency: 2.0, Model: "Tomahawk5"},
+	}
+}
+
+// TrendOptions parameterize the Fig. 2b datasheet-efficiency analysis.
+type TrendOptions struct {
+	// MinBandwidth filters out small access devices; the paper uses
+	// 100 Gbps (the metric is intended for high-end routers).
+	MinBandwidth units.BitRate
+	// OutlierCutoff removes extreme efficiency values from the plot; the
+	// paper drops two readings around 300 W/100G for readability. Zero
+	// keeps everything.
+	OutlierCutoff float64
+}
+
+// DefaultTrendOptions returns the paper's settings.
+func DefaultTrendOptions() TrendOptions {
+	return TrendOptions{MinBandwidth: 100 * units.GigabitPerSecond, OutlierCutoff: 150}
+}
+
+// EfficiencyTrend computes the Fig. 2b scatter from extracted datasheet
+// records: typical power (max when typical is absent) per 100 Gbps versus
+// release year, for records with both a power value, a bandwidth above the
+// cutoff, and a known release year. It also returns the linear fit over
+// years, whose shallow slope relative to the spread is the paper's point:
+// the router-level trend is not as clear as the ASIC-level one.
+func EfficiencyTrend(records []Extracted, opts TrendOptions) ([]EfficiencyPoint, stats.LinearFit, error) {
+	var pts []EfficiencyPoint
+	for _, r := range records {
+		if r.ReleaseYear == 0 || r.Bandwidth < opts.MinBandwidth {
+			continue
+		}
+		power := r.TypicalPower
+		if power == 0 {
+			power = r.MaxPower
+		}
+		if power == 0 {
+			continue
+		}
+		eff := power.Watts() / (r.Bandwidth.Gbps() / 100)
+		if opts.OutlierCutoff > 0 && eff > opts.OutlierCutoff {
+			continue
+		}
+		pts = append(pts, EfficiencyPoint{Year: r.ReleaseYear, Efficiency: eff, Model: r.Model})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Year != pts[j].Year {
+			return pts[i].Year < pts[j].Year
+		}
+		return pts[i].Model < pts[j].Model
+	})
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.Year)
+		ys[i] = p.Efficiency
+	}
+	fit, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		return pts, stats.LinearFit{}, err
+	}
+	return pts, fit, nil
+}
+
+// AccuracyRow is one row of the Table 1 comparison: measured median power
+// versus the datasheet's "typical" value.
+type AccuracyRow struct {
+	Model string
+	// Measured is the median of the router's SNMP power trace.
+	Measured units.Power
+	// Datasheet is the typical (or, failing that, maximum) value.
+	Datasheet units.Power
+	// Overestimate is (Datasheet-Measured)/Datasheet — the paper's
+	// rightmost column; negative when the datasheet underestimates.
+	Overestimate float64
+}
+
+// CompareMeasured builds the Table 1 rows from measured medians and
+// extracted datasheet records, sorted by descending overestimation as the
+// paper presents them. Models without a usable datasheet power value are
+// skipped.
+func CompareMeasured(measured map[string]units.Power, records []Extracted) []AccuracyRow {
+	byModel := make(map[string]Extracted, len(records))
+	for _, r := range records {
+		byModel[r.Model] = r
+	}
+	var rows []AccuracyRow
+	for model, med := range measured {
+		r, ok := byModel[model]
+		if !ok {
+			continue
+		}
+		ds := r.TypicalPower
+		if ds == 0 {
+			ds = r.MaxPower
+		}
+		if ds == 0 {
+			continue
+		}
+		rows = append(rows, AccuracyRow{
+			Model:        model,
+			Measured:     med,
+			Datasheet:    ds,
+			Overestimate: (ds.Watts() - med.Watts()) / ds.Watts(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Overestimate > rows[j].Overestimate })
+	return rows
+}

@@ -1,0 +1,316 @@
+// Package datasheet reproduces the §3 datasheet study: collecting power
+// and bandwidth values from vendor datasheets, and analyzing what they say
+// about efficiency trends (Fig. 2) and real power draw (Table 1).
+//
+// The paper scrapes 777 real datasheets and extracts fields with GPT-4o.
+// Neither the documents nor the LLM are available offline, so this package
+// builds the closest synthetic equivalent: a corpus of 777 unstructured
+// datasheet texts whose underlying truth follows realistic distributions
+// (vendor naming, series, release years, power levels with wide
+// efficiency noise), rendered in deliberately irregular phrasings — and a
+// deterministic rule-based extractor that plays the LLM's role, with the
+// same imperfection modes (absent values, "TBD", bandwidth that must be
+// summed from port counts).
+package datasheet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/units"
+)
+
+// CorpusSize is the number of router models in the paper's collection.
+const CorpusSize = 777
+
+// RawDatasheet is one unstructured datasheet document.
+type RawDatasheet struct {
+	Vendor string
+	Model  string
+	Series string
+	URL    string
+	// Text is the unstructured document body the extractor parses.
+	Text string
+	// ReleaseYear is only known for Cisco devices (collected manually in
+	// the paper); 0 elsewhere.
+	ReleaseYear int
+}
+
+// Truth is the generator-side ground truth behind a synthetic datasheet,
+// used by tests to measure extractor accuracy. It is NOT available to the
+// extractor.
+type Truth struct {
+	TypicalPower units.Power // 0 when the sheet omits it
+	MaxPower     units.Power // 0 when the sheet says TBD or omits it
+	Bandwidth    units.BitRate
+	PSUCount     int
+	PSUCapacity  units.Power
+}
+
+// Document pairs a raw datasheet with its hidden truth.
+type Document struct {
+	Raw   RawDatasheet
+	Truth Truth
+}
+
+type vendorProfile struct {
+	name     string
+	count    int
+	seriesFn func(rng *rand.Rand) string
+	hasYear  bool
+}
+
+// Generate builds the deterministic 777-document corpus. The first
+// documents correspond to the simulated fleet's catalog models with their
+// real datasheet values; the rest are synthetic models whose efficiency
+// follows a mild improvement trend with wide per-model noise — enough that
+// the router-level trend is much less clear than the ASIC-level one,
+// matching Fig. 2b.
+func Generate(seed int64) []Document {
+	rng := rand.New(rand.NewSource(seed))
+	var docs []Document
+
+	// Catalog models first, with their spec-declared datasheet values.
+	catalogNames := device.CatalogNames()
+	for _, name := range catalogNames {
+		spec, _ := device.Spec(name)
+		truth := Truth{
+			TypicalPower: spec.DatasheetTypical,
+			MaxPower:     spec.DatasheetMax,
+			Bandwidth:    spec.DatasheetBandwidth,
+			PSUCount:     spec.PSUCount,
+			PSUCapacity:  spec.PSUCapacity,
+		}
+		docs = append(docs, Document{
+			Raw: RawDatasheet{
+				Vendor:      vendorOf(name),
+				Model:       name,
+				Series:      seriesOf(name),
+				URL:         fmt.Sprintf("https://example.com/datasheets/%s.html", name),
+				Text:        renderText(rng, name, truth),
+				ReleaseYear: spec.ReleaseYear,
+			},
+			Truth: truth,
+		})
+	}
+
+	vendors := []vendorProfile{
+		{name: "Cisco", count: 400 - countVendor(catalogNames, "Cisco"), seriesFn: ciscoSeries, hasYear: true},
+		{name: "Juniper", count: 200, seriesFn: juniperSeries},
+		{name: "Arista", count: CorpusSize - 600 - countVendor(catalogNames, ""), seriesFn: aristaSeries},
+	}
+	// Adjust the Arista count so the corpus lands exactly on CorpusSize.
+	total := len(docs)
+	for _, v := range vendors[:2] {
+		total += v.count
+	}
+	vendors[2].count = CorpusSize - total
+
+	for _, v := range vendors {
+		for i := 0; i < v.count; i++ {
+			series := v.seriesFn(rng)
+			modelName := fmt.Sprintf("%s-%d%s", series, 1000+rng.Intn(9000), suffix(rng))
+			year := 2006 + rng.Intn(18) // 2006–2023
+			truth := synthesizeTruth(rng, year)
+			raw := RawDatasheet{
+				Vendor: v.name,
+				Model:  modelName,
+				Series: series,
+				URL:    fmt.Sprintf("https://example.com/%s/%s.html", v.name, modelName),
+				Text:   renderText(rng, modelName, truth),
+			}
+			if v.hasYear {
+				raw.ReleaseYear = year
+			}
+			docs = append(docs, Document{Raw: raw, Truth: truth})
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Raw.Model < docs[j].Raw.Model })
+	return docs
+}
+
+func countVendor(names []string, vendor string) int {
+	n := 0
+	for _, name := range names {
+		if vendorOf(name) == vendor || vendor == "" {
+			n++
+		}
+	}
+	return n
+}
+
+func vendorOf(catalogModel string) string {
+	switch catalogModel {
+	case "Wedge100BF-32X":
+		return "EdgeCore"
+	case "VSP-4900":
+		return "Extreme"
+	default:
+		return "Cisco"
+	}
+}
+
+func seriesOf(catalogModel string) string {
+	switch {
+	case len(catalogModel) >= 4 && catalogModel[:4] == "8201":
+		return "Cisco 8000"
+	case len(catalogModel) >= 3 && catalogModel[:3] == "NCS":
+		return "NCS 5500"
+	case len(catalogModel) >= 4 && catalogModel[:4] == "Nexu":
+		return "Nexus 9000"
+	case len(catalogModel) >= 3 && catalogModel[:3] == "ASR":
+		return "ASR 9000"
+	case len(catalogModel) >= 4 && catalogModel[:4] == "N540":
+		return "NCS 540"
+	default:
+		return catalogModel
+	}
+}
+
+func ciscoSeries(rng *rand.Rand) string {
+	s := []string{"Catalyst 9300", "Nexus 9300", "NCS 5500", "ASR 9000", "Cisco 8000", "Catalyst 3850"}
+	return s[rng.Intn(len(s))]
+}
+
+func juniperSeries(rng *rand.Rand) string {
+	s := []string{"MX", "PTX", "QFX", "EX", "ACX"}
+	return s[rng.Intn(len(s))]
+}
+
+func aristaSeries(rng *rand.Rand) string {
+	s := []string{"7050X", "7280R", "7500R", "7060X", "7170"}
+	return s[rng.Intn(len(s))]
+}
+
+func suffix(rng *rand.Rand) string {
+	s := []string{"", "-S", "-SE", "-32C", "-48Y", "-M", "-FX", "-TX"}
+	return s[rng.Intn(len(s))]
+}
+
+// synthesizeTruth draws a model's true datasheet values. The efficiency
+// (W per 100 Gbps) improves mildly with release year but with large
+// per-model spread — the shape behind Fig. 2b.
+func synthesizeTruth(rng *rand.Rand, year int) Truth {
+	// Capacity grows with year: 2006 ≈ 100G class, 2023 ≈ multi-Tbps.
+	logCap := 10.5 + float64(year-2006)*0.16 + rng.NormFloat64()*0.5 // log10(bit/s)
+	if logCap > 13.2 {
+		logCap = 13.2
+	}
+	bw := units.BitRate(math.Pow(10, logCap))
+
+	// Efficiency trend: ≈60 W/100G in 2006 falling toward ≈15 W/100G in
+	// 2023, lognormal spread of ~0.5 — wide enough to blur the trend.
+	trend := 60 * math.Pow(0.92, float64(year-2006))
+	eff := trend * math.Exp(rng.NormFloat64()*0.5) // W per 100 Gbps typical
+	typical := units.Power(eff * bw.Gbps() / 100)
+	if typical < 20 {
+		typical = units.Power(20 + rng.Float64()*20)
+	}
+	maxP := units.Power(typical.Watts() * (1.5 + rng.Float64()))
+
+	// Field availability quirks: ~25 % of sheets omit typical power; ~6 %
+	// report max as TBD.
+	if rng.Float64() < 0.25 {
+		typical = 0
+	}
+	if rng.Float64() < 0.06 {
+		maxP = 0
+	}
+
+	capacities := []units.Power{250, 400, 750, 1100, 2000, 2700}
+	need := maxP
+	if need == 0 {
+		need = units.Power(typical.Watts() * 2)
+	}
+	psuCap := capacities[len(capacities)-1]
+	for _, c := range capacities {
+		if c >= need {
+			psuCap = c
+			break
+		}
+	}
+	return Truth{
+		TypicalPower: typical,
+		MaxPower:     maxP,
+		Bandwidth:    bw,
+		PSUCount:     2,
+		PSUCapacity:  psuCap,
+	}
+}
+
+// renderText produces the unstructured document body in one of several
+// phrasings, mirroring the irregularity the paper complains about (§3.1).
+func renderText(rng *rand.Rand, model string, truth Truth) string {
+	style := rng.Intn(4)
+	var power string
+	typical := truth.TypicalPower
+	maxP := truth.MaxPower
+	switch {
+	case typical > 0 && maxP > 0:
+		switch style {
+		case 0:
+			power = fmt.Sprintf("Typical power consumption: %.0f W. Maximum power consumption: %.0f W.",
+				typical.Watts(), maxP.Watts())
+		case 1:
+			power = fmt.Sprintf("Power draw (typical / maximum): %.0fW / %.0fW at 25C.",
+				typical.Watts(), maxP.Watts())
+		case 2:
+			power = fmt.Sprintf("The %s draws %.0f watts in typical operating conditions, with a worst-case draw of %.0f watts.",
+				model, typical.Watts(), maxP.Watts())
+		default:
+			power = fmt.Sprintf("Typical operating power %.0f W | Max power %.0f W", typical.Watts(), maxP.Watts())
+		}
+	case typical == 0 && maxP > 0:
+		power = fmt.Sprintf("Maximum power: %.0f W.", maxP.Watts())
+	case typical > 0 && maxP == 0:
+		power = fmt.Sprintf("Typical power: %.0f W. Maximum power: TBD.", typical.Watts())
+	default:
+		power = "Power consumption: TBD."
+	}
+
+	var bw string
+	switch rng.Intn(3) {
+	case 0:
+		bw = fmt.Sprintf("Switching capacity: %s.", formatBW(truth.Bandwidth))
+	case 1:
+		bw = fmt.Sprintf("System throughput of up to %s.", formatBW(truth.Bandwidth))
+	default:
+		// Bandwidth implied by the port configuration; the extractor must
+		// sum the ports (the paper's hardest case).
+		per, count := splitPorts(truth.Bandwidth)
+		bw = fmt.Sprintf("Ports: %d x %dGbE.", count, per)
+	}
+
+	psu := fmt.Sprintf("Redundant power supplies: %d x %.0f W AC.", truth.PSUCount, truth.PSUCapacity.Watts())
+
+	return fmt.Sprintf("%s Data Sheet\n\nProduct overview. The %s delivers industry-leading performance.\n\n%s\n\n%s\n%s\n",
+		model, model, bw, power, psu)
+}
+
+// splitPorts factors a bandwidth into an N x MGbE port listing (half
+// duplex counting, rounded to common port speeds).
+func splitPorts(bw units.BitRate) (perPortG int, count int) {
+	g := bw.Gbps()
+	for _, per := range []int{400, 100, 40, 25, 10, 1} {
+		n := int(g) / per
+		if n >= 8 && n <= 64 {
+			return per, n
+		}
+	}
+	per := 10
+	n := int(g) / per
+	if n < 1 {
+		n = 1
+	}
+	return per, n
+}
+
+func formatBW(bw units.BitRate) string {
+	if bw >= units.TerabitPerSecond {
+		return fmt.Sprintf("%.1f Tbps", bw.BitsPerSecond()/1e12)
+	}
+	return fmt.Sprintf("%.0f Gbps", bw.Gbps())
+}

@@ -1,0 +1,224 @@
+package datasheet
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fantasticjoules/internal/units"
+)
+
+// The paper's collection pipeline starts from the NetBox devicetype
+// library (§3.2): a structured YAML collection of device models that
+// carries datasheet URLs and PSU definitions. This file implements the
+// subset of that format the pipeline needs — a parser for devicetype
+// documents and a renderer so the synthetic corpus can be exported in the
+// same shape — without a YAML dependency (the documents in the library
+// are flat maps plus one level of list-of-maps).
+
+// NetBoxPowerPort is one PSU slot definition.
+type NetBoxPowerPort struct {
+	Name string
+	// MaximumDrawWatts is NetBox's maximum_draw field.
+	MaximumDrawWatts float64
+}
+
+// NetBoxDeviceType is the subset of a devicetype document the datasheet
+// pipeline consumes.
+type NetBoxDeviceType struct {
+	Manufacturer string
+	Model        string
+	PartNumber   string
+	// DatasheetURL is extracted from the comments field, where the
+	// library conventionally links the vendor datasheet.
+	DatasheetURL string
+	PowerPorts   []NetBoxPowerPort
+}
+
+var reMarkdownLink = regexp.MustCompile(`\((https?://[^\s)]+)\)`)
+
+// ParseNetBoxDeviceType parses one devicetype YAML document (the flat
+// subset used by the library: scalar fields plus the power-ports list).
+func ParseNetBoxDeviceType(text string) (NetBoxDeviceType, error) {
+	var out NetBoxDeviceType
+	lines := strings.Split(text, "\n")
+	section := ""
+	var current *NetBoxPowerPort
+	flush := func() {
+		if current != nil {
+			out.PowerPorts = append(out.PowerPorts, *current)
+			current = nil
+		}
+	}
+	for i, raw := range lines {
+		line := strings.TrimRight(raw, " \t")
+		if line == "" || strings.HasPrefix(strings.TrimSpace(line), "#") || line == "---" {
+			continue
+		}
+		indented := strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t")
+		trimmed := strings.TrimSpace(line)
+
+		if !indented {
+			flush()
+			key, value, ok := splitKV(trimmed)
+			if !ok {
+				return out, fmt.Errorf("datasheet: netbox line %d: expected key: value, got %q", i+1, trimmed)
+			}
+			section = ""
+			switch key {
+			case "manufacturer":
+				out.Manufacturer = value
+			case "model":
+				out.Model = value
+			case "part_number":
+				out.PartNumber = value
+			case "comments":
+				if m := reMarkdownLink.FindStringSubmatch(value); m != nil {
+					out.DatasheetURL = m[1]
+				} else if strings.HasPrefix(value, "http") {
+					out.DatasheetURL = value
+				}
+			case "power-ports":
+				section = "power-ports"
+			default:
+				// Other fields (u_height, slug, …) are irrelevant here.
+			}
+			continue
+		}
+
+		if section != "power-ports" {
+			continue // nested data under sections we do not consume
+		}
+		if strings.HasPrefix(trimmed, "- ") {
+			flush()
+			current = &NetBoxPowerPort{}
+			trimmed = strings.TrimSpace(strings.TrimPrefix(trimmed, "- "))
+			if trimmed == "" {
+				continue
+			}
+		}
+		if current == nil {
+			return out, fmt.Errorf("datasheet: netbox line %d: field outside a list item", i+1)
+		}
+		key, value, ok := splitKV(trimmed)
+		if !ok {
+			return out, fmt.Errorf("datasheet: netbox line %d: expected key: value, got %q", i+1, trimmed)
+		}
+		switch key {
+		case "name":
+			current.Name = value
+		case "maximum_draw":
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return out, fmt.Errorf("datasheet: netbox line %d: maximum_draw: %w", i+1, err)
+			}
+			current.MaximumDrawWatts = v
+		}
+	}
+	flush()
+	if out.Model == "" {
+		return out, fmt.Errorf("datasheet: netbox document without a model field")
+	}
+	return out, nil
+}
+
+func splitKV(line string) (key, value string, ok bool) {
+	idx := strings.Index(line, ":")
+	if idx < 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(line[:idx])
+	value = strings.TrimSpace(line[idx+1:])
+	value = strings.Trim(value, `'"`)
+	return key, value, true
+}
+
+// RenderNetBoxDeviceType renders a devicetype document in the library's
+// layout; ParseNetBoxDeviceType round-trips it.
+func RenderNetBoxDeviceType(dt NetBoxDeviceType) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "---\n")
+	fmt.Fprintf(&sb, "manufacturer: %s\n", dt.Manufacturer)
+	fmt.Fprintf(&sb, "model: %s\n", dt.Model)
+	if dt.PartNumber != "" {
+		fmt.Fprintf(&sb, "part_number: %s\n", dt.PartNumber)
+	}
+	fmt.Fprintf(&sb, "u_height: 1\n")
+	if dt.DatasheetURL != "" {
+		fmt.Fprintf(&sb, "comments: '[Datasheet](%s)'\n", dt.DatasheetURL)
+	}
+	if len(dt.PowerPorts) > 0 {
+		fmt.Fprintf(&sb, "power-ports:\n")
+		for _, pp := range dt.PowerPorts {
+			fmt.Fprintf(&sb, "  - name: %s\n", pp.Name)
+			fmt.Fprintf(&sb, "    type: iec-60320-c14\n")
+			fmt.Fprintf(&sb, "    maximum_draw: %.0f\n", pp.MaximumDrawWatts)
+		}
+	}
+	return sb.String()
+}
+
+// NetBoxLibrary exports the synthetic corpus as devicetype documents
+// keyed by model name — the structured starting point the paper's
+// pipeline walks to find datasheet URLs (§3.2).
+func NetBoxLibrary(docs []Document) map[string]string {
+	out := make(map[string]string, len(docs))
+	for _, d := range docs {
+		dt := NetBoxDeviceType{
+			Manufacturer: d.Raw.Vendor,
+			Model:        d.Raw.Model,
+			PartNumber:   d.Raw.Model,
+			DatasheetURL: d.Raw.URL,
+		}
+		for i := 0; i < d.Truth.PSUCount; i++ {
+			dt.PowerPorts = append(dt.PowerPorts, NetBoxPowerPort{
+				Name:             fmt.Sprintf("PSU%d", i),
+				MaximumDrawWatts: d.Truth.PSUCapacity.Watts(),
+			})
+		}
+		out[d.Raw.Model] = RenderNetBoxDeviceType(dt)
+	}
+	return out
+}
+
+// MergeNetBox enriches extracted records with NetBox PSU data (count and
+// capacity), marking the fields as NetBox-sourced the way the paper's
+// dataset does. Records without a matching document are left unchanged.
+// It returns how many records were enriched.
+func MergeNetBox(records []Extracted, library map[string]string) (int, error) {
+	byModel := make(map[string]NetBoxDeviceType, len(library))
+	var names []string
+	for name := range library {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dt, err := ParseNetBoxDeviceType(library[name])
+		if err != nil {
+			return 0, fmt.Errorf("datasheet: netbox %s: %w", name, err)
+		}
+		byModel[dt.Model] = dt
+	}
+	enriched := 0
+	for i := range records {
+		dt, ok := byModel[records[i].Model]
+		if !ok || len(dt.PowerPorts) == 0 {
+			continue
+		}
+		records[i].PSUCount = len(dt.PowerPorts)
+		records[i].PSUCapacity = 0
+		for _, pp := range dt.PowerPorts {
+			if p := pp.MaximumDrawWatts; p > records[i].PSUCapacity.Watts() {
+				records[i].PSUCapacity = units.Power(p)
+			}
+		}
+		if records[i].Sources == nil {
+			records[i].Sources = map[string]Source{}
+		}
+		records[i].Sources["psu"] = SourceNetBox
+		enriched++
+	}
+	return enriched, nil
+}

@@ -1,0 +1,140 @@
+package datasheet
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDeviceType = `---
+manufacturer: Cisco
+model: NCS-55A1-24H
+slug: cisco-ncs-55a1-24h
+part_number: NCS-55A1-24H
+u_height: 1
+is_full_depth: true
+comments: 'Overview and specs: [Datasheet](https://example.com/ncs55a1.html)'
+power-ports:
+  - name: PSU0
+    type: iec-60320-c14
+    maximum_draw: 1100
+  - name: PSU1
+    type: iec-60320-c14
+    maximum_draw: 1100
+interfaces:
+  - name: HundredGigE0/0/0/0
+    type: 100gbase-x-qsfp28
+`
+
+func TestParseNetBoxDeviceType(t *testing.T) {
+	dt, err := ParseNetBoxDeviceType(sampleDeviceType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.Manufacturer != "Cisco" || dt.Model != "NCS-55A1-24H" {
+		t.Errorf("identity = %q/%q", dt.Manufacturer, dt.Model)
+	}
+	if dt.DatasheetURL != "https://example.com/ncs55a1.html" {
+		t.Errorf("url = %q", dt.DatasheetURL)
+	}
+	if len(dt.PowerPorts) != 2 {
+		t.Fatalf("power ports = %d", len(dt.PowerPorts))
+	}
+	if dt.PowerPorts[0].Name != "PSU0" || dt.PowerPorts[0].MaximumDrawWatts != 1100 {
+		t.Errorf("psu0 = %+v", dt.PowerPorts[0])
+	}
+}
+
+func TestParseNetBoxErrors(t *testing.T) {
+	cases := map[string]string{
+		"no model":        "manufacturer: Cisco\n",
+		"garbage line":    "manufacturer Cisco\n",
+		"orphan field":    "model: X\npower-ports:\n    maximum_draw: 5\n",
+		"bad draw number": "model: X\npower-ports:\n  - name: P\n    maximum_draw: many\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseNetBoxDeviceType(text); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNetBoxRoundTrip(t *testing.T) {
+	in := NetBoxDeviceType{
+		Manufacturer: "Juniper",
+		Model:        "MX-204",
+		PartNumber:   "MX204",
+		DatasheetURL: "https://example.com/mx204.html",
+		PowerPorts: []NetBoxPowerPort{
+			{Name: "PSU0", MaximumDrawWatts: 650},
+			{Name: "PSU1", MaximumDrawWatts: 650},
+		},
+	}
+	out, err := ParseNetBoxDeviceType(RenderNetBoxDeviceType(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Manufacturer != in.Manufacturer || out.Model != in.Model ||
+		out.PartNumber != in.PartNumber || out.DatasheetURL != in.DatasheetURL {
+		t.Errorf("round trip changed identity: %+v", out)
+	}
+	if len(out.PowerPorts) != 2 || out.PowerPorts[1] != in.PowerPorts[1] {
+		t.Errorf("round trip changed power ports: %+v", out.PowerPorts)
+	}
+}
+
+func TestNetBoxLibraryExport(t *testing.T) {
+	docs := Generate(1)
+	lib := NetBoxLibrary(docs)
+	if len(lib) != len(docs) {
+		t.Fatalf("library = %d documents, want %d", len(lib), len(docs))
+	}
+	doc, ok := lib["NCS-55A1-24H"]
+	if !ok {
+		t.Fatal("library missing the NCS")
+	}
+	if !strings.Contains(doc, "maximum_draw: 1100") {
+		t.Errorf("NCS document missing PSU capacity:\n%s", doc)
+	}
+	dt, err := ParseNetBoxDeviceType(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.DatasheetURL == "" {
+		t.Error("exported document lost the datasheet URL")
+	}
+}
+
+func TestMergeNetBox(t *testing.T) {
+	docs := Generate(1)
+	records := ExtractAll(docs)
+	// Strip the parser's own PSU findings so the merge is observable.
+	for i := range records {
+		records[i].PSUCount = 0
+		records[i].PSUCapacity = 0
+		delete(records[i].Sources, "psu")
+	}
+	lib := NetBoxLibrary(docs)
+	n, err := MergeNetBox(records, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < len(records)*9/10 {
+		t.Errorf("enriched %d of %d records", n, len(records))
+	}
+	for _, r := range records {
+		if r.Model != "NCS-55A1-24H" {
+			continue
+		}
+		if r.PSUCount != 2 || r.PSUCapacity != 1100 {
+			t.Errorf("NCS after merge: %d × %v", r.PSUCount, r.PSUCapacity)
+		}
+		if r.Sources["psu"] != SourceNetBox {
+			t.Errorf("psu source = %v", r.Sources["psu"])
+		}
+	}
+	// A corrupt library document fails loudly.
+	lib["broken"] = "manufacturer Cisco"
+	if _, err := MergeNetBox(records, lib); err == nil {
+		t.Error("corrupt library accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package datasheet
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+
+	"fantasticjoules/internal/units"
+)
+
+// Source labels where an extracted field came from, mirroring the paper's
+// dataset which distinguishes LLM outputs (subject to hallucination) from
+// NetBox imports and manual collection.
+type Source string
+
+// Field sources.
+const (
+	SourceParser Source = "parser" // the automated extractor (GPT-4o stand-in)
+	SourceNetBox Source = "netbox" // imported from the NetBox device library
+	SourceManual Source = "manual" // collected by hand (release dates)
+)
+
+// Extracted is the structured record pulled out of one datasheet.
+type Extracted struct {
+	Vendor string
+	Model  string
+	Series string
+
+	// TypicalPower and MaxPower are 0 when the sheet does not state them
+	// (including "TBD").
+	TypicalPower units.Power
+	MaxPower     units.Power
+	// Bandwidth is the maximum system bandwidth; it may have been summed
+	// from port listings.
+	Bandwidth units.BitRate
+	// BandwidthDerived reports that Bandwidth was summed from ports rather
+	// than stated outright.
+	BandwidthDerived bool
+
+	PSUCount    int
+	PSUCapacity units.Power
+
+	// ReleaseYear is 0 when unknown; release dates come from manual
+	// collection, never from the parser.
+	ReleaseYear int
+
+	// Sources records where each field came from.
+	Sources map[string]Source
+}
+
+var (
+	// Power phrasings, in match priority order.
+	reTypicalMax = regexp.MustCompile(`(?i)(?:typical|operating)[^.\n|]*?(\d+(?:\.\d+)?)\s*w(?:atts)?\b`)
+	rePairSlash  = regexp.MustCompile(`(?i)\(typical\s*/\s*max[a-z]*\)\s*:?\s*(\d+(?:\.\d+)?)\s*w\s*/\s*(\d+(?:\.\d+)?)\s*w`)
+	reProse      = regexp.MustCompile(`(?i)draws\s+(\d+(?:\.\d+)?)\s+watts[^.]*?worst-case draw of\s+(\d+(?:\.\d+)?)\s+watts`)
+	reMax        = regexp.MustCompile(`(?i)(?:max(?:imum)?|worst-case)[^.\n|]*?(\d+(?:\.\d+)?)\s*w(?:atts)?\b`)
+
+	reBWT   = regexp.MustCompile(`(?i)(\d+(?:\.\d+)?)\s*tbps`)
+	reBWG   = regexp.MustCompile(`(?i)(\d+(?:\.\d+)?)\s*gbps`)
+	rePorts = regexp.MustCompile(`(?i)(\d+)\s*x\s*(\d+)\s*gbe`)
+
+	rePSU = regexp.MustCompile(`(?i)(\d+)\s*x\s*(\d+(?:\.\d+)?)\s*w\s*(?:ac|dc)`)
+)
+
+// Extract parses one raw datasheet into a structured record. It never
+// fails: missing fields are zero, as in the paper's dataset. The
+// extractor's accuracy against corpus ground truth is measured in the
+// package tests (the stand-in for the paper's manual verification of
+// sampled LLM outputs).
+func Extract(raw RawDatasheet) Extracted {
+	out := Extracted{
+		Vendor:  raw.Vendor,
+		Model:   raw.Model,
+		Series:  raw.Series,
+		Sources: make(map[string]Source),
+	}
+	text := raw.Text
+
+	// Power. Try the paired phrasings first — they bind typical and max
+	// unambiguously — then the single-value phrasings.
+	if m := rePairSlash.FindStringSubmatch(text); m != nil {
+		out.TypicalPower = parseW(m[1])
+		out.MaxPower = parseW(m[2])
+	} else if m := reProse.FindStringSubmatch(text); m != nil {
+		out.TypicalPower = parseW(m[1])
+		out.MaxPower = parseW(m[2])
+	} else {
+		if m := reTypicalMax.FindStringSubmatch(text); m != nil {
+			out.TypicalPower = parseW(m[1])
+		}
+		// Search max only outside the PSU listing to avoid matching the
+		// supply capacity line.
+		psuFree := rePSU.ReplaceAllString(text, "")
+		if m := reMax.FindStringSubmatch(psuFree); m != nil {
+			out.MaxPower = parseW(m[1])
+		}
+	}
+	if out.TypicalPower > 0 {
+		out.Sources["typical_power"] = SourceParser
+	}
+	if out.MaxPower > 0 {
+		out.Sources["max_power"] = SourceParser
+	}
+
+	// Bandwidth: stated value first, then port sums.
+	if m := reBWT.FindStringSubmatch(text); m != nil {
+		out.Bandwidth = units.BitRate(parseF(m[1]) * 1e12)
+	} else if m := reBWG.FindStringSubmatch(text); m != nil {
+		out.Bandwidth = units.BitRate(parseF(m[1]) * 1e9)
+	} else if ms := rePorts.FindAllStringSubmatch(text, -1); ms != nil {
+		var total float64
+		for _, m := range ms {
+			count := parseF(m[1])
+			speed := parseF(m[2])
+			total += count * speed * 1e9
+		}
+		out.Bandwidth = units.BitRate(total)
+		out.BandwidthDerived = true
+	}
+	if out.Bandwidth > 0 {
+		out.Sources["bandwidth"] = SourceParser
+	}
+
+	if m := rePSU.FindStringSubmatch(text); m != nil {
+		out.PSUCount = int(parseF(m[1]))
+		out.PSUCapacity = parseW(m[2])
+		out.Sources["psu"] = SourceNetBox // the paper imports PSU data from NetBox
+	}
+
+	if raw.ReleaseYear != 0 {
+		out.ReleaseYear = raw.ReleaseYear
+		out.Sources["release_year"] = SourceManual
+	}
+	return out
+}
+
+// ExtractAll parses a corpus.
+func ExtractAll(docs []Document) []Extracted {
+	out := make([]Extracted, len(docs))
+	for i, d := range docs {
+		out[i] = Extract(d.Raw)
+	}
+	return out
+}
+
+func parseW(s string) units.Power { return units.Power(parseF(s)) }
+
+func parseF(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

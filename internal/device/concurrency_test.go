@@ -1,0 +1,55 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAccess hammers one router from many goroutines — the SNMP
+// agent, Autopower sampling, and the simulation loop all touch a router
+// concurrently in production, so every public method must be safe.
+func TestConcurrentAccess(t *testing.T) {
+	spec := flatSpec()
+	spec.PowerJitter = 0.5
+	r := mustRouter(t, spec)
+	upInterface(t, r, "eth0")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	work := []func(){
+		func() { _ = r.WallPower() },
+		func() { _, _ = r.ReportedTotalPower() },
+		func() { _ = r.EnvSnapshot() },
+		func() { _, _ = r.CountersOf("eth0") },
+		func() { r.Advance(time.Millisecond) },
+		func() { _ = r.SetTraffic("eth0", 10*g, 1000) },
+		func() { _, _, _, _, _ = r.InterfaceState("eth3") },
+		func() { _ = r.Inventory() },
+		func() { r.SetTemperature(26) },
+		func() { _ = r.PlugTransceiver("eth5", "Passive DAC", 100*g) },
+		func() { _ = r.UnplugTransceiver("eth5") },
+	}
+	for _, fn := range work {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}(fn)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The router must still be consistent.
+	if p := r.WallPower(); p <= 0 {
+		t.Errorf("router broken after concurrent access: %v", p)
+	}
+}

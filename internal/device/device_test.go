@@ -1,0 +1,558 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/units"
+)
+
+var g = units.GigabitPerSecond
+
+func dacKey(speed units.BitRate) model.ProfileKey {
+	return model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: speed}
+}
+
+// flatSpec returns a deterministic spec with a lossless PSU and no jitter,
+// so power assertions can be exact.
+func flatSpec() ModelSpec {
+	curve, _ := psu.NewCurve([]psu.CurvePoint{{Load: 0, Efficiency: 1}, {Load: 1, Efficiency: 1}})
+	return ModelSpec{
+		Name: "flat-router", NumPorts: 8, PortType: model.QSFP28,
+		Truth: map[model.ProfileKey]model.InterfaceProfile{
+			dacKey(100 * g): {
+				Key:   dacKey(100 * g),
+				PPort: 1, PTrxIn: 0.5, PTrxUp: 0.25,
+				EBit: 10 * units.Picojoule, EPkt: 20 * units.Nanojoule, POffset: 0.1,
+			},
+		},
+		PBaseDC: 100, FanBasePower: 10, FanTempCoeff: 2, ControlPlanePower: 5,
+		PSUCount: 2, PSUCapacity: 1000, PSUCurve: curve,
+		PSUSensor:        SensorAccurate,
+		InitialOSVersion: "1.0",
+	}
+}
+
+func mustRouter(t *testing.T, spec ModelSpec) *Router {
+	t.Helper()
+	r, err := New(spec, "r1", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// upInterface plugs, admin-ups and links eth0 on r.
+func upInterface(t *testing.T, r *Router, name string) {
+	t.Helper()
+	if err := r.PlugTransceiver(name, model.PassiveDAC, 100*g); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAdmin(name, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLink(name, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidatesSpec(t *testing.T) {
+	if _, err := New(ModelSpec{}, "x", 1); err == nil {
+		t.Error("empty spec must be rejected")
+	}
+	bad := flatSpec()
+	bad.PSUCount = 0
+	if _, err := New(bad, "x", 1); err == nil {
+		t.Error("zero PSUs must be rejected")
+	}
+}
+
+func TestBasePower(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	// Lossless PSUs, T=25: wall = 100 + 10 + 5 = 115 W exactly.
+	if got := r.WallPower(); math.Abs(got.Watts()-115) > 1e-9 {
+		t.Errorf("base wall power = %v, want 115", got)
+	}
+}
+
+func TestPowerStateLadder(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	base := r.WallPower().Watts()
+
+	if err := r.PlugTransceiver("eth0", model.PassiveDAC, 100*g); err != nil {
+		t.Fatal(err)
+	}
+	plugged := r.WallPower().Watts()
+	if math.Abs(plugged-base-0.5) > 1e-9 {
+		t.Errorf("plugging transceiver added %v W, want 0.5 (Ptrx,in)", plugged-base)
+	}
+
+	if err := r.SetAdmin("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	adminUp := r.WallPower().Watts()
+	if math.Abs(adminUp-plugged-1) > 1e-9 {
+		t.Errorf("admin-up added %v W, want 1 (Pport)", adminUp-plugged)
+	}
+
+	if err := r.SetLink("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	operUp := r.WallPower().Watts()
+	if math.Abs(operUp-adminUp-0.25) > 1e-9 {
+		t.Errorf("oper-up added %v W, want 0.25 (Ptrx,up)", operUp-adminUp)
+	}
+}
+
+func TestDownDoesNotMeanOff(t *testing.T) {
+	// §7: taking the port down keeps paying Ptrx,in while the transceiver
+	// stays plugged in.
+	r := mustRouter(t, flatSpec())
+	base := r.WallPower().Watts()
+	upInterface(t, r, "eth0")
+	if err := r.SetAdmin("eth0", false); err != nil {
+		t.Fatal(err)
+	}
+	down := r.WallPower().Watts()
+	if math.Abs(down-base-0.5) > 1e-9 {
+		t.Errorf("down interface with plugged transceiver draws %v W above base, want 0.5", down-base)
+	}
+	if err := r.UnplugTransceiver("eth0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WallPower().Watts(); math.Abs(got-base) > 1e-9 {
+		t.Errorf("after unplug, power = %v, want base %v", got, base)
+	}
+}
+
+func TestTrafficPower(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	upInterface(t, r, "eth0")
+	idle := r.WallPower().Watts()
+	if err := r.SetTraffic("eth0", 100*g, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	loaded := r.WallPower().Watts()
+	// Ebit·r + Epkt·p + Poffset = 1 + 0.02 + 0.1 = 1.12 W.
+	if math.Abs(loaded-idle-1.12) > 1e-9 {
+		t.Errorf("traffic added %v W, want 1.12", loaded-idle)
+	}
+}
+
+func TestTrafficErrors(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	if err := r.SetTraffic("eth0", 1*g, 10); err == nil {
+		t.Error("traffic on a down interface must error")
+	}
+	upInterface(t, r, "eth0")
+	if err := r.SetTraffic("eth0", -1, 0); err == nil {
+		t.Error("negative traffic must error")
+	}
+	if err := r.SetTraffic("eth0", 300*g, 0); err == nil {
+		t.Error("traffic above 2x line rate must error")
+	}
+	if err := r.SetTraffic("nope", 1*g, 1); err == nil {
+		t.Error("unknown interface must error")
+	}
+}
+
+func TestUnsupportedTransceiver(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	if err := r.PlugTransceiver("eth0", model.LR4, 400*g); err == nil {
+		t.Error("unsupported profile must be rejected")
+	}
+}
+
+func TestAdminDownClearsTraffic(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	upInterface(t, r, "eth0")
+	if err := r.SetTraffic("eth0", 10*g, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAdmin("eth0", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAdmin("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	// Interface is up again but traffic must have been cleared.
+	up := r.WallPower().Watts()
+	r2 := mustRouter(t, flatSpec())
+	upInterface(t, r2, "eth0")
+	if math.Abs(up-r2.WallPower().Watts()) > 1e-9 {
+		t.Errorf("traffic survived an admin bounce: %v", up)
+	}
+}
+
+func TestTemperatureAndFans(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	base := r.WallPower().Watts()
+	r.SetTemperature(35)
+	hot := r.WallPower().Watts()
+	if math.Abs(hot-base-20) > 1e-9 { // 2 W/°C × 10 °C
+		t.Errorf("10°C rise added %v W, want 20", hot-base)
+	}
+}
+
+func TestOSUpgradeFanRegression(t *testing.T) {
+	spec := flatSpec()
+	spec.OSFanRegression = map[string]units.Power{"2.0-bad": 45}
+	r := mustRouter(t, spec)
+	base := r.WallPower().Watts()
+	r.UpgradeOS("2.0-bad")
+	if got := r.WallPower().Watts(); math.Abs(got-base-45) > 1e-9 {
+		t.Errorf("bad OS added %v W, want 45 (Fig. 8)", got-base)
+	}
+	if r.OSVersion() != "2.0-bad" {
+		t.Error("OSVersion not updated")
+	}
+	r.UpgradeOS("2.1-fixed")
+	if got := r.WallPower().Watts(); math.Abs(got-base) > 1e-9 {
+		t.Errorf("fixed OS still draws %v W above base", got-base)
+	}
+}
+
+func TestPSUConversionLoss(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUCurve = psu.PFE600()
+	r := mustRouter(t, spec)
+	// DC load 115 W over two 1000 W PSUs → 57.5 W each ≈ 5.75% load; the
+	// PFE600 is poor there, so wall must exceed DC clearly.
+	wall := r.WallPower().Watts()
+	if wall <= 115*1.05 {
+		t.Errorf("wall power %v should show conversion losses above DC 115", wall)
+	}
+}
+
+func TestSetPSUOnline(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUCurve = psu.PFE600()
+	r := mustRouter(t, spec)
+	two := r.WallPower().Watts()
+	if err := r.SetPSUOnline(1, false); err != nil {
+		t.Fatal(err)
+	}
+	one := r.WallPower().Watts()
+	// Single PSU runs at double load — a better point on the curve.
+	if one >= two {
+		t.Errorf("single PSU (%v) should beat two lightly-loaded PSUs (%v)", one, two)
+	}
+	if err := r.SetPSUOnline(0, false); err == nil {
+		t.Error("taking the last PSU offline must error")
+	}
+	if err := r.SetPSUOnline(5, false); err == nil {
+		t.Error("bad index must error")
+	}
+}
+
+func TestAdvanceCounters(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	upInterface(t, r, "eth0")
+	// 8 Gbps bidirectional (= 4 Gbps each way), 1000 pps for 10 s.
+	if err := r.SetTraffic("eth0", 8*g, 1000); err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(10 * time.Second)
+	c, err := r.CountersOf("eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOctets := uint64(8e9 / 8 / 2 * 10)
+	if c.InOctets != wantOctets || c.OutOctets != wantOctets {
+		t.Errorf("octets = %d/%d, want %d", c.InOctets, c.OutOctets, wantOctets)
+	}
+	if c.InPackets != 5000 || c.OutPackets != 5000 {
+		t.Errorf("packets = %d/%d, want 5000", c.InPackets, c.OutPackets)
+	}
+	// Down interfaces accumulate nothing.
+	before := r.Now()
+	if err := r.SetLink("eth0", false); err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(10 * time.Second)
+	c2, _ := r.CountersOf("eth0")
+	if c2.InOctets != c.InOctets {
+		t.Error("down interface accumulated octets")
+	}
+	if !r.Now().After(before) {
+		t.Error("clock did not advance")
+	}
+}
+
+func TestInventory(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	upInterface(t, r, "eth3")
+	if err := r.PlugTransceiver("eth1", model.PassiveDAC, 100*g); err != nil {
+		t.Fatal(err)
+	}
+	inv := r.Inventory()
+	if len(inv) != 2 {
+		t.Fatalf("inventory = %d entries, want 2", len(inv))
+	}
+	if inv[0].Interface != "eth1" || inv[1].Interface != "eth3" {
+		t.Errorf("inventory order = %v", inv)
+	}
+	if inv[0].OperUp || !inv[1].OperUp {
+		t.Errorf("oper flags wrong: %+v", inv)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() float64 {
+		spec := flatSpec()
+		spec.PowerJitter = 1
+		spec.PSUEfficiencySpread = 0.05
+		spec.PSUCurve = psu.PFE600()
+		r := mustRouter(t, spec)
+		var sum float64
+		for i := 0; i < 10; i++ {
+			sum += r.WallPower().Watts()
+		}
+		return sum
+	}
+	if build() != build() {
+		t.Error("equal seeds must give identical simulations")
+	}
+}
+
+func TestCatalogSpecsValid(t *testing.T) {
+	for _, name := range CatalogNames() {
+		spec, err := Spec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(spec, "r-"+name, 1); err != nil {
+			t.Errorf("catalog spec %s unusable: %v", name, err)
+		}
+	}
+	if _, err := Spec("no-such-router"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestCatalogCoversPaperRouters(t *testing.T) {
+	want := []string{
+		// Lab-modeled (Tables 2 and 6).
+		"NCS-55A1-24H", "Nexus9336-FX2", "8201-32FH", "N540X-8Z16G-SYS-A",
+		"Wedge100BF-32X", "Nexus93108TC-FX3P", "VSP-4900", "Catalyst3560",
+		// Deployment-only (Table 1).
+		"ASR-920-24SZ-M", "NCS-55A1-24Q6H-SS", "NCS-55A1-48Q6H",
+		"ASR-9001", "N540-24Z8Q2C-M", "8201-24H8FH",
+	}
+	cat := Catalog()
+	for _, name := range want {
+		if _, ok := cat[name]; !ok {
+			t.Errorf("catalog missing %s", name)
+		}
+	}
+}
+
+func TestInterfaceStateAccessor(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	upInterface(t, r, "eth0")
+	present, admin, oper, key, err := r.InterfaceState("eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !present || !admin || !oper {
+		t.Errorf("state = %v/%v/%v, want all true", present, admin, oper)
+	}
+	if key != dacKey(100*g) {
+		t.Errorf("key = %v", key)
+	}
+	if _, _, _, _, err := r.InterfaceState("nope"); err == nil {
+		t.Error("unknown interface must error")
+	}
+}
+
+func TestInterfaceNames(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	names := r.InterfaceNames()
+	if len(names) != 8 || names[0] != "eth0" || names[7] != "eth7" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSensorAccurate(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	wall := r.WallPower().Watts()
+	total, err := r.ReportedTotalPower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total.Watts()-wall) > 5 {
+		t.Errorf("accurate sensor total %v too far from wall %v", total, wall)
+	}
+}
+
+func TestSensorOffset(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUSensor = SensorOffset
+	spec.PSUSensorOffset = 17
+	r := mustRouter(t, spec)
+	wall := r.WallPower().Watts()
+	var sum float64
+	n := 50
+	for i := 0; i < n; i++ {
+		total, err := r.ReportedTotalPower()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += total.Watts()
+	}
+	if got := sum/float64(n) - wall; math.Abs(got-17) > 1 {
+		t.Errorf("offset sensor error = %v, want ≈17", got)
+	}
+}
+
+func TestSensorPseudoConstant(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUSensor = SensorPseudoConstant
+	r := mustRouter(t, spec)
+	v1, err := r.ReportedPSUPower(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small load changes must not move the report.
+	upInterface(t, r, "eth0") // ±~1.75 W: below the snap threshold
+	v2, _ := r.ReportedPSUPower(0)
+	if v1 != v2 {
+		t.Errorf("pseudo-constant sensor moved on a small change: %v -> %v", v1, v2)
+	}
+	// A large change must snap.
+	r.SetTemperature(50) // +50 W via fans
+	v3, _ := r.ReportedPSUPower(0)
+	if v3 == v1 {
+		t.Error("pseudo-constant sensor must re-snap on a large change")
+	}
+}
+
+func TestSensorNone(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUSensor = SensorNone
+	r := mustRouter(t, spec)
+	if _, err := r.ReportedPSUPower(0); !errors.Is(err, ErrNoPowerSensor) {
+		t.Errorf("err = %v, want ErrNoPowerSensor", err)
+	}
+	if _, err := r.ReportedTotalPower(); !errors.Is(err, ErrNoPowerSensor) {
+		t.Errorf("total err = %v, want ErrNoPowerSensor", err)
+	}
+}
+
+func TestPowerCycleRebaselines(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUSensor = SensorPseudoConstant
+	r := mustRouter(t, spec)
+	v1, _ := r.ReportedPSUPower(0)
+	moved := false
+	// A power cycle re-baselines with a random shift; with several tries at
+	// least one must land on a different integer watt.
+	for i := 0; i < 10 && !moved; i++ {
+		if err := r.PowerCycle(0); err != nil {
+			t.Fatal(err)
+		}
+		v2, _ := r.ReportedPSUPower(0)
+		moved = v2 != v1
+	}
+	if !moved {
+		t.Error("power cycle never moved the pseudo-constant baseline")
+	}
+	if err := r.PowerCycle(9); err == nil {
+		t.Error("bad PSU index must error")
+	}
+}
+
+func TestEnvSnapshot(t *testing.T) {
+	spec := flatSpec()
+	spec.PSUCurve = psu.PFE600()
+	r := mustRouter(t, spec)
+	snaps := r.EnvSnapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Capacity != 1000 {
+			t.Errorf("psu %d capacity = %v", i, s.Capacity)
+		}
+		if s.Pin <= 0 || s.Pout <= 0 {
+			t.Errorf("psu %d powers = %v/%v, want positive", i, s.Pin, s.Pout)
+		}
+		// Efficiency (capped) must be plausible.
+		if e := s.Efficiency(); e < 0.5 {
+			t.Errorf("psu %d efficiency = %v, implausible", i, e)
+		}
+	}
+	// Offline PSUs report zero.
+	if err := r.SetPSUOnline(1, false); err != nil {
+		t.Fatal(err)
+	}
+	snaps = r.EnvSnapshot()
+	if snaps[1].Pin != 0 || snaps[1].Pout != 0 {
+		t.Errorf("offline PSU reported power: %+v", snaps[1])
+	}
+}
+
+func TestSensorBehaviorString(t *testing.T) {
+	if SensorAccurate.String() != "accurate" || SensorNone.String() != "none" {
+		t.Error("behaviour names")
+	}
+	if SensorBehavior(42).String() != "SensorBehavior(42)" {
+		t.Error("unknown behaviour formatting")
+	}
+}
+
+func TestThermalCouplingDisabledByDefault(t *testing.T) {
+	r := mustRouter(t, flatSpec())
+	before := r.WallPower().Watts()
+	r.Advance(24 * time.Hour)
+	after := r.WallPower().Watts()
+	if math.Abs(after-before) > 1e-9 {
+		t.Errorf("power drifted without thermal coupling: %v -> %v", before, after)
+	}
+	r.SetTemperature(40)
+	if got := r.InternalTemperature(); got != 40 {
+		t.Errorf("uncoupled internal temp = %v, want ambient 40", got)
+	}
+}
+
+func TestThermalCouplingWarmsUp(t *testing.T) {
+	spec := flatSpec()
+	spec.ThermalTimeConstant = 10 * time.Minute
+	spec.ThermalResistance = 0.05 // °C per DC watt: 115 W base → +5.75 °C
+	r := mustRouter(t, spec)
+	cold := r.WallPower().Watts()
+
+	// Warm-up: power rises as the chassis approaches equilibrium.
+	var prev float64 = cold
+	for i := 0; i < 6; i++ {
+		r.Advance(10 * time.Minute)
+		cur := r.WallPower().Watts()
+		if cur < prev-1e-9 {
+			t.Fatalf("power fell during warm-up: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+	warm := prev
+	// Equilibrium: ~115 dc + fan increase; fan adds 2 W/°C × ~6 °C ≈ 12 W
+	// (plus the small feedback of fans heating the chassis further).
+	if warm-cold < 8 || warm-cold > 20 {
+		t.Errorf("warm-up added %v W, want ≈12", warm-cold)
+	}
+	// The internal temperature sits above ambient.
+	if r.InternalTemperature() <= 25 {
+		t.Errorf("internal temp = %v, want above ambient", r.InternalTemperature())
+	}
+	// Cooling: raising ambient and dropping it again converges back.
+	r.SetTemperature(25)
+	for i := 0; i < 12; i++ {
+		r.Advance(10 * time.Minute)
+	}
+	settled := r.WallPower().Watts()
+	if math.Abs(settled-warm) > 1 {
+		t.Errorf("steady state drifted: %v vs %v", settled, warm)
+	}
+}

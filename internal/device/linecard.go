@@ -1,0 +1,83 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"fantasticjoules/internal/units"
+)
+
+// Modular-chassis support: the paper's model targets fixed chassis and
+// leaves pluggable linecards as future work (§4.3), suggesting a Plinecard
+// term measured like Ptrx. This file implements that extension on the
+// simulation side: slots, installable linecard types with hidden power
+// draws, and the same observable surface (wall power) the methodology
+// uses for everything else.
+
+// LinecardType is the hidden ground truth for one linecard model.
+type LinecardType struct {
+	// Name identifies the card, e.g. "LC-48x10G".
+	Name string
+	// PowerDC is the card's DC draw once seated, before any port is
+	// configured (ports on cards are out of scope, as in the paper).
+	PowerDC units.Power
+}
+
+// InstallLinecard seats a card of the given type in a free slot. The spec
+// must declare the chassis modular (Slots > 0) and know the card type.
+func (r *Router) InstallLinecard(typeName string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spec.Slots == 0 {
+		return fmt.Errorf("device: %s is a fixed chassis", r.spec.Name)
+	}
+	var lt *LinecardType
+	for i := range r.spec.Linecards {
+		if r.spec.Linecards[i].Name == typeName {
+			lt = &r.spec.Linecards[i]
+		}
+	}
+	if lt == nil {
+		return fmt.Errorf("device: %s does not support linecard %q", r.spec.Name, typeName)
+	}
+	if len(r.linecards) >= r.spec.Slots {
+		return fmt.Errorf("device: all %d slots of %s are occupied", r.spec.Slots, r.name)
+	}
+	r.linecards = append(r.linecards, *lt)
+	return nil
+}
+
+// RemoveLinecard unseats one card of the given type.
+func (r *Router) RemoveLinecard(typeName string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.linecards {
+		if r.linecards[i].Name == typeName {
+			r.linecards = append(r.linecards[:i], r.linecards[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("device: no %q linecard installed in %s", typeName, r.name)
+}
+
+// InstalledLinecards returns the installed card type names, sorted, with
+// multiplicity.
+func (r *Router) InstalledLinecards() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.linecards))
+	for i, lc := range r.linecards {
+		out[i] = lc.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// linecardLoad sums the installed cards' DC draw. Callers hold r.mu.
+func (r *Router) linecardLoad() units.Power {
+	var p units.Power
+	for _, lc := range r.linecards {
+		p += lc.PowerDC
+	}
+	return p
+}

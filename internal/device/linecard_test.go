@@ -1,0 +1,102 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func modularSpec() ModelSpec {
+	spec := flatSpec()
+	spec.Name = "modular-router"
+	spec.Slots = 4
+	spec.Linecards = []LinecardType{
+		{Name: "LC-48x10G", PowerDC: 75},
+		{Name: "LC-8x100G", PowerDC: 120},
+	}
+	return spec
+}
+
+func TestLinecardPower(t *testing.T) {
+	r := mustRouter(t, modularSpec())
+	base := r.WallPower().Watts()
+	if err := r.InstallLinecard("LC-48x10G"); err != nil {
+		t.Fatal(err)
+	}
+	one := r.WallPower().Watts()
+	if math.Abs(one-base-75) > 1e-9 {
+		t.Errorf("one card added %v W, want 75", one-base)
+	}
+	if err := r.InstallLinecard("LC-8x100G"); err != nil {
+		t.Fatal(err)
+	}
+	two := r.WallPower().Watts()
+	if math.Abs(two-base-195) > 1e-9 {
+		t.Errorf("two cards added %v W, want 195", two-base)
+	}
+	if err := r.RemoveLinecard("LC-48x10G"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.WallPower().Watts(); math.Abs(got-base-120) > 1e-9 {
+		t.Errorf("after removal %v W above base, want 120", got-base)
+	}
+}
+
+func TestLinecardErrors(t *testing.T) {
+	fixed := mustRouter(t, flatSpec())
+	if err := fixed.InstallLinecard("LC-48x10G"); err == nil {
+		t.Error("fixed chassis must reject linecards")
+	}
+	r := mustRouter(t, modularSpec())
+	if err := r.InstallLinecard("LC-unknown"); err == nil {
+		t.Error("unknown card type must error")
+	}
+	if err := r.RemoveLinecard("LC-48x10G"); err == nil {
+		t.Error("removing a card that is not installed must error")
+	}
+	for i := 0; i < 4; i++ {
+		if err := r.InstallLinecard("LC-48x10G"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.InstallLinecard("LC-48x10G"); err == nil {
+		t.Error("full chassis must reject a fifth card")
+	}
+}
+
+func TestInstalledLinecards(t *testing.T) {
+	r := mustRouter(t, modularSpec())
+	if got := r.InstalledLinecards(); len(got) != 0 {
+		t.Errorf("fresh chassis lists cards: %v", got)
+	}
+	_ = r.InstallLinecard("LC-8x100G")
+	_ = r.InstallLinecard("LC-48x10G")
+	got := r.InstalledLinecards()
+	if len(got) != 2 || got[0] != "LC-48x10G" || got[1] != "LC-8x100G" {
+		t.Errorf("installed = %v, want sorted pair", got)
+	}
+}
+
+func TestModularCatalogEntry(t *testing.T) {
+	spec, err := Spec("ASR-9910")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Slots != 8 || len(spec.Linecards) != 2 {
+		t.Errorf("ASR-9910 spec: slots=%d cards=%d", spec.Slots, len(spec.Linecards))
+	}
+	r, err := New(spec, "chassis", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := r.WallPower().Watts()
+	for i := 0; i < 4; i++ {
+		if err := r.InstallLinecard("A99-48X10GE"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded := r.WallPower().Watts()
+	// Four 420 W cards through lossy PSUs: clearly more than 4×420.
+	if loaded-empty < 4*420 {
+		t.Errorf("4 cards added %v W at the wall, want ≥1680 (conversion losses included)", loaded-empty)
+	}
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/hypnos"
+	"fantasticjoules/internal/labbench"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out: what each
+// model term buys, how much the 30-minute smoothing matters, and how
+// dense the rate sweep needs to be.
+
+// AblationResult is one variant's prediction error.
+type AblationResult struct {
+	Variant string
+	// RMSE is the root-mean-square prediction error against true wall
+	// power over the evaluation sweep.
+	RMSE units.Power
+}
+
+// AblationDynamicTerms measures what the dynamic model terms contribute:
+// it derives the NCS-55A1-24H model, then predicts a loaded router's power
+// with the full model and with each dynamic term zeroed. The full model
+// must win; dropping Epkt hurts most at small packets.
+func (s *Suite) AblationDynamicTerms() ([]AblationResult, error) {
+	res, err := s.Derive("NCS-55A1-24H", "", model.PassiveDAC, 100*g)
+	if err != nil {
+		return nil, err
+	}
+	full := res.Model
+
+	zeroed := func(name string, strip func(*model.InterfaceProfile)) *model.Model {
+		m := model.New(name, full.PBase)
+		for _, p := range full.Profiles() {
+			strip(&p)
+			m.AddProfile(p)
+		}
+		return m
+	}
+	variants := []struct {
+		name string
+		m    *model.Model
+	}{
+		{"full", full},
+		{"no-epkt", zeroed("no-epkt", func(p *model.InterfaceProfile) { p.EPkt = 0 })},
+		{"no-ebit", zeroed("no-ebit", func(p *model.InterfaceProfile) { p.EBit = 0 })},
+		{"no-poffset", zeroed("no-poffset", func(p *model.InterfaceProfile) { p.POffset = 0 })},
+		{"static-only", zeroed("static-only", func(p *model.InterfaceProfile) {
+			p.EPkt, p.EBit, p.POffset = 0, 0, 0
+		})},
+	}
+
+	// Evaluation device: a fresh router of the same hardware, 12
+	// interfaces up, swept across loads and packet sizes.
+	spec, err := device.Spec("NCS-55A1-24H")
+	if err != nil {
+		return nil, err
+	}
+	dut, err := device.New(spec, "ablation-dut", s.seed+5)
+	if err != nil {
+		return nil, err
+	}
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g}
+	names := dut.InterfaceNames()[:12]
+	for _, n := range names {
+		if err := dut.PlugTransceiver(n, model.PassiveDAC, 100*g); err != nil {
+			return nil, err
+		}
+		if err := dut.SetAdmin(n, true); err != nil {
+			return nil, err
+		}
+		if err := dut.SetLink(n, true); err != nil {
+			return nil, err
+		}
+	}
+
+	type point struct {
+		cfg   model.Config
+		truth float64
+	}
+	var points []point
+	for _, gbps := range []float64{0, 5, 20, 50, 90} {
+		for _, pkt := range []units.ByteSize{128, 512, 1500} {
+			cfg := model.Config{}
+			for _, n := range names {
+				bits := units.BitRate(gbps) * g
+				pkts := units.PacketRateFor(bits, pkt, 24)
+				if err := dut.SetTraffic(n, bits, pkts); err != nil {
+					return nil, err
+				}
+				cfg.Interfaces = append(cfg.Interfaces, model.Interface{
+					Profile: key, TransceiverPresent: true, AdminUp: true, OperUp: true,
+					Bits: bits, Packets: pkts,
+				})
+			}
+			// Average the jittered truth.
+			var sum float64
+			const samples = 20
+			for i := 0; i < samples; i++ {
+				sum += dut.WallPower().Watts()
+			}
+			points = append(points, point{cfg: cfg, truth: sum / samples})
+		}
+	}
+
+	var out []AblationResult
+	for _, v := range variants {
+		var ss float64
+		for _, pt := range points {
+			pred, err := v.m.PredictPower(pt.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+			}
+			d := pred.Watts() - pt.truth
+			ss += d * d
+		}
+		out = append(out, AblationResult{
+			Variant: v.name,
+			RMSE:    units.Power(math.Sqrt(ss / float64(len(points)))),
+		})
+	}
+	return out, nil
+}
+
+// SmoothingResult is one smoothing window's effect on the Fig. 4
+// model-vs-measurement agreement.
+type SmoothingResult struct {
+	Window time.Duration
+	// ResidualRMSE is the offset-corrected error between smoothed
+	// measurement and smoothed prediction.
+	ResidualRMSE units.Power
+}
+
+// AblationSmoothing sweeps the Fig. 4 smoothing window and reports the
+// offset-corrected residual: wider windows suppress meter and jitter
+// noise until real events dominate.
+func (s *Suite) AblationSmoothing() ([]SmoothingResult, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	var target *Fig4Row
+	rows, err := s.Fig4()
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		if rows[i].Model == "8201-32FH" {
+			target = &rows[i]
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("ablation: no 8201-32FH fig4 row")
+	}
+	raw := ds.Autopower[target.Router]
+	m, err := s.DerivedModel(target.Model, deployedProfiles(ds, target.Router, target.Model))
+	if err != nil {
+		return nil, err
+	}
+	pred, err := PredictFromCounters(m, ds, target.Router)
+	if err != nil {
+		return nil, err
+	}
+	// Evaluate on an event-free window (before the Fig. 4 transceiver
+	// removal and flapping events), where the residual reflects noise
+	// rather than inventory mismatches.
+	quietFrom := ds.Network.Config.Start.Add(5 * 24 * time.Hour)
+	quietTo := ds.Network.Config.Start.Add(20 * 24 * time.Hour)
+	var out []SmoothingResult
+	for _, w := range []time.Duration{0, 5 * time.Minute, 30 * time.Minute, 2 * time.Hour} {
+		ap := raw.Smooth(w).Between(quietFrom, quietTo)
+		pr := pred.Smooth(w).Between(quietFrom, quietTo)
+		diff, err := timeseries.Sub(ap, pr)
+		if err != nil {
+			return nil, err
+		}
+		med := diff.Median()
+		var ss float64
+		for _, p := range diff.Points() {
+			d := p.V - med
+			ss += d * d
+		}
+		out = append(out, SmoothingResult{
+			Window:       w,
+			ResidualRMSE: units.Power(math.Sqrt(ss / float64(diff.Len()))),
+		})
+	}
+	return out, nil
+}
+
+// HypnosThresholdResult is one utilization cap's link-sleeping outcome.
+type HypnosThresholdResult struct {
+	// MaxUtilization is the §8 scheduler's load cap on remaining links.
+	MaxUtilization float64
+	// SleepingLinks is the time-averaged sleeping count.
+	SleepingLinks float64
+	// RefinedLow is the conservative savings under that schedule.
+	RefinedLow units.Power
+}
+
+// AblationHypnosThreshold sweeps the scheduler's utilization cap: looser
+// caps let more links sleep but erode the failover headroom — the §8
+// design trade-off quantified.
+func (s *Suite) AblationHypnosThreshold() ([]HypnosThresholdResult, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	topo, traffic, err := hypnos.FromNetwork(ds.Network)
+	if err != nil {
+		return nil, err
+	}
+	var out []HypnosThresholdResult
+	for _, maxUtil := range []float64{0.25, 0.5, 0.8} {
+		sched, err := hypnos.Run(topo, traffic, hypnos.Options{
+			Start:          ds.Network.Config.Start,
+			Window:         3 * 24 * time.Hour,
+			Step:           3 * time.Hour,
+			MaxUtilization: maxUtil,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sv := hypnos.Evaluate(sched)
+		out = append(out, HypnosThresholdResult{
+			MaxUtilization: maxUtil,
+			SleepingLinks:  sv.MeanSleepingLinks,
+			RefinedLow:     sv.RefinedLow,
+		})
+	}
+	return out, nil
+}
+
+// SweepDensityResult is one rate-sweep density's derivation quality.
+type SweepDensityResult struct {
+	Rates int
+	// EBitErrorPct is the relative error of the derived Ebit against the
+	// dense-sweep reference.
+	EBitErrorPct float64
+	// FitQuality is the weakest regression R².
+	FitQuality float64
+}
+
+// AblationSweepDensity derives the same profile with 2, 3, and 7 rate
+// points per packet size: the paper's methodology regresses over rates,
+// and this quantifies how many points that regression actually needs.
+func (s *Suite) AblationSweepDensity() ([]SweepDensityResult, error) {
+	ref, err := s.Derive("NCS-55A1-24H", "", model.PassiveDAC, 100*g)
+	if err != nil {
+		return nil, err
+	}
+	refEBit := ref.Profile.EBit.Picojoules()
+
+	var out []SweepDensityResult
+	rateSets := [][]units.BitRate{
+		{10 * g, 100 * g},
+		{10 * g, 50 * g, 100 * g},
+		{2.5 * g, 5 * g, 10 * g, 25 * g, 50 * g, 75 * g, 100 * g},
+	}
+	for i, rates := range rateSets {
+		spec, err := device.Spec("NCS-55A1-24H")
+		if err != nil {
+			return nil, err
+		}
+		dut, err := device.New(spec, "sweep-dut", s.seed+100+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		m := meter.New(s.seed + 200 + int64(i))
+		if err := m.Attach(0, dut); err != nil {
+			return nil, err
+		}
+		orch, err := labbench.New(dut, m, labbench.Config{
+			Transceiver: model.PassiveDAC,
+			Speed:       100 * g,
+			Rates:       rates,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := orch.Run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepDensityResult{
+			Rates:        len(rates),
+			EBitErrorPct: 100 * math.Abs(res.Profile.EBit.Picojoules()-refEBit) / refEBit,
+			FitQuality:   res.Report.FitQuality(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// BaselineRow compares the datasheet-interpolation baseline ([16, 33],
+// discussed in §2) against the lab-derived model on one validation router:
+// how far each prediction sits from the external ground truth.
+type BaselineRow struct {
+	Router string
+	Model  string
+	// LabModelMAE is the mean absolute error of the lab-derived model
+	// (including its constant offset — no post-hoc correction).
+	LabModelMAE units.Power
+	// BaselineMAE is the datasheet-interpolation model's error.
+	BaselineMAE units.Power
+	// BaselineBias is the baseline's median signed error (its estimate
+	// minus the measurement): datasheet "typical" values overshoot or
+	// undershoot by whole tens of watts (Table 1), and it shows here.
+	BaselineBias units.Power
+}
+
+// Baselines quantifies §2's criticism of datasheet-driven power models:
+// for each Autopower-instrumented router it predicts the deployment trace
+// with (a) the lab-derived model and (b) the datasheet interpolation, and
+// reports both errors against the external measurement.
+func (s *Suite) Baselines() ([]BaselineRow, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	var rows []BaselineRow
+	for _, r := range ds.Network.AutopowerRouters() {
+		spec, err := device.Spec(r.Device.Model())
+		if err != nil {
+			return nil, err
+		}
+		idle := spec.DatasheetTypical
+		if idle == 0 {
+			idle = spec.DatasheetMax / 2 // the N540X states no typical value
+		}
+		baseline, err := model.NewDatasheetBaseline(spec.Name, idle, spec.DatasheetMax, spec.DatasheetBandwidth)
+		if err != nil {
+			return nil, fmt.Errorf("baseline for %s: %w", spec.Name, err)
+		}
+
+		// Baseline prediction: total traffic per poll from the counter view.
+		var total *timeseries.Series
+		for _, series := range ds.IfaceRates[r.Name] {
+			if total == nil {
+				total = series
+				continue
+			}
+			sum, err := timeseries.SumAligned("traffic", ds.Network.Config.SNMPStep, total, series)
+			if err != nil {
+				return nil, err
+			}
+			total = sum
+		}
+		if total == nil {
+			return nil, fmt.Errorf("baseline: no traffic for %s", r.Name)
+		}
+		basePred := timeseries.New(r.Name + ".baseline")
+		for _, p := range total.Points() {
+			basePred.Append(p.T, baseline.PredictPower(units.BitRate(p.V)).Watts())
+		}
+
+		labModel, err := s.DerivedModel(r.Device.Model(), deployedProfiles(ds, r.Name, r.Device.Model()))
+		if err != nil {
+			return nil, err
+		}
+		labPred, err := PredictFromCounters(labModel, ds, r.Name)
+		if err != nil {
+			return nil, err
+		}
+
+		truth := ds.Autopower[r.Name].Smooth(SmoothingWindow)
+		labMAE, err := maeAgainst(truth, labPred.Smooth(SmoothingWindow))
+		if err != nil {
+			return nil, err
+		}
+		baseMAE, err := maeAgainst(truth, basePred.Smooth(SmoothingWindow))
+		if err != nil {
+			return nil, err
+		}
+		diff, err := timeseries.Sub(basePred, ds.Autopower[r.Name])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BaselineRow{
+			Router:       r.Name,
+			Model:        r.Device.Model(),
+			LabModelMAE:  labMAE,
+			BaselineMAE:  baseMAE,
+			BaselineBias: units.Power(diff.Median()),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Model < rows[j].Model })
+	return rows, nil
+}
+
+// maeAgainst aligns prediction to truth and returns the mean absolute
+// error.
+func maeAgainst(truth, pred *timeseries.Series) (units.Power, error) {
+	diff, err := timeseries.Sub(truth, pred)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, p := range diff.Points() {
+		sum += math.Abs(p.V)
+	}
+	if diff.Len() == 0 {
+		return 0, fmt.Errorf("experiments: no overlapping samples")
+	}
+	return units.Power(sum / float64(diff.Len())), nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"time"
+
+	"fantasticjoules/internal/hypnos"
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/stats"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/trafficgen"
+	"fantasticjoules/internal/units"
+)
+
+// Fig1Result is the network-wide power and traffic picture of Fig. 1.
+type Fig1Result struct {
+	// Power is the total router power (W) over time.
+	Power *timeseries.Series
+	// Traffic is the total carried traffic (bit/s) over time.
+	Traffic *timeseries.Series
+	// CapacityBps converts traffic to the percent axis.
+	CapacityBps float64
+	// PowerTrafficCorrelation quantifies the §7 observation that the
+	// correlation between power and traffic is invisible at network
+	// scale.
+	PowerTrafficCorrelation float64
+}
+
+// Fig1 regenerates the network-wide power/traffic figure.
+func (s *Suite) Fig1() (Fig1Result, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	res := Fig1Result{
+		Power:       ds.TotalPower.Smooth(2 * time.Hour),
+		Traffic:     ds.TotalTraffic.Smooth(2 * time.Hour),
+		CapacityBps: ds.TotalCapacity.BitsPerSecond(),
+	}
+	res.PowerTrafficCorrelation, err = alignedCorrelation(ds.TotalPower, ds.TotalTraffic)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	return res, nil
+}
+
+// Table5Row re-exports the per-port-type power constants used by the §8
+// evaluation.
+type Table5Row = model.PortTypePower
+
+// Table5 returns the per-port-type Pport and Ptrx,up values.
+func (s *Suite) Table5() []Table5Row {
+	return model.Table5()
+}
+
+// Section7Result carries the headline §7 insight numbers.
+type Section7Result struct {
+	// TrafficPower is the model-estimated power spent forwarding the
+	// network's entire traffic; TrafficShare its share of total power
+	// (the paper: ≈5.9 W, 0.02 %).
+	TrafficPower units.Power
+	TrafficShare float64
+	// TransceiverPower is the fleet's total transceiver draw per
+	// datasheet values; TransceiverShare its share (paper: ≈2.2 kW,
+	// ≈10 %).
+	TransceiverPower units.Power
+	TransceiverShare float64
+	// TotalPower is the fleet mean power.
+	TotalPower units.Power
+}
+
+// Section7 computes the traffic-vs-transceiver power split of §7 using
+// the paper's average energy costs (5 pJ/bit, 15 nJ/packet) and datasheet
+// transceiver values.
+func (s *Suite) Section7() (Section7Result, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return Section7Result{}, err
+	}
+	res := Section7Result{TotalPower: units.Power(ds.TotalPower.Mean())}
+
+	// Traffic cost: every carried bit crosses two interfaces (in and out
+	// of the network path's routers are already counted per-interface in
+	// the rate sums; the dataset total counts each link once).
+	const eBit = 5e-12
+	const ePkt = 15e-9
+	meanTraffic := ds.TotalTraffic.Mean() * 2 // both interfaces of each link
+	pktRate := units.PacketRateFor(units.BitRate(meanTraffic), trafficgen.IMIXMeanSize(), trafficgen.EthernetOverhead)
+	res.TrafficPower = units.Power(eBit*meanTraffic + ePkt*pktRate.PacketsPerSecond())
+	res.TrafficShare = res.TrafficPower.Watts() / res.TotalPower.Watts()
+
+	// Transceiver cost from datasheet values over the inventory
+	// (including plugged spares — they draw power too).
+	var trx float64
+	for _, r := range ds.Network.Routers {
+		for _, itf := range r.Interfaces {
+			if p, ok := model.TransceiverDatasheetPower(itf.Profile.Transceiver, itf.Profile.Speed); ok {
+				trx += p.Watts()
+			}
+		}
+	}
+	res.TransceiverPower = units.Power(trx)
+	res.TransceiverShare = trx / res.TotalPower.Watts()
+	return res, nil
+}
+
+// Section8Result carries the link-sleeping evaluation of §8.
+type Section8Result struct {
+	// Savings holds the schedule's worth under the §8 accountings.
+	Savings hypnos.Savings
+	// LowShare and HighShare are the refined savings range as fractions
+	// of total network power (paper: 0.4–1.9 %).
+	LowShare, HighShare float64
+	// NaiveShare is the literature-style estimate's fraction.
+	NaiveShare float64
+	// ExternalIfaceShare and ExternalTrxPowerShare are the §8 context
+	// numbers (paper: 51 % and 52 %).
+	ExternalIfaceShare    float64
+	ExternalTrxPowerShare float64
+	// InternalLinks is the sleepable backbone size.
+	InternalLinks int
+}
+
+// Section8 runs Hypnos over the synthetic network for a month and
+// evaluates the savings under the refined accounting.
+func (s *Suite) Section8() (Section8Result, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return Section8Result{}, err
+	}
+	topo, traffic, err := hypnos.FromNetwork(ds.Network)
+	if err != nil {
+		return Section8Result{}, err
+	}
+	sched, err := hypnos.Run(topo, traffic, hypnos.Options{
+		Start:  ds.Network.Config.Start,
+		Window: 30 * 24 * time.Hour,
+		Step:   time.Hour,
+	})
+	if err != nil {
+		return Section8Result{}, err
+	}
+	sv := hypnos.Evaluate(sched)
+	total := ds.TotalPower.Mean()
+	ifaceShare, trxShare := hypnos.ExternalShare(ds.Network)
+	return Section8Result{
+		Savings:               sv,
+		LowShare:              sv.RefinedLow.Watts() / total,
+		HighShare:             sv.RefinedHigh.Watts() / total,
+		NaiveShare:            sv.Naive.Watts() / total,
+		ExternalIfaceShare:    ifaceShare,
+		ExternalTrxPowerShare: trxShare,
+		InternalLinks:         len(topo.Links),
+	}, nil
+}
+
+// Fig8Result is the OS-upgrade fan event of Fig. 8.
+type Fig8Result struct {
+	// Power is the PSU-reported trace across the upgrade.
+	Power *timeseries.Series
+	// UpgradeAt is the OS upgrade time.
+	UpgradeAt time.Time
+	// Bump is the mean power step across the upgrade; RelativeBump its
+	// fraction of the pre-upgrade level (paper: ≈45 W, ≈+12 %).
+	Bump         units.Power
+	RelativeBump float64
+}
+
+// Fig8 regenerates the OS-upgrade power-bump scenario.
+func (s *Suite) Fig8() (Fig8Result, error) {
+	series, upgrade, err := ispnet.SimulateOSUpgrade(s.seed)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	before := series.Between(upgrade.Add(-7*24*time.Hour), upgrade)
+	after := series.Between(upgrade, upgrade.Add(7*24*time.Hour))
+	bump := stats.Mean(after.Values()) - stats.Mean(before.Values())
+	return Fig8Result{
+		Power:        series,
+		UpgradeAt:    upgrade,
+		Bump:         units.Power(bump),
+		RelativeBump: bump / stats.Mean(before.Values()),
+	}, nil
+}

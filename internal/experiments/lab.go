@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+// ModelRow is one derived power-model row of Tables 2 and 6: the profile
+// identification, the seven derived terms, and — when the paper published
+// the same profile — the published values for comparison.
+type ModelRow struct {
+	Router string
+	Key    model.ProfileKey
+
+	PBase   units.Power
+	Derived model.InterfaceProfile
+	// Published carries the paper's values when available.
+	Published      *model.InterfaceProfile
+	PBasePublished units.Power
+	// FitQuality is the weakest regression R² of the derivation.
+	FitQuality float64
+}
+
+var g = units.GigabitPerSecond
+
+// table2Targets are the derivations of Table 2: four routers, seven
+// profiles.
+var table2Targets = []profileSpec{
+	{router: "NCS-55A1-24H", trx: model.PassiveDAC, speed: 100 * g},
+	{router: "NCS-55A1-24H", trx: model.PassiveDAC, speed: 50 * g},
+	{router: "NCS-55A1-24H", trx: model.PassiveDAC, speed: 25 * g},
+	{router: "Nexus9336-FX2", trx: model.LR, speed: 100 * g},
+	{router: "Nexus9336-FX2", trx: model.PassiveDAC, speed: 100 * g},
+	{router: "8201-32FH", trx: model.PassiveDAC, speed: 100 * g},
+	{router: "N540X-8Z16G-SYS-A", trx: model.BaseT, speed: 1 * g},
+}
+
+// table6Targets are the derivations of Table 6. The Nexus 93108TC's QSFP28
+// profiles run against its uplink port bank (the chassis default is the
+// RJ45 front panel).
+var table6Targets = []profileSpec{
+	{router: "Wedge100BF-32X", trx: model.PassiveDAC, speed: 100 * g},
+	{router: "Wedge100BF-32X", trx: model.PassiveDAC, speed: 50 * g},
+	{router: "Wedge100BF-32X", trx: model.PassiveDAC, speed: 25 * g},
+	{router: "Nexus93108TC-FX3P", portOverride: model.QSFP28, trx: model.PassiveDAC, speed: 100 * g},
+	{router: "Nexus93108TC-FX3P", portOverride: model.QSFP28, trx: model.PassiveDAC, speed: 40 * g},
+	{router: "Nexus93108TC-FX3P", trx: model.BaseT, speed: 10 * g},
+	{router: "Nexus93108TC-FX3P", trx: model.BaseT, speed: 1 * g},
+	{router: "VSP-4900", trx: model.BaseT, speed: 10 * g},
+	{router: "Catalyst3560", trx: model.BaseT, speed: 0.1 * g},
+}
+
+// NCS-55A1-24H's 50G/25G rows are breakout configurations of the same
+// 100G cage; the paper's table lists them under QSFP28.
+
+// Table2 derives the power models of Table 2 by running the full lab
+// methodology against simulated DUTs and reports them next to the paper's
+// published values.
+func (s *Suite) Table2() ([]ModelRow, error) {
+	return s.deriveRows(table2Targets)
+}
+
+// Table6 derives the additional power models of Table 6.
+func (s *Suite) Table6() ([]ModelRow, error) {
+	return s.deriveRows(table6Targets)
+}
+
+func (s *Suite) deriveRows(targets []profileSpec) ([]ModelRow, error) {
+	var rows []ModelRow
+	for _, t := range targets {
+		res, err := s.Derive(t.router, t.portOverride, t.trx, t.speed)
+		if err != nil {
+			return nil, fmt.Errorf("deriving %s: %w", t.router, err)
+		}
+		row := ModelRow{
+			Router:     t.router,
+			Key:        res.Profile.Key,
+			PBase:      res.Model.PBase,
+			Derived:    res.Profile,
+			FitQuality: res.Report.FitQuality(),
+		}
+		if pub, err := model.Published(t.router); err == nil {
+			row.PBasePublished = pub.PBase
+			if p, ok := pub.Profile(res.Profile.Key); ok {
+				row.Published = &p
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

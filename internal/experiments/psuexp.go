@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/units"
+)
+
+// Fig5Result carries the PSU efficiency reference curve and the 80 Plus
+// set points of Fig. 5.
+type Fig5Result struct {
+	// PFE600 is the Platinum-rated reference curve.
+	PFE600 []psu.CurvePoint
+	// SetPoints maps each 80 Plus level to its certification points.
+	SetPoints map[string][]psu.CurvePoint
+}
+
+// Fig5 returns the Fig. 5 data.
+func (s *Suite) Fig5() Fig5Result {
+	res := Fig5Result{
+		PFE600:    psu.PFE600().Points(),
+		SetPoints: make(map[string][]psu.CurvePoint),
+	}
+	for _, r := range psu.Ratings() {
+		res.SetPoints[r.String()] = r.SetPoints()
+	}
+	return res
+}
+
+// Fig6Point is one PSU's (load, efficiency) snapshot in the Fig. 6
+// scatter.
+type Fig6Point struct {
+	Router     string
+	Model      string
+	Load       float64
+	Efficiency float64
+}
+
+// Fig6Result groups the fleet PSU snapshot by the panels the paper shows.
+type Fig6Result struct {
+	// All is every PSU point (Fig. 6a).
+	All []Fig6Point
+	// ByModel holds the per-model panels (Fig. 6b–d use NCS-55A1-24H,
+	// 8201-32FH, and ASR-920-24SZ-M).
+	ByModel map[string][]Fig6Point
+}
+
+// Fig6 computes the PSU efficiency scatter from the fleet's one-time
+// sensor export.
+func (s *Suite) Fig6() (Fig6Result, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	res := Fig6Result{ByModel: make(map[string][]Fig6Point)}
+	for _, router := range ds.PSUSnapshots {
+		for _, snap := range router.PSUs {
+			if snap.Pin <= 0 {
+				continue
+			}
+			pt := Fig6Point{
+				Router:     router.Router,
+				Model:      router.Model,
+				Load:       snap.Load(),
+				Efficiency: snap.Efficiency(),
+			}
+			res.All = append(res.All, pt)
+			res.ByModel[router.Model] = append(res.ByModel[router.Model], pt)
+		}
+	}
+	sort.Slice(res.All, func(i, j int) bool {
+		if res.All[i].Router != res.All[j].Router {
+			return res.All[i].Router < res.All[j].Router
+		}
+		return res.All[i].Load < res.All[j].Load
+	})
+	return res, nil
+}
+
+// Table3Result is the §9 savings table: one row per measure, columns per
+// 80 Plus level (only Bronze applies to the single-PSU measure).
+type Table3Result struct {
+	// MoreEfficient maps level name to the §9.3.2 savings.
+	MoreEfficient map[string]psu.Savings
+	// SinglePSU is the §9.3.4 estimate.
+	SinglePSU psu.Savings
+	// Combined maps level name to the §9.3.5 savings.
+	Combined map[string]psu.Savings
+	// FleetInput is the total wall power the percentages refer to.
+	FleetInput units.Power
+}
+
+// Table3 computes the PSU energy-saving estimates of Table 3.
+func (s *Suite) Table3() (Table3Result, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return Table3Result{}, err
+	}
+	fleet := ds.PSUSnapshots
+	res := Table3Result{
+		MoreEfficient: make(map[string]psu.Savings),
+		Combined:      make(map[string]psu.Savings),
+		SinglePSU:     psu.SavingsSinglePSU(fleet),
+		FleetInput:    psu.FleetInputPower(fleet),
+	}
+	for _, r := range psu.Ratings() {
+		res.MoreEfficient[r.String()] = psu.SavingsAtStandard(fleet, r)
+		res.Combined[r.String()] = psu.SavingsCombined(fleet, r)
+	}
+	return res, nil
+}
+
+// Table4Result is the PSU right-sizing grid of Table 4: k ∈ {1, 2} by
+// minimum capacity.
+type Table4Result struct {
+	Capacities []units.Power
+	// K1 and K2 hold one savings estimate per capacity column.
+	K1, K2 []psu.Savings
+}
+
+// Table4 computes the right-sizing estimates of Table 4.
+func (s *Suite) Table4() (Table4Result, error) {
+	ds, err := s.Dataset()
+	if err != nil {
+		return Table4Result{}, err
+	}
+	fleet := ds.PSUSnapshots
+	res := Table4Result{Capacities: psu.CapacityOptions()}
+	for _, minCap := range res.Capacities {
+		s1, err := psu.SavingsResize(fleet, 1, minCap, res.Capacities)
+		if err != nil {
+			return Table4Result{}, fmt.Errorf("table4 k=1: %w", err)
+		}
+		s2, err := psu.SavingsResize(fleet, 2, minCap, res.Capacities)
+		if err != nil {
+			return Table4Result{}, fmt.Errorf("table4 k=2: %w", err)
+		}
+		res.K1 = append(res.K1, s1)
+		res.K2 = append(res.K2, s2)
+	}
+	return res, nil
+}

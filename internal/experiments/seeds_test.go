@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestShapeHoldsAcrossSeeds re-checks the headline shape claims under
+// different random universes: the reproduction must not depend on seed 42.
+// Skipped under -short (each seed builds a fresh fleet and lab).
+func TestShapeHoldsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short mode")
+	}
+	for _, seed := range []int64{7, 1234} {
+		seed := seed
+		t.Run(map[int64]string{7: "seed7", 1234: "seed1234"}[seed], func(t *testing.T) {
+			s := New(seed)
+
+			// Table 1: the two 8000-series underestimate, everything else
+			// overestimates.
+			rows, err := s.Table1()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				is8000 := r.Model == "8201-32FH" || r.Model == "8201-24H8FH"
+				if is8000 && r.Overestimate >= 0 {
+					t.Errorf("%s should underestimate, got %+.0f%%", r.Model, r.Overestimate*100)
+				}
+				if !is8000 && r.Overestimate <= 0 {
+					t.Errorf("%s should overestimate, got %+.0f%%", r.Model, r.Overestimate*100)
+				}
+			}
+
+			// Fig 4: the model underestimates on every instrumented router
+			// and tracks the shape.
+			f4, err := s.Fig4()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, row := range f4 {
+				if row.ModelOffset <= 0 {
+					t.Errorf("%s (%s): offset %+.1f W, want positive",
+						row.Router, row.Model, row.ModelOffset.Watts())
+				}
+				// The N540X's traffic-induced signal is ≈0.1 W against
+				// meter noise, so its correlation is fragile by nature
+				// (the paper's Fig. 9c panel is the noisiest too).
+				minCorr := 0.5
+				if row.Model == "N540X-8Z16G-SYS-A" {
+					minCorr = 0.35
+				}
+				if row.ModelShapeCorrelation < minCorr {
+					t.Errorf("%s: shape corr %.2f", row.Model, row.ModelShapeCorrelation)
+				}
+			}
+
+			// §8: refined savings stay a small share, below the naive view.
+			s8, err := s.Section8()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s8.HighShare > 0.04 || s8.LowShare <= 0 {
+				t.Errorf("savings range %.2f%%–%.2f%% out of band",
+					s8.LowShare*100, s8.HighShare*100)
+			}
+			if s8.Savings.Table5 > s8.Savings.RefinedHigh || s8.Savings.Table5 < s8.Savings.RefinedLow {
+				t.Errorf("point estimate outside its own bounds")
+			}
+
+			// Table 3: Titanium combined stays the best measure.
+			t3, err := s.Table3()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if t3.Combined["Titanium"].Watts < t3.MoreEfficient["Titanium"].Watts {
+				t.Error("combined measure lost to its component")
+			}
+		})
+	}
+}

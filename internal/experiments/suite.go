@@ -1,0 +1,202 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrates: the datasheet analyses (§3),
+// the lab model derivations (§5, Tables 2 and 6), the validation against
+// external measurements (§6, Fig. 4/9), the router power insights (§7),
+// the link-sleeping savings (§8), and the PSU analyses (§9, Fig. 5/6,
+// Tables 3 and 4).
+//
+// Each experiment is a method on Suite returning typed rows/series — the
+// same rows the paper prints — so the CLI renders them and the benchmarks
+// time them. Expensive artifacts (the fleet simulation, lab derivations)
+// are computed once per Suite and cached.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fantasticjoules/internal/datasheet"
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/labbench"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+// Suite carries the cached artifacts shared by the experiments.
+type Suite struct {
+	seed int64
+
+	mu      sync.Mutex
+	dataset *ispnet.Dataset
+	dsErr   error
+	corpus  []datasheet.Document
+	records []datasheet.Extracted
+	derived map[string]*labbench.Result // keyed by router|trx|speed
+	models  map[string]*model.Model     // fully derived model per router
+}
+
+// New returns a suite seeded for reproducibility.
+func New(seed int64) *Suite {
+	return &Suite{
+		seed:    seed,
+		derived: make(map[string]*labbench.Result),
+		models:  make(map[string]*model.Model),
+	}
+}
+
+// DatasetConfig returns the fleet-simulation configuration the suite uses:
+// the paper's 9-week study window at a 15-minute poll step (a multiple of
+// the deployed 5-minute cadence, chosen so the full suite regenerates in
+// seconds; pass the result to ispnet.Simulate with SNMPStep overridden for
+// the full-resolution run).
+func (s *Suite) DatasetConfig() ispnet.Config {
+	return ispnet.Config{
+		Seed:          s.seed,
+		SNMPStep:      15 * time.Minute,
+		AutopowerStep: 5 * time.Minute,
+	}
+}
+
+// Dataset returns the (cached) fleet simulation output.
+func (s *Suite) Dataset() (*ispnet.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dataset == nil && s.dsErr == nil {
+		s.dataset, s.dsErr = ispnet.Simulate(s.DatasetConfig())
+	}
+	return s.dataset, s.dsErr
+}
+
+// Corpus returns the (cached) synthetic datasheet corpus.
+func (s *Suite) Corpus() []datasheet.Document {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.corpus == nil {
+		s.corpus = datasheet.Generate(s.seed)
+	}
+	return s.corpus
+}
+
+// Records returns the (cached) extracted datasheet records.
+func (s *Suite) Records() []datasheet.Extracted {
+	corpus := s.Corpus()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.records == nil {
+		s.records = datasheet.ExtractAll(corpus)
+	}
+	return s.records
+}
+
+// profileSpec names one lab derivation target.
+type profileSpec struct {
+	router string
+	// portOverride restricts the DUT to a specific port bank; empty uses
+	// the spec's default (e.g. the Nexus 93108TC's QSFP28 uplinks vs its
+	// RJ45 front panel).
+	portOverride model.PortType
+	trx          model.TransceiverType
+	speed        units.BitRate
+}
+
+func (p profileSpec) key() string {
+	return fmt.Sprintf("%s|%s|%s|%g", p.router, p.portOverride, p.trx, p.speed.BitsPerSecond())
+}
+
+// Derive runs (or returns the cached) lab derivation for one interface
+// profile of one router model, exactly as §5 prescribes: a fresh DUT, an
+// external meter, the five experiment types, and the regressions.
+func (s *Suite) Derive(router string, portOverride model.PortType, trx model.TransceiverType, speed units.BitRate) (*labbench.Result, error) {
+	ps := profileSpec{router: router, portOverride: portOverride, trx: trx, speed: speed}
+	s.mu.Lock()
+	if res, ok := s.derived[ps.key()]; ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+
+	spec, err := device.Spec(router)
+	if err != nil {
+		return nil, err
+	}
+	if portOverride != "" {
+		spec.PortType = portOverride
+		// A port bank is smaller than the full chassis; six uplinks is
+		// the common layout and enough pairs for the sweeps.
+		if spec.NumPorts > 8 {
+			spec.NumPorts = 8
+		}
+	}
+	dut, err := device.New(spec, "lab-"+router, s.seed+int64(len(ps.key())))
+	if err != nil {
+		return nil, err
+	}
+	m := meter.New(s.seed + 77)
+	if err := m.Attach(0, dut); err != nil {
+		return nil, err
+	}
+	orch, err := labbench.New(dut, m, labbench.Config{Transceiver: trx, Speed: speed})
+	if err != nil {
+		return nil, err
+	}
+	res, err := orch.Run()
+	if err != nil {
+		return nil, fmt.Errorf("derive %s %s@%s: %w", router, trx, speed, err)
+	}
+
+	s.mu.Lock()
+	s.derived[ps.key()] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// DerivedModel assembles (and caches) a router's full power model from lab
+// derivations of every profile its deployed configuration uses.
+func (s *Suite) DerivedModel(router string, profiles []profileSpec) (*model.Model, error) {
+	s.mu.Lock()
+	if m, ok := s.models[router]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+
+	var full *model.Model
+	for _, ps := range profiles {
+		res, err := s.Derive(ps.router, ps.portOverride, ps.trx, ps.speed)
+		if err != nil {
+			return nil, err
+		}
+		if full == nil {
+			full = model.New(router, res.Model.PBase)
+		}
+		full.AddProfile(res.Profile)
+	}
+	if full == nil {
+		return nil, fmt.Errorf("experiments: no profiles requested for %s", router)
+	}
+	s.mu.Lock()
+	s.models[router] = full
+	s.mu.Unlock()
+	return full, nil
+}
+
+// deployedProfiles lists the profiles an Autopower router's deployment
+// ever used (from the dataset's inventory view), so its full model can be
+// derived in the lab (§6.2: "we performed all the lab measurements
+// required to derive power models for those routers").
+func deployedProfiles(ds *ispnet.Dataset, routerName, routerModel string) []profileSpec {
+	seen := map[string]bool{}
+	var out []profileSpec
+	for _, key := range ds.IfaceProfiles[routerName] {
+		ps := profileSpec{router: routerModel, trx: key.Transceiver, speed: key.Speed}
+		if seen[ps.key()] {
+			continue
+		}
+		seen[ps.key()] = true
+		out = append(out, ps)
+	}
+	return out
+}

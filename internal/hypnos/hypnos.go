@@ -1,0 +1,447 @@
+// Package hypnos re-implements the Hypnos link-sleeping algorithm [31]
+// used as the baseline of §8: given a network topology and its traffic
+// over time, decide which internal links can be turned off at each step
+// without disconnecting the network or overloading the remaining links,
+// and account for the resulting power savings.
+//
+// The paper's insight is that the savings accounting matters as much as
+// the schedule: the literature assumed sleeping a link saves the full
+// interface power (Pport + Ptrx on both ends), but since transceivers keep
+// drawing Ptrx,in while plugged (§7), only Pport + Ptrx,up is actually
+// saved — and without transceiver power models, Ptrx,up is only known to
+// lie in [0, Ptrx], giving the 0.4–1.9 % range the paper reports.
+package hypnos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+// Endpoint is one side of a link.
+type Endpoint struct {
+	Router    string
+	Interface string
+	Port      model.PortType
+	// PPort and PTrxUp are the modelled savings terms for this end
+	// (Table 5 averages when no specific model exists).
+	PPort  units.Power
+	PTrxUp units.Power
+	// TrxDatasheet is the transceiver's datasheet power, bounding Ptrx,up
+	// from above when the in/up split is unknown.
+	TrxDatasheet units.Power
+}
+
+// Link is one internal link (both endpoints inside the network).
+type Link struct {
+	ID       int
+	A, B     Endpoint
+	Capacity units.BitRate
+}
+
+// Topology is the sleepable-link graph.
+type Topology struct {
+	// Nodes are router names.
+	Nodes []string
+	// Links are the internal links; external interfaces are not part of
+	// the topology (an intra-domain scheme cannot sleep them, §8).
+	Links []Link
+}
+
+// TrafficFunc returns a link's bidirectional traffic at a time.
+type TrafficFunc func(linkID int, t time.Time) units.BitRate
+
+// FromNetwork builds the sleepable topology from the synthetic ISP
+// network, using the Table 5 per-port-type power terms and transceiver
+// datasheet values — exactly the § 8 method (no per-router lab models are
+// assumed for the fleet). It also returns a TrafficFunc backed by the
+// network's load model.
+func FromNetwork(n *ispnet.Network) (Topology, TrafficFunc, error) {
+	topo := Topology{}
+	seen := map[string]int{} // "router/iface" -> link ID
+	type linkRef struct {
+		router string
+		iface  *ispnet.Interface
+		r      *ispnet.Router
+	}
+	refs := map[int]linkRef{}
+	for _, r := range n.Routers {
+		topo.Nodes = append(topo.Nodes, r.Name)
+		for i := range r.Interfaces {
+			itf := &r.Interfaces[i]
+			if itf.Spare || itf.External || itf.PeerRouter == "" {
+				continue
+			}
+			if _, done := seen[r.Name+"/"+itf.Name]; done {
+				continue
+			}
+			peer, ok := n.RouterByName(itf.PeerRouter)
+			if !ok {
+				return Topology{}, nil, fmt.Errorf("hypnos: unknown peer %s", itf.PeerRouter)
+			}
+			var peerItf *ispnet.Interface
+			for j := range peer.Interfaces {
+				if peer.Interfaces[j].Name == itf.PeerInterface {
+					peerItf = &peer.Interfaces[j]
+				}
+			}
+			if peerItf == nil {
+				return Topology{}, nil, fmt.Errorf("hypnos: missing peer interface %s/%s", peer.Name, itf.PeerInterface)
+			}
+			id := len(topo.Links)
+			link := Link{
+				ID:       id,
+				A:        endpointFor(r.Name, itf),
+				B:        endpointFor(peer.Name, peerItf),
+				Capacity: itf.Profile.Speed,
+			}
+			topo.Links = append(topo.Links, link)
+			seen[r.Name+"/"+itf.Name] = id
+			seen[peer.Name+"/"+itf.PeerInterface] = id
+			refs[id] = linkRef{router: r.Name, iface: itf, r: r}
+		}
+	}
+	traffic := func(linkID int, t time.Time) units.BitRate {
+		ref, ok := refs[linkID]
+		if !ok {
+			return 0
+		}
+		return n.LoadAt(ref.iface, ref.r, t)
+	}
+	return topo, traffic, nil
+}
+
+func endpointFor(router string, itf *ispnet.Interface) Endpoint {
+	ep := Endpoint{Router: router, Interface: itf.Name, Port: itf.Profile.Port}
+	if row, ok := model.Table5For(itf.Profile.Port); ok {
+		ep.PPort = row.PPort
+		ep.PTrxUp = row.PTrxUp
+	} else {
+		// Port types outside Table 5 (QSFP, RJ45): fall back to the
+		// closest class.
+		row, _ := model.Table5For(model.QSFP28)
+		ep.PPort = row.PPort
+		ep.PTrxUp = row.PTrxUp
+	}
+	if p, ok := model.TransceiverDatasheetPower(itf.Profile.Transceiver, itf.Profile.Speed); ok {
+		ep.TrxDatasheet = p
+	}
+	return ep
+}
+
+// Options tune the scheduling run.
+type Options struct {
+	// Start and Window bound the evaluation (default: the paper's
+	// one-month run).
+	Start  time.Time
+	Window time.Duration
+	// Step is the scheduling granularity (default 1 h).
+	Step time.Duration
+	// MaxUtilization is the load cap on remaining links after rerouting
+	// (default 0.5, keeping failover headroom).
+	MaxUtilization float64
+	// MinDwellSteps adds hysteresis: after a link changes state it keeps
+	// that state for at least this many steps, except that safety always
+	// wins — a sleeping link whose constraints no longer hold wakes
+	// immediately. Zero disables hysteresis. Real deployments need this:
+	// port flapping is operationally costly (§6.2's flapping interface is
+	// the cautionary tale).
+	MinDwellSteps int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Window == 0 {
+		o.Window = 30 * 24 * time.Hour
+	}
+	if o.Step == 0 {
+		o.Step = time.Hour
+	}
+	if o.MaxUtilization == 0 {
+		o.MaxUtilization = 0.5
+	}
+}
+
+// Schedule is the result of a run: for each step, which links sleep.
+type Schedule struct {
+	Times    []time.Time
+	Sleeping [][]int // link IDs asleep at each step
+	topo     Topology
+}
+
+// MeanSleeping returns the time-averaged number of sleeping links.
+func (s Schedule) MeanSleeping() float64 {
+	if len(s.Sleeping) == 0 {
+		return 0
+	}
+	var total int
+	for _, step := range s.Sleeping {
+		total += len(step)
+	}
+	return float64(total) / float64(len(s.Sleeping))
+}
+
+// Run computes the sleeping schedule: at each step, links are greedily
+// put to sleep in ascending traffic order, provided the endpoints remain
+// connected and the slept traffic reroutes onto the shortest remaining
+// path without pushing any link beyond MaxUtilization.
+func Run(topo Topology, traffic TrafficFunc, opts Options) (Schedule, error) {
+	opts.applyDefaults()
+	if opts.Start.IsZero() {
+		return Schedule{}, errors.New("hypnos: options need a start time")
+	}
+	if len(topo.Links) == 0 {
+		return Schedule{}, errors.New("hypnos: topology has no internal links")
+	}
+	sched := Schedule{topo: topo}
+	adj := buildAdjacency(topo)
+
+	prev := make([]bool, len(topo.Links))
+	dwell := make([]int, len(topo.Links))
+	end := opts.Start.Add(opts.Window)
+	for t := opts.Start; t.Before(end); t = t.Add(opts.Step) {
+		loads := make([]float64, len(topo.Links))
+		extra := make([]float64, len(topo.Links))
+		asleep := make([]bool, len(topo.Links))
+		order := make([]int, len(topo.Links))
+		for i, l := range topo.Links {
+			loads[i] = traffic(l.ID, t).BitsPerSecond()
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return loads[order[a]] < loads[order[b]] })
+
+		trySleep := func(id int) bool {
+			l := topo.Links[id]
+			asleep[id] = true
+			path, ok := shortestPath(adj, topo, asleep, l.A.Router, l.B.Router)
+			if !ok {
+				asleep[id] = false // would disconnect
+				return false
+			}
+			// Check headroom along the reroute path.
+			for _, pid := range path {
+				pl := topo.Links[pid]
+				if loads[pid]+extra[pid]+loads[id] > opts.MaxUtilization*pl.Capacity.BitsPerSecond() {
+					asleep[id] = false
+					return false
+				}
+			}
+			for _, pid := range path {
+				extra[pid] += loads[id]
+			}
+			return true
+		}
+
+		// First pass: re-validate the links already asleep (hysteresis
+		// keeps them down, but safety wakes them if constraints fail).
+		for _, id := range order {
+			if prev[id] {
+				trySleep(id)
+			}
+		}
+		// Second pass: put new links to sleep, unless they woke too
+		// recently.
+		for _, id := range order {
+			if prev[id] || asleep[id] {
+				continue
+			}
+			if opts.MinDwellSteps > 0 && dwell[id] < opts.MinDwellSteps {
+				continue
+			}
+			trySleep(id)
+		}
+
+		var ids []int
+		for id, a := range asleep {
+			if a {
+				ids = append(ids, id)
+			}
+			if a == prev[id] {
+				dwell[id]++
+			} else {
+				dwell[id] = 1
+			}
+			prev[id] = a
+		}
+		sched.Times = append(sched.Times, t)
+		sched.Sleeping = append(sched.Sleeping, ids)
+	}
+	return sched, nil
+}
+
+// Transitions counts the sleep/wake state changes across the schedule —
+// the flapping metric hysteresis exists to minimize.
+func (s Schedule) Transitions() int {
+	if len(s.Sleeping) == 0 {
+		return 0
+	}
+	prev := map[int]bool{}
+	total := 0
+	for i, step := range s.Sleeping {
+		cur := make(map[int]bool, len(step))
+		for _, id := range step {
+			cur[id] = true
+		}
+		if i > 0 {
+			for id := range cur {
+				if !prev[id] {
+					total++
+				}
+			}
+			for id := range prev {
+				if !cur[id] {
+					total++
+				}
+			}
+		}
+		prev = cur
+	}
+	return total
+}
+
+func buildAdjacency(topo Topology) map[string][]int {
+	adj := make(map[string][]int)
+	for _, l := range topo.Links {
+		adj[l.A.Router] = append(adj[l.A.Router], l.ID)
+		adj[l.B.Router] = append(adj[l.B.Router], l.ID)
+	}
+	return adj
+}
+
+// shortestPath BFSes from a to b over awake links, returning the link IDs
+// of a shortest hop path.
+func shortestPath(adj map[string][]int, topo Topology, asleep []bool, a, b string) ([]int, bool) {
+	if a == b {
+		return nil, true
+	}
+	type hop struct {
+		node string
+		via  int
+		prev int // index into visits
+	}
+	visited := map[string]bool{a: true}
+	queue := []hop{{node: a, via: -1, prev: -1}}
+	visits := []hop{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		visits = append(visits, cur)
+		curIdx := len(visits) - 1
+		for _, id := range adj[cur.node] {
+			if asleep[id] {
+				continue
+			}
+			l := topo.Links[id]
+			next := l.A.Router
+			if next == cur.node {
+				next = l.B.Router
+			}
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			h := hop{node: next, via: id, prev: curIdx}
+			if next == b {
+				// Reconstruct.
+				var path []int
+				for h.via != -1 {
+					path = append(path, h.via)
+					h = visits[h.prev]
+				}
+				return path, true
+			}
+			queue = append(queue, h)
+		}
+	}
+	return nil, false
+}
+
+// Savings quantifies what a schedule is worth in watts.
+type Savings struct {
+	// Naive is the literature's estimate: the full interface power
+	// (Pport + full datasheet Ptrx) on both ends of each sleeping link.
+	Naive units.Power
+	// RefinedLow assumes Ptrx,up = 0 (everything is Ptrx,in): only Pport
+	// is saved.
+	RefinedLow units.Power
+	// RefinedHigh assumes Ptrx,up = Ptrx (nothing is paid while plugged).
+	RefinedHigh units.Power
+	// Table5 uses the measured per-port-type Ptrx,up averages.
+	Table5 units.Power
+	// MeanSleepingLinks is the time-averaged count of sleeping links.
+	MeanSleepingLinks float64
+	// SleepableFraction is MeanSleepingLinks over the internal link count.
+	SleepableFraction float64
+}
+
+// Evaluate computes the time-averaged savings of a schedule under the
+// different accounting models of §8.
+func Evaluate(sched Schedule) Savings {
+	var s Savings
+	if len(sched.Sleeping) == 0 {
+		return s
+	}
+	var naive, low, high, t5 float64
+	for _, step := range sched.Sleeping {
+		for _, id := range step {
+			l := sched.topo.Links[id]
+			for _, ep := range []Endpoint{l.A, l.B} {
+				naive += ep.PPort.Watts() + ep.TrxDatasheet.Watts()
+				low += ep.PPort.Watts()
+				high += ep.PPort.Watts() + ep.TrxDatasheet.Watts()
+				up := ep.PTrxUp.Watts()
+				if up < 0 {
+					up = 0
+				}
+				if max := ep.TrxDatasheet.Watts(); up > max {
+					up = max
+				}
+				t5 += ep.PPort.Watts() + up
+			}
+		}
+	}
+	n := float64(len(sched.Sleeping))
+	s.Naive = units.Power(naive / n)
+	s.RefinedLow = units.Power(low / n)
+	s.RefinedHigh = units.Power(high / n)
+	s.Table5 = units.Power(t5 / n)
+	s.MeanSleepingLinks = sched.MeanSleeping()
+	if len(sched.topo.Links) > 0 {
+		s.SleepableFraction = s.MeanSleepingLinks / float64(len(sched.topo.Links))
+	}
+	return s
+}
+
+// ExternalShare reports the §8 context numbers for a network: the
+// fraction of non-spare interfaces that are external, and the fraction of
+// the network's transceiver datasheet power attached to external
+// interfaces (the paper finds 51 % and 52 %).
+func ExternalShare(n *ispnet.Network) (ifaceFrac, trxPowerFrac float64) {
+	var extIf, allIf int
+	var extP, allP float64
+	for _, r := range n.Routers {
+		for _, itf := range r.Interfaces {
+			if itf.Spare {
+				continue
+			}
+			allIf++
+			p, _ := model.TransceiverDatasheetPower(itf.Profile.Transceiver, itf.Profile.Speed)
+			allP += p.Watts()
+			if itf.External {
+				extIf++
+				extP += p.Watts()
+			}
+		}
+	}
+	if allIf > 0 {
+		ifaceFrac = float64(extIf) / float64(allIf)
+	}
+	if allP > 0 {
+		trxPowerFrac = extP / allP
+	}
+	return ifaceFrac, trxPowerFrac
+}

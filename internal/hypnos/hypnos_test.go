@@ -1,0 +1,306 @@
+package hypnos
+
+import (
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+var g = units.GigabitPerSecond
+var start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+
+// triangle builds a 3-node ring: every single link is redundant.
+func triangle(capacity units.BitRate) Topology {
+	ep := func(r, i string) Endpoint {
+		return Endpoint{Router: r, Interface: i, Port: model.QSFP28, PPort: 0.53, PTrxUp: 0.126, TrxDatasheet: 4.5}
+	}
+	return Topology{
+		Nodes: []string{"a", "b", "c"},
+		Links: []Link{
+			{ID: 0, A: ep("a", "e0"), B: ep("b", "e0"), Capacity: capacity},
+			{ID: 1, A: ep("b", "e1"), B: ep("c", "e0"), Capacity: capacity},
+			{ID: 2, A: ep("c", "e1"), B: ep("a", "e1"), Capacity: capacity},
+		},
+	}
+}
+
+func flatTraffic(bps float64) TrafficFunc {
+	return func(int, time.Time) units.BitRate { return units.BitRate(bps) }
+}
+
+func opts() Options {
+	return Options{Start: start, Window: 2 * time.Hour, Step: time.Hour}
+}
+
+func TestRunSleepsRedundantLink(t *testing.T) {
+	topo := triangle(100 * g)
+	sched, err := Run(topo, flatTraffic(1e9), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Sleeping) != 2 {
+		t.Fatalf("steps = %d, want 2", len(sched.Sleeping))
+	}
+	// Exactly one link of the triangle can sleep: removing a second would
+	// disconnect a node.
+	for _, step := range sched.Sleeping {
+		if len(step) != 1 {
+			t.Errorf("sleeping links = %d, want 1", len(step))
+		}
+	}
+	if sched.MeanSleeping() != 1 {
+		t.Errorf("mean sleeping = %v", sched.MeanSleeping())
+	}
+}
+
+func TestRunRespectsConnectivity(t *testing.T) {
+	// A path a-b-c has no redundancy: nothing may sleep.
+	topo := triangle(100 * g)
+	topo.Links = topo.Links[:2]
+	sched, err := Run(topo, flatTraffic(1e9), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range sched.Sleeping {
+		if len(step) != 0 {
+			t.Errorf("a tree topology must not sleep links, got %v", step)
+		}
+	}
+}
+
+func TestRunRespectsCapacity(t *testing.T) {
+	// Heavy traffic: rerouting any link's load would exceed the 50 %
+	// utilization cap on the remaining links, so nothing sleeps.
+	topo := triangle(10 * g)
+	sched, err := Run(topo, flatTraffic(3e9), opts()) // 3+3 > 5 Gbps cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range sched.Sleeping {
+		if len(step) != 0 {
+			t.Errorf("overloaded ring slept %v", step)
+		}
+	}
+	// Light traffic: one link can sleep.
+	sched, err = Run(topo, flatTraffic(1e9), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.MeanSleeping() != 1 {
+		t.Errorf("light ring mean sleeping = %v, want 1", sched.MeanSleeping())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	topo := triangle(10 * g)
+	if _, err := Run(topo, flatTraffic(0), Options{}); err == nil {
+		t.Error("missing start must error")
+	}
+	if _, err := Run(Topology{}, flatTraffic(0), opts()); err == nil {
+		t.Error("empty topology must error")
+	}
+}
+
+func TestEvaluateAccountings(t *testing.T) {
+	topo := triangle(100 * g)
+	sched, err := Run(topo, flatTraffic(1e9), opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Evaluate(sched)
+	// One sleeping link, both ends: naive = 2*(0.53+4.5) = 10.06 W.
+	if got := s.Naive.Watts(); got < 10.05 || got > 10.07 {
+		t.Errorf("naive = %v, want 10.06", got)
+	}
+	// Refined low = 2*0.53 = 1.06 W; high equals naive; Table 5 in between.
+	if got := s.RefinedLow.Watts(); got < 1.05 || got > 1.07 {
+		t.Errorf("refined low = %v, want 1.06", got)
+	}
+	if s.RefinedHigh != s.Naive {
+		t.Errorf("refined high %v must equal naive %v", s.RefinedHigh, s.Naive)
+	}
+	if s.Table5 <= s.RefinedLow || s.Table5 >= s.RefinedHigh {
+		t.Errorf("table5 estimate %v must lie between %v and %v", s.Table5, s.RefinedLow, s.RefinedHigh)
+	}
+	if s.SleepableFraction < 0.3 || s.SleepableFraction > 0.34 {
+		t.Errorf("sleepable fraction = %v, want 1/3", s.SleepableFraction)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	if s := Evaluate(Schedule{}); s.Naive != 0 || s.MeanSleepingLinks != 0 {
+		t.Errorf("empty schedule savings = %+v", s)
+	}
+}
+
+func TestFromNetworkTopology(t *testing.T) {
+	n, err := ispnet.Build(ispnet.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, traffic, err := FromNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != ispnet.NumRouters {
+		t.Errorf("nodes = %d", len(topo.Nodes))
+	}
+	if len(topo.Links) < 100 {
+		t.Errorf("internal links = %d, want a substantial backbone", len(topo.Links))
+	}
+	// Traffic must be positive for most links during the day.
+	noon := start.Add(12 * time.Hour)
+	nonzero := 0
+	for _, l := range topo.Links {
+		if traffic(l.ID, noon) > 0 {
+			nonzero++
+		}
+		if l.Capacity <= 0 {
+			t.Errorf("link %d has no capacity", l.ID)
+		}
+		if l.A.PPort <= 0 || l.B.PPort <= 0 {
+			t.Errorf("link %d missing port power", l.ID)
+		}
+	}
+	if nonzero < len(topo.Links)*9/10 {
+		t.Errorf("only %d/%d links carry traffic", nonzero, len(topo.Links))
+	}
+	if traffic(9999, noon) != 0 {
+		t.Error("unknown link must carry no traffic")
+	}
+}
+
+func TestPaperSection8Shape(t *testing.T) {
+	// End-to-end §8: run Hypnos for a week over the synthetic network and
+	// check the headline shape — savings land well below the naive
+	// estimate, in the paper's 80–390 W (0.4–1.9 %) band.
+	n, err := ispnet.Build(ispnet.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, traffic, err := FromNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Run(topo, traffic, Options{Start: start, Window: 7 * 24 * time.Hour, Step: 6 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Evaluate(sched)
+	if s.MeanSleepingLinks < 10 {
+		t.Fatalf("mean sleeping links = %v; the lightly-loaded network should sleep many", s.MeanSleepingLinks)
+	}
+	const totalPower = 21900.0 // calibrated fleet power
+	lowFrac := s.RefinedLow.Watts() / totalPower
+	highFrac := s.RefinedHigh.Watts() / totalPower
+	if lowFrac < 0.001 || lowFrac > 0.012 {
+		t.Errorf("refined low = %.2f%% of network power, want ≈0.4%%", lowFrac*100)
+	}
+	if highFrac < 0.005 || highFrac > 0.035 {
+		t.Errorf("refined high = %.2f%% of network power, want ≈1.9%%", highFrac*100)
+	}
+	if s.RefinedLow >= s.Table5 || s.Table5 > s.RefinedHigh {
+		t.Errorf("accounting order violated: low %v, table5 %v, high %v",
+			s.RefinedLow, s.Table5, s.RefinedHigh)
+	}
+}
+
+func TestExternalShare(t *testing.T) {
+	n, err := ispnet.Build(ispnet.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifaceFrac, trxFrac := ExternalShare(n)
+	// §8: 51 % of interfaces are external and carry 52 % of transceiver power.
+	if ifaceFrac < 0.40 || ifaceFrac > 0.62 {
+		t.Errorf("external interface share = %.2f, want ≈0.51", ifaceFrac)
+	}
+	if trxFrac < 0.40 || trxFrac > 0.90 {
+		t.Errorf("external transceiver power share = %.2f, want the majority", trxFrac)
+	}
+	if trxFrac <= ifaceFrac-0.25 {
+		t.Errorf("optics concentrate on external links; power share %.2f vs iface share %.2f",
+			trxFrac, ifaceFrac)
+	}
+}
+
+// oscillatingTraffic alternates between light and heavy load each step,
+// making sleeping feasible only on even steps.
+func oscillatingTraffic(step time.Duration, lightBps, heavyBps float64) TrafficFunc {
+	return func(_ int, t time.Time) units.BitRate {
+		n := int(t.Sub(start) / step)
+		if n%2 == 0 {
+			return units.BitRate(lightBps)
+		}
+		return units.BitRate(heavyBps)
+	}
+}
+
+func TestHysteresisReducesFlapping(t *testing.T) {
+	topo := triangle(10 * g)
+	step := time.Hour
+	traffic := oscillatingTraffic(step, 1e9, 3e9) // heavy steps forbid sleeping
+	o := Options{Start: start, Window: 24 * time.Hour, Step: step}
+
+	plain, err := Run(topo, traffic, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.MinDwellSteps = 6
+	damped, err := Run(topo, traffic, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Transitions() == 0 {
+		t.Fatal("oscillating traffic should cause flapping without hysteresis")
+	}
+	if damped.Transitions() >= plain.Transitions() {
+		t.Errorf("hysteresis did not reduce transitions: %d vs %d",
+			damped.Transitions(), plain.Transitions())
+	}
+	// Safety still holds under hysteresis.
+	if err := VerifySchedule(topo, damped, traffic, 0.5); err != nil {
+		t.Errorf("hysteretic schedule unsafe: %v", err)
+	}
+}
+
+func TestHysteresisSafetyWinsOverDwell(t *testing.T) {
+	// Traffic jumps so high that a sleeping link MUST wake even though its
+	// dwell has not expired.
+	topo := triangle(10 * g)
+	step := time.Hour
+	traffic := func(_ int, tm time.Time) units.BitRate {
+		if tm.Sub(start) < 2*step {
+			return 1e8 // sleepable
+		}
+		return 4e9 // nothing may sleep
+	}
+	sched, err := Run(topo, traffic, Options{
+		Start: start, Window: 5 * time.Hour, Step: step, MinDwellSteps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, step := range sched.Sleeping {
+		if i >= 2 && len(step) != 0 {
+			t.Errorf("step %d still sleeps %v despite the load surge", i, step)
+		}
+	}
+	if err := VerifySchedule(topo, sched, traffic, 0.5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionsCount(t *testing.T) {
+	sched := Schedule{Sleeping: [][]int{{0}, {0, 1}, {1}, {}}}
+	// step1: +1 (link1 sleeps) → 1; step2: link0 wakes → 1; step3: link1 wakes → 1.
+	if got := sched.Transitions(); got != 3 {
+		t.Errorf("Transitions = %d, want 3", got)
+	}
+	if (Schedule{}).Transitions() != 0 {
+		t.Error("empty schedule has no transitions")
+	}
+}

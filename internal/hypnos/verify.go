@@ -1,0 +1,97 @@
+package hypnos
+
+import (
+	"fmt"
+)
+
+// VerifySchedule checks the safety invariants every valid sleeping
+// schedule must satisfy, independently of how it was computed:
+//
+//  1. Connectivity: putting the scheduled links to sleep never splits a
+//     connected component of the full topology.
+//  2. Capacity sanity: at every step, the traffic of the sleeping links
+//     fits into the aggregate spare capacity (maxUtil headroom) of the
+//     awake links.
+//
+// It is used by the property tests and available to users who bring their
+// own scheduler.
+func VerifySchedule(topo Topology, sched Schedule, traffic TrafficFunc, maxUtil float64) error {
+	if maxUtil <= 0 {
+		maxUtil = 0.5
+	}
+	baseComponents := componentCount(topo, nil)
+	for i, step := range sched.Sleeping {
+		asleep := make([]bool, len(topo.Links))
+		for _, id := range step {
+			if id < 0 || id >= len(topo.Links) {
+				return fmt.Errorf("hypnos: step %d sleeps unknown link %d", i, id)
+			}
+			if asleep[id] {
+				return fmt.Errorf("hypnos: step %d sleeps link %d twice", i, id)
+			}
+			asleep[id] = true
+		}
+		if got := componentCount(topo, asleep); got != baseComponents {
+			return fmt.Errorf("hypnos: step %d splits the network: %d components, want %d",
+				i, got, baseComponents)
+		}
+		if i >= len(sched.Times) {
+			return fmt.Errorf("hypnos: step %d has no timestamp", i)
+		}
+		t := sched.Times[i]
+		var sleptTraffic, spare float64
+		for _, l := range topo.Links {
+			load := traffic(l.ID, t).BitsPerSecond()
+			if asleep[l.ID] {
+				sleptTraffic += load
+				continue
+			}
+			headroom := maxUtil*l.Capacity.BitsPerSecond() - load
+			if headroom > 0 {
+				spare += headroom
+			}
+		}
+		if sleptTraffic > spare {
+			return fmt.Errorf("hypnos: step %d sleeps %.0f bps of traffic with only %.0f bps of headroom",
+				i, sleptTraffic, spare)
+		}
+	}
+	return nil
+}
+
+// componentCount returns the number of connected components over awake
+// links (asleep may be nil for the full graph). Isolated nodes count as
+// their own components.
+func componentCount(topo Topology, asleep []bool) int {
+	parent := make(map[string]string, len(topo.Nodes))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, n := range topo.Nodes {
+		parent[n] = n
+	}
+	for _, l := range topo.Links {
+		if asleep != nil && asleep[l.ID] {
+			continue
+		}
+		if _, ok := parent[l.A.Router]; !ok {
+			parent[l.A.Router] = l.A.Router
+		}
+		if _, ok := parent[l.B.Router]; !ok {
+			parent[l.B.Router] = l.B.Router
+		}
+		ra, rb := find(l.A.Router), find(l.B.Router)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	roots := map[string]bool{}
+	for n := range parent {
+		roots[find(n)] = true
+	}
+	return len(roots)
+}

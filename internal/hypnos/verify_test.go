@@ -1,0 +1,159 @@
+package hypnos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+func TestVerifyScheduleAcceptsRunOutput(t *testing.T) {
+	topo := triangle(100 * g)
+	traffic := flatTraffic(1e9)
+	sched, err := Run(topo, traffic, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(topo, sched, traffic, 0.5); err != nil {
+		t.Errorf("Run output failed verification: %v", err)
+	}
+}
+
+func TestVerifyScheduleRejectsDisconnection(t *testing.T) {
+	topo := triangle(100 * g)
+	topo.Links = topo.Links[:2] // a path: no link may sleep
+	bad := Schedule{
+		Times:    []time.Time{start},
+		Sleeping: [][]int{{0}},
+		topo:     topo,
+	}
+	if err := VerifySchedule(topo, bad, flatTraffic(1e9), 0.5); err == nil {
+		t.Error("disconnecting schedule accepted")
+	}
+}
+
+func TestVerifyScheduleRejectsOverload(t *testing.T) {
+	topo := triangle(10 * g)
+	// Sleeping one link at 4.9 Gbps leaves 2×(5−4.9) = 0.2 Gbps headroom:
+	// the slept traffic cannot fit.
+	bad := Schedule{
+		Times:    []time.Time{start},
+		Sleeping: [][]int{{0}},
+		topo:     topo,
+	}
+	if err := VerifySchedule(topo, bad, flatTraffic(4.9e9), 0.5); err == nil {
+		t.Error("overloading schedule accepted")
+	}
+}
+
+func TestVerifyScheduleRejectsMalformed(t *testing.T) {
+	topo := triangle(100 * g)
+	for name, bad := range map[string]Schedule{
+		"unknown link":  {Times: []time.Time{start}, Sleeping: [][]int{{99}}, topo: topo},
+		"duplicate":     {Times: []time.Time{start}, Sleeping: [][]int{{0, 0}}, topo: topo},
+		"missing times": {Sleeping: [][]int{{0}}, topo: topo},
+	} {
+		if err := VerifySchedule(topo, bad, flatTraffic(1e9), 0.5); err == nil {
+			t.Errorf("%s schedule accepted", name)
+		}
+	}
+}
+
+// randomTopology builds a random connected graph: a spanning path plus
+// extra random edges.
+func randomTopology(rng *rand.Rand, nodes, extraLinks int) Topology {
+	topo := Topology{}
+	for i := 0; i < nodes; i++ {
+		topo.Nodes = append(topo.Nodes, fmt.Sprintf("n%02d", i))
+	}
+	ep := func(n int) Endpoint {
+		return Endpoint{
+			Router: topo.Nodes[n], Interface: fmt.Sprintf("e%d", len(topo.Links)),
+			Port: model.QSFP28, PPort: 0.53, PTrxUp: 0.126, TrxDatasheet: 4.5,
+		}
+	}
+	addLink := func(a, b int) {
+		topo.Links = append(topo.Links, Link{
+			ID: len(topo.Links), A: ep(a), B: ep(b),
+			Capacity: units.BitRate(10+rng.Intn(90)) * g,
+		})
+	}
+	perm := rng.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		addLink(perm[i-1], perm[i])
+	}
+	for i := 0; i < extraLinks; i++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a != b {
+			addLink(a, b)
+		}
+	}
+	return topo
+}
+
+func TestRunNeverDisconnectsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 4 + rng.Intn(12)
+		topo := randomTopology(rng, nodes, rng.Intn(nodes*2))
+		traffic := func(linkID int, _ time.Time) units.BitRate {
+			h := (uint64(linkID)*2654435761 + uint64(seed)) % 1000
+			return units.BitRate(h) * units.MegabitPerSecond
+		}
+		sched, err := Run(topo, traffic, Options{Start: start, Window: 2 * time.Hour, Step: time.Hour})
+		if err != nil {
+			return false
+		}
+		return VerifySchedule(topo, sched, traffic, 0.5) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSleepsCycleSpaceBound(t *testing.T) {
+	// Structural upper bound: a connected graph with E edges and N nodes
+	// has E−N+1 independent cycles; no valid schedule can sleep more.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 4 + rng.Intn(10)
+		topo := randomTopology(rng, nodes, rng.Intn(nodes))
+		sched, err := Run(topo, flatTraffic(1e6), Options{Start: start, Window: time.Hour, Step: time.Hour})
+		if err != nil {
+			return false
+		}
+		bound := len(topo.Links) - len(topo.Nodes) + 1
+		for _, step := range sched.Sleeping {
+			if len(step) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyFullNetworkSchedule(t *testing.T) {
+	n, err := ispnet.Build(ispnet.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, traffic, err := FromNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Run(topo, traffic, Options{Start: start, Window: 12 * time.Hour, Step: 3 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(topo, sched, traffic, 0.5); err != nil {
+		t.Errorf("fleet schedule failed verification: %v", err)
+	}
+}

@@ -1,0 +1,411 @@
+package ispnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// Event is a notable occurrence in the simulated deployment, mirroring the
+// events the paper reads out of its traces (§6.2).
+type Event struct {
+	Time        time.Time
+	Router      string
+	Description string
+}
+
+// Dataset is the collected measurement data of one simulation run — the
+// synthetic stand-in for the paper's published dataset.
+type Dataset struct {
+	// Network is the fleet that produced the data.
+	Network *Network
+
+	// TotalPower is the network-wide wall power at the SNMP step (Fig. 1,
+	// top series).
+	TotalPower *timeseries.Series
+	// TotalTraffic is the network-wide carried traffic in bit/s (Fig. 1,
+	// bottom series; each link counted once).
+	TotalTraffic *timeseries.Series
+	// TotalCapacity is the summed interface capacity (for the Fig. 1
+	// percent axis).
+	TotalCapacity units.BitRate
+
+	// RouterWallMedian is each router's median wall power over the window
+	// (Table 1 input).
+	RouterWallMedian map[string]units.Power
+
+	// Autopower holds the external meter traces of the instrumented
+	// routers, keyed by router name.
+	Autopower map[string]*timeseries.Series
+	// SNMPPower holds the PSU-reported total power traces for the
+	// instrumented routers; routers whose model reports nothing are
+	// absent (the Fig. 4c case).
+	SNMPPower map[string]*timeseries.Series
+	// IfaceRates holds per-interface bidirectional bit-rate traces for
+	// the instrumented routers (the traffic-counter view the power model
+	// consumes), keyed by router then interface.
+	IfaceRates map[string]map[string]*timeseries.Series
+	// IfaceProfiles maps every interface that ever appeared on an
+	// instrumented router during the run to its power profile — the
+	// module inventory file of §6.2, robust to mid-run (un)plugging.
+	IfaceProfiles map[string]map[string]model.ProfileKey
+
+	// PSUSnapshots is the one-time environment-sensor export of every
+	// active router (§9.2).
+	PSUSnapshots []psu.RouterPSUs
+
+	// Events lists the injected deployment events.
+	Events []Event
+}
+
+// Simulate builds the network for the config and plays the study window,
+// producing the dataset every analysis consumes. It is deterministic for a
+// given config.
+func Simulate(cfg Config) (*Dataset, error) {
+	n, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run()
+}
+
+// Run plays the study window over the already-built network.
+func (n *Network) Run() (*Dataset, error) {
+	cfg := n.Config
+	ds := &Dataset{
+		Network:          n,
+		TotalPower:       timeseries.New("total-power"),
+		TotalTraffic:     timeseries.New("total-traffic"),
+		RouterWallMedian: make(map[string]units.Power),
+		Autopower:        make(map[string]*timeseries.Series),
+		SNMPPower:        make(map[string]*timeseries.Series),
+		IfaceRates:       make(map[string]map[string]*timeseries.Series),
+		IfaceProfiles:    make(map[string]map[string]model.ProfileKey),
+	}
+
+	for _, r := range n.Routers {
+		for _, itf := range r.Interfaces {
+			if !itf.Spare {
+				ds.TotalCapacity += itf.Profile.Speed / 2
+			}
+		}
+	}
+
+	// One external meter per instrumented router.
+	meters := make(map[string]*meter.Meter)
+	for i, r := range n.AutopowerRouters() {
+		m := meter.New(cfg.Seed + int64(i) + 1000)
+		if err := m.Attach(0, r.Device); err != nil {
+			return nil, err
+		}
+		meters[r.Name] = m
+		ds.Autopower[r.Name] = timeseries.New(r.Name + ".autopower")
+		ds.IfaceRates[r.Name] = make(map[string]*timeseries.Series)
+		ds.IfaceProfiles[r.Name] = make(map[string]model.ProfileKey)
+	}
+
+	events := n.scheduleEvents()
+	ds.Events = describeEvents(events)
+
+	wallSamples := make(map[string][]float64, len(n.Routers))
+	end := cfg.Start.Add(cfg.Duration)
+	for t := cfg.Start; t.Before(end); t = t.Add(cfg.SNMPStep) {
+		// Apply due events.
+		for len(events) > 0 && !events[0].at.After(t) {
+			if err := events[0].apply(); err != nil {
+				return nil, fmt.Errorf("ispnet: event %q: %w", events[0].desc, err)
+			}
+			events = events[1:]
+		}
+
+		var totalPower, totalTraffic float64
+		for _, r := range n.Routers {
+			if !r.Active(t) {
+				continue
+			}
+			// Offer this step's loads.
+			for i := range r.Interfaces {
+				itf := &r.Interfaces[i]
+				if itf.Spare {
+					continue
+				}
+				present, admin, oper, _, err := r.Device.InterfaceState(itf.Name)
+				if err != nil {
+					return nil, err
+				}
+				if !present || !admin || !oper {
+					continue
+				}
+				load := n.LoadAt(itf, r, t)
+				if err := r.Device.SetTraffic(itf.Name, load, PacketRateAt(load)); err != nil {
+					return nil, fmt.Errorf("ispnet: %s/%s: %w", r.Name, itf.Name, err)
+				}
+				totalTraffic += load.BitsPerSecond() / 2
+			}
+
+			if ap, instrumented := meters[r.Name]; instrumented {
+				// Fine-grained external metering plus per-interface rates.
+				series := ds.Autopower[r.Name]
+				for sub := time.Duration(0); sub < cfg.SNMPStep; sub += cfg.AutopowerStep {
+					v, err := ap.Read(0)
+					if err != nil {
+						return nil, err
+					}
+					series.Append(t.Add(sub), v.Watts())
+					r.Device.Advance(cfg.AutopowerStep)
+				}
+				for i := range r.Interfaces {
+					itf := &r.Interfaces[i]
+					ds.IfaceProfiles[r.Name][itf.Name] = itf.Profile
+					rates, ok := ds.IfaceRates[r.Name][itf.Name]
+					if !ok {
+						rates = timeseries.New(r.Name + "." + itf.Name + ".rate")
+						ds.IfaceRates[r.Name][itf.Name] = rates
+					}
+					_, _, oper, _, err := r.Device.InterfaceState(itf.Name)
+					if err != nil {
+						return nil, err
+					}
+					if oper {
+						rates.Append(t, n.LoadAt(itf, r, t).BitsPerSecond())
+					} else {
+						rates.Append(t, 0)
+					}
+				}
+				if rep, err := r.Device.ReportedTotalPower(); err == nil {
+					s, ok := ds.SNMPPower[r.Name]
+					if !ok {
+						s = timeseries.New(r.Name + ".snmp")
+						ds.SNMPPower[r.Name] = s
+					}
+					s.Append(t, rep.Watts())
+				}
+			} else {
+				r.Device.Advance(cfg.SNMPStep)
+			}
+
+			w := r.Device.WallPower().Watts()
+			totalPower += w
+			wallSamples[r.Name] = append(wallSamples[r.Name], w)
+		}
+		ds.TotalPower.Append(t, totalPower)
+		ds.TotalTraffic.Append(t, totalTraffic)
+	}
+
+	for name, samples := range wallSamples {
+		sort.Float64s(samples)
+		mid := len(samples) / 2
+		med := samples[mid]
+		if len(samples)%2 == 0 {
+			med = (samples[mid-1] + samples[mid]) / 2
+		}
+		ds.RouterWallMedian[name] = units.Power(med)
+	}
+
+	// One-time PSU sensor export, mid-window (§9.2: a snapshot, not a
+	// trace — the SNMP data only carries Pin).
+	snapAt := cfg.Start.Add(cfg.Duration / 2)
+	for _, r := range n.Routers {
+		if !r.Active(snapAt) {
+			continue
+		}
+		ds.PSUSnapshots = append(ds.PSUSnapshots, psu.RouterPSUs{
+			Router: r.Name,
+			Model:  r.Device.Model(),
+			PSUs:   r.Device.EnvSnapshot(),
+		})
+	}
+	return ds, nil
+}
+
+// scheduledEvent is an event with its mutation.
+type scheduledEvent struct {
+	at     time.Time
+	desc   string
+	router string
+	apply  func() error
+}
+
+// scheduleEvents wires the Fig. 4 trace events onto the instrumented
+// routers.
+func (n *Network) scheduleEvents() []scheduledEvent {
+	start := n.Config.Start
+	var evs []scheduledEvent
+	day := func(d int) time.Time { return start.Add(time.Duration(d) * 24 * time.Hour) }
+
+	for _, r := range n.AutopowerRouters() {
+		r := r
+		switch r.Device.Model() {
+		case "8201-32FH":
+			// Fig. 4a. Find the FR4 interfaces and a mid-list DAC.
+			var fr4, dac string
+			for _, itf := range r.Interfaces {
+				if itf.Profile.Transceiver == "FR4" && fr4 == "" && !itf.Spare {
+					fr4 = itf.Name
+				}
+				if itf.Profile.Transceiver == "Passive DAC" && !itf.Spare {
+					dac = itf.Name
+				}
+			}
+			if fr4 != "" {
+				evs = append(evs, scheduledEvent{
+					at: day(38), router: r.Name,
+					desc: "400G FR4 interface removed (transceiver unplugged); ≈13 W drop",
+					apply: func() error {
+						if err := r.Device.SetAdmin(fr4, false); err != nil {
+							return err
+						}
+						n.dropInterface(r, fr4)
+						return r.Device.UnplugTransceiver(fr4)
+					},
+				})
+			}
+			if dac != "" {
+				evs = append(evs, scheduledEvent{
+					at: day(51), router: r.Name,
+					desc:  "flapping interface taken down for repair; transceiver stays plugged",
+					apply: func() error { return r.Device.SetAdmin(dac, false) },
+				})
+				evs = append(evs, scheduledEvent{
+					at: day(54), router: r.Name,
+					desc:  "repaired interface brought back up",
+					apply: func() error { return r.Device.SetAdmin(dac, true) },
+				})
+			}
+			evs = append(evs, scheduledEvent{
+				at: day(60), router: r.Name,
+				desc:  "two interfaces added",
+				apply: func() error { return n.addInterfaces(r, 2) },
+			})
+		case "NCS-55A1-24H":
+			// Fig. 4b: installing the Autopower meter power-cycles each
+			// PSU; the pseudo-constant sensor re-baselines ≈7 W lower.
+			evs = append(evs, scheduledEvent{
+				at: day(24), router: r.Name,
+				desc:  "Autopower meter installed: PSUs power-cycled, one sensor re-baselines",
+				apply: func() error { return r.Device.PowerCycle(0) },
+			})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at.Before(evs[j].at) })
+	return evs
+}
+
+// dropInterface removes an interface from the deployment records and
+// retires its port.
+func (n *Network) dropInterface(r *Router, ifName string) {
+	if r.retired == nil {
+		r.retired = make(map[string]bool)
+	}
+	r.retired[ifName] = true
+	for i := range r.Interfaces {
+		if r.Interfaces[i].Name == ifName {
+			r.Interfaces = append(r.Interfaces[:i], r.Interfaces[i+1:]...)
+			return
+		}
+	}
+}
+
+// addInterfaces brings up additional DAC interfaces on free ports.
+func (n *Network) addInterfaces(r *Router, count int) error {
+	used := make(map[string]bool)
+	for _, itf := range r.Interfaces {
+		used[itf.Name] = true
+	}
+	var tmplProfile *Interface
+	for i := range r.Interfaces {
+		if !r.Interfaces[i].Spare && r.Interfaces[i].Profile.Transceiver == "Passive DAC" {
+			tmplProfile = &r.Interfaces[i]
+			break
+		}
+	}
+	if tmplProfile == nil {
+		return fmt.Errorf("no template interface on %s", r.Name)
+	}
+	added := 0
+	for _, name := range r.Device.InterfaceNames() {
+		if added == count {
+			break
+		}
+		if used[name] || r.retired[name] {
+			continue
+		}
+		if err := r.Device.PlugTransceiver(name, tmplProfile.Profile.Transceiver, tmplProfile.Profile.Speed); err != nil {
+			return err
+		}
+		if err := r.Device.SetAdmin(name, true); err != nil {
+			return err
+		}
+		if err := r.Device.SetLink(name, true); err != nil {
+			return err
+		}
+		r.Interfaces = append(r.Interfaces, Interface{
+			Name:     name,
+			Profile:  tmplProfile.Profile,
+			MeanLoad: tmplProfile.MeanLoad,
+		})
+		added++
+	}
+	if added < count {
+		return fmt.Errorf("only %d free ports on %s", added, r.Name)
+	}
+	return nil
+}
+
+func describeEvents(evs []scheduledEvent) []Event {
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		out[i] = Event{Time: e.at, Router: e.router, Description: e.desc}
+	}
+	return out
+}
+
+// SimulateOSUpgrade reproduces the Fig. 8 scenario in isolation: an
+// 8201-32FH running for four weeks with an OS upgrade at the midpoint
+// whose new temperature management raises fan speeds by ≈45 W. It returns
+// the PSU-reported power trace (with the sensor's constant offset — the
+// trace the paper actually shows) and the upgrade time.
+func SimulateOSUpgrade(seed int64) (*timeseries.Series, time.Time, error) {
+	spec, err := device.Spec("8201-32FH")
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	dev, err := device.New(spec, "fig8-rtr", seed)
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	// Deploy a typical configuration.
+	names := dev.InterfaceNames()
+	for i := 0; i < 12; i++ {
+		if err := dev.PlugTransceiver(names[i], "Passive DAC", 100*units.GigabitPerSecond); err != nil {
+			return nil, time.Time{}, err
+		}
+		if err := dev.SetAdmin(names[i], true); err != nil {
+			return nil, time.Time{}, err
+		}
+		if err := dev.SetLink(names[i], true); err != nil {
+			return nil, time.Time{}, err
+		}
+	}
+	start := time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC)
+	upgrade := start.Add(12 * 24 * time.Hour) // March 13
+	series := timeseries.New("fig8")
+	step := 30 * time.Minute
+	for t := start; t.Before(start.Add(26 * 24 * time.Hour)); t = t.Add(step) {
+		if t.Equal(upgrade) || (t.After(upgrade) && t.Add(-step).Before(upgrade)) {
+			dev.UpgradeOS("7.11.1")
+		}
+		dev.Advance(step)
+		if rep, err := dev.ReportedTotalPower(); err == nil {
+			series.Append(t, rep.Watts())
+		}
+	}
+	return series, upgrade, nil
+}

@@ -1,0 +1,38 @@
+package ispnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFullResolutionWindow runs two weeks at the deployed 5-minute SNMP
+// cadence — the resolution of the paper's actual dataset. It is the
+// slow-path guard that the default config scales beyond the coarse steps
+// the quick tests use; skipped under -short.
+func TestFullResolutionWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-resolution simulation skipped in -short mode")
+	}
+	ds, err := Simulate(Config{
+		Seed:          42,
+		Duration:      14 * 24 * time.Hour,
+		SNMPStep:      5 * time.Minute,
+		AutopowerStep: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := int(14 * 24 * time.Hour / (5 * time.Minute))
+	if ds.TotalPower.Len() != wantSteps {
+		t.Errorf("power samples = %d, want %d", ds.TotalPower.Len(), wantSteps)
+	}
+	if mean := ds.TotalPower.Mean(); mean < 20500 || mean > 23000 {
+		t.Errorf("total power = %.0f W at full resolution", mean)
+	}
+	for name, ap := range ds.Autopower {
+		want := 14 * 24 * 60
+		if ap.Len() != want {
+			t.Errorf("%s autopower samples = %d, want %d", name, ap.Len(), want)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package labbench implements NetPowerBench, the paper's open-source power
+// modeling framework (§5): it orchestrates the five experiment types
+// against a device under test and derives every parameter of the power
+// model by linear regression.
+//
+// The experiments, run with the DUT's ports cabled in pairs:
+//
+//	Base   nothing plugged, nothing configured        → Pbase        (Eq. 7)
+//	Idle   transceivers plugged, all ports down       → Ptrx,in      (Eq. 8)
+//	Port   one port per pair up, interfaces stay down → Pport        (Eq. 9, regression over pair count)
+//	Trx    both ports up, interfaces come up          → Ptrx,up      (Eq. 10, regression over pair count)
+//	Snake  RFC 8239 layer-2 snake at swept rates      → Ebit, Epkt, Poffset (Eq. 12–18)
+//
+// The orchestrator only ever sees what a real one would: console-style
+// control of the DUT (plug/unplug, admin state, cabling) and wall-power
+// readings from the external meter. The hidden ground truth inside
+// internal/device is never consulted — recovering it is the point.
+package labbench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/stats"
+	"fantasticjoules/internal/trafficgen"
+	"fantasticjoules/internal/units"
+)
+
+// Config parameterizes a derivation run for one interface profile.
+type Config struct {
+	// Transceiver and Speed select the interface profile to derive.
+	Transceiver model.TransceiverType
+	Speed       units.BitRate
+
+	// SamplesPerPoint is how many meter samples are averaged per operating
+	// point (default 30).
+	SamplesPerPoint int
+	// SampleInterval is the simulated time between samples (default the
+	// meter's 0.5 s cadence).
+	SampleInterval time.Duration
+
+	// Rates are the snake bit rates swept per packet size. Rates above the
+	// configured speed are skipped. Default: 2.5, 5, 10, 25, 50, 75,
+	// 100 Gbps, clipped to the speed.
+	Rates []units.BitRate
+	// PacketSizes are the snake packet sizes swept (default 128, 256,
+	// 512, 1024, 1500 B).
+	PacketSizes []units.ByteSize
+
+	// MeterChannel is the meter channel the DUT is plugged into.
+	MeterChannel int
+}
+
+func (c *Config) applyDefaults() {
+	if c.SamplesPerPoint == 0 {
+		c.SamplesPerPoint = 30
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 500 * time.Millisecond
+	}
+	if len(c.Rates) == 0 {
+		g := units.GigabitPerSecond
+		for _, r := range []units.BitRate{2.5 * g, 5 * g, 10 * g, 25 * g, 50 * g, 75 * g, 100 * g} {
+			if r <= c.Speed {
+				c.Rates = append(c.Rates, r)
+			}
+		}
+		if len(c.Rates) == 0 {
+			// Low-speed interface: sweep fractions of the line rate.
+			for _, f := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+				c.Rates = append(c.Rates, units.BitRate(f*c.Speed.BitsPerSecond()))
+			}
+		}
+	}
+	if len(c.PacketSizes) == 0 {
+		c.PacketSizes = []units.ByteSize{128, 256, 512, 1024, 1500}
+	}
+}
+
+// Report carries the diagnostics of a derivation: the raw experiment
+// measurements and every regression, so a user can judge the fit quality
+// the way the paper does (validating the model's linearity assumptions).
+type Report struct {
+	// Pairs is the number of cabled interface pairs N.
+	Pairs int
+	// PBase and PIdle are the averaged Base and Idle measurements.
+	PBase, PIdle units.Power
+	// PAllUp is the measurement with all interfaces up and no traffic,
+	// the reference level for Poffset.
+	PAllUp units.Power
+	// PortFit is the regression of Port-experiment power over up-port
+	// count; its slope is Pport.
+	PortFit stats.LinearFit
+	// TrxFit is the regression of Trx-experiment power over up-pair
+	// count; its slope is 2·(Pport + Ptrx,up).
+	TrxFit stats.LinearFit
+	// RateFits maps packet size (bytes) to the regression of snake power
+	// over bit rate (Eq. 15–16).
+	RateFits map[float64]stats.LinearFit
+	// EnergyFit is the second-level regression of α_L·8(L+Lh) over
+	// 8(L+Lh) (Eq. 17): slope Ebit, intercept Epkt.
+	EnergyFit stats.LinearFit
+}
+
+// Uncertainty carries the 95 % confidence half-widths of the regression-
+// derived terms, propagated from the fits' standard errors. Direct
+// measurements (Pbase, Ptrx,in) have no regression error bar and are
+// omitted.
+type Uncertainty struct {
+	// PPort is the half-width on Pport (the port-sweep slope).
+	PPort units.Power
+	// PTrxUp combines the trx-sweep and port-sweep errors in quadrature
+	// (Ptrx,up = slope/2 − Pport).
+	PTrxUp units.Power
+	// EBit and EPkt come from the second-level energy regression.
+	EBit units.Energy
+	EPkt units.Energy
+}
+
+// Result is the outcome of a derivation run.
+type Result struct {
+	// Model is the derived power model, containing one profile.
+	Model *model.Model
+	// Profile is the derived interface profile.
+	Profile model.InterfaceProfile
+	// Report holds the regression diagnostics.
+	Report Report
+	// Uncertainty holds the 95 % confidence half-widths of the
+	// regression-derived terms.
+	Uncertainty Uncertainty
+}
+
+// Orchestrator drives a DUT and a power meter through the methodology.
+type Orchestrator struct {
+	dut *device.Router
+	m   *meter.Meter
+	cfg Config
+}
+
+// New wires an orchestrator to a device under test and its meter. The DUT
+// must be attached to the configured meter channel by the caller (as the
+// physical setup of Fig. 3 requires).
+func New(dut *device.Router, m *meter.Meter, cfg Config) (*Orchestrator, error) {
+	if dut == nil || m == nil {
+		return nil, errors.New("labbench: need a DUT and a meter")
+	}
+	if cfg.Speed <= 0 {
+		return nil, errors.New("labbench: config needs a positive interface speed")
+	}
+	if cfg.Transceiver == "" {
+		return nil, errors.New("labbench: config needs a transceiver type")
+	}
+	cfg.applyDefaults()
+	return &Orchestrator{dut: dut, m: m, cfg: cfg}, nil
+}
+
+// measure averages SamplesPerPoint wall-power samples, advancing the DUT
+// clock between them.
+func (o *Orchestrator) measure() (units.Power, error) {
+	return o.m.ReadMean(o.cfg.MeterChannel, o.cfg.SamplesPerPoint, func() {
+		o.dut.Advance(o.cfg.SampleInterval)
+	})
+}
+
+// reset returns the DUT to the Base state: everything unplugged and down.
+func (o *Orchestrator) reset() error {
+	for _, name := range o.dut.InterfaceNames() {
+		if err := o.dut.SetAdmin(name, false); err != nil {
+			return err
+		}
+		if err := o.dut.SetLink(name, false); err != nil {
+			return err
+		}
+		if err := o.dut.UnplugTransceiver(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the full methodology and derives the profile. The DUT ports
+// are cabled in pairs (eth0–eth1, eth2–eth3, …); an odd trailing port is
+// left uncabled.
+func (o *Orchestrator) Run() (*Result, error) {
+	names := o.dut.InterfaceNames()
+	pairs := len(names) / 2
+	if pairs < 2 {
+		return nil, fmt.Errorf("labbench: DUT has %d ports; need at least 4 for the pair sweeps", len(names))
+	}
+	cabled := names[:2*pairs]
+	rep := Report{Pairs: pairs, RateFits: make(map[float64]stats.LinearFit)}
+
+	// --- Base ---
+	if err := o.reset(); err != nil {
+		return nil, err
+	}
+	pBase, err := o.measure()
+	if err != nil {
+		return nil, fmt.Errorf("labbench: base experiment: %w", err)
+	}
+	rep.PBase = pBase
+
+	// --- Idle: plug transceivers everywhere, all ports down ---
+	for _, n := range cabled {
+		if err := o.dut.PlugTransceiver(n, o.cfg.Transceiver, o.cfg.Speed); err != nil {
+			return nil, fmt.Errorf("labbench: idle experiment: %w", err)
+		}
+	}
+	pIdle, err := o.measure()
+	if err != nil {
+		return nil, fmt.Errorf("labbench: idle experiment: %w", err)
+	}
+	rep.PIdle = pIdle
+	pTrxIn := units.Power((pIdle.Watts() - pBase.Watts()) / float64(2*pairs))
+
+	// --- Port sweep: one port per pair admin-up, peers down ---
+	// Interfaces stay operationally down (no live far end), so only Pport
+	// accumulates. Regressing over the up-port count avoids compounding
+	// the PIdle estimation error (§5.2).
+	xs := make([]float64, 0, pairs+1)
+	ys := make([]float64, 0, pairs+1)
+	xs = append(xs, 0)
+	ys = append(ys, pIdle.Watts())
+	for n := 1; n <= pairs; n++ {
+		if err := o.dut.SetAdmin(cabled[2*(n-1)], true); err != nil {
+			return nil, err
+		}
+		p, err := o.measure()
+		if err != nil {
+			return nil, fmt.Errorf("labbench: port experiment n=%d: %w", n, err)
+		}
+		xs = append(xs, float64(n))
+		ys = append(ys, p.Watts())
+	}
+	portFit, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("labbench: port regression: %w", err)
+	}
+	rep.PortFit = portFit
+	pPort := units.Power(portFit.Slope)
+
+	// --- Trx sweep: both ports of each pair admin-up and cabled live ---
+	// Each added pair brings two ports and two interfaces up, so the slope
+	// is 2·(Pport + Ptrx,up).
+	for _, n := range cabled {
+		if err := o.dut.SetAdmin(n, false); err != nil {
+			return nil, err
+		}
+	}
+	xs = xs[:0]
+	ys = ys[:0]
+	xs = append(xs, 0)
+	ys = append(ys, pIdle.Watts())
+	for n := 1; n <= pairs; n++ {
+		a, b := cabled[2*(n-1)], cabled[2*(n-1)+1]
+		for _, name := range []string{a, b} {
+			if err := o.dut.SetAdmin(name, true); err != nil {
+				return nil, err
+			}
+			if err := o.dut.SetLink(name, true); err != nil {
+				return nil, err
+			}
+		}
+		p, err := o.measure()
+		if err != nil {
+			return nil, fmt.Errorf("labbench: trx experiment n=%d: %w", n, err)
+		}
+		xs = append(xs, float64(n))
+		ys = append(ys, p.Watts())
+	}
+	trxFit, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("labbench: trx regression: %w", err)
+	}
+	rep.TrxFit = trxFit
+	pTrxUp := units.Power(trxFit.Slope/2 - pPort.Watts())
+
+	// All interfaces are now up with no traffic: the Poffset reference.
+	pAllUp, err := o.measure()
+	if err != nil {
+		return nil, err
+	}
+	rep.PAllUp = pAllUp
+
+	// --- Snake sweeps: Ebit, Epkt, Poffset (Eq. 12–18) ---
+	// For each packet size L, regress total power over the per-interface
+	// bit rate r; the slope is 2N·α_L and the intercept 2N·Poffset above
+	// the all-up level.
+	header := trafficgen.EthernetOverhead
+	var effBits []float64 // 8·(L+Lh)
+	var alphaY []float64  // α_L·8·(L+Lh)
+	var offsets []float64
+	for _, L := range o.cfg.PacketSizes {
+		rxs := make([]float64, 0, len(o.cfg.Rates))
+		rys := make([]float64, 0, len(o.cfg.Rates))
+		for _, rate := range o.cfg.Rates {
+			if rate > o.cfg.Speed {
+				continue
+			}
+			gen := trafficgen.ForRate(rate)
+			load, err := gen.Load(rate, L)
+			if err != nil {
+				return nil, fmt.Errorf("labbench: snake load %v @ %v: %w", rate, L, err)
+			}
+			if _, err := trafficgen.ApplySnake(o.dut, load); err != nil {
+				return nil, err
+			}
+			p, err := o.measure()
+			if err != nil {
+				return nil, fmt.Errorf("labbench: snake experiment: %w", err)
+			}
+			rxs = append(rxs, rate.BitsPerSecond())
+			rys = append(rys, p.Watts())
+		}
+		if err := trafficgen.StopSnake(o.dut); err != nil {
+			return nil, err
+		}
+		if len(rxs) < 2 {
+			return nil, fmt.Errorf("labbench: need ≥2 usable rates for packet size %v", L)
+		}
+		fit, err := stats.LinearRegression(rxs, rys)
+		if err != nil {
+			return nil, fmt.Errorf("labbench: rate regression at %v: %w", L, err)
+		}
+		rep.RateFits[L.Bytes()] = fit
+		alpha := fit.Slope / float64(2*pairs)
+		eb := 8 * (L.Bytes() + header.Bytes())
+		effBits = append(effBits, eb)
+		alphaY = append(alphaY, alpha*eb)
+		offsets = append(offsets, (fit.Intercept-pAllUp.Watts())/float64(2*pairs))
+	}
+	energyFit, err := stats.LinearRegression(effBits, alphaY)
+	if err != nil {
+		return nil, fmt.Errorf("labbench: energy regression: %w", err)
+	}
+	rep.EnergyFit = energyFit
+	eBit := units.Energy(energyFit.Slope)
+	ePkt := units.Energy(energyFit.Intercept)
+	pOffset := units.Power(stats.Mean(offsets))
+
+	profile := model.InterfaceProfile{
+		Key: model.ProfileKey{
+			Port:        o.dut.Spec().PortType,
+			Transceiver: o.cfg.Transceiver,
+			Speed:       o.cfg.Speed,
+		},
+		PPort:   pPort,
+		PTrxIn:  pTrxIn,
+		PTrxUp:  pTrxUp,
+		EBit:    eBit,
+		EPkt:    ePkt,
+		POffset: pOffset,
+	}
+	m := model.New(o.dut.Model(), pBase)
+	m.AddProfile(profile)
+
+	if err := o.reset(); err != nil {
+		return nil, err
+	}
+	unc := Uncertainty{
+		PPort: units.Power(portFit.SlopeCI95()),
+		// Ptrx,up = trxSlope/2 − Pport: independent errors in quadrature.
+		PTrxUp: units.Power(math.Sqrt(
+			math.Pow(trxFit.SlopeCI95()/2, 2) + math.Pow(portFit.SlopeCI95(), 2))),
+		EBit: units.Energy(energyFit.SlopeCI95()),
+		EPkt: units.Energy(energyFit.InterceptCI95()),
+	}
+	return &Result{Model: m, Profile: profile, Report: rep, Uncertainty: unc}, nil
+}
+
+// FitQuality summarizes the weakest regression in a report: the minimum R²
+// across the port, trx, per-rate, and energy fits. Values near 1 validate
+// the model's linearity assumptions.
+func (r Report) FitQuality() float64 {
+	min := r.PortFit.R2
+	if r.TrxFit.R2 < min {
+		min = r.TrxFit.R2
+	}
+	for _, f := range r.RateFits {
+		if f.R2 < min {
+			min = f.R2
+		}
+	}
+	if r.EnergyFit.R2 < min {
+		min = r.EnergyFit.R2
+	}
+	return min
+}

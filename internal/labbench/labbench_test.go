@@ -1,0 +1,304 @@
+package labbench
+
+import (
+	"math"
+	"testing"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/units"
+)
+
+var g = units.GigabitPerSecond
+
+// flatDUT is a router with lossless PSUs and no jitter, so parameter
+// recovery can be checked tightly (limited only by the meter's ±0.5 %
+// gain class).
+func flatDUT(t *testing.T) *device.Router {
+	t.Helper()
+	curve, _ := psu.NewCurve([]psu.CurvePoint{{Load: 0, Efficiency: 1}, {Load: 1, Efficiency: 1}})
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g}
+	spec := device.ModelSpec{
+		Name: "flat-dut", NumPorts: 8, PortType: model.QSFP28,
+		Truth: map[model.ProfileKey]model.InterfaceProfile{
+			key: {
+				Key:   key,
+				PPort: 1.0, PTrxIn: 0.5, PTrxUp: 0.25,
+				EBit: 10 * units.Picojoule, EPkt: 20 * units.Nanojoule, POffset: 0.1,
+			},
+		},
+		PBaseDC: 100, FanBasePower: 10, ControlPlanePower: 5,
+		PSUCount: 2, PSUCapacity: 1000, PSUCurve: curve,
+		PSUSensor: device.SensorAccurate, InitialOSVersion: "1.0",
+	}
+	r, err := device.New(spec, "dut", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func runDerivation(t *testing.T, dut *device.Router, cfg Config) *Result {
+	t.Helper()
+	m := meter.New(21)
+	if err := m.Attach(0, dut); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(dut, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	absTol := relTol * math.Max(math.Abs(want), 0.05)
+	if math.Abs(got-want) > absTol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, absTol)
+	}
+}
+
+func TestRecoverFlatTruth(t *testing.T) {
+	dut := flatDUT(t)
+	res := runDerivation(t, dut, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+
+	within(t, "Pbase", res.Model.PBase.Watts(), 115, 0.02)
+	within(t, "Pport", res.Profile.PPort.Watts(), 1.0, 0.05)
+	within(t, "Ptrx,in", res.Profile.PTrxIn.Watts(), 0.5, 0.05)
+	within(t, "Ptrx,up", res.Profile.PTrxUp.Watts(), 0.25, 0.20)
+	within(t, "Ebit", res.Profile.EBit.Picojoules(), 10, 0.03)
+	within(t, "Epkt", res.Profile.EPkt.Nanojoules(), 20, 0.10)
+	within(t, "Poffset", res.Profile.POffset.Watts(), 0.1, 0.60)
+
+	if q := res.Report.FitQuality(); q < 0.99 {
+		t.Errorf("FitQuality = %v, want ≥0.99 on a linear device", q)
+	}
+	if res.Report.Pairs != 4 {
+		t.Errorf("Pairs = %d, want 4", res.Report.Pairs)
+	}
+	if res.Model.RouterModel != "flat-dut" {
+		t.Errorf("RouterModel = %q", res.Model.RouterModel)
+	}
+}
+
+func TestDerivedModelPredicts(t *testing.T) {
+	// End-to-end check: the derived model must predict the DUT's own power
+	// in a fresh configuration within ~1 %.
+	dut := flatDUT(t)
+	res := runDerivation(t, dut, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g}
+	// New scenario: 3 interfaces up, one idle-but-plugged, mixed traffic.
+	for _, n := range []string{"eth0", "eth1", "eth2"} {
+		if err := dut.PlugTransceiver(n, model.PassiveDAC, 100*g); err != nil {
+			t.Fatal(err)
+		}
+		if err := dut.SetAdmin(n, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := dut.SetLink(n, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dut.PlugTransceiver("eth3", model.PassiveDAC, 100*g); err != nil {
+		t.Fatal(err)
+	}
+	if err := dut.SetTraffic("eth0", 40*g, 4e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := dut.SetTraffic("eth1", 10*g, 1e6); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := model.Config{Interfaces: []model.Interface{
+		{Name: "eth0", Profile: key, TransceiverPresent: true, AdminUp: true, OperUp: true, Bits: 40 * g, Packets: 4e6},
+		{Name: "eth1", Profile: key, TransceiverPresent: true, AdminUp: true, OperUp: true, Bits: 10 * g, Packets: 1e6},
+		{Name: "eth2", Profile: key, TransceiverPresent: true, AdminUp: true, OperUp: true},
+		{Name: "eth3", Profile: key, TransceiverPresent: true},
+	}}
+	pred, err := res.Model.PredictPower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dut.WallPower()
+	if rel := math.Abs(pred.Watts()-truth.Watts()) / truth.Watts(); rel > 0.01 {
+		t.Errorf("prediction %v vs truth %v: relative error %v > 1%%", pred, truth, rel)
+	}
+}
+
+func TestRecoverCatalogRouter(t *testing.T) {
+	// Against the full physics (PFE600 conversion losses, jitter), the
+	// derivation must recover the NCS-55A1-24H's published wall-referenced
+	// terms within realistic tolerances.
+	spec, err := device.Spec("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dut, err := device.New(spec, "lab-ncs", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runDerivation(t, dut, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+
+	pub, err := model.Published("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubProfile, _ := pub.Profile(model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g})
+
+	within(t, "Pbase", res.Model.PBase.Watts(), pub.PBase.Watts(), 0.10)
+	within(t, "Pport", res.Profile.PPort.Watts(), pubProfile.PPort.Watts(), 0.25)
+	within(t, "Ebit", res.Profile.EBit.Picojoules(), pubProfile.EBit.Picojoules(), 0.15)
+	within(t, "Epkt", res.Profile.EPkt.Nanojoules(), pubProfile.EPkt.Nanojoules(), 0.25)
+
+	if q := res.Report.FitQuality(); q < 0.95 {
+		t.Errorf("FitQuality = %v, want ≥0.95", q)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Errorf("derived model fails validation: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dut := flatDUT(t)
+	m := meter.New(1)
+	if _, err := New(nil, m, Config{Transceiver: model.PassiveDAC, Speed: 100 * g}); err == nil {
+		t.Error("nil DUT must error")
+	}
+	if _, err := New(dut, nil, Config{Transceiver: model.PassiveDAC, Speed: 100 * g}); err == nil {
+		t.Error("nil meter must error")
+	}
+	if _, err := New(dut, m, Config{Transceiver: model.PassiveDAC}); err == nil {
+		t.Error("zero speed must error")
+	}
+	if _, err := New(dut, m, Config{Speed: 100 * g}); err == nil {
+		t.Error("missing transceiver must error")
+	}
+}
+
+func TestTooFewPorts(t *testing.T) {
+	curve, _ := psu.NewCurve([]psu.CurvePoint{{Load: 0, Efficiency: 1}, {Load: 1, Efficiency: 1}})
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g}
+	spec := device.ModelSpec{
+		Name: "tiny", NumPorts: 2, PortType: model.QSFP28,
+		Truth:   map[model.ProfileKey]model.InterfaceProfile{key: {Key: key}},
+		PBaseDC: 10, PSUCount: 1, PSUCapacity: 100, PSUCurve: curve,
+	}
+	dut, err := device.New(spec, "tiny", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.New(1)
+	if err := m.Attach(0, dut); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(dut, m, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Run(); err == nil {
+		t.Error("2-port DUT must be rejected: pair sweeps need ≥4")
+	}
+}
+
+func TestUnsupportedProfileFailsCleanly(t *testing.T) {
+	dut := flatDUT(t)
+	m := meter.New(1)
+	if err := m.Attach(0, dut); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(dut, m, Config{Transceiver: model.LR4, Speed: 400 * g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Run(); err == nil {
+		t.Error("deriving an unsupported profile must fail at the idle experiment")
+	}
+}
+
+func TestRunLeavesDUTReset(t *testing.T) {
+	dut := flatDUT(t)
+	runDerivation(t, dut, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+	for _, n := range dut.InterfaceNames() {
+		present, admin, oper, _, err := dut.InterfaceState(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if present || admin || oper {
+			t.Errorf("interface %s not reset after run: %v/%v/%v", n, present, admin, oper)
+		}
+	}
+}
+
+func TestLowSpeedDefaultsUseFractionalRates(t *testing.T) {
+	cfg := Config{Transceiver: model.BaseT, Speed: 1 * g}
+	cfg.applyDefaults()
+	if len(cfg.Rates) == 0 {
+		t.Fatal("no rates for a 1G interface")
+	}
+	for _, r := range cfg.Rates {
+		if r > cfg.Speed {
+			t.Errorf("default rate %v exceeds 1G line rate", r)
+		}
+	}
+}
+
+func TestDerivationDeterministic(t *testing.T) {
+	run := func() *Result {
+		spec, err := device.Spec("Wedge100BF-32X")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dut, err := device.New(spec, "det-dut", 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := meter.New(78)
+		if err := m.Attach(0, dut); err != nil {
+			t.Fatal(err)
+		}
+		o, err := New(dut, m, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := o.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Model.PBase != b.Model.PBase || a.Profile != b.Profile {
+		t.Errorf("derivation not deterministic:\n%+v\n%+v", a.Profile, b.Profile)
+	}
+}
+
+func TestUncertaintyCoversTruth(t *testing.T) {
+	// The flat DUT's true parameters must fall inside (or very near) the
+	// derived 95% intervals; and the intervals must be meaningfully tight.
+	dut := flatDUT(t)
+	res := runDerivation(t, dut, Config{Transceiver: model.PassiveDAC, Speed: 100 * g})
+	u := res.Uncertainty
+	if u.PPort <= 0 || u.EBit <= 0 || u.EPkt <= 0 {
+		t.Fatalf("uncertainties not populated: %+v", u)
+	}
+	// Tightness: Pport CI below 10% of the value.
+	if u.PPort.Watts() > 0.1*res.Profile.PPort.Watts() {
+		t.Errorf("Pport CI %.4f too wide for %.4f", u.PPort.Watts(), res.Profile.PPort.Watts())
+	}
+	// Coverage with slack (the meter's gain error is a bias, not noise,
+	// so allow 3 intervals).
+	if d := math.Abs(res.Profile.PPort.Watts() - 1.0); d > 3*u.PPort.Watts()+0.01 {
+		t.Errorf("true Pport outside 3 CIs: err %.4f, CI %.4f", d, u.PPort.Watts())
+	}
+	if d := math.Abs(res.Profile.EBit.Picojoules() - 10); d > 3*u.EBit.Picojoules()+0.1 {
+		t.Errorf("true Ebit outside 3 CIs: err %.3f pJ, CI %.3f pJ", d, u.EBit.Picojoules())
+	}
+}

@@ -1,0 +1,116 @@
+package labbench
+
+import (
+	"fmt"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/stats"
+	"fantasticjoules/internal/units"
+)
+
+// Linecard derivation — the §4.3 extension the paper sketches: "it should
+// be possible to extend the model by introducing a Plinecard term that
+// could be measured similarly as Ptrx". The experiment seats 1..N cards
+// of one type in an otherwise empty chassis and regresses wall power over
+// the card count, exactly like the Port/Trx sweeps.
+
+// LinecardConfig parameterizes a linecard derivation.
+type LinecardConfig struct {
+	// SamplesPerPoint and SampleInterval as in Config (same defaults).
+	SamplesPerPoint int
+	SampleInterval  time.Duration
+	// MeterChannel is the channel the DUT is plugged into.
+	MeterChannel int
+}
+
+func (c *LinecardConfig) applyDefaults() {
+	if c.SamplesPerPoint == 0 {
+		c.SamplesPerPoint = 30
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 500 * time.Millisecond
+	}
+}
+
+// LinecardResult is the outcome of a linecard derivation.
+type LinecardResult struct {
+	// PBase is the empty-chassis power.
+	PBase units.Power
+	// PLinecard maps card type to its derived per-card power — ready to
+	// assign to model.Model.PLinecard.
+	PLinecard map[string]units.Power
+	// Fits holds the per-type regressions over card count.
+	Fits map[string]stats.LinearFit
+}
+
+// DeriveLinecards measures Plinecard for every card type a modular DUT
+// supports. The DUT must be in its Base state (nothing plugged or
+// configured); it is left empty again afterwards.
+func DeriveLinecards(dut *device.Router, m *meter.Meter, cfg LinecardConfig) (*LinecardResult, error) {
+	if dut == nil || m == nil {
+		return nil, fmt.Errorf("labbench: need a DUT and a meter")
+	}
+	cfg.applyDefaults()
+	spec := dut.Spec()
+	if spec.Slots == 0 {
+		return nil, fmt.Errorf("labbench: %s is a fixed chassis; nothing to derive", spec.Name)
+	}
+	measure := func() (units.Power, error) {
+		return m.ReadMean(cfg.MeterChannel, cfg.SamplesPerPoint, func() {
+			dut.Advance(cfg.SampleInterval)
+		})
+	}
+
+	pBase, err := measure()
+	if err != nil {
+		return nil, fmt.Errorf("labbench: linecard base: %w", err)
+	}
+	res := &LinecardResult{
+		PBase:     pBase,
+		PLinecard: make(map[string]units.Power),
+		Fits:      make(map[string]stats.LinearFit),
+	}
+	for _, lt := range spec.Linecards {
+		xs := []float64{0}
+		ys := []float64{pBase.Watts()}
+		installed := 0
+		for n := 1; n <= spec.Slots; n++ {
+			if err := dut.InstallLinecard(lt.Name); err != nil {
+				return nil, fmt.Errorf("labbench: seating %s #%d: %w", lt.Name, n, err)
+			}
+			installed++
+			p, err := measure()
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, p.Watts())
+		}
+		for ; installed > 0; installed-- {
+			if err := dut.RemoveLinecard(lt.Name); err != nil {
+				return nil, err
+			}
+		}
+		fit, err := stats.LinearRegression(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("labbench: linecard regression for %s: %w", lt.Name, err)
+		}
+		res.Fits[lt.Name] = fit
+		res.PLinecard[lt.Name] = units.Power(fit.Slope)
+	}
+	return res, nil
+}
+
+// ExtendModel attaches derived linecard terms to a power model, enabling
+// Config.Linecards in predictions.
+func (r *LinecardResult) ExtendModel(m *model.Model) {
+	if m.PLinecard == nil {
+		m.PLinecard = make(map[string]units.Power)
+	}
+	for name, p := range r.PLinecard {
+		m.PLinecard[name] = p
+	}
+}

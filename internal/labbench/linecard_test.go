@@ -1,0 +1,107 @@
+package labbench
+
+import (
+	"math"
+	"testing"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+)
+
+func TestDeriveLinecards(t *testing.T) {
+	spec, err := device.Spec("ASR-9910")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dut, err := device.New(spec, "chassis", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.New(4)
+	if err := m.Attach(0, dut); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DeriveLinecards(dut, m, LinecardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PLinecard) != 2 {
+		t.Fatalf("derived %d card types, want 2", len(res.PLinecard))
+	}
+	// Truth is 420 / 560 W DC; wall-referenced derivations land above
+	// (conversion losses) but within ~15 %.
+	for name, truthDC := range map[string]float64{"A99-48X10GE": 420, "A99-8X100GE": 560} {
+		got := res.PLinecard[name].Watts()
+		if got < truthDC || got > truthDC*1.2 {
+			t.Errorf("%s: derived %v W, want within [%v, %v]", name, got, truthDC, truthDC*1.2)
+		}
+		if fit := res.Fits[name]; fit.R2 < 0.999 {
+			t.Errorf("%s: fit R² %v", name, fit.R2)
+		}
+	}
+	// The chassis must be left empty.
+	if cards := dut.InstalledLinecards(); len(cards) != 0 {
+		t.Errorf("cards left installed: %v", cards)
+	}
+}
+
+func TestDeriveLinecardsExtendsModel(t *testing.T) {
+	spec, err := device.Spec("ASR-9910")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dut, err := device.New(spec, "chassis", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := meter.New(6)
+	if err := m.Attach(0, dut); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DeriveLinecards(dut, m, LinecardConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := model.New("ASR-9910", res.PBase)
+	res.ExtendModel(pm)
+
+	pred, err := pm.PredictPower(model.Config{Linecards: map[string]int{
+		"A99-48X10GE": 2,
+		"A99-8X100GE": 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install the same cards on the DUT and compare against truth.
+	for i := 0; i < 2; i++ {
+		if err := dut.InstallLinecard("A99-48X10GE"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dut.InstallLinecard("A99-8X100GE"); err != nil {
+		t.Fatal(err)
+	}
+	var truth float64
+	for i := 0; i < 30; i++ {
+		truth += dut.WallPower().Watts()
+	}
+	truth /= 30
+	if rel := math.Abs(pred.Watts()-truth) / truth; rel > 0.03 {
+		t.Errorf("prediction %v vs truth %v: %.1f%% error", pred, truth, rel*100)
+	}
+}
+
+func TestDeriveLinecardsFixedChassis(t *testing.T) {
+	dut := flatDUT(t)
+	m := meter.New(1)
+	if err := m.Attach(0, dut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeriveLinecards(dut, m, LinecardConfig{}); err == nil {
+		t.Error("fixed chassis must be rejected")
+	}
+	if _, err := DeriveLinecards(nil, m, LinecardConfig{}); err == nil {
+		t.Error("nil DUT must be rejected")
+	}
+}

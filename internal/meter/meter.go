@@ -1,0 +1,111 @@
+// Package meter simulates the external power meter used throughout the
+// paper: the Microchip MCP39F511N, a two-channel C13 inline meter with a
+// specified accuracy of ±0.5 %. It is the ground-truth instrument — both
+// the lab methodology (§5) and the Autopower deployment units (§6.1) read
+// router wall power through one of these.
+package meter
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"fantasticjoules/internal/units"
+)
+
+// Channels is the number of measurement channels on an MCP39F511N.
+const Channels = 2
+
+// Source supplies the true electrical power flowing through a channel.
+// *device.Router satisfies it via its WallPower method.
+type Source interface {
+	WallPower() units.Power
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() units.Power
+
+// WallPower implements Source.
+func (f SourceFunc) WallPower() units.Power { return f() }
+
+// Meter is a simulated MCP39F511N. Each reading applies a per-unit gain
+// error (drawn once, within the ±0.5 % accuracy class), per-sample noise,
+// and the 10 mW quantization of the instrument. Safe for concurrent use.
+type Meter struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	gain    [Channels]float64
+	sources [Channels]Source
+}
+
+// accuracySpec is the datasheet accuracy of the MCP39F511N.
+const accuracySpec = 0.005
+
+// New returns a meter with per-channel gain errors drawn from the accuracy
+// class. The seed makes the instrument reproducible.
+func New(seed int64) *Meter {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Meter{rng: rng}
+	for i := range m.gain {
+		// A real unit's gain error is fixed at manufacture; draw it once,
+		// uniform within ±0.5 %.
+		m.gain[i] = 1 + (rng.Float64()*2-1)*accuracySpec
+	}
+	return m
+}
+
+// Attach connects a power source to a channel (0 or 1).
+func (m *Meter) Attach(channel int, src Source) error {
+	if channel < 0 || channel >= Channels {
+		return fmt.Errorf("meter: no channel %d", channel)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sources[channel] = src
+	return nil
+}
+
+// Read samples a channel once and returns the measured power: the true
+// value with the channel's gain error, small per-sample noise, and 10 mW
+// quantization. Reading an unattached channel is an error.
+func (m *Meter) Read(channel int) (units.Power, error) {
+	if channel < 0 || channel >= Channels {
+		return 0, fmt.Errorf("meter: no channel %d", channel)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.sources[channel]
+	if src == nil {
+		return 0, fmt.Errorf("meter: channel %d not attached", channel)
+	}
+	truth := src.WallPower().Watts()
+	noisy := truth*m.gain[channel] + m.rng.NormFloat64()*0.02*math.Max(1, truth/400)
+	quantized := math.Round(noisy*100) / 100
+	if quantized < 0 {
+		quantized = 0
+	}
+	return units.Power(quantized), nil
+}
+
+// ReadMean samples a channel n times and returns the mean measurement;
+// between samples it calls advance (if non-nil), which the caller uses to
+// move the simulated world forward. It is the averaging the lab harness
+// applies at every operating point.
+func (m *Meter) ReadMean(channel, n int, advance func()) (units.Power, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("meter: non-positive sample count %d", n)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		v, err := m.Read(channel)
+		if err != nil {
+			return 0, err
+		}
+		sum += v.Watts()
+		if advance != nil && i < n-1 {
+			advance()
+		}
+	}
+	return units.Power(sum / float64(n)), nil
+}

@@ -1,0 +1,106 @@
+package meter
+
+import (
+	"math"
+	"testing"
+
+	"fantasticjoules/internal/units"
+)
+
+func TestReadAccuracy(t *testing.T) {
+	m := New(1)
+	if err := m.Attach(0, SourceFunc(func() units.Power { return 400 })); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v, err := m.Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Gain ±0.5% plus small noise: stay within ±1% of truth.
+		if math.Abs(v.Watts()-400) > 4 {
+			t.Fatalf("reading %v outside ±1%% of 400 W", v)
+		}
+	}
+}
+
+func TestReadQuantization(t *testing.T) {
+	m := New(2)
+	if err := m.Attach(1, SourceFunc(func() units.Power { return 123.456789 })); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := v.Watts() * 100
+	if math.Abs(cents-math.Round(cents)) > 1e-9 {
+		t.Errorf("reading %v not quantized to 10 mW", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	m := New(3)
+	if _, err := m.Read(0); err == nil {
+		t.Error("unattached channel must error")
+	}
+	if _, err := m.Read(2); err == nil {
+		t.Error("channel 2 does not exist")
+	}
+	if err := m.Attach(-1, SourceFunc(func() units.Power { return 0 })); err == nil {
+		t.Error("negative channel must error")
+	}
+}
+
+func TestReadMean(t *testing.T) {
+	m := New(4)
+	if err := m.Attach(0, SourceFunc(func() units.Power { return 250 })); err != nil {
+		t.Fatal(err)
+	}
+	advanced := 0
+	v, err := m.ReadMean(0, 10, func() { advanced++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advanced != 9 {
+		t.Errorf("advance called %d times, want 9 (between samples)", advanced)
+	}
+	if math.Abs(v.Watts()-250) > 2.5 {
+		t.Errorf("mean = %v, want ≈250", v)
+	}
+	if _, err := m.ReadMean(0, 0, nil); err == nil {
+		t.Error("zero samples must error")
+	}
+}
+
+func TestNeverNegative(t *testing.T) {
+	m := New(5)
+	if err := m.Attach(0, SourceFunc(func() units.Power { return 0 })); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v, err := m.Read(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 {
+			t.Fatalf("negative reading %v", v)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		m := New(99)
+		_ = m.Attach(0, SourceFunc(func() units.Power { return 333 }))
+		var s float64
+		for i := 0; i < 5; i++ {
+			v, _ := m.Read(0)
+			s += v.Watts()
+		}
+		return s
+	}
+	if run() != run() {
+		t.Error("same seed must reproduce readings")
+	}
+}

@@ -1,0 +1,53 @@
+package model
+
+import (
+	"fmt"
+
+	"fantasticjoules/internal/units"
+)
+
+// DatasheetBaseline is the datasheet-driven router power model of the
+// §2-cited prior work ([16, 33]): power interpolates linearly between the
+// datasheet idle/typical value and the maximum value with the router's
+// throughput utilization. It needs no lab access — and, as the paper
+// argues, it cannot see interface state, transceivers, or per-packet
+// costs. It exists here as the quantitative baseline the refined model is
+// compared against.
+type DatasheetBaseline struct {
+	// RouterModel is the hardware model name.
+	RouterModel string
+	// Idle is the datasheet "typical" (or idle) power.
+	Idle units.Power
+	// Max is the datasheet maximum power.
+	Max units.Power
+	// Capacity is the datasheet maximum throughput.
+	Capacity units.BitRate
+}
+
+// NewDatasheetBaseline validates and builds a baseline model.
+func NewDatasheetBaseline(routerModel string, idle, max units.Power, capacity units.BitRate) (*DatasheetBaseline, error) {
+	if idle <= 0 {
+		return nil, fmt.Errorf("model: baseline %s: non-positive idle power %v", routerModel, idle)
+	}
+	if max < idle {
+		return nil, fmt.Errorf("model: baseline %s: max %v below idle %v", routerModel, max, idle)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("model: baseline %s: non-positive capacity %v", routerModel, capacity)
+	}
+	return &DatasheetBaseline{RouterModel: routerModel, Idle: idle, Max: max, Capacity: capacity}, nil
+}
+
+// PredictPower returns the baseline's estimate at a given total carried
+// traffic (bidirectional sum across the router). Utilization above 100 %
+// clamps to Max.
+func (b *DatasheetBaseline) PredictPower(traffic units.BitRate) units.Power {
+	if traffic <= 0 {
+		return b.Idle
+	}
+	util := traffic.BitsPerSecond() / b.Capacity.BitsPerSecond()
+	if util > 1 {
+		util = 1
+	}
+	return b.Idle + units.Power(util*(b.Max.Watts()-b.Idle.Watts()))
+}

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fantasticjoules/internal/units"
+)
+
+func testBaseline(t *testing.T) *DatasheetBaseline {
+	t.Helper()
+	b, err := NewDatasheetBaseline("X-1", 300, 600, units.TerabitPerSecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBaselineValidation(t *testing.T) {
+	cases := []struct {
+		idle, max float64
+		capacity  units.BitRate
+	}{
+		{0, 600, units.TerabitPerSecond},   // no idle
+		{300, 200, units.TerabitPerSecond}, // max below idle
+		{300, 600, 0},                      // no capacity
+	}
+	for i, c := range cases {
+		if _, err := NewDatasheetBaseline("x", units.Power(c.idle), units.Power(c.max), c.capacity); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBaselineInterpolation(t *testing.T) {
+	b := testBaseline(t)
+	tests := []struct {
+		traffic units.BitRate
+		want    float64
+	}{
+		{0, 300},
+		{-5, 300},
+		{500 * units.GigabitPerSecond, 450}, // half capacity
+		{units.TerabitPerSecond, 600},       // full
+		{3 * units.TerabitPerSecond, 600},   // clamped
+	}
+	for _, tt := range tests {
+		if got := b.PredictPower(tt.traffic); math.Abs(got.Watts()-tt.want) > 1e-9 {
+			t.Errorf("PredictPower(%v) = %v, want %v", tt.traffic, got.Watts(), tt.want)
+		}
+	}
+}
+
+func TestBaselineMonotoneProperty(t *testing.T) {
+	b := testBaseline(t)
+	f := func(a, c uint32) bool {
+		lo := units.BitRate(a) * units.MegabitPerSecond
+		hi := units.BitRate(c) * units.MegabitPerSecond
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return b.PredictPower(lo) <= b.PredictPower(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineBlindToConfiguration(t *testing.T) {
+	// The structural limitation the paper calls out: the baseline cannot
+	// distinguish a router full of powered transceivers from an empty one
+	// at the same traffic level, while the refined model can.
+	b := testBaseline(t)
+	if b.PredictPower(0) != b.PredictPower(0) {
+		t.Fatal("baseline must be deterministic")
+	}
+	m := testModel()
+	empty := Config{}
+	full := Config{}
+	for i := 0; i < 10; i++ {
+		full.Interfaces = append(full.Interfaces, Interface{
+			Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true,
+		})
+	}
+	pEmpty, err := m.PredictPower(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFull, err := m.PredictPower(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pFull <= pEmpty {
+		t.Error("refined model must separate the configurations")
+	}
+}

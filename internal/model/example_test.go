@@ -1,0 +1,61 @@
+package model_test
+
+import (
+	"fmt"
+
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+// Predict a deployed router's power from its published model: the basic
+// §4 workflow.
+func ExampleModel_Predict() {
+	m, err := model.Published("NCS-55A1-24H")
+	if err != nil {
+		panic(err)
+	}
+	g := units.GigabitPerSecond
+	dac := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g}
+
+	b, err := m.Predict(model.Config{Interfaces: []model.Interface{
+		{
+			Profile:            dac,
+			TransceiverPresent: true, AdminUp: true, OperUp: true,
+			Bits:    50 * g,
+			Packets: units.PacketRateFor(50*g, 1500, 24),
+		},
+		{
+			Profile:            dac,
+			TransceiverPresent: true, // plugged spare: draws Ptrx,in even when down
+		},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("total  %.2f W\n", b.Total().Watts())
+	fmt.Printf("static %.2f W, dynamic %.2f W\n", b.Static().Watts(), b.Dynamic().Watts())
+	// Output:
+	// total  322.26 W
+	// static 320.55 W, dynamic 1.71 W
+}
+
+// "Down" does not mean "off": sleeping an interface saves only
+// Pport + Ptrx,up, not the full interface power (§7, §8).
+func ExampleModel_InterfaceSavings() {
+	m, err := model.Published("NCS-55A1-24H")
+	if err != nil {
+		panic(err)
+	}
+	key := model.ProfileKey{
+		Port:        model.QSFP28,
+		Transceiver: model.PassiveDAC,
+		Speed:       100 * units.GigabitPerSecond,
+	}
+	s, err := m.InterfaceSavings(key)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sleeping saves %.2f W per interface\n", s.Watts())
+	// Output:
+	// sleeping saves 0.51 W per interface
+}

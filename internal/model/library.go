@@ -1,0 +1,172 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"fantasticjoules/internal/units"
+)
+
+// The published power models of the paper (Table 2 and Table 6), usable as
+// a library without re-running the lab methodology. All values are
+// verbatim from the paper; the N540X model's negative Epkt is kept as
+// published (the paper flags it as an imprecise low-speed derivation).
+
+func profile(port PortType, trx TransceiverType, speed units.BitRate,
+	pport, ptrxin, ptrxup float64, ebitPJ, epktNJ, poffset float64) InterfaceProfile {
+	return InterfaceProfile{
+		Key:     ProfileKey{Port: port, Transceiver: trx, Speed: speed},
+		PPort:   units.Power(pport),
+		PTrxIn:  units.Power(ptrxin),
+		PTrxUp:  units.Power(ptrxup),
+		EBit:    units.Energy(ebitPJ) * units.Picojoule,
+		EPkt:    units.Energy(epktNJ) * units.Nanojoule,
+		POffset: units.Power(poffset),
+	}
+}
+
+// Published returns the paper's model for the named router (Tables 2 and
+// 6), or an error listing the known names.
+func Published(routerModel string) (*Model, error) {
+	m, ok := published()[routerModel]
+	if !ok {
+		return nil, fmt.Errorf("model: no published model for %q (known: %v)",
+			routerModel, PublishedModels())
+	}
+	return m, nil
+}
+
+// PublishedModels lists the router models with published power models, in
+// sorted order.
+func PublishedModels() []string {
+	lib := published()
+	names := make([]string, 0, len(lib))
+	for n := range lib {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func published() map[string]*Model {
+	g := units.GigabitPerSecond
+	lib := make(map[string]*Model)
+
+	add := func(name string, pbase float64, profiles ...InterfaceProfile) {
+		m := New(name, units.Power(pbase))
+		for _, p := range profiles {
+			m.AddProfile(p)
+		}
+		lib[name] = m
+	}
+
+	// Table 2 (a): Cisco NCS-55A1-24H.
+	add("NCS-55A1-24H", 320,
+		profile(QSFP28, PassiveDAC, 100*g, 0.32, 0.02, 0.19, 22, 58, 0.37),
+		profile(QSFP28, PassiveDAC, 50*g, 0.18, 0.02, 0.16, 21, 57, 0.34),
+		profile(QSFP28, PassiveDAC, 25*g, 0.10, 0.02, 0.08, 21, 55, 0.21),
+	)
+
+	// Table 2 (b): Cisco Nexus 9336C-FX2.
+	add("Nexus9336-FX2", 285,
+		profile(QSFP28, LR, 100*g, 1.9, 2.79, -0.06, 8, 24, -0.43),
+		profile(QSFP28, PassiveDAC, 100*g, 1.13, 0.09, -0.02, 8, 26, 0.07),
+	)
+
+	// Table 2 (c): Cisco 8201-32FH.
+	add("8201-32FH", 253,
+		profile(QSFP, PassiveDAC, 100*g, 0.94, 0.35, 0.21, 3, 13, -0.04),
+	)
+
+	// Table 2 (d): Cisco N540X-8Z16G-SYS-A. The negative Epkt is published
+	// as-is; the paper notes the low-speed derivation is imprecise and the
+	// resulting errors negligible on this device.
+	add("N540X-8Z16G-SYS-A", 33,
+		profile(SFP, BaseT, 1*g, -0.0, 3.41, 0.0, 37, -48, 0.01),
+	)
+
+	// Table 6 (a): EdgeCore Wedge 100BF-32X.
+	add("Wedge100BF-32X", 108,
+		profile(QSFP28, PassiveDAC, 100*g, 0.88, 0, 0.69, 1.7, 7.2, 0),
+		profile(QSFP28, PassiveDAC, 50*g, 0.21, 0, 0.31, 2.5, 5.6, 0.05),
+		profile(QSFP28, PassiveDAC, 25*g, 0.21, 0, 0.1, 2.7, 4.7, 0.06),
+	)
+
+	// Table 6 (b): Cisco Nexus 93108TC-FX3P.
+	add("Nexus93108TC-FX3P", 147,
+		profile(QSFP28, PassiveDAC, 100*g, 0.17, 0.11, 0.23, 5.4, 21.2, 0),
+		profile(QSFP28, PassiveDAC, 40*g, 0.07, 0.11, 0.16, 6.5, 17.4, 0.03),
+		profile(RJ45, BaseT, 10*g, 2.06, 0.11, 0, 6.7, 16.9, -0.03),
+		profile(RJ45, BaseT, 1*g, 0.93, 0.11, 0, 33.8, 18.2, -0.03),
+	)
+
+	// Table 6 (c): Extreme Switch VSP-4900.
+	add("VSP-4900", 8.2,
+		profile(SFPP, BaseT, 10*g, 0.08, 0.06, 0, 25.6, 26.5, 0.04),
+	)
+
+	// Table 6 (d): Cisco Catalyst 3560.
+	add("Catalyst3560", 40,
+		profile(RJ45, BaseT, 0.1*g, 0.21, 0, 0, 15.7, 193.1, -0.01),
+	)
+
+	return lib
+}
+
+// PortTypePower holds the per-port-type constants the paper averages
+// across its models for the link-sleeping evaluation (Table 5).
+type PortTypePower struct {
+	Port   PortType
+	PPort  units.Power
+	PTrxUp units.Power
+}
+
+// Table5 returns the Pport and Ptrx,up values used per port type in the
+// §8 link-sleeping evaluation.
+func Table5() []PortTypePower {
+	return []PortTypePower{
+		{Port: SFP, PPort: 0.05, PTrxUp: 0.005},
+		{Port: SFPP, PPort: 0.55, PTrxUp: -0.016},
+		{Port: QSFP28, PPort: 0.53, PTrxUp: 0.126},
+		{Port: QSFPDD, PPort: 1.82, PTrxUp: -0.069},
+	}
+}
+
+// Table5For returns the Table 5 entry for a port type.
+func Table5For(port PortType) (PortTypePower, bool) {
+	for _, p := range Table5() {
+		if p.Port == port {
+			return p, true
+		}
+	}
+	return PortTypePower{}, false
+}
+
+// TransceiverDatasheetPower returns the typical datasheet power draw of
+// common transceiver modules, used by §8 to bound Ptrx where no lab model
+// exists. Values follow vendor datasheets (e.g. the 400G FR4 drawing the
+// 12 W cited in §6.2).
+func TransceiverDatasheetPower(trx TransceiverType, speed units.BitRate) (units.Power, bool) {
+	g := units.GigabitPerSecond
+	type key struct {
+		t TransceiverType
+		s units.BitRate
+	}
+	table := map[key]units.Power{
+		{PassiveDAC, 400 * g}: 0.5,
+		{PassiveDAC, 100 * g}: 0.5,
+		{PassiveDAC, 40 * g}:  0.4,
+		{PassiveDAC, 25 * g}:  0.3,
+		{PassiveDAC, 10 * g}:  0.2,
+		{FR4, 400 * g}:        12,
+		{LR4, 100 * g}:        4.5,
+		{LR4, 40 * g}:         3.5,
+		{LR, 100 * g}:         4.5,
+		{LR, 25 * g}:          1.2,
+		{LR, 10 * g}:          1.0,
+		{BaseT, 10 * g}:       2.5,
+		{BaseT, 1 * g}:        1.0,
+	}
+	p, ok := table[key{trx, speed}]
+	return p, ok
+}

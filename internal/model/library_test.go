@@ -1,0 +1,149 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"fantasticjoules/internal/units"
+)
+
+func TestPublishedModelsComplete(t *testing.T) {
+	// All eight routers of Tables 2 and 6 must be present.
+	want := []string{
+		"8201-32FH", "Catalyst3560", "N540X-8Z16G-SYS-A", "NCS-55A1-24H",
+		"Nexus93108TC-FX3P", "Nexus9336-FX2", "VSP-4900", "Wedge100BF-32X",
+	}
+	got := PublishedModels()
+	if len(got) != len(want) {
+		t.Fatalf("PublishedModels() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("model[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPublishedUnknown(t *testing.T) {
+	if _, err := Published("CRS-3"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestPublishedValuesTable2(t *testing.T) {
+	m, err := Published("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PBase != 320 {
+		t.Errorf("Pbase = %v, want 320", m.PBase)
+	}
+	p, ok := m.Profile(ProfileKey{QSFP28, PassiveDAC, 100 * units.GigabitPerSecond})
+	if !ok {
+		t.Fatal("missing 100G profile")
+	}
+	if p.PPort != 0.32 || p.PTrxIn != 0.02 || p.PTrxUp != 0.19 || p.POffset != 0.37 {
+		t.Errorf("100G profile = %+v", p)
+	}
+	if math.Abs(p.EBit.Picojoules()-22) > 1e-9 {
+		t.Errorf("Ebit = %v pJ, want 22", p.EBit.Picojoules())
+	}
+	if math.Abs(p.EPkt.Nanojoules()-58) > 1e-9 {
+		t.Errorf("Epkt = %v nJ, want 58", p.EPkt.Nanojoules())
+	}
+}
+
+func TestPublishedValuesTable6(t *testing.T) {
+	m, err := Published("Wedge100BF-32X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PBase != 108 {
+		t.Errorf("Pbase = %v, want 108", m.PBase)
+	}
+	p, ok := m.Profile(ProfileKey{QSFP28, PassiveDAC, 25 * units.GigabitPerSecond})
+	if !ok {
+		t.Fatal("missing 25G profile")
+	}
+	if math.Abs(p.EBit.Picojoules()-2.7) > 1e-9 || math.Abs(p.EPkt.Nanojoules()-4.7) > 1e-9 {
+		t.Errorf("25G profile energies = %v pJ / %v nJ", p.EBit.Picojoules(), p.EPkt.Nanojoules())
+	}
+}
+
+func TestPublishedN540XKeptAsPublished(t *testing.T) {
+	m, err := Published("N540X-8Z16G-SYS-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m.Profile(ProfileKey{SFP, BaseT, 1 * units.GigabitPerSecond})
+	if !ok {
+		t.Fatal("missing 1G profile")
+	}
+	if p.EPkt.Nanojoules() >= 0 {
+		t.Error("N540X Epkt is published negative; library must not silently fix it")
+	}
+	// ... and Validate must flag exactly that.
+	if err := m.Validate(); err == nil {
+		t.Error("N540X model must fail validation on negative Epkt")
+	}
+}
+
+func TestPublishedTrafficCostMagnitudes(t *testing.T) {
+	// §7: "assuming average values of 5 pJ per bit and 15 nJ per packet,
+	// forwarding 100 Gbps demands between 3.4 and 0.6 W for 64 B and
+	// 1500 B packets". Verify the arithmetic with the paper's averages.
+	ebit := 5 * units.Picojoule
+	epkt := 15 * units.Nanojoule
+	r := 100 * units.GigabitPerSecond
+	for _, tc := range []struct {
+		size   units.ByteSize
+		lo, hi float64
+	}{
+		{64, 3.2, 3.6},
+		{1500, 0.5, 0.8},
+	} {
+		p := units.PacketRateFor(r, tc.size, 0) // the paper counts L as the full frame
+		w := ebit.Joules()*r.BitsPerSecond() + epkt.Joules()*p.PacketsPerSecond()
+		if w < tc.lo || w > tc.hi {
+			t.Errorf("traffic power at %v = %v W, want in [%v, %v]", tc.size, w, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 4 {
+		t.Fatalf("Table5 rows = %d, want 4", len(rows))
+	}
+	q, ok := Table5For(QSFP28)
+	if !ok {
+		t.Fatal("missing QSFP28")
+	}
+	if q.PPort != 0.53 || q.PTrxUp != 0.126 {
+		t.Errorf("QSFP28 row = %+v", q)
+	}
+	if _, ok := Table5For(QSFP); ok {
+		t.Error("QSFP (non-28) is not in Table 5")
+	}
+}
+
+func TestTransceiverDatasheetPower(t *testing.T) {
+	p, ok := TransceiverDatasheetPower(FR4, 400*units.GigabitPerSecond)
+	if !ok || p != 12 {
+		t.Errorf("400G FR4 = %v, %v; want 12 W (cited in §6.2)", p, ok)
+	}
+	if _, ok := TransceiverDatasheetPower("ZR", 400*units.GigabitPerSecond); ok {
+		t.Error("unknown transceiver must report !ok")
+	}
+}
+
+func TestPublishedModelsIndependent(t *testing.T) {
+	// Published returns independent copies of the library map entries —
+	// mutating one must not leak into a second lookup.
+	a, _ := Published("8201-32FH")
+	a.AddProfile(InterfaceProfile{Key: ProfileKey{RJ45, BaseT, units.GigabitPerSecond}})
+	b, _ := Published("8201-32FH")
+	if _, ok := b.Profile(ProfileKey{RJ45, BaseT, units.GigabitPerSecond}); ok {
+		t.Error("mutation of a published model leaked into the library")
+	}
+}

@@ -1,0 +1,296 @@
+// Package model implements the router power model of §4 of the paper — the
+// primary contribution. Router power is the sum of a static part, set by
+// the configuration (which interfaces exist, carry transceivers, and are
+// up), and a dynamic part driven by traffic:
+//
+//	P = Psta(C) + Pdyn(C, L)                                   (Eq. 1)
+//	Psta = Pbase + Σ_i (Pport(c_i) + Ptrx,in + Ptrx,up(c_i))    (Eq. 2–4)
+//	Pdyn = Σ_i (Ebit·r_i + Epkt·p_i + Poffset(c_i))             (Eq. 5–6)
+//
+// Each combination of port type, transceiver type, and configured speed has
+// its own interface profile carrying the six per-interface terms; Pbase is
+// the single chassis-wide constant. The model deliberately omits
+// temperature, fans, PSU conversion losses, and control-plane load (§4.3) —
+// those fold into Pbase and surface as a constant offset against external
+// measurements, exactly as the paper observes in Fig. 4.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fantasticjoules/internal/units"
+)
+
+// PortType names a physical port cage, e.g. "QSFP28" or "SFP+".
+type PortType string
+
+// Port types appearing in the paper's models (Tables 2, 5 and 6).
+const (
+	SFP    PortType = "SFP"
+	SFPP   PortType = "SFP+"
+	QSFP   PortType = "QSFP"
+	QSFP28 PortType = "QSFP28"
+	QSFPDD PortType = "QSFP-DD"
+	RJ45   PortType = "RJ45"
+)
+
+// TransceiverType names a pluggable transceiver family, e.g. passive
+// direct-attach copper or LR optics.
+type TransceiverType string
+
+// Transceiver types appearing in the paper's models.
+const (
+	PassiveDAC TransceiverType = "Passive DAC"
+	LR         TransceiverType = "LR"
+	LR4        TransceiverType = "LR4"
+	FR4        TransceiverType = "FR4"
+	BaseT      TransceiverType = "T"
+)
+
+// ProfileKey identifies one interface power profile: the port type, the
+// transceiver plugged into it, and the configured line rate.
+type ProfileKey struct {
+	Port        PortType
+	Transceiver TransceiverType
+	Speed       units.BitRate
+}
+
+// String renders the key, e.g. "QSFP28/Passive DAC@100 Gbps".
+func (k ProfileKey) String() string {
+	return fmt.Sprintf("%s/%s@%s", k.Port, k.Transceiver, k.Speed)
+}
+
+// InterfaceProfile carries the six per-interface power terms of the model
+// for one ProfileKey.
+type InterfaceProfile struct {
+	Key ProfileKey
+	// PPort is the power the router itself spends on an activated port.
+	PPort units.Power
+	// PTrxIn is the power a transceiver draws as soon as it is plugged
+	// into the port, even with the port disabled ("down" ≠ "off", §7).
+	PTrxIn units.Power
+	// PTrxUp is the additional transceiver power once the interface is up.
+	PTrxUp units.Power
+	// EBit is the energy to forward one bit.
+	EBit units.Energy
+	// EPkt is the energy to process one packet header.
+	EPkt units.Energy
+	// POffset is the traffic-independent power step between an interface
+	// carrying almost no traffic and one carrying none at all (e.g. SerDes
+	// lines waking up).
+	POffset units.Power
+}
+
+// Model is a complete power model for one router model: the chassis
+// constant plus one profile per interface class. Build models with New and
+// AddProfile, or load a published one from the library.
+type Model struct {
+	// RouterModel is the hardware model name, e.g. "8201-32FH".
+	RouterModel string
+	// PBase is the chassis power with no transceivers and no configuration.
+	PBase units.Power
+	// PLinecard optionally extends the model to modular chassis (§4.3
+	// future work): power per installed linecard type.
+	PLinecard map[string]units.Power
+
+	profiles map[ProfileKey]InterfaceProfile
+}
+
+// New returns an empty model for the named router with the given base
+// power.
+func New(routerModel string, pbase units.Power) *Model {
+	return &Model{
+		RouterModel: routerModel,
+		PBase:       pbase,
+		profiles:    make(map[ProfileKey]InterfaceProfile),
+	}
+}
+
+// AddProfile registers (or replaces) the profile for its key.
+func (m *Model) AddProfile(p InterfaceProfile) {
+	if m.profiles == nil {
+		m.profiles = make(map[ProfileKey]InterfaceProfile)
+	}
+	m.profiles[p.Key] = p
+}
+
+// Profile returns the profile for the key.
+func (m *Model) Profile(k ProfileKey) (InterfaceProfile, bool) {
+	p, ok := m.profiles[k]
+	return p, ok
+}
+
+// Profiles returns all registered profiles sorted by key string, for
+// deterministic rendering.
+func (m *Model) Profiles() []InterfaceProfile {
+	out := make([]InterfaceProfile, 0, len(m.profiles))
+	for _, p := range m.profiles {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// ErrUnknownProfile is wrapped by prediction errors when an interface
+// references a profile the model does not have.
+var ErrUnknownProfile = errors.New("model: unknown interface profile")
+
+// Interface is the modelled state of one router interface: which profile
+// it belongs to, its configuration, and its traffic load. Rates are the
+// sums over both directions, as in the paper.
+type Interface struct {
+	// Name is the interface name, used only in error messages.
+	Name string
+	// Profile selects the interface power profile.
+	Profile ProfileKey
+	// TransceiverPresent reports whether a transceiver is physically
+	// plugged in, regardless of configuration.
+	TransceiverPresent bool
+	// AdminUp reports whether the port is activated in configuration.
+	AdminUp bool
+	// OperUp reports whether the interface is operationally up.
+	OperUp bool
+	// Bits is the bidirectional traffic bit rate.
+	Bits units.BitRate
+	// Packets is the bidirectional packet rate.
+	Packets units.PacketRate
+}
+
+// Breakdown decomposes a power prediction into the model's terms.
+type Breakdown struct {
+	Base     units.Power
+	Port     units.Power
+	TrxIn    units.Power
+	TrxUp    units.Power
+	Traffic  units.Power
+	Offset   units.Power
+	Linecard units.Power
+}
+
+// Static is the configuration-driven share: Base + Port + TrxIn + TrxUp +
+// Linecard.
+func (b Breakdown) Static() units.Power {
+	return b.Base + b.Port + b.TrxIn + b.TrxUp + b.Linecard
+}
+
+// Dynamic is the traffic-driven share: Traffic + Offset.
+func (b Breakdown) Dynamic() units.Power { return b.Traffic + b.Offset }
+
+// Total is the predicted router power.
+func (b Breakdown) Total() units.Power { return b.Static() + b.Dynamic() }
+
+// String renders the breakdown in one line.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %s (base %s, port %s, trx-in %s, trx-up %s",
+		b.Total(), b.Base, b.Port, b.TrxIn, b.TrxUp)
+	if b.Linecard != 0 {
+		fmt.Fprintf(&sb, ", linecard %s", b.Linecard)
+	}
+	fmt.Fprintf(&sb, ", traffic %s, offset %s)", b.Traffic, b.Offset)
+	return sb.String()
+}
+
+// Config is a router configuration plus load: the interface vector C and
+// load vector L of Eq. (1), and optionally installed linecards for the
+// modular-chassis extension.
+type Config struct {
+	Interfaces []Interface
+	// Linecards maps linecard type to installed count; requires the model
+	// to have a PLinecard entry for each type.
+	Linecards map[string]int
+}
+
+// Predict evaluates the model on a configuration and returns the term
+// breakdown. It fails if any interface references an unknown profile or
+// any linecard type is missing from the model.
+func (m *Model) Predict(cfg Config) (Breakdown, error) {
+	b := Breakdown{Base: m.PBase}
+	for i, itf := range cfg.Interfaces {
+		p, ok := m.profiles[itf.Profile]
+		if !ok {
+			name := itf.Name
+			if name == "" {
+				name = fmt.Sprintf("#%d", i)
+			}
+			return Breakdown{}, fmt.Errorf("interface %s: %w: %s", name, ErrUnknownProfile, itf.Profile)
+		}
+		if itf.TransceiverPresent {
+			b.TrxIn += p.PTrxIn
+		}
+		if itf.AdminUp {
+			b.Port += p.PPort
+		}
+		if itf.OperUp {
+			b.TrxUp += p.PTrxUp
+			if itf.Bits > 0 || itf.Packets > 0 {
+				b.Traffic += units.Power(p.EBit.Joules()*itf.Bits.BitsPerSecond() +
+					p.EPkt.Joules()*itf.Packets.PacketsPerSecond())
+				b.Offset += p.POffset
+			}
+		}
+	}
+	for lc, n := range cfg.Linecards {
+		pw, ok := m.PLinecard[lc]
+		if !ok {
+			return Breakdown{}, fmt.Errorf("linecard %q: %w", lc, ErrUnknownProfile)
+		}
+		b.Linecard += units.Power(float64(n)) * pw
+	}
+	return b, nil
+}
+
+// PredictPower is Predict reduced to the total.
+func (m *Model) PredictPower(cfg Config) (units.Power, error) {
+	b, err := m.Predict(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return b.Total(), nil
+}
+
+// InterfaceSavings returns the power the model predicts is saved by taking
+// one interface of the given profile down (§8): Pport + Ptrx,up — not the
+// full Pinterface, because Ptrx,in keeps being paid while the transceiver
+// stays plugged in.
+func (m *Model) InterfaceSavings(k ProfileKey) (units.Power, error) {
+	p, ok := m.profiles[k]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownProfile, k)
+	}
+	return p.PPort + p.PTrxUp, nil
+}
+
+// Validate performs sanity checks a freshly derived model should pass:
+// non-negative base power and per-bit energy, and finite terms. Tiny
+// negatives within regression noise are tolerated (a derived Ptrx,in of
+// −3 mW just means the true value is ≈0). It returns a joined error
+// listing every violation (the paper's own N540X model has a −48 nJ Epkt,
+// flagged there as an imprecise low-speed derivation — such models fail
+// validation and the caller decides).
+func (m *Model) Validate() error {
+	const (
+		powerNoise  units.Power  = 0.02    // 20 mW
+		energyNoise units.Energy = 0.5e-12 // 0.5 pJ
+		pktNoise    units.Energy = 1e-9    // 1 nJ
+	)
+	var errs []error
+	if m.PBase < 0 {
+		errs = append(errs, fmt.Errorf("model: negative Pbase %v", m.PBase))
+	}
+	for _, p := range m.Profiles() {
+		if p.EBit < -energyNoise {
+			errs = append(errs, fmt.Errorf("model: %s: negative Ebit %v", p.Key, p.EBit))
+		}
+		if p.EPkt < -pktNoise {
+			errs = append(errs, fmt.Errorf("model: %s: negative Epkt %v", p.Key, p.EPkt))
+		}
+		if p.PTrxIn < -powerNoise {
+			errs = append(errs, fmt.Errorf("model: %s: negative Ptrx,in %v", p.Key, p.PTrxIn))
+		}
+	}
+	return errors.Join(errs...)
+}

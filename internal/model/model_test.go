@@ -1,0 +1,251 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fantasticjoules/internal/units"
+)
+
+var key100G = ProfileKey{Port: QSFP28, Transceiver: PassiveDAC, Speed: 100 * units.GigabitPerSecond}
+
+func testModel() *Model {
+	m := New("test-router", 100)
+	m.AddProfile(InterfaceProfile{
+		Key:     key100G,
+		PPort:   1.0,
+		PTrxIn:  0.5,
+		PTrxUp:  0.25,
+		EBit:    10 * units.Picojoule,
+		EPkt:    20 * units.Nanojoule,
+		POffset: 0.1,
+	})
+	return m
+}
+
+func TestPredictEmptyConfig(t *testing.T) {
+	m := testModel()
+	b, err := m.Predict(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total() != 100 {
+		t.Errorf("empty config power = %v, want Pbase 100", b.Total())
+	}
+	if b.Static() != 100 || b.Dynamic() != 0 {
+		t.Errorf("static/dynamic = %v/%v", b.Static(), b.Dynamic())
+	}
+}
+
+func TestPredictStates(t *testing.T) {
+	m := testModel()
+	tests := []struct {
+		name string
+		itf  Interface
+		want float64
+	}{
+		{"absent", Interface{Profile: key100G}, 100},
+		{"plugged only", Interface{Profile: key100G, TransceiverPresent: true}, 100.5},
+		{"admin up, oper down", Interface{Profile: key100G, TransceiverPresent: true, AdminUp: true}, 101.5},
+		{"fully up, no traffic", Interface{Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true}, 101.75},
+	}
+	for _, tt := range tests {
+		got, err := m.PredictPower(Config{Interfaces: []Interface{tt.itf}})
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if math.Abs(got.Watts()-tt.want) > 1e-12 {
+			t.Errorf("%s: power = %v, want %v", tt.name, got.Watts(), tt.want)
+		}
+	}
+}
+
+func TestPredictTraffic(t *testing.T) {
+	m := testModel()
+	itf := Interface{
+		Profile:            key100G,
+		TransceiverPresent: true,
+		AdminUp:            true,
+		OperUp:             true,
+		Bits:               100 * units.GigabitPerSecond,
+		Packets:            1e6,
+	}
+	b, err := m.Predict(Config{Interfaces: []Interface{itf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ebit*r = 10e-12 * 1e11 = 1 W; Epkt*p = 20e-9 * 1e6 = 0.02 W.
+	if math.Abs(b.Traffic.Watts()-1.02) > 1e-12 {
+		t.Errorf("Traffic = %v, want 1.02", b.Traffic.Watts())
+	}
+	if b.Offset.Watts() != 0.1 {
+		t.Errorf("Offset = %v, want 0.1 (interface carries traffic)", b.Offset.Watts())
+	}
+	want := 100 + 1 + 0.5 + 0.25 + 1.02 + 0.1
+	if math.Abs(b.Total().Watts()-want) > 1e-12 {
+		t.Errorf("Total = %v, want %v", b.Total().Watts(), want)
+	}
+}
+
+func TestPoffsetOnlyWithTraffic(t *testing.T) {
+	m := testModel()
+	up := Interface{Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true}
+	b, err := m.Predict(Config{Interfaces: []Interface{up}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Offset != 0 {
+		t.Errorf("idle up interface must not pay Poffset, got %v", b.Offset)
+	}
+	up.Packets = 1 // 1 pkt/s — the paper's definition of "almost no traffic"
+	b, err = m.Predict(Config{Interfaces: []Interface{up}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Offset.Watts() != 0.1 {
+		t.Errorf("interface at 1 pkt/s must pay Poffset, got %v", b.Offset)
+	}
+}
+
+func TestPredictUnknownProfile(t *testing.T) {
+	m := testModel()
+	_, err := m.PredictPower(Config{Interfaces: []Interface{{
+		Name:    "et-0/0/0",
+		Profile: ProfileKey{Port: SFP, Transceiver: LR, Speed: 10 * units.GigabitPerSecond},
+	}}})
+	if !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("err = %v, want ErrUnknownProfile", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "et-0/0/0") {
+		t.Errorf("error should name the interface: %v", err)
+	}
+}
+
+func TestPredictLinecards(t *testing.T) {
+	m := testModel()
+	m.PLinecard = map[string]units.Power{"LC-48x10G": 75}
+	got, err := m.PredictPower(Config{Linecards: map[string]int{"LC-48x10G": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 250 {
+		t.Errorf("power with 2 linecards = %v, want 250", got)
+	}
+	_, err = m.PredictPower(Config{Linecards: map[string]int{"LC-unknown": 1}})
+	if !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("unknown linecard err = %v", err)
+	}
+}
+
+func TestPredictAdditivityProperty(t *testing.T) {
+	// The model is additive over interfaces: P(A ∪ B) - Pbase equals
+	// (P(A)-Pbase) + (P(B)-Pbase).
+	m := testModel()
+	f := func(n uint8, rGbps uint16) bool {
+		mk := func(k int) []Interface {
+			ifs := make([]Interface, k)
+			for i := range ifs {
+				ifs[i] = Interface{
+					Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true,
+					Bits:    units.BitRate(rGbps) * units.GigabitPerSecond,
+					Packets: units.PacketRate(rGbps) * 1000,
+				}
+			}
+			return ifs
+		}
+		k := int(n%16) + 1
+		pa, err1 := m.PredictPower(Config{Interfaces: mk(k)})
+		pb, err2 := m.PredictPower(Config{Interfaces: mk(1)})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		lhs := pa.Watts() - m.PBase.Watts()
+		rhs := float64(k) * (pb.Watts() - m.PBase.Watts())
+		return units.NearlyEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterfaceSavings(t *testing.T) {
+	m := testModel()
+	s, err := m.InterfaceSavings(key100G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Savings = Pport + Ptrx,up = 1.25 — NOT including Ptrx,in (§7: "down"
+	// does not mean "off").
+	if s.Watts() != 1.25 {
+		t.Errorf("InterfaceSavings = %v, want 1.25", s.Watts())
+	}
+	if _, err := m.InterfaceSavings(ProfileKey{Port: RJ45}); !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("unknown profile err = %v", err)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Base: 100, Port: 1, TrxIn: 0.5, TrxUp: 0.25, Traffic: 1, Offset: 0.1}
+	s := b.String()
+	if !strings.Contains(s, "base 100 W") || !strings.Contains(s, "traffic 1 W") {
+		t.Errorf("Breakdown.String() = %q", s)
+	}
+	if strings.Contains(s, "linecard") {
+		t.Error("zero linecard share must be omitted")
+	}
+	b.Linecard = 75
+	if !strings.Contains(b.String(), "linecard 75 W") {
+		t.Error("non-zero linecard share must be printed")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testModel()
+	if err := m.Validate(); err != nil {
+		t.Errorf("healthy model must validate: %v", err)
+	}
+	bad := New("bad", -1)
+	bad.AddProfile(InterfaceProfile{Key: key100G, EBit: -1, EPkt: -1, PTrxIn: -1})
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("invalid model must fail validation")
+	}
+	for _, frag := range []string{"Pbase", "Ebit", "Epkt", "Ptrx,in"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("validation error missing %q: %v", frag, err)
+		}
+	}
+}
+
+func TestProfilesSorted(t *testing.T) {
+	m, err := Published("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := m.Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d, want 3", len(ps))
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Key.String() >= ps[i].Key.String() {
+			t.Error("Profiles() must be sorted")
+		}
+	}
+}
+
+func TestProfileKeyString(t *testing.T) {
+	if got := key100G.String(); got != "QSFP28/Passive DAC@100 Gbps" {
+		t.Errorf("key = %q", got)
+	}
+}
+
+func TestZeroValueModelAddProfile(t *testing.T) {
+	var m Model
+	m.AddProfile(InterfaceProfile{Key: key100G, PPort: 1})
+	if _, ok := m.Profile(key100G); !ok {
+		t.Error("AddProfile on zero-value model must work")
+	}
+}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fantasticjoules/internal/units"
+)
+
+// Monotonicity: with non-negative energy terms, more traffic never costs
+// less power.
+func TestPredictMonotoneInLoad(t *testing.T) {
+	m := testModel()
+	f := func(r1, r2 uint32) bool {
+		lo, hi := float64(r1%200), float64(r2%200)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		mk := func(gbps float64) Config {
+			bits := units.BitRate(gbps) * units.GigabitPerSecond
+			return Config{Interfaces: []Interface{{
+				Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true,
+				Bits:    bits,
+				Packets: units.PacketRateFor(bits, 512, 24),
+			}}}
+		}
+		pLo, err1 := m.PredictPower(mk(lo))
+		pHi, err2 := m.PredictPower(mk(hi))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return pLo <= pHi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity in configuration: each activation step (plug, admin-up,
+// oper-up) never reduces power when all profile terms are non-negative.
+func TestPredictMonotoneInState(t *testing.T) {
+	m := testModel()
+	states := []Interface{
+		{Profile: key100G},
+		{Profile: key100G, TransceiverPresent: true},
+		{Profile: key100G, TransceiverPresent: true, AdminUp: true},
+		{Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true},
+		{Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: true, Packets: 1},
+	}
+	prev := units.Power(-1)
+	for i, itf := range states {
+		p, err := m.PredictPower(Config{Interfaces: []Interface{itf}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev {
+			t.Errorf("state %d reduced power: %v after %v", i, p, prev)
+		}
+		prev = p
+	}
+}
+
+// Breakdown consistency: the term sums always equal the total.
+func TestBreakdownSumsProperty(t *testing.T) {
+	m := testModel()
+	m.PLinecard = map[string]units.Power{"LC": 50}
+	f := func(n uint8, gbps uint16, cards uint8) bool {
+		cfg := Config{Linecards: map[string]int{"LC": int(cards % 8)}}
+		for i := 0; i < int(n%12); i++ {
+			bits := units.BitRate(gbps%100) * units.GigabitPerSecond
+			cfg.Interfaces = append(cfg.Interfaces, Interface{
+				Profile: key100G, TransceiverPresent: true, AdminUp: true, OperUp: i%2 == 0,
+				Bits:    bits,
+				Packets: units.PacketRateFor(bits, 1500, 24),
+			})
+		}
+		b, err := m.Predict(cfg)
+		if err != nil {
+			return false
+		}
+		lhs := b.Total().Watts()
+		rhs := b.Static().Watts() + b.Dynamic().Watts()
+		return units.NearlyEqual(lhs, rhs, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package psu
+
+import (
+	"errors"
+	"fmt"
+
+	"fantasticjoules/internal/units"
+)
+
+// RouterPSUs bundles the PSU snapshots of one deployed router for the
+// fleet-level analyses of §9.3.
+type RouterPSUs struct {
+	// Router is the (anonymized) router name.
+	Router string
+	// Model is the router hardware model.
+	Model string
+	// PSUs holds one snapshot per installed power supply.
+	PSUs []Snapshot
+}
+
+// Savings is the estimated effect of a PSU optimization across a fleet.
+type Savings struct {
+	// Watts is the absolute input-power reduction; negative values mean
+	// the measure costs power.
+	Watts units.Power
+	// Fraction is Watts divided by the fleet's total input power.
+	Fraction float64
+}
+
+// String renders savings the way the paper's tables do, e.g. "5% (1156 W)".
+func (s Savings) String() string {
+	return fmt.Sprintf("%.0f%% (%.0f W)", s.Fraction*100, s.Watts.Watts())
+}
+
+// FleetInputPower sums the input (wall) power of every PSU in the fleet.
+func FleetInputPower(fleet []RouterPSUs) units.Power {
+	var total units.Power
+	for _, r := range fleet {
+		for _, p := range r.PSUs {
+			total += p.Pin
+		}
+	}
+	return total
+}
+
+func newSavings(saved, total units.Power) Savings {
+	s := Savings{Watts: saved}
+	if total > 0 {
+		s.Fraction = saved.Watts() / total.Watts()
+	}
+	return s
+}
+
+// SavingsAtStandard estimates the fleet-wide input-power reduction if every
+// PSU were at least as efficient as the given 80 Plus level (§9.3.2). PSUs
+// already above the standard's curve are left unchanged — efficiencies only
+// ever rise.
+func SavingsAtStandard(fleet []RouterPSUs, r Rating) Savings {
+	std := StandardCurve(r)
+	var saved units.Power
+	for _, router := range fleet {
+		for _, p := range router.PSUs {
+			if p.Pin <= 0 || p.Pout <= 0 {
+				continue
+			}
+			e := p.Efficiency()
+			target := std.Efficiency(p.Load())
+			if target <= e {
+				continue
+			}
+			newPin := units.Power(p.Pout.Watts() / target)
+			saved += p.Pin - newPin
+		}
+	}
+	return newSavings(saved, FleetInputPower(fleet))
+}
+
+// SavingsSinglePSU estimates the reduction from loading only one PSU per
+// router instead of balancing across the redundant pair (§9.3.4). Each
+// PSU's efficiency curve is the PFE600 shifted through its measured point;
+// the surviving PSU (the router's most efficient candidate) then delivers
+// the whole DC load at roughly twice its previous load, and the idle PSU is
+// assumed lossless. Routers with a single PSU are unchanged.
+func SavingsSinglePSU(fleet []RouterPSUs) Savings {
+	return savingsSingle(fleet, nil)
+}
+
+// SavingsCombined estimates the effect of both measures at once (§9.3.5):
+// one loaded PSU per router, and that PSU meeting at least the given
+// 80 Plus level.
+func SavingsCombined(fleet []RouterPSUs, r Rating) Savings {
+	std := StandardCurve(r)
+	return savingsSingle(fleet, &std)
+}
+
+// savingsSingle implements the single-PSU consolidation; when std is
+// non-nil the surviving PSU's curve is additionally raised to the standard.
+func savingsSingle(fleet []RouterPSUs, std *Curve) Savings {
+	var saved units.Power
+	for _, router := range fleet {
+		var totalPin, totalPout units.Power
+		live := 0
+		for _, p := range router.PSUs {
+			if p.Pin <= 0 {
+				continue
+			}
+			live++
+			totalPin += p.Pin
+			totalPout += p.Pout
+		}
+		if live == 0 || totalPout <= 0 {
+			continue
+		}
+		// Choose the best surviving candidate: the PSU whose fitted curve
+		// yields the lowest input power for the consolidated load.
+		bestPin := units.Power(0)
+		first := true
+		for _, p := range router.PSUs {
+			if p.Pin <= 0 || p.Capacity <= 0 {
+				continue
+			}
+			curve := p.Curve()
+			newLoad := totalPout.Watts() / p.Capacity.Watts()
+			eff := curve.Efficiency(newLoad)
+			if std != nil {
+				if se := std.Efficiency(newLoad); se > eff {
+					eff = se
+				}
+			}
+			candidate := units.Power(totalPout.Watts() / eff)
+			if first || candidate < bestPin {
+				bestPin = candidate
+				first = false
+			}
+		}
+		if first {
+			continue
+		}
+		if live == 1 && std == nil {
+			// A single-PSU router cannot consolidate further.
+			continue
+		}
+		saved += totalPin - bestPin
+	}
+	return newSavings(saved, FleetInputPower(fleet))
+}
+
+// CapacityOptions returns the PSU capacities present in the paper's dataset
+// (Table 4 columns), in ascending order.
+func CapacityOptions() []units.Power {
+	return []units.Power{250, 400, 750, 1100, 2000, 2700}
+}
+
+// SavingsResize estimates the effect of re-dimensioning every router's PSUs
+// (§9.3.3). For each router, the minimal adequate capacity C is the
+// smallest option with C ≥ k·lmax, where lmax is the largest per-PSU output
+// power on that router; k = 2 preserves resilience to one PSU failure,
+// k = 1 trades the margin for savings. Every PSU is then resized to
+// max(C, minCapacity) and re-evaluated on its own fitted curve at the new
+// load. It returns an error for a non-positive k or an empty option list.
+func SavingsResize(fleet []RouterPSUs, k float64, minCapacity units.Power, options []units.Power) (Savings, error) {
+	if k <= 0 {
+		return Savings{}, fmt.Errorf("psu: non-positive resilience factor %v", k)
+	}
+	if len(options) == 0 {
+		return Savings{}, errors.New("psu: no capacity options")
+	}
+	var saved units.Power
+	for _, router := range fleet {
+		var lmax units.Power
+		for _, p := range router.PSUs {
+			if p.Pout > lmax {
+				lmax = p.Pout
+			}
+		}
+		if lmax <= 0 {
+			continue
+		}
+		required := units.Power(k * lmax.Watts())
+		adequate := options[len(options)-1]
+		for _, opt := range options {
+			if opt >= required {
+				adequate = opt
+				break
+			}
+		}
+		newCap := adequate
+		if minCapacity > newCap {
+			newCap = minCapacity
+		}
+		for _, p := range router.PSUs {
+			if p.Pin <= 0 || p.Pout <= 0 || p.Capacity <= 0 {
+				continue
+			}
+			curve := p.Curve()
+			newLoad := p.Pout.Watts() / newCap.Watts()
+			eff := curve.Efficiency(newLoad)
+			newPin := units.Power(p.Pout.Watts() / eff)
+			saved += p.Pin - newPin
+		}
+	}
+	return newSavings(saved, FleetInputPower(fleet)), nil
+}

@@ -1,0 +1,195 @@
+package psu
+
+import (
+	"math"
+	"testing"
+
+	"fantasticjoules/internal/units"
+)
+
+// fleet with one inefficient lightly-loaded router (two 750 W PSUs) and one
+// efficient router.
+func testFleet() []RouterPSUs {
+	return []RouterPSUs{
+		{
+			Router: "r1", Model: "8201-32FH",
+			PSUs: []Snapshot{
+				{Pin: 240, Pout: 180, Capacity: 750}, // 75% efficient at 24% load
+				{Pin: 238, Pout: 180, Capacity: 750},
+			},
+		},
+		{
+			Router: "r2", Model: "NCS-55A1-24H",
+			PSUs: []Snapshot{
+				{Pin: 200, Pout: 190, Capacity: 1100}, // 95% efficient
+				{Pin: 205, Pout: 190, Capacity: 1100},
+			},
+		},
+	}
+}
+
+func TestFleetInputPower(t *testing.T) {
+	got := FleetInputPower(testFleet())
+	if got != 240+238+200+205 {
+		t.Errorf("FleetInputPower = %v", got)
+	}
+}
+
+func TestSavingsString(t *testing.T) {
+	s := Savings{Watts: 1156, Fraction: 0.05}
+	if got := s.String(); got != "5% (1156 W)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSavingsAtStandardMonotone(t *testing.T) {
+	fleet := testFleet()
+	prev := units.Power(-1)
+	for _, r := range Ratings() {
+		s := SavingsAtStandard(fleet, r)
+		if s.Watts < prev {
+			t.Errorf("savings at %v (%v) below previous level (%v)", r, s.Watts, prev)
+		}
+		if s.Watts < 0 {
+			t.Errorf("raising efficiency can never cost power, got %v at %v", s.Watts, r)
+		}
+		prev = s.Watts
+	}
+}
+
+func TestSavingsAtStandardFixesInefficientPSU(t *testing.T) {
+	fleet := testFleet()
+	s := SavingsAtStandard(fleet, Titanium)
+	// r1's PSUs at 75% efficiency and 24% load must be lifted to ≥92%:
+	// savings per PSU ≈ 240 - 180/0.93 ≈ 45 W. Expect > 80 W total.
+	if s.Watts < 80 {
+		t.Errorf("Titanium savings = %v, want > 80 W", s.Watts)
+	}
+	// r2 is already at ~95%; the efficient router should contribute little.
+	justR2 := SavingsAtStandard(fleet[1:], Platinum)
+	if justR2.Watts > 5 {
+		t.Errorf("efficient router saving = %v, want ≈0", justR2.Watts)
+	}
+}
+
+func TestSavingsAtStandardSkipsDeadPSUs(t *testing.T) {
+	fleet := []RouterPSUs{{Router: "r", PSUs: []Snapshot{{Pin: 0, Pout: 0, Capacity: 750}}}}
+	s := SavingsAtStandard(fleet, Titanium)
+	if s.Watts != 0 {
+		t.Errorf("dead PSU produced savings %v", s.Watts)
+	}
+}
+
+func TestSavingsSinglePSU(t *testing.T) {
+	fleet := testFleet()
+	s := SavingsSinglePSU(fleet)
+	// Consolidating doubles the load from ~12-25% to ~25-50%, a better
+	// point on every curve; savings must be positive.
+	if s.Watts <= 0 {
+		t.Errorf("single-PSU savings = %v, want > 0", s.Watts)
+	}
+	if s.Fraction <= 0 || s.Fraction > 0.2 {
+		t.Errorf("single-PSU fraction = %v, want small positive", s.Fraction)
+	}
+}
+
+func TestSavingsSinglePSUSingleSupplyRouter(t *testing.T) {
+	fleet := []RouterPSUs{{
+		Router: "solo",
+		PSUs:   []Snapshot{{Pin: 100, Pout: 90, Capacity: 400}},
+	}}
+	s := SavingsSinglePSU(fleet)
+	if s.Watts != 0 {
+		t.Errorf("single-supply router cannot consolidate, got %v", s.Watts)
+	}
+}
+
+func TestSavingsCombinedExceedsParts(t *testing.T) {
+	fleet := testFleet()
+	single := SavingsSinglePSU(fleet)
+	for _, r := range Ratings() {
+		std := SavingsAtStandard(fleet, r)
+		both := SavingsCombined(fleet, r)
+		// §9.3.5: "the savings of both measures roughly add up"; at minimum
+		// the combination must beat either measure alone.
+		if both.Watts < std.Watts-1e-9 || both.Watts < single.Watts-1e-9 {
+			t.Errorf("%v combined %v < max(standard %v, single %v)",
+				r, both.Watts, std.Watts, single.Watts)
+		}
+	}
+}
+
+func TestSavingsResize(t *testing.T) {
+	fleet := testFleet()
+	opts := CapacityOptions()
+	// Small minimum capacity with k=1 should save; forcing huge PSUs should
+	// cost (negative savings) relative to today.
+	small, err := SavingsResize(fleet, 1, 250, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := SavingsResize(fleet, 2, 2700, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Watts <= huge.Watts {
+		t.Errorf("right-sizing (%v) must beat over-provisioning (%v)", small.Watts, huge.Watts)
+	}
+	if small.Watts <= 0 {
+		t.Errorf("k=1 tight sizing savings = %v, want > 0", small.Watts)
+	}
+	if huge.Watts >= 0 {
+		t.Errorf("forcing 2700 W PSUs should cost power, got %v", huge.Watts)
+	}
+}
+
+func TestSavingsResizeKMonotone(t *testing.T) {
+	// k-monotonicity only holds while the k=1 sizing keeps the load at or
+	// below the efficiency peak (~60 %); choose outputs so that it does:
+	// Pout=150 → k=1 picks 250 W (60 % load), k=2 picks 400 W (37.5 %).
+	fleet := []RouterPSUs{{
+		Router: "r",
+		PSUs: []Snapshot{
+			{Pin: 200, Pout: 150, Capacity: 750},
+			{Pin: 198, Pout: 150, Capacity: 750},
+		},
+	}}
+	opts := CapacityOptions()
+	s1, err := SavingsResize(fleet, 1, 250, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SavingsResize(fleet, 2, 250, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Watts > s1.Watts+1e-9 {
+		t.Errorf("k=2 (%v) cannot save more than k=1 (%v)", s2.Watts, s1.Watts)
+	}
+}
+
+func TestSavingsResizeErrors(t *testing.T) {
+	if _, err := SavingsResize(nil, 0, 250, CapacityOptions()); err == nil {
+		t.Error("k=0 must error")
+	}
+	if _, err := SavingsResize(nil, 1, 250, nil); err == nil {
+		t.Error("empty options must error")
+	}
+}
+
+func TestSavingsResizeRequiredCapacityRespected(t *testing.T) {
+	// One PSU delivering 300 W with k=2 needs ≥600 W, so the 750 W option
+	// must be chosen even when the minimum asked for is 250 W; resizing to
+	// 750 (same as today) changes nothing.
+	fleet := []RouterPSUs{{
+		Router: "r",
+		PSUs:   []Snapshot{{Pin: 350, Pout: 300, Capacity: 750}},
+	}}
+	s, err := SavingsResize(fleet, 2, 250, CapacityOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Watts.Watts()) > 1e-9 {
+		t.Errorf("resize to identical capacity must be neutral, got %v", s.Watts)
+	}
+}

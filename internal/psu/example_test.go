@@ -1,0 +1,34 @@
+package psu_test
+
+import (
+	"fmt"
+
+	"fantasticjoules/internal/psu"
+)
+
+// Estimate a deployed PSU's efficiency curve from one sensor snapshot,
+// the §9 method: the PFE600 reference curve shifted through the measured
+// (load, efficiency) point.
+func ExampleSnapshot_Curve() {
+	snap := psu.Snapshot{Pin: 240, Pout: 180, Capacity: 750}
+	fmt.Printf("measured: %.0f%% efficient at %.0f%% load\n",
+		snap.Efficiency()*100, snap.Load()*100)
+
+	curve := snap.Curve()
+	fmt.Printf("estimated at 50%% load: %.0f%%\n", curve.Efficiency(0.5)*100)
+	// Output:
+	// measured: 75% efficient at 24% load
+	// estimated at 50% load: 76%
+}
+
+// The theoretical curve of a PSU that just meets an 80 Plus level: the
+// reference curve shifted to clear every set point (§9.3.2).
+func ExampleStandardCurve() {
+	for _, r := range []psu.Rating{psu.Bronze, psu.Titanium} {
+		c := psu.StandardCurve(r)
+		fmt.Printf("%s at 20%% load: %.1f%%\n", r, c.Efficiency(0.2)*100)
+	}
+	// Output:
+	// Bronze at 20% load: 83.3%
+	// Titanium at 20% load: 94.0%
+}

@@ -1,0 +1,255 @@
+package psu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fantasticjoules/internal/units"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve(nil); err == nil {
+		t.Error("empty curve must error")
+	}
+	if _, err := NewCurve([]CurvePoint{{0.5, 1.2}}); err == nil {
+		t.Error("efficiency > 1 must error")
+	}
+	if _, err := NewCurve([]CurvePoint{{0.5, 0}}); err == nil {
+		t.Error("zero efficiency must error")
+	}
+	if _, err := NewCurve([]CurvePoint{{1.5, 0.9}}); err == nil {
+		t.Error("load > 1 must error")
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c, err := NewCurve([]CurvePoint{{0.2, 0.80}, {0.6, 0.90}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		load, want float64
+	}{
+		{0.0, 0.80}, // clamped low
+		{0.2, 0.80}, // exact point
+		{0.4, 0.85}, // midpoint
+		{0.6, 0.90}, // exact point
+		{1.0, 0.90}, // clamped high
+	}
+	for _, tt := range tests {
+		if got := c.Efficiency(tt.load); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Efficiency(%v) = %v, want %v", tt.load, got, tt.want)
+		}
+	}
+}
+
+func TestCurveSortsPoints(t *testing.T) {
+	c, err := NewCurve([]CurvePoint{{0.8, 0.9}, {0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Efficiency(0.5); got <= 0.8 || got >= 0.9 {
+		t.Errorf("Efficiency(0.5) = %v, want interpolated between 0.8 and 0.9", got)
+	}
+}
+
+func TestZeroCurveLossless(t *testing.T) {
+	var c Curve
+	if c.Efficiency(0.5) != 1 {
+		t.Error("zero-value curve must report perfect efficiency")
+	}
+}
+
+func TestPFE600Shape(t *testing.T) {
+	c := PFE600()
+	// Platinum rated: must meet the Platinum set points.
+	for _, sp := range Platinum.SetPoints() {
+		if got := c.Efficiency(sp.Load); got < sp.Efficiency {
+			t.Errorf("PFE600 at %v%% load = %v, below Platinum requirement %v",
+				sp.Load*100, got, sp.Efficiency)
+		}
+	}
+	// Peak around mid load, poor at low load.
+	if c.Efficiency(0.05) >= c.Efficiency(0.5) {
+		t.Error("low-load efficiency must be below mid-load efficiency")
+	}
+	if c.Efficiency(1.0) >= c.Efficiency(0.55) {
+		t.Error("full-load efficiency must be below the mid-load peak")
+	}
+}
+
+func TestOffsetClamps(t *testing.T) {
+	c := PFE600()
+	up := c.Offset(0.2)
+	if up.Efficiency(0.5) > 1 {
+		t.Error("offset curve exceeded efficiency 1")
+	}
+	down := c.Offset(-5)
+	if down.Efficiency(0.5) < 0.01 {
+		t.Error("offset curve dropped below floor")
+	}
+}
+
+func TestCurveMonotoneUnderOffset(t *testing.T) {
+	// Offsetting preserves the curve ordering for any pair of loads.
+	f := func(delta float64, a, b uint8) bool {
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return true
+		}
+		delta = math.Mod(delta, 1)
+		c := PFE600()
+		o := c.Offset(delta)
+		la, lb := float64(a)/255, float64(b)/255
+		base := c.Efficiency(la) <= c.Efficiency(lb)
+		// Clamping can flatten differences but must never invert strict order
+		// by more than the clamp allows; check weak consistency.
+		shifted := o.Efficiency(la) <= o.Efficiency(lb)+1e-12
+		return !base || shifted
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatingStrings(t *testing.T) {
+	want := []string{"Bronze", "Silver", "Gold", "Platinum", "Titanium"}
+	for i, r := range Ratings() {
+		if r.String() != want[i] {
+			t.Errorf("Rating %d = %q, want %q", i, r.String(), want[i])
+		}
+	}
+	if Rating(99).String() != "Rating(99)" {
+		t.Error("unknown rating formatting")
+	}
+}
+
+func TestSetPointsOrdered(t *testing.T) {
+	// Higher standards require higher efficiency at every shared load.
+	levels := Ratings()
+	for i := 1; i < len(levels); i++ {
+		lo, hi := levels[i-1].SetPoints(), levels[i].SetPoints()
+		loAt := func(load float64) (float64, bool) {
+			for _, p := range lo {
+				if p.Load == load {
+					return p.Efficiency, true
+				}
+			}
+			return 0, false
+		}
+		for _, p := range hi {
+			if e, ok := loAt(p.Load); ok && p.Efficiency <= e {
+				t.Errorf("%v at %v%% (%v) not above %v (%v)",
+					levels[i], p.Load*100, p.Efficiency, levels[i-1], e)
+			}
+		}
+	}
+	if Rating(99).SetPoints() != nil {
+		t.Error("unknown rating must have no set points")
+	}
+}
+
+func TestStandardCurveMeetsSetPoints(t *testing.T) {
+	for _, r := range Ratings() {
+		c := StandardCurve(r)
+		for _, sp := range r.SetPoints() {
+			if got := c.Efficiency(sp.Load); got < sp.Efficiency-1e-9 {
+				t.Errorf("%v standard curve at %v%% = %v, below %v",
+					r, sp.Load*100, got, sp.Efficiency)
+			}
+		}
+	}
+}
+
+func TestStandardCurvesOrdered(t *testing.T) {
+	// Within the clamp region, a higher standard's curve must never fall
+	// below a lower standard's.
+	levels := Ratings()
+	for i := 1; i < len(levels); i++ {
+		lo, hi := StandardCurve(levels[i-1]), StandardCurve(levels[i])
+		for load := 0.05; load <= 1.0; load += 0.05 {
+			if hi.Efficiency(load) < lo.Efficiency(load)-1e-9 {
+				t.Errorf("%v below %v at load %v", levels[i], levels[i-1], load)
+			}
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	s := Snapshot{Pin: 100, Pout: 85, Capacity: 500}
+	if got := s.Load(); got != 0.17 {
+		t.Errorf("Load = %v, want 0.17", got)
+	}
+	if got := s.Efficiency(); got != 0.85 {
+		t.Errorf("Efficiency = %v, want 0.85", got)
+	}
+	// Pout > Pin is physically impossible; capped at 1 per §9.2.
+	capped := Snapshot{Pin: 80, Pout: 90, Capacity: 500}
+	if capped.Efficiency() != 1 {
+		t.Errorf("capped efficiency = %v, want 1", capped.Efficiency())
+	}
+	if (Snapshot{Pin: 0, Pout: 10, Capacity: 1}).Efficiency() != 0 {
+		t.Error("zero Pin must yield 0 efficiency")
+	}
+	if (Snapshot{Pout: 10}).Load() != 0 {
+		t.Error("zero capacity must yield 0 load")
+	}
+}
+
+func TestSnapshotCurvePassesThroughPoint(t *testing.T) {
+	f := func(pinW, poutFrac, capFrac uint16) bool {
+		pin := 10 + float64(pinW%2000)
+		pout := pin * (0.5 + 0.5*float64(poutFrac)/65535) // eff in [0.5, 1]
+		capacity := pout * (1.5 + 8*float64(capFrac)/65535)
+		s := Snapshot{Pin: units.Power(pin), Pout: units.Power(pout), Capacity: units.Power(capacity)}
+		got := s.Curve().Efficiency(s.Load())
+		// The fitted curve passes through the measured point unless the
+		// offset pushes any curve point into the clamp region (the PFE600
+		// peaks at 0.942 and bottoms at 0.70).
+		delta := s.FitOffset()
+		if 0.942+delta > 1 || 0.70+delta < 0.01 {
+			return true
+		}
+		return math.Abs(got-s.Efficiency()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u, err := NewUnit(600, PFE600())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Capacity() != 600 {
+		t.Error("Capacity mismatch")
+	}
+	// At 300 W output (50% load), efficiency is 0.942, so input ≈ 318.47 W.
+	in := u.InputFor(300)
+	want := 300 / 0.942
+	if math.Abs(in.Watts()-want) > 1e-9 {
+		t.Errorf("InputFor(300) = %v, want %v", in.Watts(), want)
+	}
+	if u.InputFor(0) != 0 {
+		t.Error("InputFor(0) must be 0")
+	}
+	if u.InputFor(-5) != 0 {
+		t.Error("InputFor(negative) must be 0")
+	}
+	if _, err := NewUnit(0, PFE600()); err == nil {
+		t.Error("zero capacity must error")
+	}
+}
+
+func TestUnitInputAlwaysAboveOutput(t *testing.T) {
+	u, _ := NewUnit(600, PFE600())
+	f := func(outW uint16) bool {
+		out := units.Power(float64(outW % 600))
+		in := u.InputFor(out)
+		return in >= out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

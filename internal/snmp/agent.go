@@ -1,0 +1,233 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// HandlerFunc produces the current value of one MIB object. Handlers run
+// on the agent's receive goroutine and must be safe for concurrent use
+// with whatever updates the underlying state.
+type HandlerFunc func() Value
+
+// MIB is an ordered tree of managed objects. The zero value is empty and
+// ready to use; registration and lookup are safe for concurrent use.
+type MIB struct {
+	mu      sync.RWMutex
+	oids    []OID // sorted
+	handler map[string]HandlerFunc
+}
+
+// Register installs (or replaces) the handler for an OID.
+func (m *MIB) Register(oid OID, h HandlerFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.handler == nil {
+		m.handler = make(map[string]HandlerFunc)
+	}
+	key := oid.String()
+	if _, exists := m.handler[key]; !exists {
+		idx := sort.Search(len(m.oids), func(i int) bool { return m.oids[i].Compare(oid) >= 0 })
+		m.oids = append(m.oids, nil)
+		copy(m.oids[idx+1:], m.oids[idx:])
+		m.oids[idx] = append(OID(nil), oid...)
+	}
+	m.handler[key] = h
+}
+
+// RegisterScalar installs a constant value under an OID.
+func (m *MIB) RegisterScalar(oid OID, v Value) {
+	m.Register(oid, func() Value { return v })
+}
+
+// Len returns the number of registered objects.
+func (m *MIB) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.oids)
+}
+
+// Get returns the exact object value, or a noSuchInstance exception.
+func (m *MIB) Get(oid OID) Value {
+	m.mu.RLock()
+	h, ok := m.handler[oid.String()]
+	m.mu.RUnlock()
+	if !ok {
+		return Value{Kind: KindNoSuchInstance}
+	}
+	return h()
+}
+
+// Next returns the first object strictly after oid in tree order, or
+// ok=false at the end of the MIB view.
+func (m *MIB) Next(oid OID) (OID, Value, bool) {
+	m.mu.RLock()
+	idx := sort.Search(len(m.oids), func(i int) bool { return m.oids[i].Compare(oid) > 0 })
+	if idx >= len(m.oids) {
+		m.mu.RUnlock()
+		return nil, Value{}, false
+	}
+	next := m.oids[idx]
+	h := m.handler[next.String()]
+	m.mu.RUnlock()
+	return next, h(), true
+}
+
+// maxResponseBytes caps agent responses; larger results return tooBig, as
+// a real agent would for a datagram transport.
+const maxResponseBytes = 60000
+
+// Agent serves a MIB over SNMPv2c/UDP. Create with NewAgent, start with
+// Start, and stop with Close.
+type Agent struct {
+	mib       *MIB
+	community string
+
+	mu   sync.Mutex
+	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewAgent returns an agent serving the MIB to clients presenting the
+// given community string.
+func NewAgent(mib *MIB, community string) *Agent {
+	return &Agent{mib: mib, community: community}
+}
+
+// Start binds the agent to a UDP address (use "127.0.0.1:0" for an
+// ephemeral loopback port) and begins serving. It returns the bound
+// address.
+func (a *Agent) Start(addr string) (string, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return "", fmt.Errorf("snmp: agent: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return "", fmt.Errorf("snmp: agent: %w", err)
+	}
+	a.mu.Lock()
+	if a.conn != nil {
+		a.mu.Unlock()
+		conn.Close()
+		return "", errors.New("snmp: agent already started")
+	}
+	a.conn = conn
+	a.done = make(chan struct{})
+	a.mu.Unlock()
+
+	a.wg.Add(1)
+	go a.serve(conn)
+	return conn.LocalAddr().String(), nil
+}
+
+// Close stops the agent and waits for its goroutine to exit. It is safe to
+// call multiple times.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	conn := a.conn
+	done := a.done
+	a.conn = nil
+	a.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	close(done)
+	err := conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+func (a *Agent) serve(conn *net.UDPConn) {
+	defer a.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-a.done:
+				return
+			default:
+				// Transient read error on a live socket; keep serving.
+				continue
+			}
+		}
+		msg, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // malformed datagrams are dropped, as real agents do
+		}
+		if msg.Community != a.community {
+			continue // wrong community: drop silently (RFC 3584 behaviour)
+		}
+		resp := a.handle(msg.PDU)
+		out, err := Message{Community: a.community, PDU: resp}.Marshal()
+		if err != nil {
+			continue
+		}
+		if len(out) > maxResponseBytes {
+			tooBig := PDU{Type: Response, RequestID: msg.PDU.RequestID, ErrorStatus: ErrTooBig}
+			if out, err = (Message{Community: a.community, PDU: tooBig}).Marshal(); err != nil {
+				continue
+			}
+		}
+		_, _ = conn.WriteToUDP(out, raddr)
+	}
+}
+
+func (a *Agent) handle(req PDU) PDU {
+	resp := PDU{Type: Response, RequestID: req.RequestID}
+	switch req.Type {
+	case GetRequest:
+		for _, vb := range req.VarBinds {
+			resp.VarBinds = append(resp.VarBinds, VarBind{OID: vb.OID, Value: a.mib.Get(vb.OID)})
+		}
+	case GetNextRequest:
+		for _, vb := range req.VarBinds {
+			next, val, ok := a.mib.Next(vb.OID)
+			if !ok {
+				resp.VarBinds = append(resp.VarBinds, VarBind{OID: vb.OID, Value: Value{Kind: KindEndOfMibView}})
+				continue
+			}
+			resp.VarBinds = append(resp.VarBinds, VarBind{OID: next, Value: val})
+		}
+	case GetBulkRequest:
+		nonRep := req.NonRepeaters()
+		maxRep := req.MaxRepetitions()
+		if nonRep < 0 {
+			nonRep = 0
+		}
+		if nonRep > len(req.VarBinds) {
+			nonRep = len(req.VarBinds)
+		}
+		if maxRep <= 0 {
+			maxRep = 10
+		}
+		for _, vb := range req.VarBinds[:nonRep] {
+			next, val, ok := a.mib.Next(vb.OID)
+			if !ok {
+				resp.VarBinds = append(resp.VarBinds, VarBind{OID: vb.OID, Value: Value{Kind: KindEndOfMibView}})
+				continue
+			}
+			resp.VarBinds = append(resp.VarBinds, VarBind{OID: next, Value: val})
+		}
+		for _, vb := range req.VarBinds[nonRep:] {
+			cur := vb.OID
+			for i := 0; i < maxRep; i++ {
+				next, val, ok := a.mib.Next(cur)
+				if !ok {
+					resp.VarBinds = append(resp.VarBinds, VarBind{OID: cur, Value: Value{Kind: KindEndOfMibView}})
+					break
+				}
+				resp.VarBinds = append(resp.VarBinds, VarBind{OID: next, Value: val})
+				cur = next
+			}
+		}
+	default:
+		resp.ErrorStatus = ErrGenErr
+	}
+	return resp
+}

@@ -1,0 +1,288 @@
+package snmp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/units"
+)
+
+func TestMIBGetNext(t *testing.T) {
+	var mib MIB
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.1.5.0"), StringValue("r1"))
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.2.1.0"), IntegerValue(4))
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.2.2.1.7.1"), IntegerValue(1))
+
+	if v := mib.Get(MustOID(".1.3.6.1.2.1.1.5.0")); string(v.Bytes) != "r1" {
+		t.Errorf("Get sysName = %v", v)
+	}
+	if v := mib.Get(MustOID(".1.3.6.1.2.1.1.6.0")); v.Kind != KindNoSuchInstance {
+		t.Errorf("Get missing = %v, want noSuchInstance", v)
+	}
+	next, v, ok := mib.Next(MustOID(".1.3.6.1.2.1.1.5.0"))
+	if !ok || next.String() != ".1.3.6.1.2.1.2.1.0" || v.Int != 4 {
+		t.Errorf("Next = %s %v %v", next, v, ok)
+	}
+	// Next from a non-registered OID finds the following entry.
+	next, _, ok = mib.Next(MustOID(".1.3.6.1.2.1.2"))
+	if !ok || next.String() != ".1.3.6.1.2.1.2.1.0" {
+		t.Errorf("Next from prefix = %s", next)
+	}
+	if _, _, ok := mib.Next(MustOID(".1.3.6.1.2.1.2.2.1.7.1")); ok {
+		t.Error("Next past the last entry must report end of view")
+	}
+	if mib.Len() != 3 {
+		t.Errorf("Len = %d", mib.Len())
+	}
+}
+
+func TestMIBRegisterReplaces(t *testing.T) {
+	var mib MIB
+	oid := MustOID(".1.3.6.1.2.1.1.5.0")
+	mib.RegisterScalar(oid, StringValue("old"))
+	mib.RegisterScalar(oid, StringValue("new"))
+	if mib.Len() != 1 {
+		t.Errorf("duplicate registration grew the MIB: %d", mib.Len())
+	}
+	if v := mib.Get(oid); string(v.Bytes) != "new" {
+		t.Errorf("Get = %v, want replaced value", v)
+	}
+}
+
+func startAgent(t *testing.T, mib *MIB, community string) (*Agent, string) {
+	t.Helper()
+	agent := NewAgent(mib, community)
+	addr, err := agent.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { agent.Close() })
+	return agent, addr
+}
+
+func dialClient(t *testing.T, addr, community string) *Client {
+	t.Helper()
+	c, err := Dial(addr, ClientOptions{Community: community, Timeout: 500 * time.Millisecond, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestAgentGetOverUDP(t *testing.T) {
+	var mib MIB
+	mib.RegisterScalar(OIDSysName, StringValue("lab-rtr"))
+	mib.RegisterScalar(OIDPSUPower.Append(1), Gauge32Value(181))
+	_, addr := startAgent(t, &mib, "public")
+	c := dialClient(t, addr, "public")
+
+	vbs, err := c.Get(OIDSysName, OIDPSUPower.Append(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 2 {
+		t.Fatalf("varbinds = %d", len(vbs))
+	}
+	if string(vbs[0].Value.Bytes) != "lab-rtr" {
+		t.Errorf("sysName = %v", vbs[0].Value)
+	}
+	if vbs[1].Value.Uint != 181 {
+		t.Errorf("psu power = %v", vbs[1].Value)
+	}
+	// Missing object comes back as noSuchInstance, not an error.
+	vbs, err = c.Get(MustOID(".1.3.6.1.9.9.9.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Kind != KindNoSuchInstance {
+		t.Errorf("missing = %v", vbs[0].Value)
+	}
+}
+
+func TestAgentGetNextOverUDP(t *testing.T) {
+	var mib MIB
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.1.1.0"), StringValue("descr"))
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.1.5.0"), StringValue("name"))
+	_, addr := startAgent(t, &mib, "public")
+	c := dialClient(t, addr, "public")
+
+	vbs, err := c.GetNext(MustOID(".1.3.6.1.2.1.1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].OID.String() != ".1.3.6.1.2.1.1.5.0" {
+		t.Errorf("next = %s", vbs[0].OID)
+	}
+	vbs, err = c.GetNext(MustOID(".1.3.6.1.2.1.1.5.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Kind != KindEndOfMibView {
+		t.Errorf("past end = %v", vbs[0].Value)
+	}
+}
+
+func TestAgentWrongCommunityTimesOut(t *testing.T) {
+	var mib MIB
+	mib.RegisterScalar(OIDSysName, StringValue("x"))
+	_, addr := startAgent(t, &mib, "secret")
+	c := dialClient(t, addr, "wrong")
+	if _, err := c.Get(OIDSysName); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout (agent drops silently)", err)
+	}
+}
+
+func TestAgentDoubleStartAndClose(t *testing.T) {
+	var mib MIB
+	agent := NewAgent(&mib, "public")
+	if _, err := agent.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start must error")
+	}
+	if err := agent.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := agent.Close(); err != nil {
+		t.Errorf("second Close must be a no-op: %v", err)
+	}
+}
+
+func newTestRouter(t *testing.T) *device.Router {
+	t.Helper()
+	curve, _ := psu.NewCurve([]psu.CurvePoint{{Load: 0, Efficiency: 0.9}, {Load: 1, Efficiency: 0.9}})
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * units.GigabitPerSecond}
+	spec := device.ModelSpec{
+		Name: "snmp-rtr", NumPorts: 4, PortType: model.QSFP28,
+		Truth: map[model.ProfileKey]model.InterfaceProfile{
+			key: {Key: key, PPort: 1, EBit: 10 * units.Picojoule},
+		},
+		PBaseDC: 200, PSUCount: 2, PSUCapacity: 1000, PSUCurve: curve,
+		PSUSensor: device.SensorAccurate, InitialOSVersion: "1.0",
+	}
+	r, err := device.New(spec, "edge-rtr-07", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterMIBEndToEnd(t *testing.T) {
+	r := newTestRouter(t)
+	if err := r.PlugTransceiver("eth0", model.PassiveDAC, 100*units.GigabitPerSecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAdmin("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLink("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTraffic("eth0", 8*units.GigabitPerSecond, 1000); err != nil {
+		t.Fatal(err)
+	}
+	r.Advance(10 * time.Second)
+
+	var mib MIB
+	BindRouter(&mib, r)
+	_, addr := startAgent(t, &mib, "public")
+	c := dialClient(t, addr, "public")
+
+	vbs, err := c.Get(OIDSysName, OIDIfNumber, OIDIfOperStatus.Append(1), OIDIfOperStatus.Append(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vbs[0].Value.Bytes) != "edge-rtr-07" {
+		t.Errorf("sysName = %v", vbs[0].Value)
+	}
+	if vbs[1].Value.Int != 4 {
+		t.Errorf("ifNumber = %v", vbs[1].Value)
+	}
+	if vbs[2].Value.Int != StatusUp || vbs[3].Value.Int != StatusDown {
+		t.Errorf("oper status = %v/%v", vbs[2].Value, vbs[3].Value)
+	}
+
+	// Counters via walk: eth0 accumulated 10 s at 8 Gbps bidirectional.
+	walked, err := c.Walk(OIDIfHCInOctets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != 4 {
+		t.Fatalf("walked %d in-octet rows, want 4", len(walked))
+	}
+	wantOctets := uint64(8e9 / 8 / 2 * 10)
+	if walked[0].Value.Uint != wantOctets {
+		t.Errorf("eth0 inOctets = %d, want %d", walked[0].Value.Uint, wantOctets)
+	}
+	for _, vb := range walked[1:] {
+		if vb.Value.Uint != 0 {
+			t.Errorf("idle interface counted octets: %v", vb)
+		}
+	}
+
+	// PSU power gauges present for both PSUs, roughly half the wall each.
+	psuVbs, err := c.Walk(OIDPSUPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psuVbs) != 2 {
+		t.Fatalf("psu rows = %d, want 2", len(psuVbs))
+	}
+	wall := r.WallPower().Watts()
+	for _, vb := range psuVbs {
+		got := float64(vb.Value.Uint)
+		if got < wall/2-10 || got > wall/2+10 {
+			t.Errorf("psu gauge %v far from wall/2 = %v", got, wall/2)
+		}
+	}
+}
+
+func TestRouterMIBNoSensor(t *testing.T) {
+	r := newTestRouter(t)
+	// Rebuild with a sensorless spec.
+	spec := r.Spec()
+	spec.PSUSensor = device.SensorNone
+	r2, err := device.New(spec, "dark-rtr", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mib MIB
+	BindRouter(&mib, r2)
+	_, addr := startAgent(t, &mib, "public")
+	c := dialClient(t, addr, "public")
+	vbs, err := c.Walk(OIDPSUPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 0 {
+		t.Errorf("sensorless router exposed %d PSU rows", len(vbs))
+	}
+}
+
+func TestAgentGetBulk(t *testing.T) {
+	var mib MIB
+	base := MustOID(".1.3.6.1.2.1.31.1.1.1.6")
+	for i := uint32(1); i <= 100; i++ {
+		mib.RegisterScalar(base.Append(i), Counter64Value(uint64(i)*10))
+	}
+	_, addr := startAgent(t, &mib, "public")
+	c := dialClient(t, addr, "public")
+	vbs, err := c.Walk(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 100 {
+		t.Fatalf("walk returned %d rows, want 100", len(vbs))
+	}
+	for i, vb := range vbs {
+		if vb.Value.Uint != uint64(i+1)*10 {
+			t.Errorf("row %d = %d", i, vb.Value.Uint)
+		}
+	}
+}

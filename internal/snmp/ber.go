@@ -1,0 +1,525 @@
+// Package snmp implements the subset of SNMPv2c the paper's data
+// collection relies on, from scratch on the standard library: BER
+// encoding, the GetRequest/GetNextRequest/GetBulkRequest/Response PDUs, a
+// UDP agent that serves a MIB view of a simulated router, and a client
+// used by the fleet poller.
+//
+// The paper collects 10 months of PSU power and interface counters from
+// 107 routers via SNMP at 5-minute resolution (§1); this package is the
+// wire-level substitute for that collection path, exercised over loopback.
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tag values for the BER types SNMPv2c uses.
+const (
+	tagInteger     = 0x02
+	tagOctetString = 0x04
+	tagNull        = 0x05
+	tagOID         = 0x06
+	tagSequence    = 0x30
+	tagIPAddress   = 0x40
+	tagCounter32   = 0x41
+	tagGauge32     = 0x42
+	tagTimeTicks   = 0x43
+	tagCounter64   = 0x46
+
+	// Exception tags (SNMPv2c varbind exceptions).
+	tagNoSuchObject   = 0x80
+	tagNoSuchInstance = 0x81
+	tagEndOfMibView   = 0x82
+)
+
+// Kind enumerates the value kinds a varbind can carry.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInteger
+	KindOctetString
+	KindOID
+	KindIPAddress
+	KindCounter32
+	KindGauge32
+	KindTimeTicks
+	KindCounter64
+	KindNoSuchObject
+	KindNoSuchInstance
+	KindEndOfMibView
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "Null"
+	case KindInteger:
+		return "Integer"
+	case KindOctetString:
+		return "OctetString"
+	case KindOID:
+		return "OID"
+	case KindIPAddress:
+		return "IpAddress"
+	case KindCounter32:
+		return "Counter32"
+	case KindGauge32:
+		return "Gauge32"
+	case KindTimeTicks:
+		return "TimeTicks"
+	case KindCounter64:
+		return "Counter64"
+	case KindNoSuchObject:
+		return "noSuchObject"
+	case KindNoSuchInstance:
+		return "noSuchInstance"
+	case KindEndOfMibView:
+		return "endOfMibView"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a decoded SNMP value.
+type Value struct {
+	Kind  Kind
+	Int   int64  // KindInteger
+	Uint  uint64 // counters, gauges, ticks
+	Bytes []byte // KindOctetString, KindIPAddress
+	OID   OID    // KindOID
+}
+
+// IntegerValue builds an Integer value.
+func IntegerValue(v int64) Value { return Value{Kind: KindInteger, Int: v} }
+
+// StringValue builds an OctetString value.
+func StringValue(s string) Value { return Value{Kind: KindOctetString, Bytes: []byte(s)} }
+
+// Counter32Value builds a Counter32 (wrapping at 2³²).
+func Counter32Value(v uint32) Value { return Value{Kind: KindCounter32, Uint: uint64(v)} }
+
+// Counter64Value builds a Counter64.
+func Counter64Value(v uint64) Value { return Value{Kind: KindCounter64, Uint: v} }
+
+// Gauge32Value builds a Gauge32.
+func Gauge32Value(v uint32) Value { return Value{Kind: KindGauge32, Uint: uint64(v)} }
+
+// NullValue builds a Null value (used in request varbinds).
+func NullValue() Value { return Value{Kind: KindNull} }
+
+// String renders the value for humans, e.g. "Counter64: 12345".
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull, KindNoSuchObject, KindNoSuchInstance, KindEndOfMibView:
+		return v.Kind.String()
+	case KindInteger:
+		return fmt.Sprintf("Integer: %d", v.Int)
+	case KindOctetString:
+		return fmt.Sprintf("OctetString: %q", v.Bytes)
+	case KindOID:
+		return "OID: " + v.OID.String()
+	case KindIPAddress:
+		if len(v.Bytes) == 4 {
+			return fmt.Sprintf("IpAddress: %d.%d.%d.%d", v.Bytes[0], v.Bytes[1], v.Bytes[2], v.Bytes[3])
+		}
+		return fmt.Sprintf("IpAddress: % x", v.Bytes)
+	default:
+		return fmt.Sprintf("%s: %d", v.Kind, v.Uint)
+	}
+}
+
+// OID is an object identifier as a sequence of arcs.
+type OID []uint32
+
+// ParseOID parses a dotted OID string such as ".1.3.6.1.2.1.1.5.0" (the
+// leading dot is optional).
+func ParseOID(s string) (OID, error) {
+	s = strings.TrimPrefix(s, ".")
+	if s == "" {
+		return nil, errors.New("snmp: empty OID")
+	}
+	parts := strings.Split(s, ".")
+	oid := make(OID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: bad OID arc %q: %w", p, err)
+		}
+		oid[i] = uint32(v)
+	}
+	if len(oid) < 2 {
+		return nil, fmt.Errorf("snmp: OID %q needs at least two arcs", s)
+	}
+	if oid[0] > 2 || (oid[0] < 2 && oid[1] > 39) {
+		return nil, fmt.Errorf("snmp: invalid OID root %d.%d", oid[0], oid[1])
+	}
+	return oid, nil
+}
+
+// MustOID is ParseOID for known-good literals; it panics on error.
+func MustOID(s string) OID {
+	oid, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return oid
+}
+
+// String renders the OID with a leading dot.
+func (o OID) String() string {
+	var sb strings.Builder
+	for _, arc := range o {
+		sb.WriteByte('.')
+		sb.WriteString(strconv.FormatUint(uint64(arc), 10))
+	}
+	return sb.String()
+}
+
+// Compare orders OIDs lexicographically by arc, the MIB tree order.
+func (o OID) Compare(other OID) int {
+	n := len(o)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case o[i] < other[i]:
+			return -1
+		case o[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(other):
+		return -1
+	case len(o) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// HasPrefix reports whether o lies under the given prefix.
+func (o OID) HasPrefix(prefix OID) bool {
+	if len(o) < len(prefix) {
+		return false
+	}
+	for i, arc := range prefix {
+		if o[i] != arc {
+			return false
+		}
+	}
+	return true
+}
+
+// Append returns a new OID with extra arcs appended.
+func (o OID) Append(arcs ...uint32) OID {
+	out := make(OID, 0, len(o)+len(arcs))
+	out = append(out, o...)
+	out = append(out, arcs...)
+	return out
+}
+
+// SortOIDs sorts a slice of OIDs into MIB tree order.
+func SortOIDs(oids []OID) {
+	sort.Slice(oids, func(i, j int) bool { return oids[i].Compare(oids[j]) < 0 })
+}
+
+// --- BER encoding ---
+
+func appendLength(b []byte, n int) []byte {
+	if n < 0x80 {
+		return append(b, byte(n))
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n & 0xff)
+		n >>= 8
+	}
+	b = append(b, byte(0x80|(len(tmp)-i)))
+	return append(b, tmp[i:]...)
+}
+
+func appendTLV(b []byte, tag byte, content []byte) []byte {
+	b = append(b, tag)
+	b = appendLength(b, len(content))
+	return append(b, content...)
+}
+
+func appendInt(b []byte, tag byte, v int64) []byte {
+	// Minimal two's-complement encoding.
+	var content []byte
+	for {
+		content = append([]byte{byte(v & 0xff)}, content...)
+		v >>= 8
+		if (v == 0 && content[0]&0x80 == 0) || (v == -1 && content[0]&0x80 != 0) {
+			break
+		}
+	}
+	return appendTLV(b, tag, content)
+}
+
+func appendUint(b []byte, tag byte, v uint64) []byte {
+	var content []byte
+	for {
+		content = append([]byte{byte(v & 0xff)}, content...)
+		v >>= 8
+		if v == 0 {
+			break
+		}
+	}
+	if content[0]&0x80 != 0 {
+		content = append([]byte{0}, content...)
+	}
+	return appendTLV(b, tag, content)
+}
+
+func appendOID(b []byte, oid OID) ([]byte, error) {
+	if len(oid) < 2 {
+		return nil, fmt.Errorf("snmp: cannot encode OID with %d arcs", len(oid))
+	}
+	first := uint64(oid[0])*40 + uint64(oid[1])
+	content := appendBase128(nil, first)
+	for _, arc := range oid[2:] {
+		content = appendBase128(content, uint64(arc))
+	}
+	return appendTLV(b, tagOID, content), nil
+}
+
+func appendBase128(b []byte, v uint64) []byte {
+	if v == 0 {
+		return append(b, 0)
+	}
+	var tmp [10]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte(v & 0x7f)
+		v >>= 7
+	}
+	for j := i; j < len(tmp)-1; j++ {
+		tmp[j] |= 0x80
+	}
+	return append(b, tmp[i:]...)
+}
+
+func appendValue(b []byte, v Value) ([]byte, error) {
+	switch v.Kind {
+	case KindNull:
+		return appendTLV(b, tagNull, nil), nil
+	case KindInteger:
+		return appendInt(b, tagInteger, v.Int), nil
+	case KindOctetString:
+		return appendTLV(b, tagOctetString, v.Bytes), nil
+	case KindOID:
+		return appendOID(b, v.OID)
+	case KindIPAddress:
+		if len(v.Bytes) != 4 {
+			return nil, fmt.Errorf("snmp: IpAddress needs 4 bytes, got %d", len(v.Bytes))
+		}
+		return appendTLV(b, tagIPAddress, v.Bytes), nil
+	case KindCounter32, KindGauge32, KindTimeTicks:
+		if v.Uint > 0xffffffff {
+			return nil, fmt.Errorf("snmp: %s overflow: %d", v.Kind, v.Uint)
+		}
+		tag := byte(tagCounter32)
+		switch v.Kind {
+		case KindGauge32:
+			tag = tagGauge32
+		case KindTimeTicks:
+			tag = tagTimeTicks
+		}
+		return appendUint(b, tag, v.Uint), nil
+	case KindCounter64:
+		return appendUint(b, tagCounter64, v.Uint), nil
+	case KindNoSuchObject:
+		return appendTLV(b, tagNoSuchObject, nil), nil
+	case KindNoSuchInstance:
+		return appendTLV(b, tagNoSuchInstance, nil), nil
+	case KindEndOfMibView:
+		return appendTLV(b, tagEndOfMibView, nil), nil
+	}
+	return nil, fmt.Errorf("snmp: cannot encode %v", v.Kind)
+}
+
+// --- BER decoding ---
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) readTL() (tag byte, length int, err error) {
+	if r.off >= len(r.buf) {
+		return 0, 0, errors.New("snmp: truncated TLV header")
+	}
+	tag = r.buf[r.off]
+	r.off++
+	if r.off >= len(r.buf) {
+		return 0, 0, errors.New("snmp: truncated length")
+	}
+	b0 := r.buf[r.off]
+	r.off++
+	if b0 < 0x80 {
+		length = int(b0)
+	} else {
+		n := int(b0 & 0x7f)
+		if n == 0 || n > 4 {
+			return 0, 0, fmt.Errorf("snmp: unsupported length-of-length %d", n)
+		}
+		if r.off+n > len(r.buf) {
+			return 0, 0, errors.New("snmp: truncated long length")
+		}
+		for i := 0; i < n; i++ {
+			length = length<<8 | int(r.buf[r.off])
+			r.off++
+		}
+	}
+	if r.off+length > len(r.buf) {
+		return 0, 0, fmt.Errorf("snmp: TLV length %d exceeds buffer", length)
+	}
+	return tag, length, nil
+}
+
+func (r *reader) readTLV() (tag byte, content []byte, err error) {
+	tag, length, err := r.readTL()
+	if err != nil {
+		return 0, nil, err
+	}
+	content = r.buf[r.off : r.off+length]
+	r.off += length
+	return tag, content, nil
+}
+
+func (r *reader) expect(tag byte) ([]byte, error) {
+	got, content, err := r.readTLV()
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("snmp: expected tag 0x%02x, got 0x%02x", tag, got)
+	}
+	return content, nil
+}
+
+func decodeInt(content []byte) (int64, error) {
+	if len(content) == 0 {
+		return 0, errors.New("snmp: empty integer")
+	}
+	if len(content) > 8 {
+		return 0, fmt.Errorf("snmp: integer too long (%d bytes)", len(content))
+	}
+	v := int64(0)
+	if content[0]&0x80 != 0 {
+		v = -1
+	}
+	for _, b := range content {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+func decodeUint(content []byte) (uint64, error) {
+	if len(content) == 0 {
+		return 0, errors.New("snmp: empty unsigned")
+	}
+	if len(content) > 9 || (len(content) == 9 && content[0] != 0) {
+		return 0, fmt.Errorf("snmp: unsigned too long (%d bytes)", len(content))
+	}
+	var v uint64
+	for _, b := range content {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+func decodeOID(content []byte) (OID, error) {
+	if len(content) == 0 {
+		return nil, errors.New("snmp: empty OID")
+	}
+	var arcs []uint64
+	var cur uint64
+	for i, b := range content {
+		cur = cur<<7 | uint64(b&0x7f)
+		if b&0x80 == 0 {
+			arcs = append(arcs, cur)
+			cur = 0
+		} else if i == len(content)-1 {
+			return nil, errors.New("snmp: truncated base-128 arc")
+		}
+	}
+	first := arcs[0]
+	oid := make(OID, 0, len(arcs)+1)
+	switch {
+	case first < 80:
+		oid = append(oid, uint32(first/40), uint32(first%40))
+	default:
+		oid = append(oid, 2, uint32(first-80))
+	}
+	for _, a := range arcs[1:] {
+		if a > 0xffffffff {
+			return nil, fmt.Errorf("snmp: OID arc overflow: %d", a)
+		}
+		oid = append(oid, uint32(a))
+	}
+	return oid, nil
+}
+
+func decodeValue(tag byte, content []byte) (Value, error) {
+	switch tag {
+	case tagNull:
+		return NullValue(), nil
+	case tagInteger:
+		v, err := decodeInt(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntegerValue(v), nil
+	case tagOctetString:
+		return Value{Kind: KindOctetString, Bytes: append([]byte(nil), content...)}, nil
+	case tagOID:
+		oid, err := decodeOID(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: KindOID, OID: oid}, nil
+	case tagIPAddress:
+		if len(content) != 4 {
+			return Value{}, fmt.Errorf("snmp: IpAddress with %d bytes", len(content))
+		}
+		return Value{Kind: KindIPAddress, Bytes: append([]byte(nil), content...)}, nil
+	case tagCounter32, tagGauge32, tagTimeTicks:
+		v, err := decodeUint(content)
+		if err != nil {
+			return Value{}, err
+		}
+		k := KindCounter32
+		switch tag {
+		case tagGauge32:
+			k = KindGauge32
+		case tagTimeTicks:
+			k = KindTimeTicks
+		}
+		return Value{Kind: k, Uint: v}, nil
+	case tagCounter64:
+		v, err := decodeUint(content)
+		if err != nil {
+			return Value{}, err
+		}
+		return Counter64Value(v), nil
+	case tagNoSuchObject:
+		return Value{Kind: KindNoSuchObject}, nil
+	case tagNoSuchInstance:
+		return Value{Kind: KindNoSuchInstance}, nil
+	case tagEndOfMibView:
+		return Value{Kind: KindEndOfMibView}, nil
+	}
+	return Value{}, fmt.Errorf("snmp: unknown value tag 0x%02x", tag)
+}

@@ -1,0 +1,259 @@
+package snmp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseOID(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{".1.3.6.1.2.1.1.5.0", ".1.3.6.1.2.1.1.5.0", true},
+		{"1.3.6.1", ".1.3.6.1", true},
+		{"2.999.1", ".2.999.1", true},
+		{"", "", false},
+		{".1", "", false},
+		{".3.1", "", false},    // root arc > 2
+		{".1.40.1", "", false}, // second arc > 39 under root 1
+		{".1.x.3", "", false},
+	}
+	for _, tt := range tests {
+		oid, err := ParseOID(tt.in)
+		if tt.ok != (err == nil) {
+			t.Errorf("ParseOID(%q) err = %v, want ok=%v", tt.in, err, tt.ok)
+			continue
+		}
+		if tt.ok && oid.String() != tt.want {
+			t.Errorf("ParseOID(%q) = %s, want %s", tt.in, oid, tt.want)
+		}
+	}
+}
+
+func TestMustOIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOID on garbage must panic")
+		}
+	}()
+	MustOID("not an oid")
+}
+
+func TestOIDCompare(t *testing.T) {
+	a := MustOID(".1.3.6.1")
+	b := MustOID(".1.3.6.1.2")
+	c := MustOID(".1.3.6.2")
+	if a.Compare(b) >= 0 {
+		t.Error("prefix must sort before extension")
+	}
+	if b.Compare(c) >= 0 {
+		t.Error(".1.3.6.1.2 must sort before .1.3.6.2")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("equal OIDs must compare 0")
+	}
+	if c.Compare(a) <= 0 {
+		t.Error("reverse comparison sign")
+	}
+}
+
+func TestOIDPrefixAppend(t *testing.T) {
+	base := MustOID(".1.3.6.1.2.1.31.1.1.1.6")
+	full := base.Append(3)
+	if full.String() != ".1.3.6.1.2.1.31.1.1.1.6.3" {
+		t.Errorf("Append = %s", full)
+	}
+	if !full.HasPrefix(base) {
+		t.Error("appended OID must have its base as prefix")
+	}
+	if base.HasPrefix(full) {
+		t.Error("prefix must not be longer than the OID")
+	}
+	// Append must not alias the base.
+	full2 := base.Append(4)
+	if full.String() == full2.String() {
+		t.Error("Append results must be independent")
+	}
+}
+
+func TestOIDEncodingRoundTrip(t *testing.T) {
+	oids := []string{
+		".1.3.6.1.2.1.1.5.0",
+		".1.3.6.1.4.1.99999.1.2.3",
+		".2.25.1",                 // first octet ≥ 80 path
+		".1.3.6.1.2.1.4294967295", // max arc
+		".0.39",
+		".1.3.0",
+	}
+	for _, s := range oids {
+		oid := MustOID(s)
+		enc, err := appendOID(nil, oid)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		r := &reader{buf: enc}
+		content, err := r.expect(tagOID)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		dec, err := decodeOID(content)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if dec.Compare(oid) != 0 {
+			t.Errorf("round trip %s -> %s", oid, dec)
+		}
+	}
+}
+
+func TestIntEncodingRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		enc := appendInt(nil, tagInteger, v)
+		r := &reader{buf: enc}
+		content, err := r.expect(tagInteger)
+		if err != nil {
+			return false
+		}
+		dec, err := decodeInt(content)
+		return err == nil && dec == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Boundary cases with known minimal encodings.
+	if got := appendInt(nil, tagInteger, 127); !bytes.Equal(got, []byte{0x02, 0x01, 0x7f}) {
+		t.Errorf("127 encoded as % x", got)
+	}
+	if got := appendInt(nil, tagInteger, 128); !bytes.Equal(got, []byte{0x02, 0x02, 0x00, 0x80}) {
+		t.Errorf("128 encoded as % x", got)
+	}
+	if got := appendInt(nil, tagInteger, -129); !bytes.Equal(got, []byte{0x02, 0x02, 0xff, 0x7f}) {
+		t.Errorf("-129 encoded as % x", got)
+	}
+}
+
+func TestUintEncodingRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := appendUint(nil, tagCounter64, v)
+		r := &reader{buf: enc}
+		tag, content, err := r.readTLV()
+		if err != nil || tag != tagCounter64 {
+			return false
+		}
+		dec, err := decodeUint(content)
+		return err == nil && dec == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongFormLength(t *testing.T) {
+	big := make([]byte, 300)
+	enc := appendTLV(nil, tagOctetString, big)
+	if enc[1] != 0x82 { // two length bytes
+		t.Fatalf("long length form expected, got 0x%02x", enc[1])
+	}
+	r := &reader{buf: enc}
+	content, err := r.expect(tagOctetString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(content) != 300 {
+		t.Errorf("decoded %d bytes, want 300", len(content))
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	values := []Value{
+		NullValue(),
+		IntegerValue(-42),
+		StringValue("switch-rtr-03"),
+		{Kind: KindOID, OID: MustOID(".1.3.6.1.2.1")},
+		{Kind: KindIPAddress, Bytes: []byte{192, 0, 2, 1}},
+		Counter32Value(4294967295),
+		Gauge32Value(358),
+		{Kind: KindTimeTicks, Uint: 123456},
+		Counter64Value(1 << 63),
+		{Kind: KindNoSuchObject},
+		{Kind: KindNoSuchInstance},
+		{Kind: KindEndOfMibView},
+	}
+	for _, v := range values {
+		enc, err := appendValue(nil, v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		r := &reader{buf: enc}
+		tag, content, err := r.readTLV()
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		dec, err := decodeValue(tag, content)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if dec.Kind != v.Kind || dec.Int != v.Int || dec.Uint != v.Uint ||
+			!bytes.Equal(dec.Bytes, v.Bytes) || dec.OID.Compare(v.OID) != 0 {
+			t.Errorf("round trip %v -> %v", v, dec)
+		}
+	}
+}
+
+func TestValueEncodingErrors(t *testing.T) {
+	if _, err := appendValue(nil, Value{Kind: KindIPAddress, Bytes: []byte{1, 2}}); err == nil {
+		t.Error("short IpAddress must error")
+	}
+	if _, err := appendValue(nil, Value{Kind: KindCounter32, Uint: 1 << 40}); err == nil {
+		t.Error("Counter32 overflow must error")
+	}
+	if _, err := appendValue(nil, Value{Kind: Kind(99)}); err == nil {
+		t.Error("unknown kind must error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	valid := appendInt(nil, tagInteger, 1000)
+	for i := 0; i < len(valid); i++ {
+		r := &reader{buf: valid[:i]}
+		if _, _, err := r.readTLV(); err == nil {
+			t.Errorf("truncation at %d bytes must error", i)
+		}
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{IntegerValue(5), "Integer: 5"},
+		{Counter64Value(9), "Counter64: 9"},
+		{StringValue("x"), `OctetString: "x"`},
+		{Value{Kind: KindIPAddress, Bytes: []byte{10, 0, 0, 1}}, "IpAddress: 10.0.0.1"},
+		{Value{Kind: KindEndOfMibView}, "endOfMibView"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSortOIDs(t *testing.T) {
+	oids := []OID{
+		MustOID(".1.3.6.2"),
+		MustOID(".1.3.6.1.5"),
+		MustOID(".1.3.6.1"),
+	}
+	SortOIDs(oids)
+	want := []string{".1.3.6.1", ".1.3.6.1.5", ".1.3.6.2"}
+	for i, w := range want {
+		if oids[i].String() != w {
+			t.Errorf("sorted[%d] = %s, want %s", i, oids[i], w)
+		}
+	}
+}

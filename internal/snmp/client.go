@@ -1,0 +1,170 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ClientOptions configure an SNMP client.
+type ClientOptions struct {
+	// Community defaults to "public".
+	Community string
+	// Timeout per request attempt (default 2 s).
+	Timeout time.Duration
+	// Retries after the first attempt (default 2).
+	Retries int
+}
+
+func (o *ClientOptions) applyDefaults() {
+	if o.Community == "" {
+		o.Community = "public"
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+}
+
+// Client is an SNMPv2c poller for a single agent. Create with Dial; a
+// Client must not be used concurrently from multiple goroutines (use one
+// Client per goroutine, as the fleet poller does).
+type Client struct {
+	conn  *net.UDPConn
+	opts  ClientOptions
+	reqID atomic.Int32
+}
+
+// Dial connects a client to an agent address such as "127.0.0.1:161".
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	opts.applyDefaults()
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: dial %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, opts: opts}
+	c.reqID.Store(int32(time.Now().UnixNano() & 0x7fffffff))
+	return c, nil
+}
+
+// Close releases the client's socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ErrTimeout is returned when an agent never answers within the retry
+// budget.
+var ErrTimeout = errors.New("snmp: request timed out")
+
+func (c *Client) roundTrip(req PDU) (PDU, error) {
+	req.RequestID = c.reqID.Add(1)
+	out, err := Message{Community: c.opts.Community, PDU: req}.Marshal()
+	if err != nil {
+		return PDU{}, err
+	}
+	buf := make([]byte, 65535)
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if _, err := c.conn.Write(out); err != nil {
+			return PDU{}, fmt.Errorf("snmp: send: %w", err)
+		}
+		deadline := time.Now().Add(c.opts.Timeout)
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return PDU{}, err
+		}
+		for {
+			n, err := c.conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // retry
+				}
+				return PDU{}, fmt.Errorf("snmp: recv: %w", err)
+			}
+			msg, err := Unmarshal(buf[:n])
+			if err != nil {
+				continue // garbage datagram; keep waiting
+			}
+			if msg.PDU.Type != Response || msg.PDU.RequestID != req.RequestID {
+				continue // stale response from a retried request
+			}
+			return msg.PDU, nil
+		}
+	}
+	return PDU{}, fmt.Errorf("%w after %d attempts", ErrTimeout, c.opts.Retries+1)
+}
+
+// Get fetches the exact objects named by the OIDs.
+func (c *Client) Get(oids ...OID) ([]VarBind, error) {
+	if len(oids) == 0 {
+		return nil, errors.New("snmp: Get needs at least one OID")
+	}
+	req := PDU{Type: GetRequest}
+	for _, oid := range oids {
+		req.VarBinds = append(req.VarBinds, VarBind{OID: oid, Value: NullValue()})
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ErrorStatus != ErrNoError {
+		return nil, fmt.Errorf("snmp: agent error status %d at index %d", resp.ErrorStatus, resp.ErrorIndex)
+	}
+	return resp.VarBinds, nil
+}
+
+// GetNext fetches the lexicographic successors of the OIDs.
+func (c *Client) GetNext(oids ...OID) ([]VarBind, error) {
+	if len(oids) == 0 {
+		return nil, errors.New("snmp: GetNext needs at least one OID")
+	}
+	req := PDU{Type: GetNextRequest}
+	for _, oid := range oids {
+		req.VarBinds = append(req.VarBinds, VarBind{OID: oid, Value: NullValue()})
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ErrorStatus != ErrNoError {
+		return nil, fmt.Errorf("snmp: agent error status %d at index %d", resp.ErrorStatus, resp.ErrorIndex)
+	}
+	return resp.VarBinds, nil
+}
+
+// Walk retrieves the whole subtree under prefix using GetBulk sweeps, in
+// MIB order.
+func (c *Client) Walk(prefix OID) ([]VarBind, error) {
+	var out []VarBind
+	cur := prefix
+	for {
+		req := PDU{Type: GetBulkRequest, ErrorIndex: 32} // max-repetitions 32
+		req.VarBinds = []VarBind{{OID: cur, Value: NullValue()}}
+		resp, err := c.roundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.ErrorStatus != ErrNoError {
+			return nil, fmt.Errorf("snmp: agent error status %d during walk", resp.ErrorStatus)
+		}
+		progressed := false
+		for _, vb := range resp.VarBinds {
+			if vb.Value.Kind == KindEndOfMibView || !vb.OID.HasPrefix(prefix) {
+				return out, nil
+			}
+			if vb.OID.Compare(cur) <= 0 {
+				return nil, fmt.Errorf("snmp: agent OID went backwards at %s", vb.OID)
+			}
+			out = append(out, vb)
+			cur = vb.OID
+			progressed = true
+		}
+		if !progressed {
+			return out, nil
+		}
+	}
+}

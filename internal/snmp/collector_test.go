@@ -1,0 +1,143 @@
+package snmp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+// collectorFixture starts agents for two routers (one with a power
+// sensor, one without) and returns a collector over them plus the
+// simulated clock driver.
+func collectorFixture(t *testing.T) (*Collector, []*device.Router, func(time.Duration)) {
+	t.Helper()
+	r1 := newTestRouter(t) // SensorAccurate
+	spec := r1.Spec()
+	spec.PSUSensor = device.SensorNone
+	r2, err := device.New(spec, "dark-rtr", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := []*device.Router{r1, r2}
+	var targets []Target
+	for _, r := range routers {
+		var mib MIB
+		BindRouter(&mib, r)
+		agent := NewAgent(&mib, "public")
+		addr, err := agent.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { agent.Close() })
+		targets = append(targets, Target{Router: r.Name(), Addr: addr, Community: "public"})
+	}
+	clock := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	c, err := NewCollector(targets, CollectorConfig{
+		Interval: time.Hour, // Run is not used in tests; PollOnce drives
+		Timeout:  time.Second,
+		Now:      func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance := func(d time.Duration) {
+		clock = clock.Add(d)
+		for _, r := range routers {
+			r.Advance(d)
+		}
+	}
+	return c, routers, advance
+}
+
+func TestCollectorPowerTraces(t *testing.T) {
+	c, routers, advance := collectorFixture(t)
+	for i := 0; i < 3; i++ {
+		c.PollOnce()
+		advance(5 * time.Minute)
+	}
+	s, ok := c.PowerSeries(routers[0].Name())
+	if !ok {
+		t.Fatal("no power series for the reporting router")
+	}
+	if s.Len() != 3 {
+		t.Errorf("power samples = %d, want 3", s.Len())
+	}
+	wall := routers[0].WallPower().Watts()
+	if math.Abs(s.Median()-wall) > 10 {
+		t.Errorf("collected power %v far from wall %v", s.Median(), wall)
+	}
+	// The sensorless router must have no trace — and no error counted.
+	if _, ok := c.PowerSeries(routers[1].Name()); ok {
+		t.Error("sensorless router produced a power series")
+	}
+	if n := c.Errors()[routers[1].Name()]; n != 0 {
+		t.Errorf("sensorless router counted %d errors", n)
+	}
+}
+
+func TestCollectorCounterRates(t *testing.T) {
+	c, routers, advance := collectorFixture(t)
+	r := routers[0]
+	if err := r.PlugTransceiver("eth0", model.PassiveDAC, 100*units.GigabitPerSecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAdmin("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLink("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	// 16 Gbps bidirectional → 8 Gbps inbound.
+	if err := r.SetTraffic("eth0", 16*units.GigabitPerSecond, 2e6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.PollOnce()
+		advance(5 * time.Minute)
+	}
+	rate, err := c.InRateSeries(r.Name(), "eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate.Len() != 3 {
+		t.Fatalf("rate points = %d, want 3", rate.Len())
+	}
+	want := 8e9
+	if math.Abs(rate.Median()-want)/want > 0.01 {
+		t.Errorf("in rate = %v bps, want ≈%v", rate.Median(), want)
+	}
+	if _, err := c.InRateSeries(r.Name(), "does-not-exist"); err == nil {
+		t.Error("unknown interface must error")
+	}
+}
+
+func TestCollectorSurvivesDeadAgent(t *testing.T) {
+	c, routers, _ := collectorFixture(t)
+	// Add a target that nothing listens on.
+	dead := Target{Router: "ghost", Addr: "127.0.0.1:1", Community: "public"}
+	c2, err := NewCollector(append([]Target{dead}, c.targets...), CollectorConfig{
+		Timeout: 50 * time.Millisecond,
+		Now:     time.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.PollOnce()
+	if n := c2.Errors()["ghost"]; n != 1 {
+		t.Errorf("dead agent errors = %d, want 1", n)
+	}
+	// The live routers were still polled.
+	if _, ok := c2.PowerSeries(routers[0].Name()); !ok {
+		t.Error("live router missing after a dead-agent round")
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(nil, CollectorConfig{}); err == nil {
+		t.Error("empty target list must error")
+	}
+}

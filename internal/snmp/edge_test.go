@@ -1,0 +1,173 @@
+package snmp
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAgentTooBig drives the agent into the tooBig path: a GetBulk whose
+// response would exceed the datagram cap must come back as an error PDU,
+// not a giant datagram.
+func TestAgentTooBig(t *testing.T) {
+	var mib MIB
+	base := MustOID(".1.3.6.1.4.1.99999.1")
+	big := strings.Repeat("x", 64)
+	for i := uint32(1); i <= 1500; i++ {
+		mib.RegisterScalar(base.Append(i), StringValue(big))
+	}
+	_, addr := startAgent(t, &mib, "public")
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := Message{Community: "public", PDU: PDU{
+		Type:       GetBulkRequest,
+		RequestID:  7,
+		ErrorIndex: 1500, // max-repetitions: ~1500 × ~80 B ≫ the cap
+		VarBinds:   []VarBind{{OID: base, Value: NullValue()}},
+	}}
+	out, err := req.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Unmarshal(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PDU.ErrorStatus != ErrTooBig {
+		t.Errorf("status = %d, want tooBig(%d)", resp.PDU.ErrorStatus, ErrTooBig)
+	}
+	if len(resp.PDU.VarBinds) != 0 {
+		t.Errorf("tooBig response carries %d varbinds", len(resp.PDU.VarBinds))
+	}
+}
+
+// TestAgentSurvivesGarbageDatagrams floods the agent with malformed input
+// and verifies it keeps serving.
+func TestAgentSurvivesGarbageDatagrams(t *testing.T) {
+	var mib MIB
+	mib.RegisterScalar(OIDSysName, StringValue("resilient"))
+	_, addr := startAgent(t, &mib, "public")
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		payload := []byte(fmt.Sprintf("garbage-%d", i))
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Close()
+
+	c := dialClient(t, addr, "public")
+	vbs, err := c.Get(OIDSysName)
+	if err != nil {
+		t.Fatalf("agent died after garbage: %v", err)
+	}
+	if string(vbs[0].Value.Bytes) != "resilient" {
+		t.Errorf("value = %v", vbs[0].Value)
+	}
+}
+
+// TestGetBulkNonRepeatersEdges exercises the bulk parameter corners
+// directly against the handler.
+func TestGetBulkNonRepeatersEdges(t *testing.T) {
+	var mib MIB
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.1.1.0"), StringValue("a"))
+	mib.RegisterScalar(MustOID(".1.3.6.1.2.1.1.5.0"), StringValue("b"))
+	agent := NewAgent(&mib, "public")
+
+	// nonRepeaters larger than the varbind count: all treated as
+	// non-repeating, one next each.
+	resp := agent.handle(PDU{
+		Type:        GetBulkRequest,
+		ErrorStatus: 10, // non-repeaters
+		ErrorIndex:  5,  // max-repetitions
+		VarBinds: []VarBind{
+			{OID: MustOID(".1.3.6.1.2.1.1"), Value: NullValue()},
+		},
+	})
+	if len(resp.VarBinds) != 1 {
+		t.Fatalf("varbinds = %d, want 1", len(resp.VarBinds))
+	}
+	if string(resp.VarBinds[0].Value.Bytes) != "a" {
+		t.Errorf("vb = %v", resp.VarBinds[0].Value)
+	}
+
+	// Negative non-repeaters clamp to 0; zero max-repetitions defaults.
+	resp = agent.handle(PDU{
+		Type:        GetBulkRequest,
+		ErrorStatus: -3,
+		ErrorIndex:  0,
+		VarBinds:    []VarBind{{OID: MustOID(".1.3.6.1.2.1.1"), Value: NullValue()}},
+	})
+	if len(resp.VarBinds) < 2 {
+		t.Errorf("repeating varbinds = %d, want both rows plus end-of-view", len(resp.VarBinds))
+	}
+	last := resp.VarBinds[len(resp.VarBinds)-1]
+	if last.Value.Kind != KindEndOfMibView {
+		t.Errorf("bulk should hit end of view, got %v", last.Value)
+	}
+}
+
+// TestClientIgnoresMismatchedResponses checks that stale request IDs do
+// not satisfy a newer request.
+func TestClientIgnoresMismatchedResponses(t *testing.T) {
+	// A fake "agent" that answers with a wrong request ID first, then the
+	// right one.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 65535)
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		msg, err := Unmarshal(buf[:n])
+		if err != nil {
+			return
+		}
+		bad := Message{Community: msg.Community, PDU: PDU{
+			Type: Response, RequestID: msg.PDU.RequestID + 999,
+			VarBinds: []VarBind{{OID: OIDSysName, Value: StringValue("stale")}},
+		}}
+		data, _ := bad.Marshal()
+		_, _ = pc.WriteTo(data, addr)
+		good := Message{Community: msg.Community, PDU: PDU{
+			Type: Response, RequestID: msg.PDU.RequestID,
+			VarBinds: []VarBind{{OID: OIDSysName, Value: StringValue("fresh")}},
+		}}
+		data, _ = good.Marshal()
+		_, _ = pc.WriteTo(data, addr)
+	}()
+
+	c := dialClient(t, pc.LocalAddr().String(), "public")
+	vbs, err := c.Get(OIDSysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vbs[0].Value.Bytes) != "fresh" {
+		t.Errorf("client accepted the stale response: %v", vbs[0].Value)
+	}
+}

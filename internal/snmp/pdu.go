@@ -1,0 +1,208 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PDUType identifies an SNMPv2c PDU.
+type PDUType byte
+
+// The PDU types this implementation supports.
+const (
+	GetRequest     PDUType = 0xa0
+	GetNextRequest PDUType = 0xa1
+	Response       PDUType = 0xa2
+	GetBulkRequest PDUType = 0xa5
+)
+
+// String names the PDU type.
+func (t PDUType) String() string {
+	switch t {
+	case GetRequest:
+		return "GetRequest"
+	case GetNextRequest:
+		return "GetNextRequest"
+	case Response:
+		return "Response"
+	case GetBulkRequest:
+		return "GetBulkRequest"
+	}
+	return fmt.Sprintf("PDUType(0x%02x)", byte(t))
+}
+
+// Error status codes (RFC 3416).
+const (
+	ErrNoError  = 0
+	ErrTooBig   = 1
+	ErrGenErr   = 5
+	ErrNoAccess = 6
+)
+
+// VarBind pairs an OID with a value.
+type VarBind struct {
+	OID   OID
+	Value Value
+}
+
+// PDU is an SNMPv2c protocol data unit. For GetBulkRequest, ErrorStatus
+// carries non-repeaters and ErrorIndex max-repetitions, per RFC 3416.
+type PDU struct {
+	Type        PDUType
+	RequestID   int32
+	ErrorStatus int32
+	ErrorIndex  int32
+	VarBinds    []VarBind
+}
+
+// NonRepeaters is the GetBulk reading of the ErrorStatus field.
+func (p PDU) NonRepeaters() int { return int(p.ErrorStatus) }
+
+// MaxRepetitions is the GetBulk reading of the ErrorIndex field.
+func (p PDU) MaxRepetitions() int { return int(p.ErrorIndex) }
+
+// Version is the SNMP version field value for v2c.
+const Version2c = 1
+
+// Message is a complete community-based SNMP message.
+type Message struct {
+	Community string
+	PDU       PDU
+}
+
+// Marshal encodes the message to BER wire format.
+func (m Message) Marshal() ([]byte, error) {
+	var vbs []byte
+	for _, vb := range m.PDU.VarBinds {
+		var inner []byte
+		inner, err := appendOID(inner, vb.OID)
+		if err != nil {
+			return nil, err
+		}
+		inner, err = appendValue(inner, vb.Value)
+		if err != nil {
+			return nil, err
+		}
+		vbs = appendTLV(vbs, tagSequence, inner)
+	}
+	var pdu []byte
+	pdu = appendInt(pdu, tagInteger, int64(m.PDU.RequestID))
+	pdu = appendInt(pdu, tagInteger, int64(m.PDU.ErrorStatus))
+	pdu = appendInt(pdu, tagInteger, int64(m.PDU.ErrorIndex))
+	pdu = appendTLV(pdu, tagSequence, vbs)
+
+	var body []byte
+	body = appendInt(body, tagInteger, Version2c)
+	body = appendTLV(body, tagOctetString, []byte(m.Community))
+	body = appendTLV(body, byte(m.PDU.Type), pdu)
+
+	return appendTLV(nil, tagSequence, body), nil
+}
+
+// Unmarshal decodes a BER-encoded SNMPv2c message.
+func Unmarshal(data []byte) (Message, error) {
+	r := &reader{buf: data}
+	body, err := r.expect(tagSequence)
+	if err != nil {
+		return Message{}, fmt.Errorf("snmp: message: %w", err)
+	}
+	br := &reader{buf: body}
+
+	verRaw, err := br.expect(tagInteger)
+	if err != nil {
+		return Message{}, fmt.Errorf("snmp: version: %w", err)
+	}
+	ver, err := decodeInt(verRaw)
+	if err != nil {
+		return Message{}, err
+	}
+	if ver != Version2c {
+		return Message{}, fmt.Errorf("snmp: unsupported version %d (only v2c)", ver)
+	}
+
+	community, err := br.expect(tagOctetString)
+	if err != nil {
+		return Message{}, fmt.Errorf("snmp: community: %w", err)
+	}
+
+	pduTag, pduBody, err := br.readTLV()
+	if err != nil {
+		return Message{}, fmt.Errorf("snmp: pdu: %w", err)
+	}
+	switch PDUType(pduTag) {
+	case GetRequest, GetNextRequest, Response, GetBulkRequest:
+	default:
+		return Message{}, fmt.Errorf("snmp: unsupported PDU type 0x%02x", pduTag)
+	}
+
+	pr := &reader{buf: pduBody}
+	reqRaw, err := pr.expect(tagInteger)
+	if err != nil {
+		return Message{}, err
+	}
+	reqID, err := decodeInt(reqRaw)
+	if err != nil {
+		return Message{}, err
+	}
+	statRaw, err := pr.expect(tagInteger)
+	if err != nil {
+		return Message{}, err
+	}
+	stat, err := decodeInt(statRaw)
+	if err != nil {
+		return Message{}, err
+	}
+	idxRaw, err := pr.expect(tagInteger)
+	if err != nil {
+		return Message{}, err
+	}
+	idx, err := decodeInt(idxRaw)
+	if err != nil {
+		return Message{}, err
+	}
+	vbsRaw, err := pr.expect(tagSequence)
+	if err != nil {
+		return Message{}, fmt.Errorf("snmp: varbind list: %w", err)
+	}
+
+	var vbs []VarBind
+	vr := &reader{buf: vbsRaw}
+	for vr.off < len(vr.buf) {
+		vbRaw, err := vr.expect(tagSequence)
+		if err != nil {
+			return Message{}, fmt.Errorf("snmp: varbind: %w", err)
+		}
+		ir := &reader{buf: vbRaw}
+		oidRaw, err := ir.expect(tagOID)
+		if err != nil {
+			return Message{}, fmt.Errorf("snmp: varbind oid: %w", err)
+		}
+		oid, err := decodeOID(oidRaw)
+		if err != nil {
+			return Message{}, err
+		}
+		vtag, vcontent, err := ir.readTLV()
+		if err != nil {
+			return Message{}, fmt.Errorf("snmp: varbind value: %w", err)
+		}
+		val, err := decodeValue(vtag, vcontent)
+		if err != nil {
+			return Message{}, err
+		}
+		if ir.off != len(ir.buf) {
+			return Message{}, errors.New("snmp: trailing bytes in varbind")
+		}
+		vbs = append(vbs, VarBind{OID: oid, Value: val})
+	}
+
+	return Message{
+		Community: string(community),
+		PDU: PDU{
+			Type:        PDUType(pduTag),
+			RequestID:   int32(reqID),
+			ErrorStatus: int32(stat),
+			ErrorIndex:  int32(idx),
+			VarBinds:    vbs,
+		},
+	}, nil
+}

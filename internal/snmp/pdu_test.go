@@ -1,0 +1,158 @@
+package snmp
+
+import (
+	"testing"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	msg := Message{
+		Community: "switch-ro",
+		PDU: PDU{
+			Type:      GetRequest,
+			RequestID: 12345,
+			VarBinds: []VarBind{
+				{OID: MustOID(".1.3.6.1.2.1.1.5.0"), Value: NullValue()},
+				{OID: MustOID(".1.3.6.1.2.1.31.1.1.1.6.3"), Value: NullValue()},
+			},
+		},
+	}
+	data, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Community != msg.Community {
+		t.Errorf("community = %q", dec.Community)
+	}
+	if dec.PDU.Type != GetRequest || dec.PDU.RequestID != 12345 {
+		t.Errorf("pdu header = %+v", dec.PDU)
+	}
+	if len(dec.PDU.VarBinds) != 2 {
+		t.Fatalf("varbinds = %d", len(dec.PDU.VarBinds))
+	}
+	if dec.PDU.VarBinds[1].OID.String() != ".1.3.6.1.2.1.31.1.1.1.6.3" {
+		t.Errorf("vb[1].oid = %s", dec.PDU.VarBinds[1].OID)
+	}
+}
+
+func TestResponseRoundTripWithValues(t *testing.T) {
+	msg := Message{
+		Community: "public",
+		PDU: PDU{
+			Type:        Response,
+			RequestID:   -7,
+			ErrorStatus: ErrTooBig,
+			ErrorIndex:  2,
+			VarBinds: []VarBind{
+				{OID: MustOID(".1.3.6.1.2.1.1.5.0"), Value: StringValue("rtr-01")},
+				{OID: MustOID(".1.3.6.1.2.1.99.1.1.1.4.1"), Value: Gauge32Value(181)},
+				{OID: MustOID(".1.3.6.1.2.1.31.1.1.1.6.1"), Value: Counter64Value(1 << 50)},
+			},
+		},
+	}
+	data, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.PDU.ErrorStatus != ErrTooBig || dec.PDU.ErrorIndex != 2 {
+		t.Errorf("error fields = %d/%d", dec.PDU.ErrorStatus, dec.PDU.ErrorIndex)
+	}
+	if string(dec.PDU.VarBinds[0].Value.Bytes) != "rtr-01" {
+		t.Errorf("vb[0] = %v", dec.PDU.VarBinds[0].Value)
+	}
+	if dec.PDU.VarBinds[1].Value.Uint != 181 {
+		t.Errorf("vb[1] = %v", dec.PDU.VarBinds[1].Value)
+	}
+	if dec.PDU.VarBinds[2].Value.Uint != 1<<50 {
+		t.Errorf("vb[2] = %v", dec.PDU.VarBinds[2].Value)
+	}
+}
+
+func TestGetBulkFieldAliases(t *testing.T) {
+	p := PDU{Type: GetBulkRequest, ErrorStatus: 1, ErrorIndex: 32}
+	if p.NonRepeaters() != 1 || p.MaxRepetitions() != 32 {
+		t.Errorf("bulk fields = %d/%d", p.NonRepeaters(), p.MaxRepetitions())
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x30},
+		{0x04, 0x01, 0x00},       // not a sequence
+		{0x30, 0x02, 0x02, 0x00}, // truncated inner
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsV1(t *testing.T) {
+	msg := Message{Community: "public", PDU: PDU{Type: GetRequest}}
+	data, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the version integer (first TLV inside the sequence) to 0 (v1).
+	// Layout: 30 len 02 01 <ver> ...
+	if data[2] != 0x02 || data[3] != 0x01 {
+		t.Fatal("unexpected layout")
+	}
+	data[4] = 0
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("SNMPv1 must be rejected")
+	}
+}
+
+func TestUnmarshalRejectsUnknownPDUType(t *testing.T) {
+	msg := Message{Community: "public", PDU: PDU{Type: GetRequest}}
+	data, _ := msg.Marshal()
+	// The PDU tag follows version TLV (3 bytes) and community TLV.
+	idx := 2 + 3 + 2 + len("public")
+	if PDUType(data[idx]) != GetRequest {
+		t.Fatal("unexpected layout")
+	}
+	data[idx] = 0xa4 // obsolete trap type, unsupported
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("unsupported PDU type must be rejected")
+	}
+}
+
+func TestPDUTypeString(t *testing.T) {
+	if GetBulkRequest.String() != "GetBulkRequest" {
+		t.Error("GetBulkRequest name")
+	}
+	if PDUType(0x99).String() != "PDUType(0x99)" {
+		t.Error("unknown type formatting")
+	}
+}
+
+func TestFuzzStyleUnmarshalNoPanic(t *testing.T) {
+	// Mutate a valid message byte-by-byte; Unmarshal must never panic.
+	msg := Message{
+		Community: "c",
+		PDU: PDU{Type: Response, VarBinds: []VarBind{
+			{OID: MustOID(".1.3.6.1.2.1.1.5.0"), Value: StringValue("x")},
+		}},
+	}
+	valid, err := msg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range valid {
+		for _, b := range []byte{0x00, 0x7f, 0x80, 0xff} {
+			mutated := append([]byte(nil), valid...)
+			mutated[i] = b
+			_, _ = Unmarshal(mutated) // error or success, just no panic
+		}
+	}
+}

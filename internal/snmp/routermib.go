@@ -1,0 +1,91 @@
+package snmp
+
+import (
+	"fantasticjoules/internal/device"
+)
+
+// Well-known OIDs served by the router agent. The interface counters
+// follow IF-MIB (RFC 2863) high-capacity counters; the PSU input power is
+// exposed as an ENTITY-SENSOR (RFC 3433) style gauge in watts.
+var (
+	OIDSysDescr = MustOID(".1.3.6.1.2.1.1.1.0")
+	OIDSysName  = MustOID(".1.3.6.1.2.1.1.5.0")
+	OIDIfNumber = MustOID(".1.3.6.1.2.1.2.1.0")
+
+	// Per-interface columns; append the 1-based ifIndex.
+	OIDIfAdminStatus = MustOID(".1.3.6.1.2.1.2.2.1.7")
+	OIDIfOperStatus  = MustOID(".1.3.6.1.2.1.2.2.1.8")
+	OIDIfName        = MustOID(".1.3.6.1.2.1.31.1.1.1.1")
+	OIDIfHCInOctets  = MustOID(".1.3.6.1.2.1.31.1.1.1.6")
+	OIDIfHCInPkts    = MustOID(".1.3.6.1.2.1.31.1.1.1.7")
+	OIDIfHCOutOctets = MustOID(".1.3.6.1.2.1.31.1.1.1.10")
+	OIDIfHCOutPkts   = MustOID(".1.3.6.1.2.1.31.1.1.1.11")
+
+	// entPhySensorValue; append the PSU's 1-based entity index. Units:
+	// watts of input power, as the paper's SNMP traces carry (§9.2).
+	OIDPSUPower = MustOID(".1.3.6.1.2.1.99.1.1.1.4")
+)
+
+// Interface status values (IF-MIB).
+const (
+	StatusUp   = 1
+	StatusDown = 2
+)
+
+// BindRouter registers a simulated router's management objects in a MIB:
+// system identity, the IF-MIB counter columns for every interface, and —
+// for models whose sensors support it — per-PSU input power. Reading a
+// counter reflects the router's state at read time.
+func BindRouter(mib *MIB, r *device.Router) {
+	mib.Register(OIDSysName, func() Value { return StringValue(r.Name()) })
+	mib.Register(OIDSysDescr, func() Value { return StringValue(r.Model()) })
+	names := r.InterfaceNames()
+	mib.Register(OIDIfNumber, func() Value { return IntegerValue(int64(len(names))) })
+
+	for i, name := range names {
+		idx := uint32(i + 1)
+		name := name // capture per iteration
+		mib.Register(OIDIfName.Append(idx), func() Value { return StringValue(name) })
+		mib.Register(OIDIfAdminStatus.Append(idx), func() Value {
+			_, admin, _, _, err := r.InterfaceState(name)
+			if err != nil || !admin {
+				return IntegerValue(StatusDown)
+			}
+			return IntegerValue(StatusUp)
+		})
+		mib.Register(OIDIfOperStatus.Append(idx), func() Value {
+			_, _, oper, _, err := r.InterfaceState(name)
+			if err != nil || !oper {
+				return IntegerValue(StatusDown)
+			}
+			return IntegerValue(StatusUp)
+		})
+		counter := func(sel func(device.Counters) uint64) HandlerFunc {
+			return func() Value {
+				c, err := r.CountersOf(name)
+				if err != nil {
+					return Value{Kind: KindNoSuchInstance}
+				}
+				return Counter64Value(sel(c))
+			}
+		}
+		mib.Register(OIDIfHCInOctets.Append(idx), counter(func(c device.Counters) uint64 { return c.InOctets }))
+		mib.Register(OIDIfHCOutOctets.Append(idx), counter(func(c device.Counters) uint64 { return c.OutOctets }))
+		mib.Register(OIDIfHCInPkts.Append(idx), counter(func(c device.Counters) uint64 { return c.InPackets }))
+		mib.Register(OIDIfHCOutPkts.Append(idx), counter(func(c device.Counters) uint64 { return c.OutPackets }))
+	}
+
+	if r.Spec().PSUSensor == device.SensorNone {
+		return // this model does not report PSU power (the Fig. 4c router)
+	}
+	for p := 0; p < r.PSUCount(); p++ {
+		p := p
+		mib.Register(OIDPSUPower.Append(uint32(p+1)), func() Value {
+			w, err := r.ReportedPSUPower(p)
+			if err != nil || w < 0 {
+				return Value{Kind: KindNoSuchInstance}
+			}
+			return Gauge32Value(uint32(w.Watts() + 0.5))
+		})
+	}
+}

@@ -1,0 +1,338 @@
+// Package stats implements the statistical machinery the power-modeling
+// methodology relies on: ordinary least-squares linear regression, robust
+// summaries (median, quantiles), and residual metrics.
+//
+// The paper (§5) derives every power-model parameter from linear
+// regressions: P_port from a regression over the number of active port
+// pairs, the traffic slope α_L from a regression over bit rate, and
+// (E_bit, E_pkt) from a second-level regression over packet size. This
+// package provides those primitives with the small-sample care they need
+// (exact medians, no hidden normalization).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator is given fewer points
+// than its degrees of freedom require.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// LinearFit is the result of an ordinary least-squares fit y = Slope*x +
+// Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination of the fit; 1 means the line
+	// explains all variance. For a perfectly constant y it is defined as 1
+	// when the fit is exact and 0 otherwise.
+	R2 float64
+	// N is the number of points used.
+	N int
+	// ResidualStdDev is the standard deviation of the fit residuals
+	// (denominator N-2, the unbiased estimate).
+	ResidualStdDev float64
+	// SlopeStderr and InterceptStderr are the standard errors of the
+	// estimated coefficients (0 when N ≤ 2, where they are undefined).
+	SlopeStderr     float64
+	InterceptStderr float64
+}
+
+// SlopeCI95 returns the half-width of the slope's 95 % confidence
+// interval (Student-t with N−2 degrees of freedom).
+func (f LinearFit) SlopeCI95() float64 {
+	return tQuantile975(f.N-2) * f.SlopeStderr
+}
+
+// InterceptCI95 returns the half-width of the intercept's 95 % confidence
+// interval.
+func (f LinearFit) InterceptCI95() float64 {
+	return tQuantile975(f.N-2) * f.InterceptStderr
+}
+
+// tQuantile975 returns the 97.5 % quantile of Student's t distribution
+// for the given degrees of freedom (the normal 1.96 beyond the table).
+func tQuantile975(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+		2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+		2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Eval evaluates the fitted line at x.
+func (f LinearFit) Eval(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// String renders the fit in a compact human-readable form.
+func (f LinearFit) String() string {
+	return fmt.Sprintf("y = %.6g*x + %.6g (R²=%.4f, n=%d)", f.Slope, f.Intercept, f.R2, f.N)
+}
+
+// LinearRegression fits y = a*x + b by ordinary least squares. It requires
+// at least two points with distinct x values.
+func LinearRegression(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: all x values identical: %w", ErrInsufficientData)
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	var ssRes float64
+	for i := 0; i < n; i++ {
+		r := y[i] - (slope*x[i] + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if syy > 0 {
+		r2 = 1 - ssRes/syy
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	var resStd, slopeSE, interceptSE float64
+	if n > 2 {
+		resStd = math.Sqrt(ssRes / float64(n-2))
+		slopeSE = resStd / math.Sqrt(sxx)
+		interceptSE = resStd * math.Sqrt(1/float64(n)+mx*mx/sxx)
+	}
+	return LinearFit{
+		Slope: slope, Intercept: intercept, R2: r2, N: n,
+		ResidualStdDev: resStd, SlopeStderr: slopeSE, InterceptStderr: interceptSE,
+	}, nil
+}
+
+// WeightedLinearRegression fits y = a*x + b minimizing the weighted sum of
+// squared residuals. Weights must be non-negative; zero-weight points are
+// ignored.
+func WeightedLinearRegression(x, y, w []float64) (LinearFit, error) {
+	if len(x) != len(y) || len(x) != len(w) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths")
+	}
+	var sw, swx, swy float64
+	n := 0
+	for i := range x {
+		if w[i] < 0 {
+			return LinearFit{}, fmt.Errorf("stats: negative weight %v at index %d", w[i], i)
+		}
+		if w[i] == 0 {
+			continue
+		}
+		n++
+		sw += w[i]
+		swx += w[i] * x[i]
+		swy += w[i] * y[i]
+	}
+	if n < 2 || sw == 0 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	mx, my := swx/sw, swy/sw
+	var sxx, sxy float64
+	for i := range x {
+		if w[i] == 0 {
+			continue
+		}
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += w[i] * dx * dx
+		sxy += w[i] * dx * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: all weighted x values identical: %w", ErrInsufficientData)
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	var ssRes, ssTot float64
+	for i := range x {
+		if w[i] == 0 {
+			continue
+		}
+		r := y[i] - (slope*x[i] + intercept)
+		ssRes += w[i] * r * r
+		d := y[i] - my
+		ssTot += w[i] * d * d
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	} else if ssRes > 0 {
+		r2 = 0
+	}
+	return LinearFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// Mean returns the arithmetic mean of xs; it returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (denominator n-1). It
+// returns 0 for fewer than two values.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, v := range xs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Median returns the exact median of xs (the mean of the two central
+// elements for even lengths). It returns 0 for an empty slice and does not
+// modify its input.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty slice
+// and does not modify its input.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MeanAbsoluteError returns the mean absolute difference between predicted
+// and observed series of equal length.
+func MeanAbsoluteError(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(pred), len(obs))
+	}
+	if len(pred) == 0 {
+		return 0, ErrInsufficientData
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - obs[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// RootMeanSquareError returns the RMS difference between two equal-length
+// series.
+func RootMeanSquareError(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(pred), len(obs))
+	}
+	if len(pred) == 0 {
+		return 0, ErrInsufficientData
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - obs[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}
+
+// PearsonCorrelation returns the linear correlation coefficient between two
+// equal-length series. It returns 0 when either series is constant.
+func PearsonCorrelation(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// MovingAverage returns the centered moving average of xs with the given
+// window size (clamped at the series edges). A window of 1 or less returns
+// a copy of the input.
+func MovingAverage(xs []float64, window int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if window <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := window / 2
+	// Prefix sums for O(n) averaging.
+	prefix := make([]float64, n+1)
+	for i, v := range xs {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := 0; i < n; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= n {
+			hi = n - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %v, want slope 2 intercept 1", fit)
+	}
+	if fit.R2 != 1 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if fit.Eval(10) != 21 {
+		t.Errorf("Eval(10) = %v, want 21", fit.Eval(10))
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 0.5*x[i] + 10 + rng.NormFloat64()*0.1
+	}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-0.5) > 0.01 {
+		t.Errorf("slope = %v, want ≈0.5", fit.Slope)
+	}
+	if math.Abs(fit.Intercept-10) > 0.1 {
+		t.Errorf("intercept = %v, want ≈10", fit.Intercept)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+	if fit.ResidualStdDev < 0.05 || fit.ResidualStdDev > 0.2 {
+		t.Errorf("ResidualStdDev = %v, want ≈0.1", fit.ResidualStdDev)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := LinearRegression([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("identical x values must error")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+}
+
+func TestLinearRegressionConstantY(t *testing.T) {
+	fit, err := LinearRegression([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Slope != 0 || fit.Intercept != 5 {
+		t.Errorf("fit = %+v, want slope 0 intercept 5", fit)
+	}
+	if fit.R2 != 1 {
+		t.Errorf("R2 for perfectly reproduced constant = %v, want 1", fit.R2)
+	}
+}
+
+func TestWeightedLinearRegression(t *testing.T) {
+	// Outlier with zero weight should not perturb the fit.
+	x := []float64{0, 1, 2, 3, 100}
+	y := []float64{1, 3, 5, 7, -1000}
+	w := []float64{1, 1, 1, 1, 0}
+	fit, err := WeightedLinearRegression(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-1) > 1e-9 {
+		t.Errorf("fit = %v, want slope 2 intercept 1", fit)
+	}
+	if _, err := WeightedLinearRegression(x, y, []float64{1, 1, 1, 1, -1}); err == nil {
+		t.Error("negative weight must error")
+	}
+}
+
+func TestWeightedMatchesUnweighted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		w := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64() * 100
+			y[i] = 3*x[i] - 7 + rng.NormFloat64()
+			w[i] = 1
+		}
+		a, err1 := LinearRegression(x, y)
+		b, err2 := WeightedLinearRegression(x, y, w)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return math.Abs(a.Slope-b.Slope) < 1e-9 && math.Abs(a.Intercept-b.Intercept) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		if got := Median(tt.in); got != tt.want {
+			t.Errorf("Median(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q0.25 = %v, want 2", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("q0.5 = %v, want 3", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of single value must be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty must be 0")
+	}
+}
+
+func TestErrorsMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	obs := []float64{2, 2, 5}
+	mae, err := MeanAbsoluteError(pred, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mae != 1 {
+		t.Errorf("MAE = %v, want 1", mae)
+	}
+	rmse, err := RootMeanSquareError(pred, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((1 + 0 + 4) / 3.0)
+	if math.Abs(rmse-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", rmse, want)
+	}
+	if _, err := MeanAbsoluteError(pred, obs[:2]); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+	if _, err := RootMeanSquareError(nil, nil); err == nil {
+		t.Error("empty must error")
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if c, _ := PearsonCorrelation(x, []float64{2, 4, 6, 8}); math.Abs(c-1) > 1e-12 {
+		t.Errorf("perfect positive correlation = %v, want 1", c)
+	}
+	if c, _ := PearsonCorrelation(x, []float64{8, 6, 4, 2}); math.Abs(c+1) > 1e-12 {
+		t.Errorf("perfect negative correlation = %v, want -1", c)
+	}
+	if c, _ := PearsonCorrelation(x, []float64{5, 5, 5, 5}); c != 0 {
+		t.Errorf("constant series correlation = %v, want 0", c)
+	}
+	if _, err := PearsonCorrelation(x, x[:2]); err == nil {
+		t.Error("mismatched lengths must error")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := MovingAverage(xs, 3)
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("MovingAverage[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Window 1 returns a copy.
+	cp := MovingAverage(xs, 1)
+	cp[0] = 99
+	if xs[0] == 99 {
+		t.Error("MovingAverage(_,1) must not alias its input")
+	}
+}
+
+func TestMovingAveragePreservesMeanOfConstant(t *testing.T) {
+	f := func(v float64, n, w uint8) bool {
+		if n == 0 {
+			return true
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		// Keep magnitudes bounded so the internal prefix sums stay finite.
+		v = math.Mod(v, 1e12)
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = v
+		}
+		out := MovingAverage(xs, int(w))
+		for _, o := range out {
+			if math.IsNaN(v) {
+				return true
+			}
+			if math.Abs(o-v) > 1e-9*math.Max(1, math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStandardErrors(t *testing.T) {
+	// Known dataset: y = 2x + 1 + noise with fixed residuals.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1.1, 2.9, 5.1, 6.9, 9.1}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SlopeStderr <= 0 || fit.InterceptStderr <= 0 {
+		t.Fatalf("stderr = %v / %v, want positive", fit.SlopeStderr, fit.InterceptStderr)
+	}
+	// The true slope 2 must lie inside the 95% CI.
+	if math.Abs(fit.Slope-2) > fit.SlopeCI95() {
+		t.Errorf("true slope outside CI: %v ± %v", fit.Slope, fit.SlopeCI95())
+	}
+	if math.Abs(fit.Intercept-1) > fit.InterceptCI95() {
+		t.Errorf("true intercept outside CI: %v ± %v", fit.Intercept, fit.InterceptCI95())
+	}
+}
+
+func TestStandardErrorsShrinkWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	build := func(n int) LinearFit {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = 3*xs[i] + rng.NormFloat64()
+		}
+		fit, err := LinearRegression(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fit
+	}
+	small, large := build(10), build(1000)
+	if large.SlopeStderr >= small.SlopeStderr {
+		t.Errorf("stderr must shrink with n: %v (n=10) vs %v (n=1000)",
+			small.SlopeStderr, large.SlopeStderr)
+	}
+}
+
+func TestStandardErrorCoverageProperty(t *testing.T) {
+	// Frequentist sanity: across many noisy fits, the true slope lands in
+	// the 95% CI roughly 95% of the time (loose band: ≥85%).
+	rng := rand.New(rand.NewSource(11))
+	hits, trials := 0, 300
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for j := range xs {
+			xs[j] = float64(j)
+			ys[j] = 5*xs[j] - 2 + rng.NormFloat64()*3
+		}
+		fit, err := LinearRegression(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Slope-5) <= fit.SlopeCI95() {
+			hits++
+		}
+	}
+	if rate := float64(hits) / float64(trials); rate < 0.85 || rate > 1.0 {
+		t.Errorf("CI coverage = %.2f, want ≈0.95", rate)
+	}
+}
+
+func TestTwoPointFitHasNoStderr(t *testing.T) {
+	fit, err := LinearRegression([]float64{0, 1}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.SlopeStderr != 0 || fit.SlopeCI95() != 0 {
+		t.Errorf("n=2 stderr = %v, want 0 (undefined)", fit.SlopeStderr)
+	}
+}

@@ -1,0 +1,427 @@
+// Package timeseries provides the trace container shared by the SNMP
+// poller, the Autopower measurement system, and the analyses: an ordered
+// sequence of (timestamp, value) points with resampling, alignment,
+// smoothing, arithmetic, and counter-to-rate conversion.
+//
+// The paper works with two very different time bases — 5-minute SNMP polls
+// and 0.5-second Autopower samples — and repeatedly aligns, averages
+// (30-minute smoothing in Fig. 4), and aggregates them (network totals in
+// Fig. 1). This package implements those operations once, with explicit
+// semantics.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Point is a single timestamped sample.
+type Point struct {
+	T time.Time
+	V float64
+}
+
+// Series is an ordered sequence of points. The zero value is an empty
+// series ready to use. Points are kept sorted by time; Append enforces the
+// ordering cheaply for the common in-order case.
+type Series struct {
+	Name   string
+	points []Point
+	sorted bool
+}
+
+// New returns an empty series with the given name.
+func New(name string) *Series {
+	return &Series{Name: name, sorted: true}
+}
+
+// FromPoints builds a series from a point slice; the points are copied and
+// sorted by time.
+func FromPoints(name string, pts []Point) *Series {
+	s := &Series{Name: name, points: make([]Point, len(pts))}
+	copy(s.points, pts)
+	sort.Slice(s.points, func(i, j int) bool { return s.points[i].T.Before(s.points[j].T) })
+	s.sorted = true
+	return s
+}
+
+// Append adds a sample. Out-of-order appends are accepted and fixed up
+// lazily on the next read.
+func (s *Series) Append(t time.Time, v float64) {
+	if n := len(s.points); n > 0 && t.Before(s.points[n-1].T) {
+		s.sorted = false
+	} else if len(s.points) == 0 {
+		s.sorted = true
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+func (s *Series) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.points, func(i, j int) bool { return s.points[i].T.Before(s.points[j].T) })
+	s.sorted = true
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the underlying points in time order. The returned slice
+// must not be modified.
+func (s *Series) Points() []Point {
+	s.ensureSorted()
+	return s.points
+}
+
+// At returns the i-th point in time order.
+func (s *Series) At(i int) Point {
+	s.ensureSorted()
+	return s.points[i]
+}
+
+// Values returns the values in time order as a fresh slice.
+func (s *Series) Values() []float64 {
+	s.ensureSorted()
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Times returns the timestamps in time order as a fresh slice.
+func (s *Series) Times() []time.Time {
+	s.ensureSorted()
+	out := make([]time.Time, len(s.points))
+	for i, p := range s.points {
+		out[i] = p.T
+	}
+	return out
+}
+
+// Between returns a new series restricted to points with from ≤ t < to.
+func (s *Series) Between(from, to time.Time) *Series {
+	s.ensureSorted()
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(to) })
+	out := &Series{Name: s.Name, sorted: true}
+	out.points = append(out.points, s.points[lo:hi]...)
+	return out
+}
+
+// Mean returns the mean value of the series, or 0 if empty.
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.V
+	}
+	return sum / float64(len(s.points))
+}
+
+// Median returns the median value of the series, or 0 if empty.
+func (s *Series) Median() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	vs := s.Values()
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// Min returns the minimum value, or +Inf if the series is empty.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Max returns the maximum value, or -Inf if the series is empty.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Scale returns a new series with every value multiplied by f.
+func (s *Series) Scale(f float64) *Series {
+	s.ensureSorted()
+	out := &Series{Name: s.Name, sorted: true, points: make([]Point, len(s.points))}
+	for i, p := range s.points {
+		out.points[i] = Point{T: p.T, V: p.V * f}
+	}
+	return out
+}
+
+// Shift returns a new series with the constant delta added to every value.
+// It is used to offset model predictions to measurement level (Fig. 9).
+func (s *Series) Shift(delta float64) *Series {
+	s.ensureSorted()
+	out := &Series{Name: s.Name, sorted: true, points: make([]Point, len(s.points))}
+	for i, p := range s.points {
+		out.points[i] = Point{T: p.T, V: p.V + delta}
+	}
+	return out
+}
+
+// Aggregator combines the samples that fall into one resampling bucket.
+type Aggregator func(vs []float64) float64
+
+// AggMean averages the bucket samples.
+func AggMean(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// AggSum sums the bucket samples.
+func AggSum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// AggMax keeps the maximum bucket sample.
+func AggMax(vs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AggLast keeps the last bucket sample (gauge semantics).
+func AggLast(vs []float64) float64 { return vs[len(vs)-1] }
+
+// Resample buckets the series into windows of the given step, aggregating
+// each bucket with agg. The resulting points are stamped at bucket starts
+// (truncated to the step). Empty buckets produce no point. A non-positive
+// step is an error.
+func (s *Series) Resample(step time.Duration, agg Aggregator) (*Series, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive resample step %v", step)
+	}
+	s.ensureSorted()
+	out := New(s.Name)
+	var bucket []float64
+	var bucketStart time.Time
+	flush := func() {
+		if len(bucket) > 0 {
+			out.Append(bucketStart, agg(bucket))
+			bucket = bucket[:0]
+		}
+	}
+	for _, p := range s.points {
+		bs := p.T.Truncate(step)
+		if len(bucket) > 0 && !bs.Equal(bucketStart) {
+			flush()
+		}
+		bucketStart = bs
+		bucket = append(bucket, p.V)
+	}
+	flush()
+	return out, nil
+}
+
+// Smooth returns a centered moving average over the given time window: the
+// value at each point becomes the mean of all samples within ±window/2.
+// This is the 30-minute smoothing applied to the Fig. 4 traces.
+func (s *Series) Smooth(window time.Duration) *Series {
+	s.ensureSorted()
+	out := &Series{Name: s.Name, sorted: true, points: make([]Point, len(s.points))}
+	if window <= 0 {
+		copy(out.points, s.points)
+		return out
+	}
+	half := window / 2
+	n := len(s.points)
+	lo, hi := 0, 0
+	var sum float64
+	for i, p := range s.points {
+		from := p.T.Add(-half)
+		to := p.T.Add(half)
+		for hi < n && !s.points[hi].T.After(to) {
+			sum += s.points[hi].V
+			hi++
+		}
+		for lo < n && s.points[lo].T.Before(from) {
+			sum -= s.points[lo].V
+			lo++
+		}
+		out.points[i] = Point{T: p.T, V: sum / float64(hi-lo)}
+	}
+	return out
+}
+
+// ErrNoOverlap is returned by alignment operations when the inputs share no
+// common time range.
+var ErrNoOverlap = errors.New("timeseries: series do not overlap in time")
+
+// SumAligned sums multiple series after resampling each onto the common
+// step (mean-aggregated). Buckets missing from any series carry that
+// series' nearest earlier value (sample-and-hold), so that devices that
+// report at slightly different instants still sum correctly; series
+// contribute nothing before their first sample and hold their last value to
+// the end. The result spans the union of the input ranges. It returns an
+// error when called with no series or a non-positive step.
+func SumAligned(name string, step time.Duration, series ...*Series) (*Series, error) {
+	if len(series) == 0 {
+		return nil, errors.New("timeseries: SumAligned requires at least one series")
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("timeseries: non-positive step %v", step)
+	}
+	type resampled struct {
+		pts []Point
+		idx int
+	}
+	rs := make([]resampled, 0, len(series))
+	var start, end time.Time
+	first := true
+	for _, s := range series {
+		r, err := s.Resample(step, AggMean)
+		if err != nil {
+			return nil, err
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		pts := r.Points()
+		if first {
+			start, end = pts[0].T, pts[len(pts)-1].T
+			first = false
+		} else {
+			if pts[0].T.Before(start) {
+				start = pts[0].T
+			}
+			if pts[len(pts)-1].T.After(end) {
+				end = pts[len(pts)-1].T
+			}
+		}
+		rs = append(rs, resampled{pts: pts})
+	}
+	out := New(name)
+	if first { // every series was empty
+		return out, nil
+	}
+	for t := start; !t.After(end); t = t.Add(step) {
+		var sum float64
+		for i := range rs {
+			r := &rs[i]
+			for r.idx+1 < len(r.pts) && !r.pts[r.idx+1].T.After(t) {
+				r.idx++
+			}
+			if r.pts[r.idx].T.After(t) {
+				continue // before this series' first sample
+			}
+			sum += r.pts[r.idx].V
+		}
+		out.Append(t, sum)
+	}
+	return out, nil
+}
+
+// Sub returns a-b on a's timestamps, matching each point of a with the
+// nearest-earlier point of b (sample-and-hold). Points of a before b's
+// first sample are dropped. It returns ErrNoOverlap when nothing matches.
+func Sub(a, b *Series) (*Series, error) {
+	a.ensureSorted()
+	b.ensureSorted()
+	out := New(a.Name + "-" + b.Name)
+	bp := b.Points()
+	if len(bp) == 0 {
+		return nil, ErrNoOverlap
+	}
+	j := 0
+	for _, p := range a.Points() {
+		for j+1 < len(bp) && !bp[j+1].T.After(p.T) {
+			j++
+		}
+		if bp[j].T.After(p.T) {
+			continue
+		}
+		out.Append(p.T, p.V-bp[j].V)
+	}
+	if out.Len() == 0 {
+		return nil, ErrNoOverlap
+	}
+	return out, nil
+}
+
+// IntegratePower integrates a power series (values in watts) over time by
+// the trapezoid rule and returns joules. Series with fewer than two points
+// integrate to zero.
+func IntegratePower(s *Series) float64 {
+	pts := s.Points()
+	var joules float64
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].T.Sub(pts[i-1].T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		joules += (pts[i].V + pts[i-1].V) / 2 * dt
+	}
+	return joules
+}
+
+// CounterToRate converts a monotonically increasing counter series (e.g.
+// SNMP ifHCInOctets) into a per-second rate series. Each output point is
+// stamped at the end of its interval. Counter wraps are handled for the
+// given bit width (32 or 64); any other width is an error. Counter resets
+// (decreases too large to be a wrap, i.e. more than half the counter range)
+// produce no output point for that interval.
+func CounterToRate(s *Series, bits int) (*Series, error) {
+	if bits != 32 && bits != 64 {
+		return nil, fmt.Errorf("timeseries: unsupported counter width %d", bits)
+	}
+	s.ensureSorted()
+	out := New(s.Name + ".rate")
+	pts := s.Points()
+	var modulus float64
+	if bits == 32 {
+		modulus = math.Pow(2, 32)
+	} else {
+		modulus = math.Pow(2, 64)
+	}
+	for i := 1; i < len(pts); i++ {
+		dt := pts[i].T.Sub(pts[i-1].T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		dv := pts[i].V - pts[i-1].V
+		if dv < 0 {
+			wrapped := dv + modulus
+			if wrapped > modulus/2 {
+				// Too large to be a plausible wrap: treat as reset.
+				continue
+			}
+			dv = wrapped
+		}
+		out.Append(pts[i].T, dv/dt)
+	}
+	return out, nil
+}

@@ -1,0 +1,384 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func mk(name string, vals ...float64) *Series {
+	s := New(name)
+	for i, v := range vals {
+		s.Append(t0.Add(time.Duration(i)*time.Minute), v)
+	}
+	return s
+}
+
+func TestAppendOutOfOrder(t *testing.T) {
+	s := New("x")
+	s.Append(t0.Add(2*time.Minute), 3)
+	s.Append(t0, 1)
+	s.Append(t0.Add(time.Minute), 2)
+	vs := s.Values()
+	for i, want := range []float64{1, 2, 3} {
+		if vs[i] != want {
+			t.Fatalf("Values() = %v, want sorted [1 2 3]", vs)
+		}
+	}
+}
+
+func TestFromPointsSorts(t *testing.T) {
+	pts := []Point{{t0.Add(time.Hour), 2}, {t0, 1}}
+	s := FromPoints("x", pts)
+	if s.At(0).V != 1 || s.At(1).V != 2 {
+		t.Errorf("FromPoints did not sort: %v", s.Points())
+	}
+	// Input must not be aliased.
+	pts[0].V = 99
+	if s.At(1).V == 99 {
+		t.Error("FromPoints aliased its input")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	s := mk("x", 1, 2, 3, 4, 5)
+	got := s.Between(t0.Add(time.Minute), t0.Add(3*time.Minute))
+	if got.Len() != 2 || got.At(0).V != 2 || got.At(1).V != 3 {
+		t.Errorf("Between = %v", got.Points())
+	}
+	if s.Between(t0.Add(time.Hour), t0.Add(2*time.Hour)).Len() != 0 {
+		t.Error("Between outside range must be empty")
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	s := mk("x", 4, 1, 3, 2)
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Median() != 2.5 {
+		t.Errorf("Median = %v", s.Median())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	empty := New("e")
+	if empty.Mean() != 0 || empty.Median() != 0 {
+		t.Error("empty series stats must be 0")
+	}
+	if !math.IsInf(empty.Min(), 1) || !math.IsInf(empty.Max(), -1) {
+		t.Error("empty Min/Max must be ±Inf")
+	}
+}
+
+func TestScaleShift(t *testing.T) {
+	s := mk("x", 1, 2)
+	sc := s.Scale(10)
+	if sc.At(0).V != 10 || sc.At(1).V != 20 {
+		t.Errorf("Scale = %v", sc.Points())
+	}
+	sh := s.Shift(-1)
+	if sh.At(0).V != 0 || sh.At(1).V != 1 {
+		t.Errorf("Shift = %v", sh.Points())
+	}
+	if s.At(0).V != 1 {
+		t.Error("Scale/Shift must not modify the receiver")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New("x")
+	// Two samples in minute 0, one in minute 2; minute 1 empty.
+	s.Append(t0.Add(10*time.Second), 1)
+	s.Append(t0.Add(50*time.Second), 3)
+	s.Append(t0.Add(2*time.Minute+5*time.Second), 10)
+	r, err := s.Resample(time.Minute, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Resample len = %d, want 2 (empty buckets skipped)", r.Len())
+	}
+	if r.At(0).V != 2 || !r.At(0).T.Equal(t0) {
+		t.Errorf("bucket 0 = %v", r.At(0))
+	}
+	if r.At(1).V != 10 || !r.At(1).T.Equal(t0.Add(2*time.Minute)) {
+		t.Errorf("bucket 1 = %v", r.At(1))
+	}
+	if _, err := s.Resample(0, AggMean); err == nil {
+		t.Error("zero step must error")
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	vs := []float64{1, 5, 3}
+	if AggMean(vs) != 3 {
+		t.Error("AggMean")
+	}
+	if AggSum(vs) != 9 {
+		t.Error("AggSum")
+	}
+	if AggMax(vs) != 5 {
+		t.Error("AggMax")
+	}
+	if AggLast(vs) != 3 {
+		t.Error("AggLast")
+	}
+}
+
+func TestSmoothConstantInvariant(t *testing.T) {
+	f := func(v float64, n uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Mod(v, 1e9)
+		s := New("c")
+		for i := 0; i < int(n)+1; i++ {
+			s.Append(t0.Add(time.Duration(i)*time.Second), v)
+		}
+		sm := s.Smooth(10 * time.Second)
+		for _, p := range sm.Points() {
+			if math.Abs(p.V-v) > 1e-9*math.Max(1, math.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmoothAverages(t *testing.T) {
+	s := mk("x", 0, 10, 0, 10, 0)
+	sm := s.Smooth(2 * time.Minute)
+	// Point at minute 2 averages minutes 1..3: (10+0+10)/3.
+	want := 20.0 / 3
+	if math.Abs(sm.At(2).V-want) > 1e-12 {
+		t.Errorf("Smooth center = %v, want %v", sm.At(2).V, want)
+	}
+	// Zero window returns values unchanged.
+	z := s.Smooth(0)
+	for i := range s.Points() {
+		if z.At(i).V != s.At(i).V {
+			t.Error("zero-window smooth must be identity")
+		}
+	}
+}
+
+func TestSmoothReducesVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New("noise")
+	for i := 0; i < 1000; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Second), rng.NormFloat64())
+	}
+	sm := s.Smooth(60 * time.Second)
+	varOf := func(x *Series) float64 {
+		m := x.Mean()
+		var ss float64
+		for _, p := range x.Points() {
+			d := p.V - m
+			ss += d * d
+		}
+		return ss / float64(x.Len())
+	}
+	if varOf(sm) >= varOf(s)/5 {
+		t.Errorf("smoothing should cut noise variance: raw %v smooth %v", varOf(s), varOf(sm))
+	}
+}
+
+func TestSumAligned(t *testing.T) {
+	a := mk("a", 1, 1, 1)
+	b := mk("b", 2, 2, 2)
+	sum, err := SumAligned("total", time.Minute, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Len() != 3 {
+		t.Fatalf("len = %d", sum.Len())
+	}
+	for _, p := range sum.Points() {
+		if p.V != 3 {
+			t.Errorf("sum point = %v, want 3", p)
+		}
+	}
+}
+
+func TestSumAlignedSampleAndHold(t *testing.T) {
+	// b starts one minute later and has a gap; its last value is held.
+	a := mk("a", 1, 1, 1, 1)
+	b := New("b")
+	b.Append(t0.Add(time.Minute), 10)
+	sum, err := SumAligned("total", time.Minute, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 11, 11, 11}
+	for i, w := range want {
+		if sum.At(i).V != w {
+			t.Errorf("sum[%d] = %v, want %v", i, sum.At(i).V, w)
+		}
+	}
+}
+
+func TestSumAlignedErrors(t *testing.T) {
+	if _, err := SumAligned("x", time.Minute); err == nil {
+		t.Error("no series must error")
+	}
+	if _, err := SumAligned("x", 0, mk("a", 1)); err == nil {
+		t.Error("zero step must error")
+	}
+	empty, err := SumAligned("x", time.Minute, New("e"))
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("sum of empty series = %v, %v", empty, err)
+	}
+}
+
+func TestSub(t *testing.T) {
+	a := mk("a", 10, 20, 30)
+	b := mk("b", 1, 2, 3)
+	d, err := Sub(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 18, 27}
+	for i, w := range want {
+		if d.At(i).V != w {
+			t.Errorf("diff[%d] = %v, want %v", i, d.At(i).V, w)
+		}
+	}
+}
+
+func TestSubNoOverlap(t *testing.T) {
+	a := mk("a", 1)
+	b := New("b")
+	b.Append(t0.Add(time.Hour), 5)
+	if _, err := Sub(a, b); err != ErrNoOverlap {
+		t.Errorf("err = %v, want ErrNoOverlap", err)
+	}
+	if _, err := Sub(a, New("empty")); err != ErrNoOverlap {
+		t.Errorf("err = %v, want ErrNoOverlap for empty b", err)
+	}
+}
+
+func TestCounterToRate(t *testing.T) {
+	s := New("octets")
+	s.Append(t0, 1000)
+	s.Append(t0.Add(10*time.Second), 2000) // 100/s
+	s.Append(t0.Add(20*time.Second), 2000) // 0/s
+	r, err := CounterToRate(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.At(0).V != 100 || r.At(1).V != 0 {
+		t.Errorf("rates = %v", r.Points())
+	}
+}
+
+func TestCounterToRateWrap32(t *testing.T) {
+	max32 := math.Pow(2, 32)
+	s := New("c")
+	s.Append(t0, max32-500)
+	s.Append(t0.Add(time.Second), 500) // wrapped: delta 1000
+	r, err := CounterToRate(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.At(0).V != 1000 {
+		t.Errorf("wrap rate = %v", r.Points())
+	}
+}
+
+func TestCounterToRateReset(t *testing.T) {
+	s := New("c")
+	s.Append(t0, 1e9)
+	s.Append(t0.Add(time.Second), 10) // reset, not a plausible 64-bit wrap
+	s.Append(t0.Add(2*time.Second), 20)
+	r, err := CounterToRate(s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.At(0).V != 10 {
+		t.Errorf("after reset = %v", r.Points())
+	}
+}
+
+func TestCounterToRateBadWidth(t *testing.T) {
+	if _, err := CounterToRate(New("c"), 16); err == nil {
+		t.Error("width 16 must error")
+	}
+}
+
+func TestCounterToRateNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("c")
+		c := uint32(rng.Uint64())
+		for i := 0; i < 50; i++ {
+			s.Append(t0.Add(time.Duration(i)*time.Second), float64(c))
+			c += uint32(rng.Intn(1_000_000))
+		}
+		r, err := CounterToRate(s, 32)
+		if err != nil {
+			return false
+		}
+		for _, p := range r.Points() {
+			if p.V < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegratePower(t *testing.T) {
+	s := New("p")
+	// Constant 100 W for one hour = 100 Wh = 360 kJ.
+	for i := 0; i <= 60; i++ {
+		s.Append(t0.Add(time.Duration(i)*time.Minute), 100)
+	}
+	got := IntegratePower(s)
+	if math.Abs(got-360000) > 1e-6 {
+		t.Errorf("IntegratePower = %v J, want 360000", got)
+	}
+	// A ramp 0→100 W over one hour averages 50 W.
+	r := New("ramp")
+	for i := 0; i <= 60; i++ {
+		r.Append(t0.Add(time.Duration(i)*time.Minute), float64(i)/60*100)
+	}
+	if got := IntegratePower(r); math.Abs(got-180000) > 1e-6 {
+		t.Errorf("ramp energy = %v J, want 180000", got)
+	}
+	if IntegratePower(New("empty")) != 0 {
+		t.Error("empty series must integrate to 0")
+	}
+	one := New("one")
+	one.Append(t0, 500)
+	if IntegratePower(one) != 0 {
+		t.Error("single point must integrate to 0")
+	}
+}
+
+func TestIntegratePowerNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New("p")
+		for i := 0; i < 50; i++ {
+			s.Append(t0.Add(time.Duration(i)*time.Minute), rng.Float64()*1000)
+		}
+		return IntegratePower(s) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/units"
+)
+
+var g = units.GigabitPerSecond
+
+func TestIBSendBWRange(t *testing.T) {
+	gen := IBSendBW{}
+	if _, err := gen.Load(1*g, 1500); err == nil {
+		t.Error("1 Gbps is below ib_send_bw's range")
+	}
+	if _, err := gen.Load(200*g, 1500); err == nil {
+		t.Error("200 Gbps is above ib_send_bw's range")
+	}
+	l, err := gen.Load(100*g, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.PacketRateFor(100*g, 1500, EthernetOverhead)
+	if math.Abs(l.Packets.PacketsPerSecond()-want.PacketsPerSecond()) > 1e-6 {
+		t.Errorf("packet rate = %v, want %v", l.Packets, want)
+	}
+}
+
+func TestIPerf3Range(t *testing.T) {
+	gen := IPerf3UDP{}
+	if _, err := gen.Load(0, 1500); err == nil {
+		t.Error("zero rate must error")
+	}
+	if _, err := gen.Load(10*g, 1500); err == nil {
+		t.Error("10 Gbps is above iperf3's useful range here")
+	}
+	if _, err := gen.Load(1*g, 1500); err != nil {
+		t.Errorf("1 Gbps should work: %v", err)
+	}
+}
+
+func TestPacketSizeLimits(t *testing.T) {
+	if _, err := (IBSendBW{}).Load(10*g, 32); err == nil {
+		t.Error("sub-64 B packets must error")
+	}
+	if _, err := (IBSendBW{}).Load(10*g, 10000); err == nil {
+		t.Error("super-jumbo packets must error")
+	}
+}
+
+func TestForRate(t *testing.T) {
+	if ForRate(100*g).Name() != "ib_send_bw" {
+		t.Error("high rates use ib_send_bw")
+	}
+	if ForRate(1*g).Name() != "iperf3-udp" {
+		t.Error("low rates use iperf3")
+	}
+}
+
+func snakeRouter(t *testing.T) *device.Router {
+	t.Helper()
+	curve, _ := psu.NewCurve([]psu.CurvePoint{{Load: 0, Efficiency: 1}, {Load: 1, Efficiency: 1}})
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * g}
+	spec := device.ModelSpec{
+		Name: "snake-dut", NumPorts: 4, PortType: model.QSFP28,
+		Truth: map[model.ProfileKey]model.InterfaceProfile{
+			key: {Key: key, PPort: 1, EBit: 10 * units.Picojoule},
+		},
+		PBaseDC: 100, PSUCount: 1, PSUCapacity: 1000, PSUCurve: curve,
+	}
+	r, err := device.New(spec, "dut", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.InterfaceNames()[:2] {
+		if err := r.PlugTransceiver(name, model.PassiveDAC, 100*g); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetAdmin(name, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SetLink(name, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestApplySnake(t *testing.T) {
+	r := snakeRouter(t)
+	load, err := IBSendBW{}.Load(10*g, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ApplySnake(r, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("snake loaded %d interfaces, want the 2 operational ones", n)
+	}
+	before := r.WallPower().Watts()
+	if err := StopSnake(r); err != nil {
+		t.Fatal(err)
+	}
+	after := r.WallPower().Watts()
+	if after >= before {
+		t.Errorf("stopping the snake must reduce power: %v -> %v", before, after)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := DefaultDiurnal()
+	d.Noise = 0
+	// Tuesday evening peak vs Tuesday pre-dawn trough.
+	peak := d.Multiplier(time.Date(2024, 9, 3, 20, 0, 0, 0, time.UTC), nil)
+	trough := d.Multiplier(time.Date(2024, 9, 3, 8, 0, 0, 0, time.UTC), nil)
+	if peak <= trough {
+		t.Errorf("peak %v must exceed trough %v", peak, trough)
+	}
+	// Weekend dip: same hour, Saturday vs Tuesday.
+	sat := d.Multiplier(time.Date(2024, 9, 7, 20, 0, 0, 0, time.UTC), nil)
+	if sat >= peak {
+		t.Errorf("saturday %v must be below weekday %v", sat, peak)
+	}
+}
+
+func TestDiurnalMeanNearOne(t *testing.T) {
+	d := DefaultDiurnal()
+	d.Noise = 0
+	d.WeekendDip = 0
+	var sum float64
+	n := 0
+	start := time.Date(2024, 9, 2, 0, 0, 0, 0, time.UTC)
+	for ts := start; ts.Before(start.AddDate(0, 0, 1)); ts = ts.Add(5 * time.Minute) {
+		sum += d.Multiplier(ts, nil)
+		n++
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.02 {
+		t.Errorf("daily mean multiplier = %v, want ≈1", mean)
+	}
+}
+
+func TestDiurnalNonNegative(t *testing.T) {
+	d := Diurnal{DayAmplitude: 0.9, Noise: 1.5, PeakHour: 12}
+	rng := rand.New(rand.NewSource(1))
+	ts := time.Date(2024, 9, 2, 3, 0, 0, 0, time.UTC)
+	for i := 0; i < 1000; i++ {
+		if m := d.Multiplier(ts, rng); m < 0 {
+			t.Fatalf("negative multiplier %v", m)
+		}
+	}
+}
+
+func TestIMIX(t *testing.T) {
+	mean := IMIXMeanSize()
+	if mean < 330 || mean < 300 || mean > 400 {
+		t.Errorf("IMIX mean size = %v, want ≈353 B", mean)
+	}
+	var w float64
+	for _, e := range IMIX {
+		w += e.Weight
+	}
+	if math.Abs(w-1) > 1e-9 {
+		t.Errorf("IMIX weights sum to %v, want 1", w)
+	}
+}

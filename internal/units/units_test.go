@@ -1,0 +1,162 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerString(t *testing.T) {
+	tests := []struct {
+		in   Power
+		want string
+	}{
+		{0, "0 W"},
+		{358, "358 W"},
+		{21500, "21.5 kW"},
+		{0.32, "320 mW"},
+		{-24, "-24 W"},
+		{1.5e6, "1.5 MW"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Power(%v).String() = %q, want %q", float64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	tests := []struct {
+		in   Energy
+		want string
+	}{
+		{22e-12, "22 pJ"},
+		{58e-9, "58 nJ"},
+		{1, "1 J"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Energy.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	if got := (100 * GigabitPerSecond).String(); got != "100 Gbps" {
+		t.Errorf("got %q, want 100 Gbps", got)
+	}
+	if got := (2.5 * GigabitPerSecond).String(); got != "2.5 Gbps" {
+		t.Errorf("got %q, want 2.5 Gbps", got)
+	}
+}
+
+func TestPacketRateFor(t *testing.T) {
+	// 100 Gbps of 1500 B packets with 38 B of Ethernet framing overhead:
+	// p = 1e11 / (8 * 1538) ≈ 8.127 Mpps.
+	p := PacketRateFor(100*GigabitPerSecond, 1500, 38)
+	want := 1e11 / (8 * 1538)
+	if !NearlyEqual(p.PacketsPerSecond(), want, 1e-12) {
+		t.Errorf("PacketRateFor = %v, want %v", p.PacketsPerSecond(), want)
+	}
+}
+
+func TestPacketRateForZeroSize(t *testing.T) {
+	if got := PacketRateFor(100*GigabitPerSecond, 0, 0); got != 0 {
+		t.Errorf("PacketRateFor with zero size = %v, want 0", got)
+	}
+	if got := PacketRateFor(100*GigabitPerSecond, -10, 5); got != 0 {
+		t.Errorf("PacketRateFor with negative size = %v, want 0", got)
+	}
+}
+
+func TestBitRateRoundTrip(t *testing.T) {
+	// BitRateFor must invert PacketRateFor for any positive packet size.
+	f := func(rGbps float64, l uint16) bool {
+		r := BitRate(math.Abs(rGbps)) * GigabitPerSecond
+		packet := ByteSize(l%9000 + 64)
+		p := PacketRateFor(r, packet, 38)
+		back := BitRateFor(p, packet, 38)
+		return NearlyEqual(back.BitsPerSecond(), r.BitsPerSecond(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"600 W", 600, true},
+		{"600W", 600, true},
+		{"1.1kW", 1100, true},
+		{"1.1 kW", 1100, true},
+		{"358", 358, true},
+		{"288 W", 288, true},
+		{"2.7 kW", 2700, true},
+		{"TBD", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := ParsePower(tt.in)
+		if tt.ok && err != nil {
+			t.Errorf("ParsePower(%q) error: %v", tt.in, err)
+			continue
+		}
+		if !tt.ok {
+			if err == nil {
+				t.Errorf("ParsePower(%q) = %v, want error", tt.in, got)
+			}
+			continue
+		}
+		if !NearlyEqual(got.Watts(), tt.want, 1e-12) {
+			t.Errorf("ParsePower(%q) = %v, want %v", tt.in, got.Watts(), tt.want)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"100G", 100e9},
+		{"100 Gbps", 100e9},
+		{"10Gb/s", 10e9},
+		{"1.8 Tbps", 1.8e12},
+		{"2400000000", 2.4e9},
+	}
+	for _, tt := range tests {
+		got, err := ParseBitRate(tt.in)
+		if err != nil {
+			t.Errorf("ParseBitRate(%q) error: %v", tt.in, err)
+			continue
+		}
+		if !NearlyEqual(got.BitsPerSecond(), tt.want, 1e-12) {
+			t.Errorf("ParseBitRate(%q) = %v, want %v", tt.in, got.BitsPerSecond(), tt.want)
+		}
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	if !NearlyEqual(1.0, 1.0, 0) {
+		t.Error("identical values must be nearly equal even with tol 0")
+	}
+	if !NearlyEqual(100, 100.04, 1e-3) {
+		t.Error("0.04% difference within 0.1% tolerance should pass")
+	}
+	if NearlyEqual(100, 101, 1e-3) {
+		t.Error("1% difference outside 0.1% tolerance should fail")
+	}
+	if !NearlyEqual(0, 1e-9, 1e-6) {
+		t.Error("near-zero values within absolute tolerance should pass")
+	}
+}
+
+func TestSIFormatSubUnit(t *testing.T) {
+	if got := Power(0.0000005).String(); got != "500 nW" {
+		t.Errorf("got %q, want 500 nW", got)
+	}
+}

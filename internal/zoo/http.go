@@ -1,0 +1,239 @@
+package zoo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"fantasticjoules/internal/datasheet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
+)
+
+// Handler returns the HTTP API over a store:
+//
+//	GET  /api/v1/{datasheets|models|traces}          list record names
+//	GET  /api/v1/{datasheets|models|traces}/{name}   fetch one record
+//	PUT  /api/v1/{datasheets|models|traces}/{name}   store one record
+func Handler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/api/v1/")
+		parts := strings.SplitN(rest, "/", 2)
+		category := parts[0]
+		name := ""
+		if len(parts) == 2 {
+			name = parts[1]
+		}
+		switch category {
+		case "datasheets", "models", "traces":
+		default:
+			http.Error(w, "unknown category", http.StatusNotFound)
+			return
+		}
+		switch {
+		case r.Method == http.MethodGet && name == "":
+			names, err := s.list(category)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, names)
+		case r.Method == http.MethodGet:
+			serveGet(s, w, category, name)
+		case r.Method == http.MethodPut && name != "":
+			servePut(s, w, r, category, name)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	return mux
+}
+
+func serveGet(s *Store, w http.ResponseWriter, category, name string) {
+	var v interface{}
+	var err error
+	switch category {
+	case "datasheets":
+		var rec datasheet.Extracted
+		err = s.read(category, name, &rec)
+		v = rec
+	case "models":
+		var rec ModelRecord
+		err = s.read(category, name, &rec)
+		v = rec
+	case "traces":
+		var rec TraceRecord
+		err = s.read(category, name, &rec)
+		v = rec
+	}
+	if errors.Is(err, ErrNotFound) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, v)
+}
+
+func servePut(s *Store, w http.ResponseWriter, r *http.Request, category, name string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch category {
+	case "datasheets":
+		var rec datasheet.Extracted
+		if err := json.Unmarshal(body, &rec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec.Model = name
+		err = s.PutDatasheet(rec)
+	case "models":
+		var rec ModelRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec.Router = name
+		err = s.write(category, name, rec)
+	case "traces":
+		var rec TraceRecord
+		if err := json.Unmarshal(body, &rec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec.Name = name
+		err = s.write(category, name, rec)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client talks to a zoo server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(category, name string, v interface{}) error {
+	url := fmt.Sprintf("%s/api/v1/%s/%s", c.BaseURL, category, name)
+	resp, err := c.http().Get(url)
+	if err != nil {
+		return fmt.Errorf("zoo client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, category, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("zoo client: %s returned %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *Client) put(category, name string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/api/v1/%s/%s", c.BaseURL, category, name)
+	req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("zoo client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("zoo client: %s returned %s", url, resp.Status)
+	}
+	return nil
+}
+
+// List fetches the record names in a category.
+func (c *Client) List(category string) ([]string, error) {
+	url := fmt.Sprintf("%s/api/v1/%s", c.BaseURL, category)
+	resp, err := c.http().Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("zoo client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("zoo client: %s returned %s", url, resp.Status)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// PutModel uploads a power model.
+func (c *Client) PutModel(m *model.Model) error {
+	return c.put("models", m.RouterModel, EncodeModel(m))
+}
+
+// GetModel downloads a power model.
+func (c *Client) GetModel(router string) (*model.Model, error) {
+	var rec ModelRecord
+	if err := c.get("models", router, &rec); err != nil {
+		return nil, err
+	}
+	return DecodeModel(rec), nil
+}
+
+// PutTrace uploads a trace.
+func (c *Client) PutTrace(name string, s *timeseries.Series) error {
+	rec := EncodeTrace(s)
+	rec.Name = name
+	return c.put("traces", name, rec)
+}
+
+// GetTrace downloads a trace.
+func (c *Client) GetTrace(name string) (*timeseries.Series, error) {
+	var rec TraceRecord
+	if err := c.get("traces", name, &rec); err != nil {
+		return nil, err
+	}
+	return DecodeTrace(rec), nil
+}
+
+// PutDatasheet uploads a datasheet record.
+func (c *Client) PutDatasheet(rec datasheet.Extracted) error {
+	return c.put("datasheets", rec.Model, rec)
+}
+
+// GetDatasheet downloads a datasheet record.
+func (c *Client) GetDatasheet(modelName string) (datasheet.Extracted, error) {
+	var rec datasheet.Extracted
+	err := c.get("datasheets", modelName, &rec)
+	return rec, err
+}

@@ -1,0 +1,256 @@
+// Package zoo implements the Network Power Zoo [18]: a small database
+// aggregating the community's router power data — datasheet extractions,
+// derived power models, and measurement traces — behind an HTTP API, so
+// tools can publish and fetch each other's results.
+//
+// The store is a directory of JSON documents (one file per record),
+// which keeps the zoo greppable and diff-able; the HTTP layer is a thin
+// REST mapping over it.
+package zoo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fantasticjoules/internal/datasheet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// Store is a file-backed record store. Create with Open; all methods are
+// safe for concurrent use.
+type Store struct {
+	mu  sync.RWMutex
+	dir string
+}
+
+// Open creates (if necessary) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"datasheets", "models", "traces"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("zoo: open: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// ErrNotFound is returned when a record does not exist.
+var ErrNotFound = errors.New("zoo: record not found")
+
+// safeName validates a record key for use as a file name.
+func safeName(name string) (string, error) {
+	if name == "" {
+		return "", errors.New("zoo: empty record name")
+	}
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return "", fmt.Errorf("zoo: invalid record name %q", name)
+	}
+	return name + ".json", nil
+}
+
+func (s *Store) write(category, name string, v interface{}) error {
+	fn, err := safeName(name)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("zoo: encode %s/%s: %w", category, name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.dir, category, fn)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("zoo: write %s: %w", path, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+func (s *Store) read(category, name string, v interface{}) error {
+	fn, err := safeName(name)
+	if err != nil {
+		return err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(filepath.Join(s.dir, category, fn))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, category, name)
+	}
+	if err != nil {
+		return fmt.Errorf("zoo: read %s/%s: %w", category, name, err)
+	}
+	return json.Unmarshal(data, v)
+}
+
+func (s *Store) list(category string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(filepath.Join(s.dir, category))
+	if err != nil {
+		return nil, fmt.Errorf("zoo: list %s: %w", category, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// --- Datasheets ---
+
+// PutDatasheet stores an extracted datasheet record keyed by model name.
+func (s *Store) PutDatasheet(rec datasheet.Extracted) error {
+	return s.write("datasheets", rec.Model, rec)
+}
+
+// GetDatasheet fetches the record for a model.
+func (s *Store) GetDatasheet(modelName string) (datasheet.Extracted, error) {
+	var rec datasheet.Extracted
+	err := s.read("datasheets", modelName, &rec)
+	return rec, err
+}
+
+// ListDatasheets lists the stored datasheet record names.
+func (s *Store) ListDatasheets() ([]string, error) { return s.list("datasheets") }
+
+// --- Power models ---
+
+// ModelRecord is the JSON encoding of a power model.
+type ModelRecord struct {
+	Router     string          `json:"router"`
+	PBaseWatts float64         `json:"pbase_watts"`
+	Profiles   []ProfileRecord `json:"profiles"`
+	// DerivedAt stamps when the model was produced.
+	DerivedAt time.Time `json:"derived_at,omitempty"`
+}
+
+// ProfileRecord is the JSON encoding of one interface profile.
+type ProfileRecord struct {
+	Port         string  `json:"port"`
+	Transceiver  string  `json:"transceiver"`
+	SpeedBps     float64 `json:"speed_bps"`
+	PPortWatts   float64 `json:"pport_watts"`
+	PTrxInWatts  float64 `json:"ptrx_in_watts"`
+	PTrxUpWatts  float64 `json:"ptrx_up_watts"`
+	EBitPJ       float64 `json:"ebit_pj"`
+	EPktNJ       float64 `json:"epkt_nj"`
+	POffsetWatts float64 `json:"poffset_watts"`
+}
+
+// EncodeModel converts a power model to its storage record.
+func EncodeModel(m *model.Model) ModelRecord {
+	rec := ModelRecord{Router: m.RouterModel, PBaseWatts: m.PBase.Watts()}
+	for _, p := range m.Profiles() {
+		rec.Profiles = append(rec.Profiles, ProfileRecord{
+			Port:         string(p.Key.Port),
+			Transceiver:  string(p.Key.Transceiver),
+			SpeedBps:     p.Key.Speed.BitsPerSecond(),
+			PPortWatts:   p.PPort.Watts(),
+			PTrxInWatts:  p.PTrxIn.Watts(),
+			PTrxUpWatts:  p.PTrxUp.Watts(),
+			EBitPJ:       p.EBit.Picojoules(),
+			EPktNJ:       p.EPkt.Nanojoules(),
+			POffsetWatts: p.POffset.Watts(),
+		})
+	}
+	return rec
+}
+
+// DecodeModel rebuilds a power model from its storage record.
+func DecodeModel(rec ModelRecord) *model.Model {
+	m := model.New(rec.Router, units.Power(rec.PBaseWatts))
+	for _, p := range rec.Profiles {
+		m.AddProfile(model.InterfaceProfile{
+			Key: model.ProfileKey{
+				Port:        model.PortType(p.Port),
+				Transceiver: model.TransceiverType(p.Transceiver),
+				Speed:       units.BitRate(p.SpeedBps),
+			},
+			PPort:   units.Power(p.PPortWatts),
+			PTrxIn:  units.Power(p.PTrxInWatts),
+			PTrxUp:  units.Power(p.PTrxUpWatts),
+			EBit:    units.Energy(p.EBitPJ) * units.Picojoule,
+			EPkt:    units.Energy(p.EPktNJ) * units.Nanojoule,
+			POffset: units.Power(p.POffsetWatts),
+		})
+	}
+	return m
+}
+
+// PutModel stores a power model keyed by router model name.
+func (s *Store) PutModel(m *model.Model) error {
+	rec := EncodeModel(m)
+	rec.DerivedAt = time.Now().UTC()
+	return s.write("models", rec.Router, rec)
+}
+
+// GetModel fetches a stored power model.
+func (s *Store) GetModel(router string) (*model.Model, error) {
+	var rec ModelRecord
+	if err := s.read("models", router, &rec); err != nil {
+		return nil, err
+	}
+	return DecodeModel(rec), nil
+}
+
+// ListModels lists the stored model names.
+func (s *Store) ListModels() ([]string, error) { return s.list("models") }
+
+// --- Traces ---
+
+// TraceRecord is the JSON encoding of a measurement trace.
+type TraceRecord struct {
+	Name string `json:"name"`
+	// Points are [unix_milli, watts] pairs.
+	Points [][2]float64 `json:"points"`
+}
+
+// EncodeTrace converts a series to its storage record.
+func EncodeTrace(s *timeseries.Series) TraceRecord {
+	rec := TraceRecord{Name: s.Name}
+	for _, p := range s.Points() {
+		rec.Points = append(rec.Points, [2]float64{float64(p.T.UnixMilli()), p.V})
+	}
+	return rec
+}
+
+// DecodeTrace rebuilds a series from its storage record.
+func DecodeTrace(rec TraceRecord) *timeseries.Series {
+	s := timeseries.New(rec.Name)
+	for _, p := range rec.Points {
+		s.Append(time.UnixMilli(int64(p[0])).UTC(), p[1])
+	}
+	return s
+}
+
+// PutTrace stores a trace under a name.
+func (s *Store) PutTrace(name string, series *timeseries.Series) error {
+	rec := EncodeTrace(series)
+	rec.Name = name
+	return s.write("traces", name, rec)
+}
+
+// GetTrace fetches a stored trace.
+func (s *Store) GetTrace(name string) (*timeseries.Series, error) {
+	var rec TraceRecord
+	if err := s.read("traces", name, &rec); err != nil {
+		return nil, err
+	}
+	return DecodeTrace(rec), nil
+}
+
+// ListTraces lists the stored trace names.
+func (s *Store) ListTraces() ([]string, error) { return s.list("traces") }

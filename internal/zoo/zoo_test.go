@@ -1,0 +1,231 @@
+package zoo
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/datasheet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDatasheetRoundTrip(t *testing.T) {
+	s := openStore(t)
+	rec := datasheet.Extracted{
+		Model: "NCS-55A1-24H", Vendor: "Cisco",
+		TypicalPower: 600, MaxPower: 1000,
+		Bandwidth: 2.4 * units.TerabitPerSecond,
+	}
+	if err := s.PutDatasheet(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetDatasheet("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypicalPower != 600 || got.Vendor != "Cisco" {
+		t.Errorf("got %+v", got)
+	}
+	names, err := s.ListDatasheets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "NCS-55A1-24H" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	s := openStore(t)
+	m, err := model.Published("8201-32FH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutModel(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetModel("8201-32FH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PBase != m.PBase {
+		t.Errorf("PBase = %v, want %v", got.PBase, m.PBase)
+	}
+	key := model.ProfileKey{Port: model.QSFP, Transceiver: model.PassiveDAC, Speed: 100 * units.GigabitPerSecond}
+	p1, ok1 := m.Profile(key)
+	p2, ok2 := got.Profile(key)
+	if !ok1 || !ok2 {
+		t.Fatal("profile missing after round trip")
+	}
+	if math.Abs(p1.EBit.Picojoules()-p2.EBit.Picojoules()) > 1e-9 ||
+		math.Abs(p1.EPkt.Nanojoules()-p2.EPkt.Nanojoules()) > 1e-9 ||
+		p1.PPort != p2.PPort || p1.POffset != p2.POffset {
+		t.Errorf("profile mismatch: %+v vs %+v", p1, p2)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	s := openStore(t)
+	tr := timeseries.New("x")
+	t0 := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	tr.Append(t0, 358.5)
+	tr.Append(t0.Add(time.Minute), 359.25)
+	if err := s.PutTrace("rtr1.autopower", tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetTrace("rtr1.autopower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.At(0).V != 358.5 || !got.At(1).T.Equal(t0.Add(time.Minute)) {
+		t.Errorf("trace = %v", got.Points())
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s := openStore(t)
+	if _, err := s.GetModel("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestRejectsPathTraversal(t *testing.T) {
+	s := openStore(t)
+	tr := timeseries.New("x")
+	for _, name := range []string{"../evil", "a/b", "", "..", `a\b`} {
+		if err := s.PutTrace(name, tr); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := openStore(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+
+	m, err := model.Published("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutModel(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.GetModel("NCS-55A1-24H")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PBase != 320 {
+		t.Errorf("PBase over HTTP = %v", got.PBase)
+	}
+
+	tr := timeseries.New("t")
+	tr.Append(time.Now().UTC().Truncate(time.Millisecond), 42)
+	if err := c.PutTrace("t1", tr); err != nil {
+		t.Fatal(err)
+	}
+	gotTr, err := c.GetTrace("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTr.Len() != 1 || gotTr.At(0).V != 42 {
+		t.Errorf("trace over HTTP = %v", gotTr.Points())
+	}
+
+	if err := c.PutDatasheet(datasheet.Extracted{Model: "X-1", TypicalPower: 100}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.GetDatasheet("X-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TypicalPower != 100 {
+		t.Errorf("datasheet over HTTP = %+v", ds)
+	}
+
+	names, err := c.List("models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "NCS-55A1-24H" {
+		t.Errorf("List = %v", names)
+	}
+
+	if _, err := c.GetModel("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("HTTP miss = %v, want ErrNotFound", err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := openStore(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown category status = %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/api/v1/models/x", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status = %d", resp.StatusCode)
+	}
+
+	// PUT with garbage body.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/api/v1/models/x", http.NoBody)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage PUT status = %d", resp.StatusCode)
+	}
+}
+
+func TestStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := model.Published("VSP-4900")
+	if err := s1.PutModel(m); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GetModel("VSP-4900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PBase.Watts() != 8.2 {
+		t.Errorf("persisted PBase = %v", got.PBase)
+	}
+}

@@ -1,0 +1,98 @@
+// Package fantasticjoules is a library-scale reproduction of "Fantastic
+// Joules and Where to Find Them: Modeling and Optimizing Router Energy
+// Demand" (IMC '25): router power models, the lab methodology that derives
+// them, the measurement systems that validate them, and the energy-saving
+// analyses built on top.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Power models (§4): the additive router power model with per-interface
+//     profiles, plus the paper's eight published models (Tables 2 and 6).
+//   - NetPowerBench (§5): derive a model for any simulated router with the
+//     five-experiment methodology (Base/Idle/Port/Trx/Snake).
+//   - Autopower (§6.1) and SNMP: the collection systems, runnable over
+//     loopback.
+//   - A synthetic Tier-2 ISP (107 routers) calibrated to the paper's
+//     dataset, and an experiment suite regenerating every table and figure.
+//
+// # Quick start
+//
+//	m, _ := fantasticjoules.PublishedModel("8201-32FH")
+//	power, _ := m.PredictPower(model.Config{Interfaces: []model.Interface{{
+//	    Profile: model.ProfileKey{
+//	        Port:        model.QSFP,
+//	        Transceiver: model.PassiveDAC,
+//	        Speed:       100 * units.GigabitPerSecond,
+//	    },
+//	    TransceiverPresent: true, AdminUp: true, OperUp: true,
+//	    Bits: 40 * units.GigabitPerSecond, Packets: 4e6,
+//	}}})
+//
+// See the examples directory for runnable programs and cmd/joules for the
+// CLI that regenerates the paper's tables and figures.
+package fantasticjoules
+
+import (
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/experiments"
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/labbench"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+// PublishedModel returns the paper's power model for a router (Tables 2
+// and 6 of the paper). See PublishedModels for the available names.
+func PublishedModel(router string) (*model.Model, error) {
+	return model.Published(router)
+}
+
+// PublishedModels lists the routers with published power models.
+func PublishedModels() []string {
+	return model.PublishedModels()
+}
+
+// RouterModels lists the simulated router hardware models available to
+// DeriveModel and the fleet simulation.
+func RouterModels() []string {
+	return device.CatalogNames()
+}
+
+// DeriveModel runs the full §5 lab methodology against a simulated router
+// of the named hardware model and derives the power profile for one
+// transceiver/speed combination. The returned result carries the model,
+// the derived profile, and the regression diagnostics.
+func DeriveModel(router string, trx model.TransceiverType, speed units.BitRate, seed int64) (*labbench.Result, error) {
+	spec, err := device.Spec(router)
+	if err != nil {
+		return nil, err
+	}
+	dut, err := device.New(spec, "lab-"+router, seed)
+	if err != nil {
+		return nil, err
+	}
+	m := meter.New(seed + 1)
+	if err := m.Attach(0, dut); err != nil {
+		return nil, err
+	}
+	orch, err := labbench.New(dut, m, labbench.Config{Transceiver: trx, Speed: speed})
+	if err != nil {
+		return nil, err
+	}
+	return orch.Run()
+}
+
+// SimulateISP builds and runs the synthetic Tier-2 ISP network (107
+// routers calibrated to the paper's dataset) and returns its measurement
+// dataset: SNMP power traces, Autopower traces, interface counters, PSU
+// snapshots, and deployment events.
+func SimulateISP(cfg ispnet.Config) (*ispnet.Dataset, error) {
+	return ispnet.Simulate(cfg)
+}
+
+// NewExperimentSuite returns the experiment suite that regenerates every
+// table and figure of the paper; results are cached per suite.
+func NewExperimentSuite(seed int64) *experiments.Suite {
+	return experiments.New(seed)
+}

@@ -1,0 +1,80 @@
+package fantasticjoules
+
+import (
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/units"
+)
+
+func TestPublishedModelFacade(t *testing.T) {
+	names := PublishedModels()
+	if len(names) != 8 {
+		t.Fatalf("published models = %d, want 8", len(names))
+	}
+	m, err := PublishedModel("8201-32FH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := m.PredictPower(model.Config{Interfaces: []model.Interface{{
+		Profile: model.ProfileKey{
+			Port:        model.QSFP,
+			Transceiver: model.PassiveDAC,
+			Speed:       100 * units.GigabitPerSecond,
+		},
+		TransceiverPresent: true, AdminUp: true, OperUp: true,
+		Bits: 40 * units.GigabitPerSecond, Packets: 4e6,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if power < m.PBase {
+		t.Errorf("predicted %v below base %v", power, m.PBase)
+	}
+	if _, err := PublishedModel("nope"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestRouterModelsFacade(t *testing.T) {
+	if len(RouterModels()) < 10 {
+		t.Errorf("catalog = %v", RouterModels())
+	}
+}
+
+func TestDeriveModelFacade(t *testing.T) {
+	res, err := DeriveModel("Wedge100BF-32X", model.PassiveDAC, 100*units.GigabitPerSecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model.PBase <= 0 || res.Report.FitQuality() < 0.9 {
+		t.Errorf("derivation: pbase %v quality %v", res.Model.PBase, res.Report.FitQuality())
+	}
+	if _, err := DeriveModel("ghost", model.PassiveDAC, 100*units.GigabitPerSecond, 7); err == nil {
+		t.Error("unknown router must error")
+	}
+}
+
+func TestSimulateISPFacade(t *testing.T) {
+	ds, err := SimulateISP(ispnet.Config{
+		Seed:          1,
+		Duration:      24 * time.Hour,
+		SNMPStep:      30 * time.Minute,
+		AutopowerStep: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TotalPower.Len() == 0 {
+		t.Error("empty power trace")
+	}
+}
+
+func TestNewExperimentSuiteFacade(t *testing.T) {
+	s := NewExperimentSuite(1)
+	if rows := s.Table5(); len(rows) != 4 {
+		t.Errorf("table5 = %d rows", len(rows))
+	}
+}
