@@ -228,6 +228,34 @@ func BenchmarkModelPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkModelPredictParallel drives PredictPower from GOMAXPROCS
+// goroutines against one shared model — the read path a concurrent
+// monitoring service exercises. A fully assembled Model is immutable, so
+// the benchmark also acts as a race check when run with -race.
+func BenchmarkModelPredictParallel(b *testing.B) {
+	m, err := PublishedModel("NCS-55A1-24H")
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := model.ProfileKey{Port: model.QSFP28, Transceiver: model.PassiveDAC, Speed: 100 * units.GigabitPerSecond}
+	cfg := model.Config{}
+	for i := 0; i < 24; i++ {
+		cfg.Interfaces = append(cfg.Interfaces, model.Interface{
+			Profile: key, TransceiverPresent: true, AdminUp: true, OperUp: true,
+			Bits: 10 * units.GigabitPerSecond, Packets: 1e6,
+		})
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := m.PredictPower(cfg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 func BenchmarkLinearRegression(b *testing.B) {
 	xs := make([]float64, 1000)
 	ys := make([]float64, 1000)

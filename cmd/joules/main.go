@@ -11,6 +11,10 @@
 //	                          ablations)
 //	joules list               list the artifacts
 //	joules -seed 7 run fig4   change the simulation seed
+//	joules -workers 1 run all force the serial substrate paths (the
+//	                          default fans the fleet simulation and lab
+//	                          derivations out over all CPUs; the output
+//	                          is identical either way)
 package main
 
 import (
@@ -56,6 +60,7 @@ func artifacts() []artifact {
 
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (changes the synthetic dataset)")
+	workers := flag.Int("workers", 0, "simulation/derivation concurrency: 0 = all CPUs, 1 = serial; the output is identical either way")
 	zooDir := flag.String("zoo", "", "export derived models and traces into a Network Power Zoo store at this directory")
 	flag.Parse()
 	args := flag.Args()
@@ -73,12 +78,12 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
-		if err := run(*seed, *zooDir, args[1:]); err != nil {
+		if err := run(*seed, *workers, *zooDir, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "joules:", err)
 			os.Exit(1)
 		}
 	case "report":
-		if err := writeReport(os.Stdout, experiments.New(*seed), *seed); err != nil {
+		if err := writeReport(os.Stdout, newSuite(*seed, *workers), *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "joules:", err)
 			os.Exit(1)
 		}
@@ -89,10 +94,17 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: joules [-seed N] [-zoo dir] run <artifact|all> | joules report | joules list`)
+	fmt.Fprintln(os.Stderr, `usage: joules [-seed N] [-workers N] [-zoo dir] run <artifact|all> | joules report | joules list`)
 }
 
-func run(seed int64, zooDir string, names []string) error {
+// newSuite builds a suite with the requested substrate concurrency.
+func newSuite(seed int64, workers int) *experiments.Suite {
+	suite := experiments.New(seed)
+	suite.SetWorkers(workers)
+	return suite
+}
+
+func run(seed int64, workers int, zooDir string, names []string) error {
 	byName := map[string]artifact{}
 	var order []string
 	for _, a := range artifacts() {
@@ -112,7 +124,7 @@ func run(seed int64, zooDir string, names []string) error {
 			selected = append(selected, strings.ToLower(n))
 		}
 	}
-	suite := experiments.New(seed)
+	suite := newSuite(seed, workers)
 	for _, n := range selected {
 		a := byName[n]
 		fmt.Printf("━━━ %s — %s ━━━\n", strings.ToUpper(a.name), a.about)

@@ -16,7 +16,7 @@ func TestRunCheapArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(1, "", []string{"fig2a", "fig2b", "fig5", "table5"})
+	runErr := run(1, 0, "", []string{"fig2a", "fig2b", "fig5", "table5"})
 	w.Close()
 	os.Stdout = old
 	out := make([]byte, 1<<20)

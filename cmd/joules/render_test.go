@@ -67,7 +67,7 @@ func TestArtifactRegistry(t *testing.T) {
 }
 
 func TestRunRejectsUnknownArtifact(t *testing.T) {
-	if err := run(1, "", []string{"fig99"}); err == nil {
+	if err := run(1, 0, "", []string{"fig99"}); err == nil {
 		t.Error("unknown artifact accepted")
 	}
 }

@@ -109,7 +109,15 @@ func (p *PSUState) inputFor(out units.Power) units.Power {
 }
 
 // Router is a simulated fixed-chassis router. Create instances with New;
-// all methods are safe for concurrent use.
+// all methods are safe for concurrent use (one mutex guards all state).
+//
+// Concurrency audit for the sharded fleet simulation: a Router carries its
+// own rand source (seeded at New) and clock, and shares nothing with other
+// Router instances, so each router can be confined to one shard goroutine
+// and replayed independently. On that hot path the mutex is uncontended —
+// the per-router lock exists for callers that do share a device across
+// goroutines (e.g. an SNMP agent polling while a meter samples), not for
+// the simulation itself.
 type Router struct {
 	mu sync.Mutex
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"fantasticjoules/internal/labbench"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/units"
 )
@@ -67,13 +68,24 @@ func (s *Suite) Table6() ([]ModelRow, error) {
 	return s.deriveRows(table6Targets)
 }
 
+// deriveRows derives every target profile — fanning the independent lab
+// runs out over the suite's worker pool — and assembles the table rows in
+// target order, so the printed tables are identical at any concurrency.
 func (s *Suite) deriveRows(targets []profileSpec) ([]ModelRow, error) {
-	var rows []ModelRow
-	for _, t := range targets {
-		res, err := s.Derive(t.router, t.portOverride, t.trx, t.speed)
+	results := make([]*labbench.Result, len(targets))
+	if err := forEachLimit(len(targets), s.poolSize(), func(i int) error {
+		res, err := s.Derive(targets[i].router, targets[i].portOverride, targets[i].trx, targets[i].speed)
 		if err != nil {
-			return nil, fmt.Errorf("deriving %s: %w", t.router, err)
+			return fmt.Errorf("deriving %s: %w", targets[i].router, err)
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([]ModelRow, 0, len(targets))
+	for i, t := range targets {
+		res := results[i]
 		row := ModelRow{
 			Router:     t.router,
 			Key:        res.Profile.Key,

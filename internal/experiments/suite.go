@@ -8,11 +8,16 @@
 // Each experiment is a method on Suite returning typed rows/series — the
 // same rows the paper prints — so the CLI renders them and the benchmarks
 // time them. Expensive artifacts (the fleet simulation, lab derivations)
-// are computed once per Suite and cached.
+// are computed once per Suite and cached behind per-artifact memo cells:
+// concurrent artifact requests neither duplicate work nor serialize behind
+// an unrelated artifact's build (a Table 2 derivation never waits for the
+// fleet simulation). Independent lab derivations additionally fan out over
+// a bounded worker pool sized by SetWorkers.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -25,26 +30,62 @@ import (
 	"fantasticjoules/internal/units"
 )
 
-// Suite carries the cached artifacts shared by the experiments.
-type Suite struct {
-	seed int64
+// cell is a one-shot memo: the first get computes the value; every later
+// get — including concurrent ones — returns the cached result. Distinct
+// cells never serialize behind each other's computation.
+type cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
 
+func (c *cell[T]) get(compute func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = compute() })
+	return c.val, c.err
+}
+
+// Suite carries the cached artifacts shared by the experiments. All
+// methods are safe for concurrent use.
+type Suite struct {
+	seed    int64
+	workers int
+
+	dataset cell[*ispnet.Dataset]
+	corpus  cell[[]datasheet.Document]
+	records cell[[]datasheet.Extracted]
+
+	// mu guards only the memo maps below, never their computations: Derive
+	// and DerivedModel insert an empty cell under the lock and compute
+	// outside it, so two different profiles derive in parallel while two
+	// requests for the same profile share one run.
 	mu      sync.Mutex
-	dataset *ispnet.Dataset
-	dsErr   error
-	corpus  []datasheet.Document
-	records []datasheet.Extracted
-	derived map[string]*labbench.Result // keyed by router|trx|speed
-	models  map[string]*model.Model     // fully derived model per router
+	derived map[string]*cell[*labbench.Result] // keyed by router|trx|speed
+	models  map[string]*cell[*model.Model]     // fully derived model per router
 }
 
 // New returns a suite seeded for reproducibility.
 func New(seed int64) *Suite {
 	return &Suite{
 		seed:    seed,
-		derived: make(map[string]*labbench.Result),
-		models:  make(map[string]*model.Model),
+		derived: make(map[string]*cell[*labbench.Result]),
+		models:  make(map[string]*cell[*model.Model]),
 	}
+}
+
+// SetWorkers bounds the concurrency of the suite's substrates: the
+// fleet-simulation router shards and the fan-out over independent lab
+// derivations. 0 (the default) uses runtime.GOMAXPROCS(0); 1 forces the
+// serial paths. Cached artifacts are unaffected — results are identical
+// for every worker count — so it may be called at any time, though setting
+// it before the first artifact is the useful order.
+func (s *Suite) SetWorkers(n int) { s.workers = n }
+
+// poolSize resolves the effective fan-out width.
+func (s *Suite) poolSize() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DatasetConfig returns the fleet-simulation configuration the suite uses:
@@ -57,38 +98,31 @@ func (s *Suite) DatasetConfig() ispnet.Config {
 		Seed:          s.seed,
 		SNMPStep:      15 * time.Minute,
 		AutopowerStep: 5 * time.Minute,
+		Workers:       s.workers,
 	}
 }
 
 // Dataset returns the (cached) fleet simulation output.
 func (s *Suite) Dataset() (*ispnet.Dataset, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.dataset == nil && s.dsErr == nil {
-		s.dataset, s.dsErr = ispnet.Simulate(s.DatasetConfig())
-	}
-	return s.dataset, s.dsErr
+	return s.dataset.get(func() (*ispnet.Dataset, error) {
+		return ispnet.Simulate(s.DatasetConfig())
+	})
 }
 
 // Corpus returns the (cached) synthetic datasheet corpus.
 func (s *Suite) Corpus() []datasheet.Document {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.corpus == nil {
-		s.corpus = datasheet.Generate(s.seed)
-	}
-	return s.corpus
+	docs, _ := s.corpus.get(func() ([]datasheet.Document, error) {
+		return datasheet.Generate(s.seed), nil
+	})
+	return docs
 }
 
 // Records returns the (cached) extracted datasheet records.
 func (s *Suite) Records() []datasheet.Extracted {
-	corpus := s.Corpus()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.records == nil {
-		s.records = datasheet.ExtractAll(corpus)
-	}
-	return s.records
+	recs, _ := s.records.get(func() ([]datasheet.Extracted, error) {
+		return datasheet.ExtractAll(s.Corpus()), nil
+	})
+	return recs
 }
 
 // profileSpec names one lab derivation target.
@@ -109,28 +143,35 @@ func (p profileSpec) key() string {
 // Derive runs (or returns the cached) lab derivation for one interface
 // profile of one router model, exactly as §5 prescribes: a fresh DUT, an
 // external meter, the five experiment types, and the regressions.
+// Concurrent calls for the same profile share one derivation; calls for
+// different profiles run independently.
 func (s *Suite) Derive(router string, portOverride model.PortType, trx model.TransceiverType, speed units.BitRate) (*labbench.Result, error) {
 	ps := profileSpec{router: router, portOverride: portOverride, trx: trx, speed: speed}
 	s.mu.Lock()
-	if res, ok := s.derived[ps.key()]; ok {
-		s.mu.Unlock()
-		return res, nil
+	c, ok := s.derived[ps.key()]
+	if !ok {
+		c = &cell[*labbench.Result]{}
+		s.derived[ps.key()] = c
 	}
 	s.mu.Unlock()
+	return c.get(func() (*labbench.Result, error) { return s.runDerivation(ps) })
+}
 
-	spec, err := device.Spec(router)
+// runDerivation is the uncached §5 lab methodology for one profile.
+func (s *Suite) runDerivation(ps profileSpec) (*labbench.Result, error) {
+	spec, err := device.Spec(ps.router)
 	if err != nil {
 		return nil, err
 	}
-	if portOverride != "" {
-		spec.PortType = portOverride
+	if ps.portOverride != "" {
+		spec.PortType = ps.portOverride
 		// A port bank is smaller than the full chassis; six uplinks is
 		// the common layout and enough pairs for the sweeps.
 		if spec.NumPorts > 8 {
 			spec.NumPorts = 8
 		}
 	}
-	dut, err := device.New(spec, "lab-"+router, s.seed+int64(len(ps.key())))
+	dut, err := device.New(spec, "lab-"+ps.router, s.seed+int64(len(ps.key())))
 	if err != nil {
 		return nil, err
 	}
@@ -138,49 +179,99 @@ func (s *Suite) Derive(router string, portOverride model.PortType, trx model.Tra
 	if err := m.Attach(0, dut); err != nil {
 		return nil, err
 	}
-	orch, err := labbench.New(dut, m, labbench.Config{Transceiver: trx, Speed: speed})
+	orch, err := labbench.New(dut, m, labbench.Config{Transceiver: ps.trx, Speed: ps.speed})
 	if err != nil {
 		return nil, err
 	}
 	res, err := orch.Run()
 	if err != nil {
-		return nil, fmt.Errorf("derive %s %s@%s: %w", router, trx, speed, err)
+		return nil, fmt.Errorf("derive %s %s@%s: %w", ps.router, ps.trx, ps.speed, err)
 	}
-
-	s.mu.Lock()
-	s.derived[ps.key()] = res
-	s.mu.Unlock()
 	return res, nil
 }
 
+// deriveAll fans the derivations out over the suite's worker pool and
+// returns the results in target order.
+func (s *Suite) deriveAll(targets []profileSpec) ([]*labbench.Result, error) {
+	results := make([]*labbench.Result, len(targets))
+	err := forEachLimit(len(targets), s.poolSize(), func(i int) error {
+		res, err := s.Derive(targets[i].router, targets[i].portOverride, targets[i].trx, targets[i].speed)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // DerivedModel assembles (and caches) a router's full power model from lab
-// derivations of every profile its deployed configuration uses.
+// derivations of every profile its deployed configuration uses. The
+// profile derivations fan out over the suite's worker pool.
 func (s *Suite) DerivedModel(router string, profiles []profileSpec) (*model.Model, error) {
 	s.mu.Lock()
-	if m, ok := s.models[router]; ok {
-		s.mu.Unlock()
-		return m, nil
+	c, ok := s.models[router]
+	if !ok {
+		c = &cell[*model.Model]{}
+		s.models[router] = c
 	}
 	s.mu.Unlock()
-
-	var full *model.Model
-	for _, ps := range profiles {
-		res, err := s.Derive(ps.router, ps.portOverride, ps.trx, ps.speed)
+	return c.get(func() (*model.Model, error) {
+		if len(profiles) == 0 {
+			return nil, fmt.Errorf("experiments: no profiles requested for %s", router)
+		}
+		results, err := s.deriveAll(profiles)
 		if err != nil {
 			return nil, err
 		}
-		if full == nil {
-			full = model.New(router, res.Model.PBase)
+		full := model.New(router, results[0].Model.PBase)
+		for _, res := range results {
+			full.AddProfile(res.Profile)
 		}
-		full.AddProfile(res.Profile)
+		return full, nil
+	})
+}
+
+// forEachLimit runs f(0..n-1) on at most workers goroutines and returns
+// the lowest-index error, so failures are deterministic under concurrency.
+func forEachLimit(n, workers int, f func(i int) error) error {
+	if workers > n {
+		workers = n
 	}
-	if full == nil {
-		return nil, fmt.Errorf("experiments: no profiles requested for %s", router)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	s.mu.Lock()
-	s.models[router] = full
-	s.mu.Unlock()
-	return full, nil
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // deployedProfiles lists the profiles an Autopower router's deployment

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"fantasticjoules/internal/labbench"
+	"fantasticjoules/internal/model"
+)
+
+// TestDeriveSingleFlight checks the per-artifact memoization: concurrent
+// Derive calls for the same profile must share exactly one lab run (the
+// returned pointers are identical), not duplicate it.
+func TestDeriveSingleFlight(t *testing.T) {
+	s := New(42)
+	const callers = 8
+	results := make([]*labbench.Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Derive("NCS-55A1-24H", "", model.PassiveDAC, 100*g)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different derivation instance", i)
+		}
+	}
+}
+
+// TestDatasetSingleFlight checks that concurrent Dataset calls share one
+// fleet simulation.
+func TestDatasetSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation skipped in -short mode")
+	}
+	s := New(42)
+	const callers = 4
+	dss := make([]any, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ds, err := s.Dataset()
+			dss[i], errs[i] = ds, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if dss[i] != dss[0] {
+			t.Fatalf("caller %d got a different dataset instance", i)
+		}
+	}
+}
+
+// TestConcurrentIndependentArtifacts drives cheap corpus-backed artifacts
+// and lab derivations from many goroutines at once. Under -race this is
+// the static-analysis gate for the suite's per-artifact caching: no
+// artifact may serialize behind or corrupt another.
+func TestConcurrentIndependentArtifacts(t *testing.T) {
+	s := New(42)
+	s.SetWorkers(4)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	jobs := []func() error{
+		func() error { _, err := s.Fig2b(); return err },
+		func() error {
+			if pts := s.Fig2a(); len(pts) == 0 {
+				t.Error("empty fig2a")
+			}
+			return nil
+		},
+		func() error { _, err := s.Table2(); return err },
+		func() error { _, err := s.Table2(); return err },
+		func() error {
+			if rows := s.Table5(); len(rows) != 4 {
+				t.Error("bad table5")
+			}
+			return nil
+		},
+		func() error {
+			if res := s.Fig5(); len(res.PFE600) == 0 {
+				t.Error("empty fig5")
+			}
+			return nil
+		},
+		func() error { _, err := s.Derive("8201-32FH", "", model.PassiveDAC, 100*g); return err },
+		func() error { _, err := s.Fig8(); return err },
+	}
+	for _, job := range jobs {
+		wg.Add(1)
+		go func(job func() error) {
+			defer wg.Done()
+			if err := job(); err != nil {
+				errc <- err
+			}
+		}(job)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestTableRowsIdenticalAcrossWorkerCounts checks the derivation fan-out
+// is deterministic: Table 2 computed serially equals Table 2 computed by
+// the pool, row for row.
+func TestTableRowsIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := New(42)
+	serial.SetWorkers(1)
+	pooled := New(42)
+	pooled.SetWorkers(8)
+
+	a, err := serial.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pooled.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Router != b[i].Router || a[i].Key != b[i].Key {
+			t.Fatalf("row %d identity differs: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].PBase != b[i].PBase || a[i].Derived != b[i].Derived || a[i].FitQuality != b[i].FitQuality {
+			t.Fatalf("row %d values differ between worker counts", i)
+		}
+	}
+}

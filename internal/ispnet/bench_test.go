@@ -1,0 +1,33 @@
+package ispnet
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSimulate times a cold fleet simulation — build plus replay — at the
+// suite's working resolution over one week, at a fixed worker count.
+func benchSimulate(b *testing.B, workers int) {
+	b.Helper()
+	cfg := Config{
+		Seed:          42,
+		Duration:      7 * 24 * time.Hour,
+		SNMPStep:      15 * time.Minute,
+		AutopowerStep: 5 * time.Minute,
+		Workers:       workers,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSerial is the Workers=1 reference path.
+func BenchmarkSimulateSerial(b *testing.B) { benchSimulate(b, 1) }
+
+// BenchmarkSimulateParallel uses the default GOMAXPROCS-sized pool; the
+// ratio to BenchmarkSimulateSerial is the sharding speedup on this
+// machine.
+func BenchmarkSimulateParallel(b *testing.B) { benchSimulate(b, 0) }

@@ -77,6 +77,15 @@ func Simulate(cfg Config) (*Dataset, error) {
 }
 
 // Run plays the study window over the already-built network.
+//
+// The replay is sharded by router: every router's timeline (its filtered
+// events, its device advances, its wall samples and — when instrumented —
+// its meter and rate traces) is played independently by a worker pool
+// bounded by Config.Workers, then the per-shard results are reduced into
+// the network-wide series in fixed fleet order. Because each shard owns
+// all the state it touches and the reduction order never varies, the
+// Dataset is bit-identical for every worker count, including the serial
+// Workers=1 path.
 func (n *Network) Run() (*Dataset, error) {
 	cfg := n.Config
 	ds := &Dataset{
@@ -98,7 +107,15 @@ func (n *Network) Run() (*Dataset, error) {
 		}
 	}
 
-	// One external meter per instrumented router.
+	// The shared step grid; every shard walks the same timestamps.
+	var steps []time.Time
+	end := cfg.Start.Add(cfg.Duration)
+	for t := cfg.Start; t.Before(end); t = t.Add(cfg.SNMPStep) {
+		steps = append(steps, t)
+	}
+
+	// One external meter per instrumented router. Seeds depend only on
+	// the instrumentation order, never on worker scheduling.
 	meters := make(map[string]*meter.Meter)
 	for i, r := range n.AutopowerRouters() {
 		m := meter.New(cfg.Seed + int64(i) + 1000)
@@ -106,107 +123,52 @@ func (n *Network) Run() (*Dataset, error) {
 			return nil, err
 		}
 		meters[r.Name] = m
-		ds.Autopower[r.Name] = timeseries.New(r.Name + ".autopower")
-		ds.IfaceRates[r.Name] = make(map[string]*timeseries.Series)
-		ds.IfaceProfiles[r.Name] = make(map[string]model.ProfileKey)
 	}
 
 	events := n.scheduleEvents()
 	ds.Events = describeEvents(events)
 
-	wallSamples := make(map[string][]float64, len(n.Routers))
-	end := cfg.Start.Add(cfg.Duration)
-	for t := cfg.Start; t.Before(end); t = t.Add(cfg.SNMPStep) {
-		// Apply due events.
-		for len(events) > 0 && !events[0].at.After(t) {
-			if err := events[0].apply(); err != nil {
-				return nil, fmt.Errorf("ispnet: event %q: %w", events[0].desc, err)
-			}
-			events = events[1:]
+	// Shard the fleet: one worker plays one router's full timeline.
+	byRouter := partitionEvents(events)
+	shards := make([]*routerShard, len(n.Routers))
+	for i, r := range n.Routers {
+		shards[i] = &routerShard{
+			net:    n,
+			router: r,
+			meter:  meters[r.Name],
+			events: byRouter[r.Name],
+			steps:  steps,
 		}
+	}
+	if err := playShards(shards, cfg.Workers); err != nil {
+		return nil, err
+	}
 
+	// Deterministic reduction: totals sum the shards in fleet order at
+	// every step (a router contributes exactly 0 while undeployed, which
+	// does not perturb the floating-point sum).
+	for si, t := range steps {
 		var totalPower, totalTraffic float64
-		for _, r := range n.Routers {
-			if !r.Active(t) {
-				continue
-			}
-			// Offer this step's loads.
-			for i := range r.Interfaces {
-				itf := &r.Interfaces[i]
-				if itf.Spare {
-					continue
-				}
-				present, admin, oper, _, err := r.Device.InterfaceState(itf.Name)
-				if err != nil {
-					return nil, err
-				}
-				if !present || !admin || !oper {
-					continue
-				}
-				load := n.LoadAt(itf, r, t)
-				if err := r.Device.SetTraffic(itf.Name, load, PacketRateAt(load)); err != nil {
-					return nil, fmt.Errorf("ispnet: %s/%s: %w", r.Name, itf.Name, err)
-				}
-				totalTraffic += load.BitsPerSecond() / 2
-			}
-
-			if ap, instrumented := meters[r.Name]; instrumented {
-				// Fine-grained external metering plus per-interface rates.
-				series := ds.Autopower[r.Name]
-				for sub := time.Duration(0); sub < cfg.SNMPStep; sub += cfg.AutopowerStep {
-					v, err := ap.Read(0)
-					if err != nil {
-						return nil, err
-					}
-					series.Append(t.Add(sub), v.Watts())
-					r.Device.Advance(cfg.AutopowerStep)
-				}
-				for i := range r.Interfaces {
-					itf := &r.Interfaces[i]
-					ds.IfaceProfiles[r.Name][itf.Name] = itf.Profile
-					rates, ok := ds.IfaceRates[r.Name][itf.Name]
-					if !ok {
-						rates = timeseries.New(r.Name + "." + itf.Name + ".rate")
-						ds.IfaceRates[r.Name][itf.Name] = rates
-					}
-					_, _, oper, _, err := r.Device.InterfaceState(itf.Name)
-					if err != nil {
-						return nil, err
-					}
-					if oper {
-						rates.Append(t, n.LoadAt(itf, r, t).BitsPerSecond())
-					} else {
-						rates.Append(t, 0)
-					}
-				}
-				if rep, err := r.Device.ReportedTotalPower(); err == nil {
-					s, ok := ds.SNMPPower[r.Name]
-					if !ok {
-						s = timeseries.New(r.Name + ".snmp")
-						ds.SNMPPower[r.Name] = s
-					}
-					s.Append(t, rep.Watts())
-				}
-			} else {
-				r.Device.Advance(cfg.SNMPStep)
-			}
-
-			w := r.Device.WallPower().Watts()
-			totalPower += w
-			wallSamples[r.Name] = append(wallSamples[r.Name], w)
+		for _, sh := range shards {
+			totalPower += sh.power[si]
+			totalTraffic += sh.traffic[si]
 		}
 		ds.TotalPower.Append(t, totalPower)
 		ds.TotalTraffic.Append(t, totalTraffic)
 	}
-
-	for name, samples := range wallSamples {
-		sort.Float64s(samples)
-		mid := len(samples) / 2
-		med := samples[mid]
-		if len(samples)%2 == 0 {
-			med = (samples[mid-1] + samples[mid]) / 2
+	for _, sh := range shards {
+		r := sh.router
+		if len(sh.wall) > 0 {
+			ds.RouterWallMedian[r.Name] = units.Power(medianOf(sh.wall))
 		}
-		ds.RouterWallMedian[name] = units.Power(med)
+		if sh.meter != nil {
+			ds.Autopower[r.Name] = sh.autopower
+			ds.IfaceRates[r.Name] = sh.rates
+			ds.IfaceProfiles[r.Name] = sh.profiles
+			if sh.snmp != nil {
+				ds.SNMPPower[r.Name] = sh.snmp
+			}
+		}
 	}
 
 	// One-time PSU sensor export, mid-window (§9.2: a snapshot, not a
@@ -294,8 +256,16 @@ func (n *Network) scheduleEvents() []scheduledEvent {
 			})
 		}
 	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i].at.Before(evs[j].at) })
+	sortSchedule(evs)
 	return evs
+}
+
+// sortSchedule orders a schedule by due time. The sort is stable: events
+// due at the same instant keep their schedule (append) order, which
+// partitionEvents preserves per router — the apply order the simulation
+// guarantees at every step.
+func sortSchedule(evs []scheduledEvent) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at.Before(evs[j].at) })
 }
 
 // dropInterface removes an interface from the deployment records and

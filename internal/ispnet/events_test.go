@@ -1,0 +1,150 @@
+package ispnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSortScheduleStableOnTies checks that events due at the same instant
+// keep their schedule (append) order after sorting — the apply-order
+// guarantee the simulation gives at every step.
+func TestSortScheduleStableOnTies(t *testing.T) {
+	at := time.Date(2024, 9, 10, 0, 0, 0, 0, time.UTC)
+	later := at.Add(24 * time.Hour)
+	evs := []scheduledEvent{
+		{at: later, router: "r1", desc: "r1 late"},
+		{at: at, router: "r1", desc: "r1 first"},
+		{at: at, router: "r2", desc: "r2 first"},
+		{at: at, router: "r1", desc: "r1 second"},
+		{at: at, router: "r2", desc: "r2 second"},
+	}
+	sortSchedule(evs)
+
+	wantOrder := []string{"r1 first", "r2 first", "r1 second", "r2 second", "r1 late"}
+	for i, want := range wantOrder {
+		if evs[i].desc != want {
+			t.Fatalf("sorted[%d] = %q, want %q", i, evs[i].desc, want)
+		}
+	}
+}
+
+// TestPartitionEventsPreservesPerRouterOrder checks that splitting the
+// global schedule into per-router queues never reorders a router's own
+// events, ties included.
+func TestPartitionEventsPreservesPerRouterOrder(t *testing.T) {
+	at := time.Date(2024, 9, 10, 0, 0, 0, 0, time.UTC)
+	evs := []scheduledEvent{
+		{at: at, router: "r1", desc: "a"},
+		{at: at, router: "r2", desc: "b"},
+		{at: at, router: "r1", desc: "c"},
+		{at: at.Add(time.Hour), router: "r2", desc: "d"},
+		{at: at.Add(time.Hour), router: "r1", desc: "e"},
+	}
+	sortSchedule(evs)
+	byRouter := partitionEvents(evs)
+
+	want := map[string][]string{
+		"r1": {"a", "c", "e"},
+		"r2": {"b", "d"},
+	}
+	for router, descs := range want {
+		got := byRouter[router]
+		if len(got) != len(descs) {
+			t.Fatalf("%s: %d events, want %d", router, len(got), len(descs))
+		}
+		for i, d := range descs {
+			if got[i].desc != d {
+				t.Fatalf("%s[%d] = %q, want %q", router, i, got[i].desc, d)
+			}
+		}
+	}
+}
+
+// TestRealSchedulePartitionConsistent checks the invariants on the real
+// Fig. 4 schedule: the global schedule is time-sorted, and each router's
+// filtered queue is the subsequence of the global schedule belonging to
+// that router, in the same relative order.
+func TestRealSchedulePartitionConsistent(t *testing.T) {
+	n, err := Build(fullCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := n.scheduleEvents()
+	if len(evs) < 5 {
+		t.Fatalf("events = %d, want the Fig. 4 set", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].at.Before(evs[i-1].at) {
+			t.Fatalf("schedule not time-sorted at %d: %v after %v", i, evs[i].at, evs[i-1].at)
+		}
+	}
+
+	byRouter := partitionEvents(evs)
+	// Walking the global schedule must replay each per-router queue front
+	// to back — i.e. filtering never reorders a router's own events.
+	cursor := make(map[string]int)
+	total := 0
+	for _, e := range evs {
+		q := byRouter[e.router]
+		i := cursor[e.router]
+		if i >= len(q) || q[i].desc != e.desc || !q[i].at.Equal(e.at) {
+			t.Fatalf("per-router queue for %s out of order at global event %q", e.router, e.desc)
+		}
+		cursor[e.router] = i + 1
+		total++
+	}
+	for router, q := range byRouter {
+		if cursor[router] != len(q) {
+			t.Fatalf("%s: %d events unconsumed", router, len(q)-cursor[router])
+		}
+	}
+	if total != len(evs) {
+		t.Fatalf("partition lost events: %d vs %d", total, len(evs))
+	}
+}
+
+// TestFlapRepairOrdering checks that a down/up pair on the same interface
+// applies in schedule order end to end: after the full window the repaired
+// interface must be admin-up again (the day-54 re-enable lands after the
+// day-51 disable).
+func TestFlapRepairOrdering(t *testing.T) {
+	ds, err := Simulate(fullCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r *Router
+	for _, cand := range ds.Network.AutopowerRouters() {
+		if cand.Device.Model() == "8201-32FH" {
+			r = cand
+		}
+	}
+	if r == nil {
+		t.Fatal("no instrumented 8201-32FH")
+	}
+	// Find the flapped DAC from the event log and check its final state.
+	var flapped bool
+	for _, e := range ds.Events {
+		if e.Router == r.Name && e.Description == "repaired interface brought back up" {
+			flapped = true
+		}
+	}
+	if !flapped {
+		t.Fatal("repair event missing from the schedule")
+	}
+	downDACs := 0
+	for _, itf := range r.Interfaces {
+		if itf.Spare {
+			continue
+		}
+		_, admin, _, _, err := r.Device.InterfaceState(itf.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !admin && itf.Profile.Transceiver == "Passive DAC" {
+			downDACs++
+		}
+	}
+	if downDACs != 0 {
+		t.Errorf("%d configured DACs still admin-down after the repair window", downDACs)
+	}
+}

@@ -40,6 +40,15 @@ type Config struct {
 	// default to 1 min here, which is already far denser than the
 	// 30-minute smoothing the analyses apply.
 	AutopowerStep time.Duration
+	// Workers bounds how many router shards Run simulates concurrently.
+	// Per-router state is independent (each router owns its device, its
+	// meter, and its events), so the fleet replay is embarrassingly
+	// parallel; only the network-total reduction is shared, and Run
+	// performs it in fixed fleet order after the shards join. 0 (the
+	// default) uses runtime.GOMAXPROCS(0); 1 plays the shards one after
+	// another on the calling goroutine (the serial reference path). Every
+	// worker count produces a bit-identical Dataset for the same seed.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {

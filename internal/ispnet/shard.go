@@ -1,0 +1,212 @@
+package ispnet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
+)
+
+// routerShard is the unit of parallelism in Run: one router's complete
+// timeline — its filtered event queue, its device advances, its wall
+// samples and, for instrumented routers, its Autopower/SNMP/rate traces.
+//
+// Everything a shard touches while play runs is owned by exactly one
+// worker goroutine (goroutine confinement): the *device.Router and
+// *meter.Meter belong to this router alone, LoadAt is pure, and the events
+// in the queue mutate only this router. The hot path therefore contends on
+// no locks. The result fields are read by the merge step only after the
+// worker pool has joined.
+type routerShard struct {
+	net    *Network
+	router *Router
+	meter  *meter.Meter // nil unless instrumented
+	events []scheduledEvent
+	steps  []time.Time
+
+	// Per-step contributions to the network totals, indexed like steps.
+	// Steps where the router is not deployed contribute exactly 0, which
+	// keeps the merged floating-point sums independent of deployment gaps.
+	power   []float64
+	traffic []float64
+	// wall collects the wall-power samples of deployed steps in time
+	// order; the merge derives RouterWallMedian from it.
+	wall []float64
+
+	// Instrumented-router traces (nil otherwise).
+	autopower *timeseries.Series
+	snmp      *timeseries.Series
+	rates     map[string]*timeseries.Series
+	profiles  map[string]model.ProfileKey
+
+	err error
+}
+
+// play replays the router's full study window. It is the sharded port of
+// the former time×routers loop: the same event application, traffic
+// offering, metering cadence, and device advances, restricted to one
+// router.
+func (sh *routerShard) play() error {
+	n, r := sh.net, sh.router
+	cfg := n.Config
+	sh.power = make([]float64, len(sh.steps))
+	sh.traffic = make([]float64, len(sh.steps))
+	if sh.meter != nil {
+		sh.autopower = timeseries.New(r.Name + ".autopower")
+		sh.rates = make(map[string]*timeseries.Series)
+		sh.profiles = make(map[string]model.ProfileKey)
+	}
+
+	events := sh.events
+	for si, t := range sh.steps {
+		// Apply this router's due events in schedule order.
+		for len(events) > 0 && !events[0].at.After(t) {
+			if err := events[0].apply(); err != nil {
+				return fmt.Errorf("ispnet: event %q: %w", events[0].desc, err)
+			}
+			events = events[1:]
+		}
+		if !r.Active(t) {
+			continue
+		}
+
+		// Offer this step's loads.
+		var stepTraffic float64
+		for i := range r.Interfaces {
+			itf := &r.Interfaces[i]
+			if itf.Spare {
+				continue
+			}
+			present, admin, oper, _, err := r.Device.InterfaceState(itf.Name)
+			if err != nil {
+				return err
+			}
+			if !present || !admin || !oper {
+				continue
+			}
+			load := n.LoadAt(itf, r, t)
+			if err := r.Device.SetTraffic(itf.Name, load, PacketRateAt(load)); err != nil {
+				return fmt.Errorf("ispnet: %s/%s: %w", r.Name, itf.Name, err)
+			}
+			stepTraffic += load.BitsPerSecond() / 2
+		}
+
+		if sh.meter != nil {
+			// Fine-grained external metering plus per-interface rates.
+			for sub := time.Duration(0); sub < cfg.SNMPStep; sub += cfg.AutopowerStep {
+				v, err := sh.meter.Read(0)
+				if err != nil {
+					return err
+				}
+				sh.autopower.Append(t.Add(sub), v.Watts())
+				r.Device.Advance(cfg.AutopowerStep)
+			}
+			for i := range r.Interfaces {
+				itf := &r.Interfaces[i]
+				sh.profiles[itf.Name] = itf.Profile
+				rates, ok := sh.rates[itf.Name]
+				if !ok {
+					rates = timeseries.New(r.Name + "." + itf.Name + ".rate")
+					sh.rates[itf.Name] = rates
+				}
+				_, _, oper, _, err := r.Device.InterfaceState(itf.Name)
+				if err != nil {
+					return err
+				}
+				if oper {
+					rates.Append(t, n.LoadAt(itf, r, t).BitsPerSecond())
+				} else {
+					rates.Append(t, 0)
+				}
+			}
+			if rep, err := r.Device.ReportedTotalPower(); err == nil {
+				if sh.snmp == nil {
+					sh.snmp = timeseries.New(r.Name + ".snmp")
+				}
+				sh.snmp.Append(t, rep.Watts())
+			}
+		} else {
+			r.Device.Advance(cfg.SNMPStep)
+		}
+
+		w := r.Device.WallPower().Watts()
+		sh.power[si] = w
+		sh.traffic[si] = stepTraffic
+		sh.wall = append(sh.wall, w)
+	}
+	return nil
+}
+
+// playShards drives every shard to completion. workers ≤ 0 selects
+// runtime.GOMAXPROCS(0); 1 plays the shards sequentially on the calling
+// goroutine with zero pool overhead. The produced data is identical for
+// every worker count: shards share no mutable state and the caller reduces
+// their results in fleet order.
+func playShards(shards []*routerShard, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, sh := range shards {
+			if err := sh.play(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan *routerShard)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range work {
+				sh.err = sh.play()
+			}
+		}()
+	}
+	for _, sh := range shards {
+		work <- sh
+	}
+	close(work)
+	wg.Wait()
+
+	// Report the first failure in fleet order, so errors — like the data —
+	// do not depend on goroutine scheduling.
+	for _, sh := range shards {
+		if sh.err != nil {
+			return sh.err
+		}
+	}
+	return nil
+}
+
+// partitionEvents splits a time-sorted schedule into per-router queues.
+// Append order is preserved, so each router sees its events exactly as the
+// global schedule ordered them — including events due at the same step.
+func partitionEvents(evs []scheduledEvent) map[string][]scheduledEvent {
+	out := make(map[string][]scheduledEvent, len(evs))
+	for _, e := range evs {
+		out[e.router] = append(out[e.router], e)
+	}
+	return out
+}
+
+// medianOf returns the median of the samples, sorting them in place.
+func medianOf(samples []float64) float64 {
+	sort.Float64s(samples)
+	mid := len(samples) / 2
+	if len(samples)%2 == 0 {
+		return (samples[mid-1] + samples[mid]) / 2
+	}
+	return samples[mid]
+}

@@ -32,6 +32,14 @@ func (f SourceFunc) WallPower() units.Power { return f() }
 // Meter is a simulated MCP39F511N. Each reading applies a per-unit gain
 // error (drawn once, within the ±0.5 % accuracy class), per-sample noise,
 // and the 10 mW quantization of the instrument. Safe for concurrent use.
+//
+// Concurrency audit for the sharded fleet simulation: a Meter owns its
+// rand source, so a (meter, router) pair confined to one shard goroutine
+// replays with no cross-shard state; the mutex is uncontended there.
+// Reads draw from the meter's rng, so the sample sequence — like the real
+// instrument's noise — depends on read order: deterministic replay
+// requires each meter be read by one goroutine in timeline order, which
+// is exactly what the shard does.
 type Meter struct {
 	mu      sync.Mutex
 	rng     *rand.Rand

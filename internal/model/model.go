@@ -87,6 +87,11 @@ type InterfaceProfile struct {
 // Model is a complete power model for one router model: the chassis
 // constant plus one profile per interface class. Build models with New and
 // AddProfile, or load a published one from the library.
+//
+// A Model is effectively immutable once assembled: Predict, PredictPower,
+// and the other read methods never write, so a fully built model may be
+// shared by any number of goroutines without locking. Only AddProfile
+// mutates, and must not race with readers.
 type Model struct {
 	// RouterModel is the hardware model name, e.g. "8201-32FH".
 	RouterModel string

@@ -27,10 +27,21 @@ type Point struct {
 // Series is an ordered sequence of points. The zero value is an empty
 // series ready to use. Points are kept sorted by time; Append enforces the
 // ordering cheaply for the common in-order case.
+//
+// A Series is not safe for concurrent use: even read methods may fix up
+// internal state lazily (time ordering, the value-sorted cache consumed by
+// Median and Quantile). Confine a series to one goroutine — as the fleet
+// simulation does with its per-router shards — or synchronize externally.
 type Series struct {
 	Name   string
 	points []Point
 	sorted bool
+	// valsSorted caches the value-sorted samples behind Median and
+	// Quantile; Append invalidates it. Reusing the buffer means repeated
+	// order statistics on a series with tens of thousands of points cost
+	// one sort, not a fresh allocation plus sort per call.
+	valsSorted []float64
+	valsOK     bool
 }
 
 // New returns an empty series with the given name.
@@ -56,6 +67,7 @@ func (s *Series) Append(t time.Time, v float64) {
 	} else if len(s.points) == 0 {
 		s.sorted = true
 	}
+	s.valsOK = false
 	s.points = append(s.points, Point{T: t, V: v})
 }
 
@@ -125,18 +137,61 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.points))
 }
 
+// sortedValues returns the series values sorted ascending, (re)building
+// the cached scratch buffer only when Append has invalidated it. The
+// returned slice is owned by the series and must not be modified.
+func (s *Series) sortedValues() []float64 {
+	if !s.valsOK {
+		if cap(s.valsSorted) < len(s.points) {
+			s.valsSorted = make([]float64, len(s.points))
+		}
+		s.valsSorted = s.valsSorted[:len(s.points)]
+		for i, p := range s.points {
+			s.valsSorted[i] = p.V
+		}
+		sort.Float64s(s.valsSorted)
+		s.valsOK = true
+	}
+	return s.valsSorted
+}
+
 // Median returns the median value of the series, or 0 if empty.
 func (s *Series) Median() float64 {
 	if len(s.points) == 0 {
 		return 0
 	}
-	vs := s.Values()
-	sort.Float64s(vs)
+	vs := s.sortedValues()
 	n := len(vs)
 	if n%2 == 1 {
 		return vs[n/2]
 	}
 	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the series values using
+// linear interpolation between order statistics — the same estimator as
+// stats.Quantile — or 0 for an empty series. Repeated calls reuse the
+// cached sorted values.
+func (s *Series) Quantile(q float64) float64 {
+	n := len(s.points)
+	if n == 0 {
+		return 0
+	}
+	vs := s.sortedValues()
+	if q <= 0 {
+		return vs[0]
+	}
+	if q >= 1 {
+		return vs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return vs[lo]
+	}
+	frac := pos - float64(lo)
+	return vs[lo]*(1-frac) + vs[hi]*frac
 }
 
 // Min returns the minimum value, or +Inf if the series is empty.

@@ -382,3 +382,49 @@ func TestIntegratePowerNonNegativeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMedianCacheInvalidatedByAppend(t *testing.T) {
+	s := mk("med", 1, 3, 2)
+	if got := s.Median(); got != 2 {
+		t.Fatalf("Median = %v, want 2", got)
+	}
+	// A later Append must invalidate the cached sorted values.
+	s.Append(t0.Add(time.Hour), 100)
+	if got := s.Median(); got != 2.5 {
+		t.Fatalf("Median after Append = %v, want 2.5", got)
+	}
+	s.Append(t0.Add(2*time.Hour), 200)
+	if got := s.Median(); got != 3 {
+		t.Fatalf("Median after second Append = %v, want 3", got)
+	}
+}
+
+func TestMedianDoesNotReorderPoints(t *testing.T) {
+	s := mk("order", 5, 1, 9)
+	_ = s.Median()
+	want := []float64{5, 1, 9}
+	for i, p := range s.Points() {
+		if p.V != want[i] {
+			t.Fatalf("point %d = %v, want %v (Median must not disturb time order)", i, p.V, want[i])
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := mk("q", 5, 1, 3, 2, 4)
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := New("empty").Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// The 0.5-quantile and the median agree, through the shared cache.
+	if s.Quantile(0.5) != s.Median() {
+		t.Error("Quantile(0.5) != Median()")
+	}
+}

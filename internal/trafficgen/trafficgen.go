@@ -138,6 +138,11 @@ func StopSnake(r *device.Router) error {
 // a baseline with a sinusoidal day cycle peaking in the evening, a weekend
 // dip, and multiplicative flow noise. It produces the utilization
 // multiplier applied to a link's mean traffic.
+//
+// A Diurnal is an immutable value: Multiplier reads only its fields and
+// the rng passed in (nil for the deterministic pattern), so one Diurnal
+// may be shared by any number of goroutines — the fleet simulation calls
+// it from every router shard concurrently with a nil rng.
 type Diurnal struct {
 	// DayAmplitude scales the day/night swing (0 = flat, 0.5 = ±50 %).
 	DayAmplitude float64

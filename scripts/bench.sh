@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# bench.sh runs the full benchmark suite once and records every benchmark's
+# ns/op, B/op, and allocs/op in BENCH_<label>.json, so the perf trajectory
+# is tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh [label] [extra go test args...]
+#
+# Without a label the next free integer is used (BENCH_0.json,
+# BENCH_1.json, ...). Extra args are passed to `go test`, e.g.
+# `scripts/bench.sh pr12 -benchtime=3x`.
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-}"
+[ "$#" -gt 0 ] && shift
+if [ -z "$label" ]; then
+    n=0
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    label=$n
+fi
+out="BENCH_${label}.json"
+
+go test -run '^$' -bench . -benchtime=1x -benchmem "$@" ./... | tee /dev/stderr | awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    entry = sprintf("  %c%s%c: {\"ns_per_op\": %s", 34, name, 34, ns)
+    if (bytes != "")  entry = entry sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") entry = entry sprintf(", \"allocs_per_op\": %s", allocs)
+    entry = entry "}"
+    entries[n_entries++] = entry
+}
+END {
+    print "{"
+    for (i = 0; i < n_entries; i++)
+        printf "%s%s\n", entries[i], (i < n_entries - 1 ? "," : "")
+    print "}"
+}' > "$out"
+
+echo "wrote $out" >&2
