@@ -5,27 +5,35 @@
 // Usage:
 //
 //	joules run all            regenerate everything
-//	joules run table1         one artifact (fig1, fig2b, table1, table2,
-//	                          table3, table4, table5, table6, fig4, fig5,
-//	                          fig6, fig8, fig9, section7, section8,
-//	                          ablations)
+//	joules run table1         one artifact; `joules list` (or -h) prints
+//	                          the catalog, generated from the artifact
+//	                          table itself so it never drifts
 //	joules list               list the artifacts
+//	joules report             render the paper-vs-measured markdown report
 //	joules -seed 7 run fig4   change the simulation seed
 //	joules -workers 1 run all force the serial substrate paths (the
 //	                          default fans the fleet simulation and lab
 //	                          derivations out over all CPUs; the output
 //	                          is identical either way)
+//	joules -metrics :9090 run all
+//	                          serve live process telemetry while the run
+//	                          executes: /metrics (Prometheus text, or
+//	                          ?format=json) and /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 	"strings"
 
 	"fantasticjoules/internal/experiments"
 	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/telemetry"
 	"fantasticjoules/internal/zoo"
 )
 
@@ -62,11 +70,19 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (changes the synthetic dataset)")
 	workers := flag.Int("workers", 0, "simulation/derivation concurrency: 0 = all CPUs, 1 = serial; the output is identical either way")
 	zooDir := flag.String("zoo", "", "export derived models and traces into a Network Power Zoo store at this directory")
+	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address while running (/metrics and /debug/pprof); :0 picks a free port")
+	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	if *metricsAddr != "" {
+		if err := serveMetrics(*metricsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "joules:", err)
+			os.Exit(1)
+		}
 	}
 	switch args[0] {
 	case "list":
@@ -93,8 +109,42 @@ func main() {
 	}
 }
 
+// usage prints the command synopsis, flags, and the artifact catalog. The
+// catalog is generated from artifacts() — the same table run and list
+// consult — so the help text can never drift from what run accepts.
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: joules [-seed N] [-workers N] [-zoo dir] run <artifact|all> | joules report | joules list`)
+	fmt.Fprintln(os.Stderr, `usage: joules [flags] run <artifact...|all> | joules report | joules list
+
+flags:`)
+	flag.PrintDefaults()
+	fmt.Fprintln(os.Stderr, "\nartifacts:")
+	for _, a := range artifacts() {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.name, a.about)
+	}
+}
+
+// serveMetrics exposes the telemetry registry and the pprof profiles on
+// addr for the lifetime of the process, logging the resolved address so
+// `-metrics :0` is usable.
+func serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Default().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "joules: telemetry on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "joules: metrics server:", err)
+		}
+	}()
+	return nil
 }
 
 // newSuite builds a suite with the requested substrate concurrency.

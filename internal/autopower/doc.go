@@ -1,0 +1,26 @@
+// Package autopower implements the paper's Autopower system (§6.1): remote
+// units that measure a production router's wall power with an MCP39F511N
+// meter and ship the samples to a central server.
+//
+// Design constraints carried over from the paper:
+//
+//   - The unit initiates the connection (outgoing TCP only), so it works
+//     behind NAT; the server never dials the unit.
+//   - Samples are spooled locally and uploaded periodically, so network
+//     interruptions lose nothing.
+//   - Measurement starts automatically when the unit starts, surviving
+//     power failures.
+//   - The server can remotely start/stop measurements and serve collected
+//     data for download.
+//
+// The paper's artifact uses gRPC; this implementation uses a
+// length-prefixed JSON frame protocol over TCP from the standard library,
+// preserving the same client-initiated, resumable-upload semantics.
+//
+// The server side is split across three files: wire.go (the frame
+// protocol), server.go (connection handling and sample storage), and
+// web.go (the Fig. 7 control interface: status page, JSON API, and the
+// /metrics telemetry exposition). unit.go is the client. Operational
+// counters — connected units, ingested samples, upload ingest latency —
+// are registered on the process-wide telemetry registry (metrics.go).
+package autopower

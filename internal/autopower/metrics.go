@@ -1,0 +1,25 @@
+package autopower
+
+import (
+	"fantasticjoules/internal/telemetry"
+)
+
+// Collection-server instrumentation on the process-wide telemetry
+// registry. A deployment scrapes these through the WebHandler's /metrics
+// endpoint to watch its fleet of units: how many are connected, how fast
+// samples arrive, and how long upload ingestion takes.
+var (
+	metricConnectedUnits = telemetry.Default().Gauge("autopower_connected_units",
+		"units currently holding a live server connection")
+	metricUnitsSeen = telemetry.Default().Counter("autopower_units_seen_total",
+		"distinct units that ever registered with a hello")
+	metricSamplesIngested = telemetry.Default().Counter("autopower_samples_ingested_total",
+		"power samples accepted into unit series (after overlap dedup)")
+	metricSamplesDuplicate = telemetry.Default().Counter("autopower_samples_duplicate_total",
+		"re-uploaded samples dropped by the overlap dedup")
+	metricUploads = telemetry.Default().Counter("autopower_uploads_total",
+		"upload frames processed")
+	metricUploadSeconds = telemetry.Default().Histogram("autopower_upload_ingest_seconds",
+		"time to ingest and acknowledge one upload frame",
+		[]float64{1e-5, 1e-4, 5e-4, 1e-3, 5e-3, .025, .1, .5, 1, 5})
+)

@@ -79,6 +79,7 @@ func (s *Server) Close() error {
 		if u.conn != nil {
 			u.conn.Close()
 			u.conn = nil
+			metricConnectedUnits.Add(-1)
 		}
 	}
 	s.mu.Unlock()
@@ -120,9 +121,12 @@ func (s *Server) handle(conn net.Conn) {
 	if !ok {
 		st = &unitState{series: timeseries.New(hello.UnitID)}
 		s.units[hello.UnitID] = st
+		metricUnitsSeen.Inc()
 	}
 	if st.conn != nil {
 		st.conn.Close() // a reconnect replaces the stale connection
+	} else {
+		metricConnectedUnits.Add(1)
 	}
 	st.conn = conn
 	st.router = hello.Router
@@ -133,6 +137,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		if st.conn == conn {
 			st.conn = nil
+			metricConnectedUnits.Add(-1)
 		}
 		s.mu.Unlock()
 	}()
@@ -145,19 +150,27 @@ func (s *Server) handle(conn net.Conn) {
 		if f.Type != TypeUpload {
 			continue
 		}
+		ingestStart := time.Now()
+		var ingested, duplicate uint64
 		s.mu.Lock()
 		for _, sample := range f.Samples {
 			if sample.UnixMilli <= st.lastMilli {
+				duplicate++
 				continue // overlap from an unacked re-upload
 			}
 			st.series.Append(sample.Time(), sample.Watts)
 			st.lastMilli = sample.UnixMilli
+			ingested++
 		}
 		st.lastSeen = time.Now()
 		s.mu.Unlock()
 		if err := WriteFrame(conn, Frame{Type: TypeAck, Seq: f.Seq}); err != nil {
 			return
 		}
+		metricUploads.Inc()
+		metricSamplesIngested.Add(ingested)
+		metricSamplesDuplicate.Add(duplicate)
+		metricUploadSeconds.ObserveSince(ingestStart)
 	}
 }
 

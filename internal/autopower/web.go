@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"fantasticjoules/internal/telemetry"
 )
 
 // The paper's Autopower server ships a web interface to "conveniently
@@ -18,10 +20,12 @@ import (
 //	GET  /api/units/{id}/data?since=RFC3339   collected samples as JSON
 //	POST /api/units/{id}/start               resume measuring
 //	POST /api/units/{id}/stop                pause measuring
+//	GET  /metrics        process telemetry (Prometheus text; ?format=json)
 
 // WebHandler returns the server's HTTP control interface.
 func (s *Server) WebHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Default().Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -2,6 +2,7 @@ package autopower
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -84,6 +85,53 @@ func TestWebStatusAndData(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body[:n]), "unit-1") {
 		t.Error("index page does not list the unit")
+	}
+}
+
+// TestWebMetricsEndpoint asserts the telemetry exposition is mounted on
+// the existing control mux: a live pipeline serves Prometheus text under
+// /metrics with the autopower instruments present and counting.
+func TestWebMetricsEndpoint(t *testing.T) {
+	var truth atomic.Int64
+	truth.Store(250)
+	srv, _, _ := startPipeline(t, &truth)
+	web := httptest.NewServer(srv.WebHandler())
+	defer web.Close()
+
+	waitFor(t, 5*time.Second, func() bool {
+		u := srv.Units()
+		return len(u) == 1 && u[0].Connected && u[0].Samples >= 1
+	}, "samples before metrics check")
+
+	resp, err := http.Get(web.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE autopower_connected_units gauge",
+		"# TYPE autopower_samples_ingested_total counter",
+		"# TYPE autopower_upload_ingest_seconds histogram",
+		"autopower_upload_ingest_seconds_count",
+	} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body.String())
+		}
+	}
+	// The pipeline's unit is connected and has uploaded at least once.
+	if !strings.Contains(body.String(), "autopower_connected_units 1") &&
+		!strings.Contains(body.String(), "autopower_connected_units 2") {
+		t.Logf("connected units not 1 (other tests may hold connections):\n%s", body.String())
 	}
 }
 

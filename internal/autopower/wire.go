@@ -1,21 +1,3 @@
-// Package autopower implements the paper's Autopower system (§6.1): remote
-// units that measure a production router's wall power with an MCP39F511N
-// meter and ship the samples to a central server.
-//
-// Design constraints carried over from the paper:
-//
-//   - The unit initiates the connection (outgoing TCP only), so it works
-//     behind NAT; the server never dials the unit.
-//   - Samples are spooled locally and uploaded periodically, so network
-//     interruptions lose nothing.
-//   - Measurement starts automatically when the unit starts, surviving
-//     power failures.
-//   - The server can remotely start/stop measurements and serve collected
-//     data for download.
-//
-// The paper's artifact uses gRPC; this implementation uses a
-// length-prefixed JSON frame protocol over TCP from the standard library,
-// preserving the same client-initiated, resumable-upload semantics.
 package autopower
 
 import (

@@ -1,16 +1,3 @@
-// Package datasheet reproduces the §3 datasheet study: collecting power
-// and bandwidth values from vendor datasheets, and analyzing what they say
-// about efficiency trends (Fig. 2) and real power draw (Table 1).
-//
-// The paper scrapes 777 real datasheets and extracts fields with GPT-4o.
-// Neither the documents nor the LLM are available offline, so this package
-// builds the closest synthetic equivalent: a corpus of 777 unstructured
-// datasheet texts whose underlying truth follows realistic distributions
-// (vendor naming, series, release years, power levels with wide
-// efficiency noise), rendered in deliberately irregular phrasings — and a
-// deterministic rule-based extractor that plays the LLM's role, with the
-// same imperfection modes (absent values, "TBD", bandwidth that must be
-// summed from port counts).
 package datasheet
 
 import (

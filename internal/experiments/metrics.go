@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"time"
+
+	"fantasticjoules/internal/telemetry"
+)
+
+// Suite instrumentation: memo-cell effectiveness and per-artifact
+// derivation cost, on the process-wide telemetry registry. Metrics are
+// write-only — no experiment result depends on them — and updates happen
+// at artifact frequency, so the suite's outputs and caching behaviour
+// are unchanged by instrumentation.
+var (
+	metricMemoHits = telemetry.Default().Counter("experiments_memo_hits_total",
+		"artifact requests served from a memo cell without recomputation")
+	metricMemoMisses = telemetry.Default().Counter("experiments_memo_misses_total",
+		"artifact requests that computed their memo cell")
+)
+
+// observeArtifact records the duration of one artifact computation under
+// experiments_artifact_seconds{artifact="<name>"}. Only memo misses are
+// timed — cache hits cost nothing and would drown the signal.
+func observeArtifact(name string, start time.Time) {
+	telemetry.Default().Histogram(
+		telemetry.Label("experiments_artifact_seconds", "artifact", name),
+		"wall-clock time to compute one suite artifact (memo misses only)",
+		nil,
+	).ObserveSince(start)
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestMemoMetrics checks the suite's memo-cell instrumentation: the
+// first request for an artifact is a miss, repeats are hits. Deltas are
+// used because the registry is process-wide and shared with the other
+// tests in this package.
+func TestMemoMetrics(t *testing.T) {
+	s := New(4242)
+	hits0, misses0 := metricMemoHits.Value(), metricMemoMisses.Value()
+
+	s.Corpus()
+	if got := metricMemoMisses.Value() - misses0; got != 1 {
+		t.Fatalf("misses after first Corpus = %d, want 1", got)
+	}
+	s.Corpus()
+	s.Corpus()
+	if got := metricMemoHits.Value() - hits0; got != 2 {
+		t.Fatalf("hits after repeated Corpus = %d, want 2", got)
+	}
+	// Records computes its own cell (miss) and reads the corpus cell
+	// (hit).
+	s.Records()
+	if got := metricMemoMisses.Value() - misses0; got != 2 {
+		t.Fatalf("misses after Records = %d, want 2", got)
+	}
+	if got := metricMemoHits.Value() - hits0; got != 3 {
+		t.Fatalf("hits after Records = %d, want 3", got)
+	}
+}

@@ -13,6 +13,11 @@
 // an unrelated artifact's build (a Table 2 derivation never waits for the
 // fleet simulation). Independent lab derivations additionally fan out over
 // a bounded worker pool sized by SetWorkers.
+//
+// The suite is instrumented on the process-wide telemetry registry
+// (metrics.go): memo-cell hits/misses and per-artifact computation times
+// under experiments_artifact_seconds{artifact="..."} — watch them live
+// with `joules -metrics :9090 run all`.
 package experiments
 
 import (
@@ -40,7 +45,15 @@ type cell[T any] struct {
 }
 
 func (c *cell[T]) get(compute func() (T, error)) (T, error) {
-	c.once.Do(func() { c.val, c.err = compute() })
+	hit := true
+	c.once.Do(func() {
+		hit = false
+		metricMemoMisses.Inc()
+		c.val, c.err = compute()
+	})
+	if hit {
+		metricMemoHits.Inc()
+	}
 	return c.val, c.err
 }
 
@@ -105,6 +118,7 @@ func (s *Suite) DatasetConfig() ispnet.Config {
 // Dataset returns the (cached) fleet simulation output.
 func (s *Suite) Dataset() (*ispnet.Dataset, error) {
 	return s.dataset.get(func() (*ispnet.Dataset, error) {
+		defer observeArtifact("dataset", time.Now())
 		return ispnet.Simulate(s.DatasetConfig())
 	})
 }
@@ -112,6 +126,7 @@ func (s *Suite) Dataset() (*ispnet.Dataset, error) {
 // Corpus returns the (cached) synthetic datasheet corpus.
 func (s *Suite) Corpus() []datasheet.Document {
 	docs, _ := s.corpus.get(func() ([]datasheet.Document, error) {
+		defer observeArtifact("corpus", time.Now())
 		return datasheet.Generate(s.seed), nil
 	})
 	return docs
@@ -120,6 +135,7 @@ func (s *Suite) Corpus() []datasheet.Document {
 // Records returns the (cached) extracted datasheet records.
 func (s *Suite) Records() []datasheet.Extracted {
 	recs, _ := s.records.get(func() ([]datasheet.Extracted, error) {
+		defer observeArtifact("records", time.Now())
 		return datasheet.ExtractAll(s.Corpus()), nil
 	})
 	return recs
@@ -154,7 +170,10 @@ func (s *Suite) Derive(router string, portOverride model.PortType, trx model.Tra
 		s.derived[ps.key()] = c
 	}
 	s.mu.Unlock()
-	return c.get(func() (*labbench.Result, error) { return s.runDerivation(ps) })
+	return c.get(func() (*labbench.Result, error) {
+		defer observeArtifact("derive/"+ps.router, time.Now())
+		return s.runDerivation(ps)
+	})
 }
 
 // runDerivation is the uncached §5 lab methodology for one profile.
@@ -220,6 +239,7 @@ func (s *Suite) DerivedModel(router string, profiles []profileSpec) (*model.Mode
 	}
 	s.mu.Unlock()
 	return c.get(func() (*model.Model, error) {
+		defer observeArtifact("model/"+router, time.Now())
 		if len(profiles) == 0 {
 			return nil, fmt.Errorf("experiments: no profiles requested for %s", router)
 		}

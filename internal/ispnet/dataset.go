@@ -87,6 +87,7 @@ func Simulate(cfg Config) (*Dataset, error) {
 // Dataset is bit-identical for every worker count, including the serial
 // Workers=1 path.
 func (n *Network) Run() (*Dataset, error) {
+	metricRuns.Inc()
 	cfg := n.Config
 	ds := &Dataset{
 		Network:          n,

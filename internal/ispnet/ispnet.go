@@ -9,6 +9,12 @@
 // transceivers (§7), ≈51 % external interfaces (§8), per-model median
 // powers near Table 1, and the trace events of Fig. 4 (transceiver
 // removal, interface flapping, PSU power cycling at Autopower install).
+//
+// The replay is sharded per router (shard.go) and instrumented on the
+// process-wide telemetry registry (metrics.go): shard replay durations,
+// routers/events/samples processed, and worker-pool occupancy — without
+// perturbing the bit-identical-at-any-worker-count guarantee that
+// determinism_test.go pins.
 package ispnet
 
 import (

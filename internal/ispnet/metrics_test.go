@@ -1,0 +1,55 @@
+package ispnet
+
+import (
+	"testing"
+)
+
+// TestReplayMetricsAdvance checks the fleet-replay instrumentation
+// tallies a run correctly. Metrics live on the process-wide registry and
+// other tests in the package also advance them, so every assertion is on
+// the delta across one Simulate call.
+func TestReplayMetricsAdvance(t *testing.T) {
+	runs0 := metricRuns.Value()
+	routers0 := metricRouters.Value()
+	steps0 := metricSteps.Value()
+	wall0 := metricWallSamples.Value()
+	meter0 := metricMeterSamples.Value()
+	shards0 := metricShardSeconds.Count()
+
+	cfg := quickCfg()
+	ds, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := metricRuns.Value() - runs0; got != 1 {
+		t.Errorf("runs delta = %d, want 1", got)
+	}
+	if got := metricRouters.Value() - routers0; got != NumRouters {
+		t.Errorf("routers delta = %d, want %d", got, NumRouters)
+	}
+	if got := metricShardSeconds.Count() - shards0; got != NumRouters {
+		t.Errorf("shard duration observations delta = %d, want %d", got, NumRouters)
+	}
+	wantSteps := uint64(NumRouters) * uint64(ds.TotalPower.Len())
+	if got := metricSteps.Value() - steps0; got != wantSteps {
+		t.Errorf("steps delta = %d, want %d", got, wantSteps)
+	}
+	// Every router is deployed for at least part of the window, so wall
+	// samples advance; the three instrumented routers produce meter
+	// samples at the finer cadence.
+	if got := metricWallSamples.Value() - wall0; got == 0 || got > wantSteps {
+		t.Errorf("wall samples delta = %d (steps %d)", got, wantSteps)
+	}
+	var wantMeter uint64
+	for _, s := range ds.Autopower {
+		wantMeter += uint64(s.Len())
+	}
+	if got := metricMeterSamples.Value() - meter0; got != wantMeter {
+		t.Errorf("meter samples delta = %d, want %d", got, wantMeter)
+	}
+	// The pool has fully drained: no worker is still marked busy.
+	if v := metricBusyWorkers.Value(); v != 0 {
+		t.Errorf("busy workers after run = %v, want 0", v)
+	}
+}

@@ -44,6 +44,10 @@ type routerShard struct {
 	rates     map[string]*timeseries.Series
 	profiles  map[string]model.ProfileKey
 
+	// eventsApplied counts the scheduled events play actually applied
+	// (telemetry only; never read by the simulation).
+	eventsApplied int
+
 	err error
 }
 
@@ -70,6 +74,7 @@ func (sh *routerShard) play() error {
 				return fmt.Errorf("ispnet: event %q: %w", events[0].desc, err)
 			}
 			events = events[1:]
+			sh.eventsApplied++
 		}
 		if !r.Active(t) {
 			continue
@@ -156,7 +161,7 @@ func playShards(shards []*routerShard, workers int) error {
 	}
 	if workers <= 1 {
 		for _, sh := range shards {
-			if err := sh.play(); err != nil {
+			if err := sh.playInstrumented(); err != nil {
 				return err
 			}
 		}
@@ -170,7 +175,7 @@ func playShards(shards []*routerShard, workers int) error {
 		go func() {
 			defer wg.Done()
 			for sh := range work {
-				sh.err = sh.play()
+				sh.err = sh.playInstrumented()
 			}
 		}()
 	}

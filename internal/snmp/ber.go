@@ -1,12 +1,3 @@
-// Package snmp implements the subset of SNMPv2c the paper's data
-// collection relies on, from scratch on the standard library: BER
-// encoding, the GetRequest/GetNextRequest/GetBulkRequest/Response PDUs, a
-// UDP agent that serves a MIB view of a simulated router, and a client
-// used by the fleet poller.
-//
-// The paper collects 10 months of PSU power and interface counters from
-// 107 routers via SNMP at 5-minute resolution (§1); this package is the
-// wire-level substitute for that collection path, exercised over loopback.
 package snmp
 
 import (

@@ -1,0 +1,16 @@
+// Package snmp implements the subset of SNMPv2c the paper's data
+// collection relies on, from scratch on the standard library: BER
+// encoding, the GetRequest/GetNextRequest/GetBulkRequest/Response PDUs, a
+// UDP agent that serves a MIB view of a simulated router, and a client
+// used by the fleet poller.
+//
+// The paper collects 10 months of PSU power and interface counters from
+// 107 routers via SNMP at 5-minute resolution (§1); this package is the
+// wire-level substitute for that collection path, exercised over loopback.
+//
+// File layout: ber.go holds the BER/DER encoding and the varbind value
+// kinds, pdu.go the PDU framing, routermib.go the IF-MIB/ENTITY-SENSOR
+// view of a simulated router, agent.go the UDP agent serving that view,
+// client.go the Get/GetNext/GetBulk client, and collector.go the
+// 5-minute fleet poller that turns counter reads into time series.
+package snmp

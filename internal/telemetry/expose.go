@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry for consumption: the Prometheus text
+// exposition format (version 0.0.4, what `curl /metrics` and any
+// Prometheus-compatible scraper expect) and a JSON form for programmatic
+// use. Both renderings walk the same atomic snapshots and list metrics
+// in sorted name order, so consecutive scrapes of a quiesced process are
+// byte-identical.
+
+// JSONMetric is one metric in the JSON exposition. Counter and gauge
+// metrics carry Value; histograms carry Count, Sum, Bounds, and the
+// per-bucket (non-cumulative) Counts, where Counts has one extra element
+// for the overflow (+Inf) bucket.
+type JSONMetric struct {
+	Name   string    `json:"name"`
+	Type   string    `json:"type"`
+	Help   string    `json:"help,omitempty"`
+	Value  *float64  `json:"value,omitempty"`
+	Count  *uint64   `json:"count,omitempty"`
+	Sum    *float64  `json:"sum,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+}
+
+// WriteJSON writes all registered metrics as a JSON array of JSONMetric,
+// sorted by name.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	entries := r.sorted()
+	out := make([]JSONMetric, 0, len(entries))
+	for _, e := range entries {
+		m := JSONMetric{Name: e.name, Type: e.kind.String(), Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			v := float64(e.c.Value())
+			m.Value = &v
+		case kindGauge:
+			v := e.g.Value()
+			m.Value = &v
+		case kindHistogram:
+			count, sum := e.h.Count(), e.h.Sum()
+			m.Count = &count
+			m.Sum = &sum
+			m.Bounds = e.h.Bounds()
+			m.Counts = e.h.BucketCounts()
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WritePrometheus writes all registered metrics in the Prometheus text
+// exposition format, sorted by name, with one HELP/TYPE header per
+// metric family (names created via Label share their family's header).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, e := range r.sorted() {
+		base, labels := splitName(e.name)
+		if base != lastFamily {
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(e.help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, e.kind); err != nil {
+				return err
+			}
+			lastFamily = base
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", e.name, formatFloat(e.g.Value()))
+		case kindHistogram:
+			err = writePrometheusHistogram(w, base, labels, e.h)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram renders one histogram series set: cumulative
+// _bucket lines with le labels, then _sum and _count.
+func writePrometheusHistogram(w io.Writer, base, labels string, h *Histogram) error {
+	series := func(suffix, extra string) string {
+		all := labels
+		if extra != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extra
+		}
+		if all == "" {
+			return base + suffix
+		}
+		return base + suffix + "{" + all + "}"
+	}
+	bounds := h.Bounds()
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="`+formatFloat(b)+`"`), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", series("_sum", ""), formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", series("_count", ""), h.Count())
+	return err
+}
+
+// Handler returns an HTTP handler exposing the registry. It serves the
+// Prometheus text format by default and JSON when the request asks for
+// it with ?format=json or an Accept: application/json header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// formatFloat renders a float the way the Prometheus text format wants:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("seed_events_total", "events applied").Add(7)
+	r.Gauge("seed_busy_workers", "busy workers").Set(3)
+	h := r.Histogram("seed_replay_seconds", "replay durations", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Counter(Label("seed_artifact_total", "artifact", "fig1"), "per-artifact runs").Inc()
+	r.Counter(Label("seed_artifact_total", "artifact", "table2"), "per-artifact runs").Add(2)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exampleRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# HELP seed_events_total events applied\n# TYPE seed_events_total counter\nseed_events_total 7\n",
+		"# TYPE seed_busy_workers gauge\nseed_busy_workers 3\n",
+		"# TYPE seed_replay_seconds histogram\n",
+		`seed_replay_seconds_bucket{le="0.1"} 1`,
+		`seed_replay_seconds_bucket{le="1"} 2`,
+		`seed_replay_seconds_bucket{le="+Inf"} 3`,
+		"seed_replay_seconds_sum 5.55\n",
+		"seed_replay_seconds_count 3\n",
+		`seed_artifact_total{artifact="fig1"} 1`,
+		`seed_artifact_total{artifact="table2"} 2`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+	// Labeled series share one family header.
+	if strings.Count(got, "# TYPE seed_artifact_total counter") != 1 {
+		t.Errorf("want exactly one family header for seed_artifact_total:\n%s", got)
+	}
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	reg := exampleRegistry()
+	if err := reg.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	var b3 strings.Builder
+	if err := reg.WritePrometheus(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b3.String() {
+		t.Error("consecutive renders differ")
+	}
+}
+
+// TestJSONRoundTrip renders the JSON exposition and decodes it back into
+// the exported schema, checking every value survives.
+func TestJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := exampleRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []JSONMetric
+	if err := json.Unmarshal([]byte(b.String()), &metrics); err != nil {
+		t.Fatalf("decode: %v\n%s", err, b.String())
+	}
+	byName := map[string]JSONMetric{}
+	for _, m := range metrics {
+		byName[m.Name] = m
+	}
+	c := byName["seed_events_total"]
+	if c.Type != "counter" || c.Value == nil || *c.Value != 7 {
+		t.Fatalf("counter = %+v", c)
+	}
+	g := byName["seed_busy_workers"]
+	if g.Type != "gauge" || g.Value == nil || *g.Value != 3 {
+		t.Fatalf("gauge = %+v", g)
+	}
+	h := byName["seed_replay_seconds"]
+	if h.Type != "histogram" || h.Count == nil || *h.Count != 3 || h.Sum == nil || *h.Sum != 5.55 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if len(h.Bounds) != 2 || len(h.Counts) != 3 {
+		t.Fatalf("histogram shape = %+v", h)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("histogram counts = %v", h.Counts)
+	}
+	if _, ok := byName[`seed_artifact_total{artifact="table2"}`]; !ok {
+		t.Fatalf("labeled metric missing from JSON: %s", b.String())
+	}
+}
+
+func TestHandlerNegotiation(t *testing.T) {
+	h := exampleRegistry().Handler()
+
+	// Default: Prometheus text.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "seed_events_total 7") {
+		t.Fatalf("text body = %s", rec.Body.String())
+	}
+
+	// ?format=json and Accept both select JSON.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var metrics []JSONMetric
+	if err := json.Unmarshal(rec.Body.Bytes(), &metrics); err != nil {
+		t.Fatal(err)
+	}
+
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Writes are rejected.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,310 @@
+// Package telemetry is the observability layer of the simulation
+// substrate: a small, dependency-free metrics registry (counters, gauges,
+// histograms) with an HTTP exposition handler speaking both the
+// Prometheus text format and JSON.
+//
+// The paper's systems (Autopower §6.1, NetPowerBench §6.2) are themselves
+// measurement infrastructure; this package gives our reproductions of
+// them — and the sharded fleet replay — the operational visibility a real
+// energy-monitoring deployment would have: live progress of a 9-week
+// replay, memo-cache effectiveness of a suite regeneration, connected
+// Autopower units, upload latencies.
+//
+// # Hot-path cost and determinism
+//
+// Every metric update is one or two atomic operations and never takes a
+// lock; registration (the Counter/Gauge/Histogram lookups) takes a mutex
+// and is meant for init-time or per-artifact frequency, not per-sample.
+// Metrics are strictly write-only observers of the instrumented code:
+// nothing in the simulation reads a metric back, so instrumented runs
+// produce byte-identical datasets — the ispnet golden Workers-1-vs-8 test
+// pins that guarantee with instrumentation permanently enabled.
+//
+// Metric families with per-instance detail encode their labels in the
+// registered name via Label, e.g.
+//
+//	reg.Histogram(telemetry.Label("experiments_artifact_seconds", "artifact", "dataset"), ...)
+//
+// which the Prometheus exposition splices correctly into family HELP/TYPE
+// blocks and per-series label sets.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// ready to use, but counters are normally created through a Registry so
+// they are exposed.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down (queue depths, busy
+// workers, temperatures). All methods are atomic and lock-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative-exposition buckets with
+// fixed upper bounds, plus a running sum — the Prometheus histogram
+// shape. Observations are atomic and lock-free.
+type Histogram struct {
+	bounds  []float64 // sorted inclusive upper bounds; +Inf bucket is implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets is a general-purpose set of duration buckets in seconds,
+// spanning sub-millisecond shard replays to multi-minute full-resolution
+// runs.
+var DefBuckets = []float64{.001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the idiomatic
+// way to time a code path:
+//
+//	defer hist.ObserveSince(time.Now())
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket counts, one per bound plus the
+// final +Inf bucket. The counts are non-cumulative.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// metricKind discriminates the registry's metric table.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them for exposition. Metric
+// creation is get-or-create: requesting an existing name with the same
+// kind returns the already-registered metric, so packages can declare
+// their instruments independently; requesting an existing name with a
+// different kind panics (a programming error, like a duplicate flag).
+//
+// The zero Registry is not usable; call NewRegistry, or use the
+// process-wide Default registry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the instrumented
+// packages (ispnet, experiments, autopower) register into and the CLI
+// entry points expose.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(name, help string, kind metricKind) *entry {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	}
+	r.metrics[name] = e
+	return e
+}
+
+// Counter returns the counter registered under name, creating it with
+// the given help text on first request.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it with the
+// given help text on first request.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given help text and bucket bounds on first request. A nil or
+// empty bounds slice selects DefBuckets. Bounds are fixed at creation;
+// later calls for the same name ignore the bounds argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kindHistogram {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as histogram", name, e.kind))
+		}
+		return e.h
+	}
+	e := &entry{name: name, help: help, kind: kindHistogram, h: newHistogram(bounds)}
+	r.metrics[name] = e
+	return e.h
+}
+
+// sorted returns the registered entries in name order, the deterministic
+// exposition order.
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.metrics))
+	for _, e := range r.metrics {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Label appends one or more label pairs to a metric name, producing the
+// `name{k="v",...}` form the exposition formats understand. Values are
+// escaped per the Prometheus text format. kv must alternate keys and
+// values; an existing label set on name is extended.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		panic("telemetry: Label needs alternating key/value pairs")
+	}
+	base, labels := splitName(name)
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	if labels != "" {
+		b.WriteString(labels)
+	}
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 || labels != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitName separates a registered name into its base family name and
+// its (possibly empty) label body, without braces.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if again := r.Counter("c_total", "ignored"); again != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "a histogram", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", h.Sum())
+	}
+	// Bounds are inclusive: 1 falls in the le=1 bucket.
+	want := []uint64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count slice %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	h.ObserveSince(time.Now().Add(-2 * time.Second))
+	if h.Count() != 6 || h.Sum() < 558 {
+		t.Fatalf("ObserveSince: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", nil)
+	if len(h.Bounds()) != len(DefBuckets) {
+		t.Fatalf("bounds = %v", h.Bounds())
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind clash")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestLabel(t *testing.T) {
+	got := Label("m_total", "artifact", "table2")
+	if got != `m_total{artifact="table2"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	// Extending an existing label set, with escaping.
+	got = Label(got, "q", `a"b\c`)
+	want := `m_total{artifact="table2",q="a\"b\\c"}`
+	if got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+}
+
+// TestConcurrentUpdates hammers all three metric types from many
+// goroutines; run under -race it is the registry's data-race gate, and
+// the final values check that no increment is lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Registration races too: all goroutines get-or-create.
+			c := r.Counter("conc_total", "")
+			g := r.Gauge("conc_gauge", "")
+			h := r.Histogram("conc_seconds", "", []float64{0.5})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j%2) * 0.9)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("conc_total", "").Value(); v != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", v, goroutines*perG)
+	}
+	if v := r.Gauge("conc_gauge", "").Value(); v != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", v, goroutines*perG)
+	}
+	h := r.Histogram("conc_seconds", "", nil)
+	if h.Count() != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	wantSum := float64(goroutines) * perG / 2 * 0.9
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+	counts := h.BucketCounts()
+	if counts[0] != goroutines*perG/2 || counts[1] != goroutines*perG/2 {
+		t.Fatalf("buckets = %v", counts)
+	}
+}
+
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default registry changed identity")
+	}
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# doccheck.sh — documentation gate for CI.
+#
+# Enforces:
+#   1. `go vet ./...` is clean.
+#   2. Every internal package carries a package-level doc comment
+#      (`// Package <name> ...`) in exactly the file layout gofmt expects.
+#   3. In the fully documented packages (internal/telemetry,
+#      internal/ispnet, internal/experiments), every exported top-level
+#      declaration is immediately preceded by a doc comment.
+#
+# The export check is a lexical heuristic (top-level `func F`, `type T`,
+# `var V`, `const C`, and exported methods), which matches this
+# repository's style: grouped const/var blocks document the group.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "doccheck: go vet"
+if ! go vet ./...; then
+    fail=1
+fi
+
+echo "doccheck: package doc comments"
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -l -q "^// Package $pkg " "$dir"*.go 2>/dev/null; then
+        echo "doccheck: package $pkg has no '// Package $pkg ...' doc comment" >&2
+        fail=1
+    fi
+done
+
+echo "doccheck: exported symbol docs"
+for dir in internal/telemetry internal/ispnet internal/experiments; do
+    for f in "$dir"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        awk -v file="$f" '
+            /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+                if (prev !~ /^\/\//) {
+                    printf "doccheck: %s:%d: undocumented export: %s\n", file, NR, $0
+                    found = 1
+                }
+            }
+            { prev = $0 }
+            END { exit found }
+        ' "$f" >&2 || fail=1
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doccheck: FAIL" >&2
+    exit 1
+fi
+echo "doccheck: ok"
