@@ -12,6 +12,7 @@ package fantasticjoules
 // and see EXPERIMENTS.md for paper-vs-measured values.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -232,6 +233,15 @@ func BenchmarkModelPredict(b *testing.B) {
 // goroutines against one shared model — the read path a concurrent
 // monitoring service exercises. A fully assembled Model is immutable, so
 // the benchmark also acts as a race check when run with -race.
+//
+// The workers are spawned (and parked on a start channel) before the
+// timer resets. The earlier b.RunParallel version reported 720 B / 8
+// allocs per op at -benchtime=1x: that was RunParallel's own pool setup —
+// the testing.PB bookkeeping and worker goroutines it allocates inside
+// the timed region — divided by N=1, not an allocation in PredictPower
+// (which is 0-alloc at any serial benchtime). Pre-spawning keeps the
+// measured region to pure PredictPower calls, so the parallel benchmark
+// reports 0 allocs/op like the serial one at every benchtime.
 func BenchmarkModelPredictParallel(b *testing.B) {
 	m, err := PublishedModel("NCS-55A1-24H")
 	if err != nil {
@@ -245,15 +255,52 @@ func BenchmarkModelPredictParallel(b *testing.B) {
 			Bits: 10 * units.GigabitPerSecond, Packets: 1e6,
 		})
 	}
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			if _, err := m.PredictPower(cfg); err != nil {
-				b.Error(err)
-				return
-			}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > b.N {
+		workers = b.N
+	}
+	errs := make([]error, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	per, extra := b.N/workers, b.N%workers
+	share := func(w int) int {
+		n := per
+		if w < extra {
+			n++
 		}
-	})
+		return n
+	}
+	// Worker 0 is the benchmark goroutine itself: with one worker the
+	// timed region then contains no parking at all (a blocked wg.Wait can
+	// allocate its semaphore record inside the measurement).
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < share(w); i++ {
+				if _, err := m.PredictPower(cfg); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	b.ResetTimer()
+	close(start)
+	for i := 0; i < share(0); i++ {
+		if _, err := m.PredictPower(cfg); err != nil {
+			errs[0] = err
+			break
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkLinearRegression(b *testing.B) {

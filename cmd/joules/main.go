@@ -19,6 +19,10 @@
 //	                          serve live process telemetry while the run
 //	                          executes: /metrics (Prometheus text, or
 //	                          ?format=json) and /debug/pprof
+//	joules -cpuprofile cpu.pb.gz -memprofile mem.pb.gz run fig1
+//	                          write pprof profiles of an offline artifact
+//	                          run, without standing up the HTTP server;
+//	                          inspect with `go tool pprof <file>`
 package main
 
 import (
@@ -28,6 +32,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
 	"sort"
 	"strings"
 
@@ -71,6 +77,8 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation/derivation concurrency: 0 = all CPUs, 1 = serial; the output is identical either way")
 	zooDir := flag.String("zoo", "", "export derived models and traces into a Network Power Zoo store at this directory")
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address while running (/metrics and /debug/pprof); :0 picks a free port")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file when the run finishes")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -84,6 +92,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "joules:", err)
+		os.Exit(1)
+	}
+	// exit flushes the profiles before terminating: os.Exit skips deferred
+	// calls, so every exit path below goes through here.
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 	switch args[0] {
 	case "list":
 		for _, a := range artifacts() {
@@ -92,21 +111,64 @@ func main() {
 	case "run":
 		if len(args) < 2 {
 			usage()
-			os.Exit(2)
+			exit(2)
 		}
 		if err := run(*seed, *workers, *zooDir, args[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "joules:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	case "report":
 		if err := writeReport(os.Stdout, newSuite(*seed, *workers), *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "joules:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	default:
 		usage()
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
+}
+
+// startProfiles starts CPU profiling and/or arranges an end-of-run heap
+// profile, returning the function that stops and flushes both. Either
+// path may be empty. This is the offline counterpart of the -metrics
+// pprof endpoint: artifact runs (and their error exits) produce profiles
+// without an HTTP server in the loop.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := runtimepprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			runtimepprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "joules: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "joules: memprofile:", err)
+				return
+			}
+			// Up-to-date allocation stats, as `go test -memprofile` does.
+			runtime.GC()
+			if err := runtimepprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "joules: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "joules: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // usage prints the command synopsis, flags, and the artifact catalog. The

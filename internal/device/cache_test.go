@@ -1,0 +1,160 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/units"
+)
+
+// cacheSpec is flatSpec extended with everything the invalidation matrix
+// needs: a modular chassis (linecard events) and an OS version with a fan
+// regression. Jitter stays zero so wall-power comparisons can be exact.
+func cacheSpec() ModelSpec {
+	spec := flatSpec()
+	spec.Slots = 2
+	spec.Linecards = []LinecardType{{Name: "LC-TEST", PowerDC: 30}}
+	spec.OSFanRegression = map[string]units.Power{"2.0-fanbug": 45}
+	return spec
+}
+
+func staticCached(r *Router) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.staticOK
+}
+
+// wallPowerCacheFree recomputes wall power with the static cache force-
+// dropped, i.e. the answer a cache-less implementation would give.
+func wallPowerCacheFree(r *Router) units.Power {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.invalidateStaticLocked()
+	return r.wallPowerLocked()
+}
+
+// warm populates the cache and asserts it stuck.
+func warm(t *testing.T, r *Router) {
+	t.Helper()
+	r.WallPower()
+	if !staticCached(r) {
+		t.Fatal("static cache not populated by WallPower")
+	}
+}
+
+// TestStaticCacheInvalidatedByConfigEvents drives every config-changing
+// event and asserts each one drops the static-power cache.
+func TestStaticCacheInvalidatedByConfigEvents(t *testing.T) {
+	r := mustRouter(t, cacheSpec())
+	if err := r.PlugTransceiver("eth0", "Passive DAC", 100*g); err != nil {
+		t.Fatal(err)
+	}
+
+	events := []struct {
+		name  string
+		apply func() error
+	}{
+		{"PlugTransceiver", func() error { return r.PlugTransceiver("eth1", "Passive DAC", 100*g) }},
+		{"SetAdmin", func() error { return r.SetAdmin("eth0", true) }},
+		{"SetLink", func() error { return r.SetLink("eth0", true) }},
+		{"UpgradeOS", func() error { r.UpgradeOS("2.0-fanbug"); return nil }},
+		{"SetPSUOnline(false)", func() error { return r.SetPSUOnline(1, false) }},
+		{"SetPSUOnline(true)", func() error { return r.SetPSUOnline(1, true) }},
+		{"InstallLinecard", func() error { return r.InstallLinecard("LC-TEST") }},
+		{"RemoveLinecard", func() error { return r.RemoveLinecard("LC-TEST") }},
+		{"UnplugTransceiver", func() error { return r.UnplugTransceiver("eth1") }},
+	}
+	for _, ev := range events {
+		warm(t, r)
+		if err := ev.apply(); err != nil {
+			t.Fatalf("%s: %v", ev.name, err)
+		}
+		if staticCached(r) {
+			t.Errorf("%s did not invalidate the static-power cache", ev.name)
+		}
+		if got, want := r.WallPower(), wallPowerCacheFree(r); got != want {
+			t.Errorf("%s: cached wall power %v != cache-free %v", ev.name, got, want)
+		}
+	}
+}
+
+// TestSetTrafficKeepsStaticCache pins the other half of the contract:
+// offered load is part of the dynamic term, so the per-step SetTraffic
+// path must NOT rebuild the static sum.
+func TestSetTrafficKeepsStaticCache(t *testing.T) {
+	r := mustRouter(t, cacheSpec())
+	if err := r.PlugTransceiver("eth0", "Passive DAC", 100*g); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetAdmin("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLink("eth0", true); err != nil {
+		t.Fatal(err)
+	}
+	warm(t, r)
+	if err := r.SetTraffic("eth0", 40*g, 3e6); err != nil {
+		t.Fatal(err)
+	}
+	if !staticCached(r) {
+		t.Error("SetTraffic invalidated the static cache; traffic is a dynamic term")
+	}
+	h, err := r.Handle("eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTrafficAt(h, 20*g, 2e6); err != nil {
+		t.Fatal(err)
+	}
+	if !staticCached(r) {
+		t.Error("SetTrafficAt invalidated the static cache")
+	}
+	if got, want := r.WallPower(), wallPowerCacheFree(r); got != want {
+		t.Errorf("cached wall power %v != cache-free %v", got, want)
+	}
+}
+
+// TestStaticCachePropertyRandomWalk runs a randomized event/traffic walk
+// and, after every operation, asserts the cached WallPower is bit-equal
+// to a cache-free recompute — the property that makes the cache safe for
+// the deterministic fleet replay.
+func TestStaticCachePropertyRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	r := mustRouter(t, cacheSpec())
+	names := r.InterfaceNames()
+
+	ops := []func(){
+		func() {
+			n := names[rng.Intn(len(names))]
+			_ = r.PlugTransceiver(n, "Passive DAC", 100*g)
+		},
+		func() { _ = r.UnplugTransceiver(names[rng.Intn(len(names))]) },
+		func() { _ = r.SetAdmin(names[rng.Intn(len(names))], rng.Intn(2) == 0) },
+		func() { _ = r.SetLink(names[rng.Intn(len(names))], rng.Intn(2) == 0) },
+		func() {
+			if rng.Intn(2) == 0 {
+				r.UpgradeOS("2.0-fanbug")
+			} else {
+				r.UpgradeOS("1.0")
+			}
+		},
+		func() { _ = r.SetPSUOnline(rng.Intn(r.PSUCount()), rng.Intn(2) == 0) },
+		func() { _ = r.InstallLinecard("LC-TEST") },
+		func() { _ = r.RemoveLinecard("LC-TEST") },
+		func() {
+			n := names[rng.Intn(len(names))]
+			_ = r.SetTraffic(n, units.BitRate(rng.Float64())*100*g, units.PacketRate(rng.Float64()*1e7))
+		},
+		func() { r.SetTemperature(15 + rng.Float64()*30) },
+		func() { r.Advance(30 * time.Second) },
+	}
+	for i := 0; i < 500; i++ {
+		ops[rng.Intn(len(ops))]()
+		cached := r.WallPower()
+		free := wallPowerCacheFree(r)
+		if cached != free {
+			t.Fatalf("step %d: cached wall power %v != cache-free recompute %v", i, cached, free)
+		}
+	}
+}

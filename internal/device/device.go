@@ -47,6 +47,13 @@ type Interface struct {
 	bits    units.BitRate
 	packets units.PacketRate
 
+	// truth caches the resolved ground-truth profile for the interface's
+	// current configuration, rebuilt together with the router's static
+	// power sum (rebuildStaticLocked) so the per-step load terms read a
+	// struct field instead of hashing a profile key into the Truth map.
+	truth      model.InterfaceProfile
+	truthKnown bool
+
 	// Cumulative counters (SNMP ifHC* semantics), advanced by Router.Advance.
 	inOctets, outOctets   uint64
 	inPackets, outPackets uint64
@@ -83,6 +90,10 @@ type Counters struct {
 type PSUState struct {
 	unit   *psu.Unit
 	offset float64 // added to the unit's curve
+	// curve is the unit's efficiency curve shifted by offset, materialized
+	// once at construction: Offset allocates a fresh point slice, and the
+	// wall-power path evaluates the curve for every PSU at every sample.
+	curve  psu.Curve
 	online bool
 
 	lastIn  units.Power
@@ -103,9 +114,8 @@ func (p *PSUState) inputFor(out units.Power) units.Power {
 	if out <= 0 {
 		return 0
 	}
-	curve := p.unit.Curve().Offset(p.offset)
 	load := out.Watts() / p.unit.Capacity().Watts()
-	return units.Power(out.Watts() / curve.Efficiency(load))
+	return units.Power(out.Watts() / p.curve.Efficiency(load))
 }
 
 // Router is a simulated fixed-chassis router. Create instances with New;
@@ -136,6 +146,18 @@ type Router struct {
 	byName     map[string]*Interface
 	psus       []*PSUState
 	linecards  []LinecardType
+
+	// Static-power cache: the configuration-dependent part of dcLoad —
+	// chassis base, control plane, linecards, and the per-port /
+	// per-transceiver terms — changes only when a config event fires
+	// (plug/unplug, admin, link, OS upgrade, linecard install/remove), not
+	// per simulation step. staticDC holds that sum, trafficIfs the
+	// operationally-up interfaces whose load terms still need evaluating
+	// every step, and staticOK is the dirty flag every config mutator
+	// clears. See rebuildStaticLocked.
+	staticDC   units.Power
+	trafficIfs []*Interface
+	staticOK   bool
 
 	clock time.Time
 }
@@ -175,7 +197,12 @@ func New(spec ModelSpec, name string, seed int64) (*Router, error) {
 		// observes same-model PSUs spanning a wide efficiency range
 		// (§9.3.1, Fig. 6d) and whole models faring poorly (Fig. 6c).
 		off := spec.PSUEfficiencyBias + rng.NormFloat64()*spec.PSUEfficiencySpread
-		r.psus = append(r.psus, &PSUState{unit: unit, offset: off, online: true})
+		r.psus = append(r.psus, &PSUState{
+			unit:   unit,
+			offset: off,
+			curve:  unit.Curve().Offset(off),
+			online: true,
+		})
 	}
 	return r, nil
 }
@@ -232,6 +259,7 @@ func (r *Router) PlugTransceiver(ifName string, trx model.TransceiverType, speed
 	itf.transceiver = trx
 	itf.speed = speed
 	itf.transceiverPresent = true
+	r.invalidateStaticLocked()
 	return nil
 }
 
@@ -245,6 +273,7 @@ func (r *Router) UnplugTransceiver(ifName string) error {
 	}
 	itf.transceiverPresent = false
 	itf.bits, itf.packets = 0, 0
+	r.invalidateStaticLocked()
 	return nil
 }
 
@@ -262,6 +291,7 @@ func (r *Router) SetAdmin(ifName string, up bool) error {
 	if !up {
 		itf.bits, itf.packets = 0, 0
 	}
+	r.invalidateStaticLocked()
 	return nil
 }
 
@@ -279,6 +309,7 @@ func (r *Router) SetLink(ifName string, up bool) error {
 	if !up {
 		itf.bits, itf.packets = 0, 0
 	}
+	r.invalidateStaticLocked()
 	return nil
 }
 
@@ -369,6 +400,7 @@ func (r *Router) UpgradeOS(version string) {
 	} else {
 		r.fanBoost = 0
 	}
+	r.invalidateStaticLocked()
 }
 
 // SetPSUOnline brings a PSU in or out of the load-sharing pool (the
@@ -392,48 +424,77 @@ func (r *Router) SetPSUOnline(index int, online bool) error {
 		}
 	}
 	r.psus[index].online = online
+	// PSU membership does not enter the DC-side static sum, but it changes
+	// the wall-power conversion; invalidating keeps the rule simple — every
+	// config-changing event drops the cache.
+	r.invalidateStaticLocked()
 	return nil
 }
 
 // PSUCount returns the number of installed PSUs.
 func (r *Router) PSUCount() int { return len(r.psus) }
 
-// dcLoad computes the true DC-side power demand from the hidden spec.
-// Callers must hold r.mu.
-func (r *Router) dcLoad() units.Power {
-	s := r.spec
+// invalidateStaticLocked marks the static-power cache dirty. Every mutator
+// that can change the configuration-dependent power terms calls it; the
+// next dcLoad rebuilds. Callers must hold r.mu.
+func (r *Router) invalidateStaticLocked() { r.staticOK = false }
+
+// rebuildStaticLocked recomputes the configuration-dependent part of the
+// DC load — everything except the fan/thermal terms and the per-interface
+// traffic terms — and refreshes each interface's cached truth profile plus
+// the list of operationally-up interfaces whose load terms the per-step
+// path must still evaluate. Callers must hold r.mu.
+func (r *Router) rebuildStaticLocked() {
+	s := &r.spec
 	p := s.PBaseDC
-	p += s.FanBasePower + units.Power(s.FanTempCoeff*(r.internalTemp-25))
 	p += r.fanBoost
 	p += s.ControlPlanePower
 	p += r.linecardLoad()
+	r.trafficIfs = r.trafficIfs[:0]
 	for _, itf := range r.interfaces {
-		var truth model.InterfaceProfile
-		known := false
+		itf.truthKnown = false
 		if itf.transceiverPresent || itf.adminUp {
-			truth, known = s.Truth[itf.ProfileKey()]
-			if !known {
+			itf.truth, itf.truthKnown = s.Truth[itf.ProfileKey()]
+			if !itf.truthKnown {
 				// Port admin-up with no transceiver: charge the port cost of
 				// the spec's default profile for this port type.
-				truth, known = s.portOnlyTruth(itf.port)
+				itf.truth, itf.truthKnown = s.portOnlyTruth(itf.port)
 			}
 		}
-		if !known {
+		if !itf.truthKnown {
 			continue
 		}
 		if itf.transceiverPresent {
-			p += truth.PTrxIn
+			p += itf.truth.PTrxIn
 		}
 		if itf.adminUp {
-			p += truth.PPort
+			p += itf.truth.PPort
 		}
 		if itf.OperUp() {
-			p += truth.PTrxUp
-			if itf.bits > 0 || itf.packets > 0 {
-				p += units.Power(truth.EBit.Joules()*itf.bits.BitsPerSecond() +
-					truth.EPkt.Joules()*itf.packets.PacketsPerSecond())
-				p += truth.POffset
-			}
+			p += itf.truth.PTrxUp
+			r.trafficIfs = append(r.trafficIfs, itf)
+		}
+	}
+	r.staticDC = p
+	r.staticOK = true
+}
+
+// dcLoad computes the true DC-side power demand from the hidden spec:
+// the cached static configuration terms plus the per-step dynamic part
+// (fan power follows the chassis temperature, load terms follow the
+// offered traffic). Callers must hold r.mu.
+func (r *Router) dcLoad() units.Power {
+	if !r.staticOK {
+		r.rebuildStaticLocked()
+	}
+	s := &r.spec
+	p := r.staticDC
+	p += s.FanBasePower + units.Power(s.FanTempCoeff*(r.internalTemp-25))
+	for _, itf := range r.trafficIfs {
+		if itf.bits > 0 || itf.packets > 0 {
+			p += units.Power(itf.truth.EBit.Joules()*itf.bits.BitsPerSecond() +
+				itf.truth.EPkt.Joules()*itf.packets.PacketsPerSecond())
+			p += itf.truth.POffset
 		}
 	}
 	return p
@@ -458,16 +519,16 @@ func (r *Router) wallPowerLocked() units.Power {
 	if dc < 0 {
 		dc = 0
 	}
-	var online []*PSUState
+	online := 0
 	for _, p := range r.psus {
 		if p.online {
-			online = append(online, p)
+			online++
 		}
 	}
-	if len(online) == 0 {
+	if online == 0 {
 		return 0
 	}
-	share := units.Power(dc.Watts() / float64(len(online)))
+	share := units.Power(dc.Watts() / float64(online))
 	var wall units.Power
 	for _, p := range r.psus {
 		if !p.online {
@@ -488,6 +549,10 @@ func (r *Router) wallPowerLocked() units.Power {
 func (r *Router) Advance(dt time.Duration) time.Time {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.advanceLocked(dt)
+}
+
+func (r *Router) advanceLocked(dt time.Duration) time.Time {
 	sec := dt.Seconds()
 	if sec < 0 {
 		sec = 0

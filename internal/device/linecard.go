@@ -44,6 +44,7 @@ func (r *Router) InstallLinecard(typeName string) error {
 		return fmt.Errorf("device: all %d slots of %s are occupied", r.spec.Slots, r.name)
 	}
 	r.linecards = append(r.linecards, *lt)
+	r.invalidateStaticLocked()
 	return nil
 }
 
@@ -54,6 +55,7 @@ func (r *Router) RemoveLinecard(typeName string) error {
 	for i := range r.linecards {
 		if r.linecards[i].Name == typeName {
 			r.linecards = append(r.linecards[:i], r.linecards[i+1:]...)
+			r.invalidateStaticLocked()
 			return nil
 		}
 	}

@@ -189,6 +189,12 @@ func (s Schedule) MeanSleeping() float64 {
 // put to sleep in ascending traffic order, provided the endpoints remain
 // connected and the slept traffic reroutes onto the shortest remaining
 // path without pushing any link beyond MaxUtilization.
+//
+// The scheduler runs one BFS per sleep candidate per step, so the graph is
+// indexed once up front (router names to dense ints, adjacency and link
+// endpoints in index space) and every per-step and per-BFS buffer is
+// reused across the whole window — the month-long §8 run allocates the
+// working set once instead of per step.
 func Run(topo Topology, traffic TrafficFunc, opts Options) (Schedule, error) {
 	opts.applyDefaults()
 	if opts.Start.IsZero() {
@@ -197,27 +203,35 @@ func Run(topo Topology, traffic TrafficFunc, opts Options) (Schedule, error) {
 	if len(topo.Links) == 0 {
 		return Schedule{}, errors.New("hypnos: topology has no internal links")
 	}
-	sched := Schedule{topo: topo}
-	adj := buildAdjacency(topo)
+	numSteps := int(opts.Window/opts.Step) + 1
+	sched := Schedule{
+		topo:     topo,
+		Times:    make([]time.Time, 0, numSteps),
+		Sleeping: make([][]int, 0, numSteps),
+	}
+	g := buildGraph(topo)
+	sc := &bfsScratch{visited: make([]int, len(g.nodes))}
 
 	prev := make([]bool, len(topo.Links))
 	dwell := make([]int, len(topo.Links))
+	loads := make([]float64, len(topo.Links))
+	extra := make([]float64, len(topo.Links))
+	asleep := make([]bool, len(topo.Links))
+	order := make([]int, len(topo.Links))
 	end := opts.Start.Add(opts.Window)
 	for t := opts.Start; t.Before(end); t = t.Add(opts.Step) {
-		loads := make([]float64, len(topo.Links))
-		extra := make([]float64, len(topo.Links))
-		asleep := make([]bool, len(topo.Links))
-		order := make([]int, len(topo.Links))
 		for i, l := range topo.Links {
 			loads[i] = traffic(l.ID, t).BitsPerSecond()
+			extra[i] = 0
+			asleep[i] = false
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool { return loads[order[a]] < loads[order[b]] })
 
 		trySleep := func(id int) bool {
-			l := topo.Links[id]
 			asleep[id] = true
-			path, ok := shortestPath(adj, topo, asleep, l.A.Router, l.B.Router)
+			a, b := g.ends[id][0], g.ends[id][1]
+			path, ok := shortestPath(g, asleep, a, b, sc)
 			if !ok {
 				asleep[id] = false // would disconnect
 				return false
@@ -255,7 +269,16 @@ func Run(topo Topology, traffic TrafficFunc, opts Options) (Schedule, error) {
 			trySleep(id)
 		}
 
+		count := 0
+		for _, a := range asleep {
+			if a {
+				count++
+			}
+		}
 		var ids []int
+		if count > 0 {
+			ids = make([]int, 0, count)
+		}
 		for id, a := range asleep {
 			if a {
 				ids = append(ids, id)
@@ -303,58 +326,102 @@ func (s Schedule) Transitions() int {
 	return total
 }
 
-func buildAdjacency(topo Topology) map[string][]int {
-	adj := make(map[string][]int)
-	for _, l := range topo.Links {
-		adj[l.A.Router] = append(adj[l.A.Router], l.ID)
-		adj[l.B.Router] = append(adj[l.B.Router], l.ID)
-	}
-	return adj
+// graph is the topology in dense-index space: router names mapped to
+// consecutive ints, adjacency lists and link endpoints stored as indices.
+// Built once per Run; the per-BFS hot path never touches a map or a
+// string.
+type graph struct {
+	nodes []string
+	adj   [][]int  // node index -> incident link IDs
+	ends  [][2]int // link ID -> endpoint node indices
 }
 
-// shortestPath BFSes from a to b over awake links, returning the link IDs
-// of a shortest hop path.
-func shortestPath(adj map[string][]int, topo Topology, asleep []bool, a, b string) ([]int, bool) {
+func buildGraph(topo Topology) *graph {
+	g := &graph{}
+	idx := make(map[string]int, len(topo.Nodes))
+	nodeOf := func(name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		i := len(g.nodes)
+		idx[name] = i
+		g.nodes = append(g.nodes, name)
+		return i
+	}
+	for _, name := range topo.Nodes {
+		nodeOf(name)
+	}
+	g.ends = make([][2]int, len(topo.Links))
+	for i, l := range topo.Links {
+		g.ends[i] = [2]int{nodeOf(l.A.Router), nodeOf(l.B.Router)}
+	}
+	g.adj = make([][]int, len(g.nodes))
+	for _, l := range topo.Links {
+		a, b := g.ends[l.ID][0], g.ends[l.ID][1]
+		g.adj[a] = append(g.adj[a], l.ID)
+		g.adj[b] = append(g.adj[b], l.ID)
+	}
+	return g
+}
+
+// hop is one BFS queue entry; prev indexes into the queue for path
+// reconstruction (entries are never removed, the head is a cursor).
+type hop struct {
+	node int
+	via  int
+	prev int
+}
+
+// bfsScratch holds the buffers one shortestPath call needs, reused across
+// calls. visited is a generation-stamped array: bumping gen clears it in
+// O(1) instead of reallocating a map per BFS.
+type bfsScratch struct {
+	visited []int
+	gen     int
+	queue   []hop
+	path    []int
+}
+
+// shortestPath BFSes from node a to node b over awake links, returning the
+// link IDs of a shortest hop path. The returned slice aliases the scratch
+// buffer and is only valid until the next call.
+func shortestPath(g *graph, asleep []bool, a, b int, sc *bfsScratch) ([]int, bool) {
 	if a == b {
 		return nil, true
 	}
-	type hop struct {
-		node string
-		via  int
-		prev int // index into visits
+	sc.gen++
+	if len(sc.visited) < len(g.nodes) {
+		sc.visited = make([]int, len(g.nodes))
+		sc.gen = 1
 	}
-	visited := map[string]bool{a: true}
-	queue := []hop{{node: a, via: -1, prev: -1}}
-	visits := []hop{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		visits = append(visits, cur)
-		curIdx := len(visits) - 1
-		for _, id := range adj[cur.node] {
+	sc.queue = sc.queue[:0]
+	sc.visited[a] = sc.gen
+	sc.queue = append(sc.queue, hop{node: a, via: -1, prev: -1})
+	for head := 0; head < len(sc.queue); head++ {
+		cur := sc.queue[head]
+		for _, id := range g.adj[cur.node] {
 			if asleep[id] {
 				continue
 			}
-			l := topo.Links[id]
-			next := l.A.Router
+			next := g.ends[id][0]
 			if next == cur.node {
-				next = l.B.Router
+				next = g.ends[id][1]
 			}
-			if visited[next] {
+			if sc.visited[next] == sc.gen {
 				continue
 			}
-			visited[next] = true
-			h := hop{node: next, via: id, prev: curIdx}
+			sc.visited[next] = sc.gen
+			h := hop{node: next, via: id, prev: head}
 			if next == b {
 				// Reconstruct.
-				var path []int
+				sc.path = sc.path[:0]
 				for h.via != -1 {
-					path = append(path, h.via)
-					h = visits[h.prev]
+					sc.path = append(sc.path, h.via)
+					h = sc.queue[h.prev]
 				}
-				return path, true
+				return sc.path, true
 			}
-			queue = append(queue, h)
+			sc.queue = append(sc.queue, h)
 		}
 	}
 	return nil, false

@@ -89,10 +89,14 @@ func Simulate(cfg Config) (*Dataset, error) {
 func (n *Network) Run() (*Dataset, error) {
 	metricRuns.Inc()
 	cfg := n.Config
+	numSteps := 0
+	if cfg.SNMPStep > 0 {
+		numSteps = int(cfg.Duration/cfg.SNMPStep) + 1
+	}
 	ds := &Dataset{
 		Network:          n,
-		TotalPower:       timeseries.New("total-power"),
-		TotalTraffic:     timeseries.New("total-traffic"),
+		TotalPower:       timeseries.NewWithCap("total-power", numSteps),
+		TotalTraffic:     timeseries.NewWithCap("total-traffic", numSteps),
 		RouterWallMedian: make(map[string]units.Power),
 		Autopower:        make(map[string]*timeseries.Series),
 		SNMPPower:        make(map[string]*timeseries.Series),
@@ -109,7 +113,7 @@ func (n *Network) Run() (*Dataset, error) {
 	}
 
 	// The shared step grid; every shard walks the same timestamps.
-	var steps []time.Time
+	steps := make([]time.Time, 0, numSteps)
 	end := cfg.Start.Add(cfg.Duration)
 	for t := cfg.Start; t.Before(end); t = t.Add(cfg.SNMPStep) {
 		steps = append(steps, t)

@@ -487,10 +487,16 @@ func (n *Network) markSpecialRouters() {
 // modulated by the network-wide diurnal pattern plus deterministic
 // per-interface noise.
 func (n *Network) LoadAt(itf *Interface, r *Router, t time.Time) units.BitRate {
+	return n.loadAt(itf, r, t, n.diurnal.Multiplier(t, nil))
+}
+
+// loadAt is LoadAt with the diurnal multiplier hoisted: the multiplier
+// depends only on t, so the replay computes it once per step instead of
+// once per interface (it is a handful of trigonometric evaluations).
+func (n *Network) loadAt(itf *Interface, r *Router, t time.Time, mult float64) units.BitRate {
 	if itf.Spare || itf.MeanLoad == 0 {
 		return 0
 	}
-	mult := n.diurnal.Multiplier(t, nil)
 	// Deterministic per-(interface, step) noise so repeated queries agree.
 	h := hash64(r.Name, itf.Name, t.Unix())
 	noise := 1 + 0.15*(float64(h%2000)/1000-1)
@@ -510,25 +516,32 @@ func PacketRateAt(load units.BitRate) units.PacketRate {
 	return units.PacketRateFor(load, trafficgen.IMIXMeanSize(), trafficgen.EthernetOverhead)
 }
 
-// hash64 is a small FNV-style mix for deterministic noise.
-func hash64(parts ...interface{}) uint64 {
+// hash64 is a small FNV-style mix for deterministic noise. The signature
+// is concrete — it runs once per interface per step, and a variadic
+// interface{} version boxes every argument onto the heap. The byte
+// sequence matches the original variadic implementation exactly, so the
+// noise values (and with them every published dataset figure) are
+// unchanged.
+func hash64(router, iface string, unix int64) uint64 {
 	var h uint64 = 1469598103934665603
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= 1099511628211
+	const prime = 1099511628211
+	for i := 0; i < len(router); i++ {
+		h ^= uint64(router[i])
+		h *= prime
 	}
-	for _, p := range parts {
-		switch v := p.(type) {
-		case string:
-			for i := 0; i < len(v); i++ {
-				mix(v[i])
-			}
-		case int64:
-			for i := 0; i < 8; i++ {
-				mix(byte(v >> (8 * i)))
-			}
-		}
-		mix(0xff)
+	h ^= 0xff
+	h *= prime
+	for i := 0; i < len(iface); i++ {
+		h ^= uint64(iface[i])
+		h *= prime
 	}
+	h ^= 0xff
+	h *= prime
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(unix >> (8 * i)))
+		h *= prime
+	}
+	h ^= 0xff
+	h *= prime
 	return h
 }

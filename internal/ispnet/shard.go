@@ -7,9 +7,11 @@ import (
 	"sync"
 	"time"
 
+	"fantasticjoules/internal/device"
 	"fantasticjoules/internal/meter"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
 )
 
 // routerShard is the unit of parallelism in Run: one router's complete
@@ -44,11 +46,57 @@ type routerShard struct {
 	rates     map[string]*timeseries.Series
 	profiles  map[string]model.ProfileKey
 
+	// plan is the precomputed per-interface replay state: device handle
+	// and profile resolved once, rebuilt only when a scheduled event fires
+	// (events are the only thing that mutates router.Interfaces). The oper
+	// and load fields are per-step scratch, written by the offering loop
+	// and reused by the instrumented rates loop — which previously paid a
+	// second InterfaceState lookup and a second LoadAt evaluation per
+	// interface per step.
+	plan []ifacePlan
+
 	// eventsApplied counts the scheduled events play actually applied
 	// (telemetry only; never read by the simulation).
 	eventsApplied int
 
 	err error
+}
+
+// ifacePlan is one interface's precomputed replay state; see
+// routerShard.plan.
+type ifacePlan struct {
+	itf    *Interface
+	handle device.Handle
+	spare  bool
+	// rateSeries caches the instrumented per-interface rate trace so the
+	// per-step rates loop skips the map lookup; relinked lazily after a
+	// plan rebuild.
+	rateSeries *timeseries.Series
+
+	// Per-step scratch.
+	oper bool
+	load units.BitRate
+}
+
+// buildPlan resolves handles and profile keys for the router's current
+// interface list. Called before the step loop and again after every event
+// application: events may add, drop, or reorder interfaces, which moves
+// the backing array the itf pointers index into.
+func (sh *routerShard) buildPlan() error {
+	r := sh.router
+	sh.plan = sh.plan[:0]
+	for i := range r.Interfaces {
+		itf := &r.Interfaces[i]
+		h, err := r.Device.Handle(itf.Name)
+		if err != nil {
+			return err
+		}
+		sh.plan = append(sh.plan, ifacePlan{itf: itf, handle: h, spare: itf.Spare})
+		if sh.profiles != nil {
+			sh.profiles[itf.Name] = itf.Profile
+		}
+	}
+	return nil
 }
 
 // play replays the router's full study window. It is the sharded port of
@@ -60,49 +108,76 @@ func (sh *routerShard) play() error {
 	cfg := n.Config
 	sh.power = make([]float64, len(sh.steps))
 	sh.traffic = make([]float64, len(sh.steps))
+	sh.wall = make([]float64, 0, len(sh.steps))
 	if sh.meter != nil {
-		sh.autopower = timeseries.New(r.Name + ".autopower")
-		sh.rates = make(map[string]*timeseries.Series)
-		sh.profiles = make(map[string]model.ProfileKey)
+		subSteps := int(cfg.SNMPStep / cfg.AutopowerStep)
+		if cfg.SNMPStep%cfg.AutopowerStep != 0 {
+			subSteps++
+		}
+		sh.autopower = timeseries.NewWithCap(r.Name+".autopower", len(sh.steps)*subSteps)
+		sh.rates = make(map[string]*timeseries.Series, len(r.Interfaces))
+		sh.profiles = make(map[string]model.ProfileKey, len(r.Interfaces))
+	}
+	if err := sh.buildPlan(); err != nil {
+		return err
 	}
 
 	events := sh.events
 	for si, t := range sh.steps {
-		// Apply this router's due events in schedule order.
+		// Apply this router's due events in schedule order; events are the
+		// only mutation of the interface list, so the plan is rebuilt here
+		// and nowhere else.
+		replan := false
 		for len(events) > 0 && !events[0].at.After(t) {
 			if err := events[0].apply(); err != nil {
 				return fmt.Errorf("ispnet: event %q: %w", events[0].desc, err)
 			}
 			events = events[1:]
 			sh.eventsApplied++
+			replan = true
+		}
+		if replan {
+			if err := sh.buildPlan(); err != nil {
+				return err
+			}
 		}
 		if !r.Active(t) {
 			continue
 		}
 
-		// Offer this step's loads.
+		// Offer this step's loads: one lock acquisition for the whole
+		// batch, handle-addressed interface access, one diurnal multiplier
+		// evaluation for the step.
+		mult := n.diurnal.Multiplier(t, nil)
+		st := r.Device.BeginStep()
 		var stepTraffic float64
-		for i := range r.Interfaces {
-			itf := &r.Interfaces[i]
-			if itf.Spare {
+		for pi := range sh.plan {
+			p := &sh.plan[pi]
+			p.oper = false
+			p.load = 0
+			if p.spare {
 				continue
 			}
-			present, admin, oper, _, err := r.Device.InterfaceState(itf.Name)
-			if err != nil {
-				return err
-			}
+			present, admin, oper := st.InterfaceState(p.handle)
+			p.oper = oper
 			if !present || !admin || !oper {
 				continue
 			}
-			load := n.LoadAt(itf, r, t)
-			if err := r.Device.SetTraffic(itf.Name, load, PacketRateAt(load)); err != nil {
-				return fmt.Errorf("ispnet: %s/%s: %w", r.Name, itf.Name, err)
+			load := n.loadAt(p.itf, r, t, mult)
+			if err := st.SetTraffic(p.handle, load, PacketRateAt(load)); err != nil {
+				st.End()
+				return fmt.Errorf("ispnet: %s/%s: %w", r.Name, p.itf.Name, err)
 			}
+			p.load = load
 			stepTraffic += load.BitsPerSecond() / 2
 		}
 
+		var w float64
 		if sh.meter != nil {
-			// Fine-grained external metering plus per-interface rates.
+			// Fine-grained external metering plus per-interface rates. The
+			// meter samples the router through its own lock, so the batch
+			// ends before the metered sub-loop.
+			st.End()
 			for sub := time.Duration(0); sub < cfg.SNMPStep; sub += cfg.AutopowerStep {
 				v, err := sh.meter.Read(0)
 				if err != nil {
@@ -111,35 +186,37 @@ func (sh *routerShard) play() error {
 				sh.autopower.Append(t.Add(sub), v.Watts())
 				r.Device.Advance(cfg.AutopowerStep)
 			}
-			for i := range r.Interfaces {
-				itf := &r.Interfaces[i]
-				sh.profiles[itf.Name] = itf.Profile
-				rates, ok := sh.rates[itf.Name]
-				if !ok {
-					rates = timeseries.New(r.Name + "." + itf.Name + ".rate")
-					sh.rates[itf.Name] = rates
+			for pi := range sh.plan {
+				p := &sh.plan[pi]
+				if p.rateSeries == nil {
+					rates, ok := sh.rates[p.itf.Name]
+					if !ok {
+						rates = timeseries.NewWithCap(r.Name+"."+p.itf.Name+".rate", len(sh.steps))
+						sh.rates[p.itf.Name] = rates
+					}
+					p.rateSeries = rates
 				}
-				_, _, oper, _, err := r.Device.InterfaceState(itf.Name)
-				if err != nil {
-					return err
-				}
-				if oper {
-					rates.Append(t, n.LoadAt(itf, r, t).BitsPerSecond())
+				// The oper state and load were computed by the offering
+				// loop above; advancing the clock changes neither.
+				if p.oper {
+					p.rateSeries.Append(t, p.load.BitsPerSecond())
 				} else {
-					rates.Append(t, 0)
+					p.rateSeries.Append(t, 0)
 				}
 			}
 			if rep, err := r.Device.ReportedTotalPower(); err == nil {
 				if sh.snmp == nil {
-					sh.snmp = timeseries.New(r.Name + ".snmp")
+					sh.snmp = timeseries.NewWithCap(r.Name+".snmp", len(sh.steps))
 				}
 				sh.snmp.Append(t, rep.Watts())
 			}
+			w = r.Device.WallPower().Watts()
 		} else {
-			r.Device.Advance(cfg.SNMPStep)
+			st.Advance(cfg.SNMPStep)
+			w = st.WallPower().Watts()
+			st.End()
 		}
 
-		w := r.Device.WallPower().Watts()
 		sh.power[si] = w
 		sh.traffic[si] = stepTraffic
 		sh.wall = append(sh.wall, w)
@@ -198,10 +275,21 @@ func playShards(shards []*routerShard, workers int) error {
 // partitionEvents splits a time-sorted schedule into per-router queues.
 // Append order is preserved, so each router sees its events exactly as the
 // global schedule ordered them — including events due at the same step.
+// A first pass counts events per router so the map is sized to the number
+// of routers with events (not the event count) and each queue is allocated
+// exactly once at its final length.
 func partitionEvents(evs []scheduledEvent) map[string][]scheduledEvent {
-	out := make(map[string][]scheduledEvent, len(evs))
+	counts := make(map[string]int)
 	for _, e := range evs {
-		out[e.router] = append(out[e.router], e)
+		counts[e.router]++
+	}
+	out := make(map[string][]scheduledEvent, len(counts))
+	for _, e := range evs {
+		q, ok := out[e.router]
+		if !ok {
+			q = make([]scheduledEvent, 0, counts[e.router])
+		}
+		out[e.router] = append(q, e)
 	}
 	return out
 }

@@ -1,0 +1,97 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// smoothReference is the pre-columnar Smooth implementation, operating on
+// a []Point exactly as the original Series did: the same two-cursor
+// running sum, the same time comparisons, the same division. The columnar
+// Smooth must reproduce it bit for bit — same sums in the same order —
+// so the equivalence tests below compare with ==, not a tolerance.
+func smoothReference(pts []Point, window time.Duration) []Point {
+	n := len(pts)
+	out := make([]Point, n)
+	if window <= 0 {
+		copy(out, pts)
+		return out
+	}
+	half := window / 2
+	lo, hi := 0, 0
+	var sum float64
+	for i, p := range pts {
+		from := p.T.Add(-half)
+		to := p.T.Add(half)
+		for hi < n && !pts[hi].T.After(to) {
+			sum += pts[hi].V
+			hi++
+		}
+		for lo < n && pts[lo].T.Before(from) {
+			sum -= pts[lo].V
+			lo++
+		}
+		out[i] = Point{T: p.T, V: sum / float64(hi-lo)}
+	}
+	return out
+}
+
+func TestSmoothMatchesReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	windows := []time.Duration{
+		0, time.Second, 30 * time.Minute, 2 * time.Hour, 100 * 24 * time.Hour,
+		7*time.Minute + 13*time.Second, // odd window: exercises the /2 truncation
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		s := New("rnd")
+		tt := base
+		for i := 0; i < n; i++ {
+			// Irregular spacing, including duplicate timestamps.
+			if rng.Float64() < 0.9 {
+				tt = tt.Add(time.Duration(rng.Intn(3600)) * time.Second)
+			}
+			s.Append(tt, rng.NormFloat64()*100)
+		}
+		pts := s.Points()
+		for _, w := range windows {
+			want := smoothReference(pts, w)
+			got := s.Smooth(w)
+			if got.Len() != len(want) {
+				t.Fatalf("trial %d window %v: length %d, want %d", trial, w, got.Len(), len(want))
+			}
+			for i, wp := range want {
+				gp := got.At(i)
+				if !gp.T.Equal(wp.T) || gp.V != wp.V {
+					t.Fatalf("trial %d window %v point %d: got (%v, %v), want (%v, %v)",
+						trial, w, i, gp.T, gp.V, wp.T, wp.V)
+				}
+			}
+		}
+	}
+}
+
+func TestSmoothUnsortedInputMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	s := New("shuffled")
+	var pts []Point
+	for i := 0; i < 200; i++ {
+		p := Point{T: base.Add(time.Duration(rng.Intn(100000)) * time.Second), V: rng.Float64()}
+		pts = append(pts, p)
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	for _, p := range pts {
+		s.Append(p.T, p.V)
+	}
+	want := smoothReference(s.Points(), time.Hour) // Points() sorts
+	got := s.Smooth(time.Hour)
+	for i, wp := range want {
+		gp := got.At(i)
+		if !gp.T.Equal(wp.T) || gp.V != wp.V {
+			t.Fatalf("point %d: got (%v, %v), want (%v, %v)", i, gp.T, gp.V, wp.T, wp.V)
+		}
+	}
+}

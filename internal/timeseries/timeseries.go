@@ -28,13 +28,24 @@ type Point struct {
 // series ready to use. Points are kept sorted by time; Append enforces the
 // ordering cheaply for the common in-order case.
 //
+// Storage is columnar — one []int64 of unix-nanosecond timestamps beside
+// one []float64 of values — so the fleet simulation's hot append loop
+// touches two flat arrays instead of a slice of structs, the value
+// operations (Mean, Smooth, the order statistics) scan a contiguous
+// float64 array, and a capacity hint (NewWithCap) makes a full trace a
+// single allocation per column. Timestamps therefore live in the unix-nano
+// range (years 1678–2262); accessors return them in UTC.
+//
 // A Series is not safe for concurrent use: even read methods may fix up
 // internal state lazily (time ordering, the value-sorted cache consumed by
 // Median and Quantile). Confine a series to one goroutine — as the fleet
 // simulation does with its per-router shards — or synchronize externally.
 type Series struct {
-	Name   string
-	points []Point
+	Name string
+	ts   []int64 // unix nanoseconds, ascending once sorted
+	vs   []float64
+	// sorted records whether ts is currently ascending; Append clears it
+	// only when an out-of-order sample arrives.
 	sorted bool
 	// valsSorted caches the value-sorted samples behind Median and
 	// Quantile; Append invalidates it. Reusing the buffer means repeated
@@ -49,68 +60,115 @@ func New(name string) *Series {
 	return &Series{Name: name, sorted: true}
 }
 
+// NewWithCap returns an empty series preallocated for n points. Callers
+// that know their sample count up front — the fleet replay knows its step
+// grid exactly — avoid every growth reallocation of the append path.
+func NewWithCap(name string, n int) *Series {
+	if n < 0 {
+		n = 0
+	}
+	return &Series{
+		Name:   name,
+		sorted: true,
+		ts:     make([]int64, 0, n),
+		vs:     make([]float64, 0, n),
+	}
+}
+
 // FromPoints builds a series from a point slice; the points are copied and
 // sorted by time.
 func FromPoints(name string, pts []Point) *Series {
-	s := &Series{Name: name, points: make([]Point, len(pts))}
-	copy(s.points, pts)
-	sort.Slice(s.points, func(i, j int) bool { return s.points[i].T.Before(s.points[j].T) })
-	s.sorted = true
+	s := NewWithCap(name, len(pts))
+	for _, p := range pts {
+		s.Append(p.T, p.V)
+	}
+	s.ensureSorted()
 	return s
 }
 
 // Append adds a sample. Out-of-order appends are accepted and fixed up
 // lazily on the next read.
 func (s *Series) Append(t time.Time, v float64) {
-	if n := len(s.points); n > 0 && t.Before(s.points[n-1].T) {
+	s.appendNano(t.UnixNano(), v)
+}
+
+func (s *Series) appendNano(ns int64, v float64) {
+	if n := len(s.ts); n > 0 && ns < s.ts[n-1] {
 		s.sorted = false
-	} else if len(s.points) == 0 {
+	} else if len(s.ts) == 0 {
 		s.sorted = true
 	}
 	s.valsOK = false
-	s.points = append(s.points, Point{T: t, V: v})
+	s.ts = append(s.ts, ns)
+	s.vs = append(s.vs, v)
+}
+
+// byTime sorts the two columns together, stably, by timestamp.
+type byTime struct{ s *Series }
+
+func (b byTime) Len() int           { return len(b.s.ts) }
+func (b byTime) Less(i, j int) bool { return b.s.ts[i] < b.s.ts[j] }
+func (b byTime) Swap(i, j int) {
+	b.s.ts[i], b.s.ts[j] = b.s.ts[j], b.s.ts[i]
+	b.s.vs[i], b.s.vs[j] = b.s.vs[j], b.s.vs[i]
 }
 
 func (s *Series) ensureSorted() {
 	if s.sorted {
 		return
 	}
-	sort.SliceStable(s.points, func(i, j int) bool { return s.points[i].T.Before(s.points[j].T) })
+	sort.Stable(byTime{s})
 	s.sorted = true
 }
 
 // Len returns the number of points.
-func (s *Series) Len() int { return len(s.points) }
-
-// Points returns the underlying points in time order. The returned slice
-// must not be modified.
-func (s *Series) Points() []Point {
-	s.ensureSorted()
-	return s.points
-}
+func (s *Series) Len() int { return len(s.ts) }
 
 // At returns the i-th point in time order.
 func (s *Series) At(i int) Point {
 	s.ensureSorted()
-	return s.points[i]
+	return Point{T: time.Unix(0, s.ts[i]).UTC(), V: s.vs[i]}
+}
+
+// Value returns the i-th value in time order without materializing the
+// timestamp — the accessor for value-only scans.
+func (s *Series) Value(i int) float64 {
+	s.ensureSorted()
+	return s.vs[i]
+}
+
+// TimeAt returns the i-th timestamp in time order (in UTC).
+func (s *Series) TimeAt(i int) time.Time {
+	s.ensureSorted()
+	return time.Unix(0, s.ts[i]).UTC()
+}
+
+// Points returns the points in time order. With columnar storage the
+// slice is materialized fresh on every call; iterate with Len/At/Value on
+// hot paths.
+func (s *Series) Points() []Point {
+	s.ensureSorted()
+	out := make([]Point, len(s.ts))
+	for i, ns := range s.ts {
+		out[i] = Point{T: time.Unix(0, ns).UTC(), V: s.vs[i]}
+	}
+	return out
 }
 
 // Values returns the values in time order as a fresh slice.
 func (s *Series) Values() []float64 {
 	s.ensureSorted()
-	out := make([]float64, len(s.points))
-	for i, p := range s.points {
-		out[i] = p.V
-	}
+	out := make([]float64, len(s.vs))
+	copy(out, s.vs)
 	return out
 }
 
 // Times returns the timestamps in time order as a fresh slice.
 func (s *Series) Times() []time.Time {
 	s.ensureSorted()
-	out := make([]time.Time, len(s.points))
-	for i, p := range s.points {
-		out[i] = p.T
+	out := make([]time.Time, len(s.ts))
+	for i, ns := range s.ts {
+		out[i] = time.Unix(0, ns).UTC()
 	}
 	return out
 }
@@ -118,23 +176,38 @@ func (s *Series) Times() []time.Time {
 // Between returns a new series restricted to points with from ≤ t < to.
 func (s *Series) Between(from, to time.Time) *Series {
 	s.ensureSorted()
-	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(from) })
-	hi := sort.Search(len(s.points), func(i int) bool { return !s.points[i].T.Before(to) })
-	out := &Series{Name: s.Name, sorted: true}
-	out.points = append(out.points, s.points[lo:hi]...)
+	fromNs, toNs := from.UnixNano(), to.UnixNano()
+	lo := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= fromNs })
+	hi := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= toNs })
+	out := NewWithCap(s.Name, hi-lo)
+	out.ts = append(out.ts, s.ts[lo:hi]...)
+	out.vs = append(out.vs, s.vs[lo:hi]...)
+	return out
+}
+
+// Clone returns an independent copy of the series under the given name (""
+// keeps the original name).
+func (s *Series) Clone(name string) *Series {
+	s.ensureSorted()
+	if name == "" {
+		name = s.Name
+	}
+	out := NewWithCap(name, len(s.ts))
+	out.ts = append(out.ts, s.ts...)
+	out.vs = append(out.vs, s.vs...)
 	return out
 }
 
 // Mean returns the mean value of the series, or 0 if empty.
 func (s *Series) Mean() float64 {
-	if len(s.points) == 0 {
+	if len(s.vs) == 0 {
 		return 0
 	}
 	var sum float64
-	for _, p := range s.points {
-		sum += p.V
+	for _, v := range s.vs {
+		sum += v
 	}
-	return sum / float64(len(s.points))
+	return sum / float64(len(s.vs))
 }
 
 // sortedValues returns the series values sorted ascending, (re)building
@@ -142,13 +215,11 @@ func (s *Series) Mean() float64 {
 // returned slice is owned by the series and must not be modified.
 func (s *Series) sortedValues() []float64 {
 	if !s.valsOK {
-		if cap(s.valsSorted) < len(s.points) {
-			s.valsSorted = make([]float64, len(s.points))
+		if cap(s.valsSorted) < len(s.vs) {
+			s.valsSorted = make([]float64, len(s.vs))
 		}
-		s.valsSorted = s.valsSorted[:len(s.points)]
-		for i, p := range s.points {
-			s.valsSorted[i] = p.V
-		}
+		s.valsSorted = s.valsSorted[:len(s.vs)]
+		copy(s.valsSorted, s.vs)
 		sort.Float64s(s.valsSorted)
 		s.valsOK = true
 	}
@@ -157,7 +228,7 @@ func (s *Series) sortedValues() []float64 {
 
 // Median returns the median value of the series, or 0 if empty.
 func (s *Series) Median() float64 {
-	if len(s.points) == 0 {
+	if len(s.vs) == 0 {
 		return 0
 	}
 	vs := s.sortedValues()
@@ -173,7 +244,7 @@ func (s *Series) Median() float64 {
 // stats.Quantile — or 0 for an empty series. Repeated calls reuse the
 // cached sorted values.
 func (s *Series) Quantile(q float64) float64 {
-	n := len(s.points)
+	n := len(s.vs)
 	if n == 0 {
 		return 0
 	}
@@ -197,9 +268,9 @@ func (s *Series) Quantile(q float64) float64 {
 // Min returns the minimum value, or +Inf if the series is empty.
 func (s *Series) Min() float64 {
 	m := math.Inf(1)
-	for _, p := range s.points {
-		if p.V < m {
-			m = p.V
+	for _, v := range s.vs {
+		if v < m {
+			m = v
 		}
 	}
 	return m
@@ -208,9 +279,9 @@ func (s *Series) Min() float64 {
 // Max returns the maximum value, or -Inf if the series is empty.
 func (s *Series) Max() float64 {
 	m := math.Inf(-1)
-	for _, p := range s.points {
-		if p.V > m {
-			m = p.V
+	for _, v := range s.vs {
+		if v > m {
+			m = v
 		}
 	}
 	return m
@@ -219,9 +290,10 @@ func (s *Series) Max() float64 {
 // Scale returns a new series with every value multiplied by f.
 func (s *Series) Scale(f float64) *Series {
 	s.ensureSorted()
-	out := &Series{Name: s.Name, sorted: true, points: make([]Point, len(s.points))}
-	for i, p := range s.points {
-		out.points[i] = Point{T: p.T, V: p.V * f}
+	out := NewWithCap(s.Name, len(s.ts))
+	out.ts = append(out.ts, s.ts...)
+	for _, v := range s.vs {
+		out.vs = append(out.vs, v*f)
 	}
 	return out
 }
@@ -230,9 +302,10 @@ func (s *Series) Scale(f float64) *Series {
 // It is used to offset model predictions to measurement level (Fig. 9).
 func (s *Series) Shift(delta float64) *Series {
 	s.ensureSorted()
-	out := &Series{Name: s.Name, sorted: true, points: make([]Point, len(s.points))}
-	for i, p := range s.points {
-		out.points[i] = Point{T: p.T, V: p.V + delta}
+	out := NewWithCap(s.Name, len(s.ts))
+	out.ts = append(out.ts, s.ts...)
+	for _, v := range s.vs {
+		out.vs = append(out.vs, v+delta)
 	}
 	return out
 }
@@ -283,20 +356,20 @@ func (s *Series) Resample(step time.Duration, agg Aggregator) (*Series, error) {
 	s.ensureSorted()
 	out := New(s.Name)
 	var bucket []float64
-	var bucketStart time.Time
+	var bucketStart int64
 	flush := func() {
 		if len(bucket) > 0 {
-			out.Append(bucketStart, agg(bucket))
+			out.appendNano(bucketStart, agg(bucket))
 			bucket = bucket[:0]
 		}
 	}
-	for _, p := range s.points {
-		bs := p.T.Truncate(step)
-		if len(bucket) > 0 && !bs.Equal(bucketStart) {
+	for i, ns := range s.ts {
+		bs := time.Unix(0, ns).Truncate(step).UnixNano()
+		if len(bucket) > 0 && bs != bucketStart {
 			flush()
 		}
 		bucketStart = bs
-		bucket = append(bucket, p.V)
+		bucket = append(bucket, s.vs[i])
 	}
 	flush()
 	return out, nil
@@ -304,30 +377,35 @@ func (s *Series) Resample(step time.Duration, agg Aggregator) (*Series, error) {
 
 // Smooth returns a centered moving average over the given time window: the
 // value at each point becomes the mean of all samples within ±window/2.
-// This is the 30-minute smoothing applied to the Fig. 4 traces.
+// This is the 30-minute smoothing applied to the Fig. 4 traces. The
+// implementation is a single O(n) sliding-window pass — a running sum
+// advanced by two monotone cursors — over the columnar arrays, with the
+// output preallocated to the input length.
 func (s *Series) Smooth(window time.Duration) *Series {
 	s.ensureSorted()
-	out := &Series{Name: s.Name, sorted: true, points: make([]Point, len(s.points))}
+	n := len(s.ts)
+	out := NewWithCap(s.Name, n)
+	out.ts = append(out.ts, s.ts...)
+	out.vs = out.vs[:n]
 	if window <= 0 {
-		copy(out.points, s.points)
+		copy(out.vs, s.vs)
 		return out
 	}
-	half := window / 2
-	n := len(s.points)
+	half := int64(window / 2)
 	lo, hi := 0, 0
 	var sum float64
-	for i, p := range s.points {
-		from := p.T.Add(-half)
-		to := p.T.Add(half)
-		for hi < n && !s.points[hi].T.After(to) {
-			sum += s.points[hi].V
+	for i, ns := range s.ts {
+		from := ns - half
+		to := ns + half
+		for hi < n && s.ts[hi] <= to {
+			sum += s.vs[hi]
 			hi++
 		}
-		for lo < n && s.points[lo].T.Before(from) {
-			sum -= s.points[lo].V
+		for lo < n && s.ts[lo] < from {
+			sum -= s.vs[lo]
 			lo++
 		}
-		out.points[i] = Point{T: p.T, V: sum / float64(hi-lo)}
+		out.vs[i] = sum / float64(hi-lo)
 	}
 	return out
 }
@@ -351,11 +429,12 @@ func SumAligned(name string, step time.Duration, series ...*Series) (*Series, er
 		return nil, fmt.Errorf("timeseries: non-positive step %v", step)
 	}
 	type resampled struct {
-		pts []Point
+		ts  []int64
+		vs  []float64
 		idx int
 	}
 	rs := make([]resampled, 0, len(series))
-	var start, end time.Time
+	var start, end int64
 	first := true
 	for _, s := range series {
 		r, err := s.Resample(step, AggMean)
@@ -365,37 +444,41 @@ func SumAligned(name string, step time.Duration, series ...*Series) (*Series, er
 		if r.Len() == 0 {
 			continue
 		}
-		pts := r.Points()
 		if first {
-			start, end = pts[0].T, pts[len(pts)-1].T
+			start, end = r.ts[0], r.ts[len(r.ts)-1]
 			first = false
 		} else {
-			if pts[0].T.Before(start) {
-				start = pts[0].T
+			if r.ts[0] < start {
+				start = r.ts[0]
 			}
-			if pts[len(pts)-1].T.After(end) {
-				end = pts[len(pts)-1].T
+			if r.ts[len(r.ts)-1] > end {
+				end = r.ts[len(r.ts)-1]
 			}
 		}
-		rs = append(rs, resampled{pts: pts})
+		rs = append(rs, resampled{ts: r.ts, vs: r.vs})
 	}
 	out := New(name)
 	if first { // every series was empty
 		return out, nil
 	}
-	for t := start; !t.After(end); t = t.Add(step) {
+	stepNs := int64(step)
+	if stepNs > 0 {
+		out.ts = make([]int64, 0, (end-start)/stepNs+1)
+		out.vs = make([]float64, 0, (end-start)/stepNs+1)
+	}
+	for t := start; t <= end; t += stepNs {
 		var sum float64
 		for i := range rs {
 			r := &rs[i]
-			for r.idx+1 < len(r.pts) && !r.pts[r.idx+1].T.After(t) {
+			for r.idx+1 < len(r.ts) && r.ts[r.idx+1] <= t {
 				r.idx++
 			}
-			if r.pts[r.idx].T.After(t) {
+			if r.ts[r.idx] > t {
 				continue // before this series' first sample
 			}
-			sum += r.pts[r.idx].V
+			sum += r.vs[r.idx]
 		}
-		out.Append(t, sum)
+		out.appendNano(t, sum)
 	}
 	return out, nil
 }
@@ -406,20 +489,19 @@ func SumAligned(name string, step time.Duration, series ...*Series) (*Series, er
 func Sub(a, b *Series) (*Series, error) {
 	a.ensureSorted()
 	b.ensureSorted()
-	out := New(a.Name + "-" + b.Name)
-	bp := b.Points()
-	if len(bp) == 0 {
+	if len(b.ts) == 0 {
 		return nil, ErrNoOverlap
 	}
+	out := NewWithCap(a.Name+"-"+b.Name, len(a.ts))
 	j := 0
-	for _, p := range a.Points() {
-		for j+1 < len(bp) && !bp[j+1].T.After(p.T) {
+	for i, ns := range a.ts {
+		for j+1 < len(b.ts) && b.ts[j+1] <= ns {
 			j++
 		}
-		if bp[j].T.After(p.T) {
+		if b.ts[j] > ns {
 			continue
 		}
-		out.Append(p.T, p.V-bp[j].V)
+		out.appendNano(ns, a.vs[i]-b.vs[j])
 	}
 	if out.Len() == 0 {
 		return nil, ErrNoOverlap
@@ -431,14 +513,14 @@ func Sub(a, b *Series) (*Series, error) {
 // the trapezoid rule and returns joules. Series with fewer than two points
 // integrate to zero.
 func IntegratePower(s *Series) float64 {
-	pts := s.Points()
+	s.ensureSorted()
 	var joules float64
-	for i := 1; i < len(pts); i++ {
-		dt := pts[i].T.Sub(pts[i-1].T).Seconds()
+	for i := 1; i < len(s.ts); i++ {
+		dt := time.Duration(s.ts[i] - s.ts[i-1]).Seconds()
 		if dt <= 0 {
 			continue
 		}
-		joules += (pts[i].V + pts[i-1].V) / 2 * dt
+		joules += (s.vs[i] + s.vs[i-1]) / 2 * dt
 	}
 	return joules
 }
@@ -454,20 +536,19 @@ func CounterToRate(s *Series, bits int) (*Series, error) {
 		return nil, fmt.Errorf("timeseries: unsupported counter width %d", bits)
 	}
 	s.ensureSorted()
-	out := New(s.Name + ".rate")
-	pts := s.Points()
+	out := NewWithCap(s.Name+".rate", s.Len())
 	var modulus float64
 	if bits == 32 {
 		modulus = math.Pow(2, 32)
 	} else {
 		modulus = math.Pow(2, 64)
 	}
-	for i := 1; i < len(pts); i++ {
-		dt := pts[i].T.Sub(pts[i-1].T).Seconds()
+	for i := 1; i < len(s.ts); i++ {
+		dt := time.Duration(s.ts[i] - s.ts[i-1]).Seconds()
 		if dt <= 0 {
 			continue
 		}
-		dv := pts[i].V - pts[i-1].V
+		dv := s.vs[i] - s.vs[i-1]
 		if dv < 0 {
 			wrapped := dv + modulus
 			if wrapped > modulus/2 {
@@ -476,7 +557,7 @@ func CounterToRate(s *Series, bits int) (*Series, error) {
 			}
 			dv = wrapped
 		}
-		out.Append(pts[i].T, dv/dt)
+		out.appendNano(s.ts[i], dv/dt)
 	}
 	return out, nil
 }

@@ -9,6 +9,10 @@
 # Without a label the next free integer is used (BENCH_0.json,
 # BENCH_1.json, ...). Extra args are passed to `go test`, e.g.
 # `scripts/bench.sh pr12 -benchtime=3x`.
+#
+# When the output is not BENCH_0.json itself and a BENCH_0.json baseline
+# exists, a benchstat-style delta table (time/op, B/op, allocs/op with
+# percent change per benchmark) is printed against that baseline.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -46,3 +50,55 @@ END {
 }' > "$out"
 
 echo "wrote $out" >&2
+
+# Benchstat-style comparison against the BENCH_0.json baseline: one section
+# per metric, each row old -> new with the percent change. Pure awk on the
+# JSON we just wrote (one "name": {...} entry per line), so no extra tools.
+base="BENCH_0.json"
+if [ -e "$base" ] && [ "$out" != "$base" ]; then
+    awk -v base="$base" '
+    function metric(s, key,   m) {
+        if (match(s, "\"" key "\": [0-9.eE+-]+")) {
+            m = substr(s, RSTART, RLENGTH)
+            sub(/.*: /, "", m)
+            return m
+        }
+        return ""
+    }
+    /^  "/ {
+        split($0, q, "\"")
+        name = q[2]
+        if (FILENAME == base) {
+            in_base[name] = 1
+            b_ns[name] = metric($0, "ns_per_op")
+            b_by[name] = metric($0, "bytes_per_op")
+            b_al[name] = metric($0, "allocs_per_op")
+        } else if (!(name in seen)) {
+            seen[name] = 1
+            names[n_names++] = name
+            n_ns[name] = metric($0, "ns_per_op")
+            n_by[name] = metric($0, "bytes_per_op")
+            n_al[name] = metric($0, "allocs_per_op")
+        }
+    }
+    function section(title, bv, nv,   i, name, ov, cv, delta) {
+        printf "\n%-44s %15s %15s %9s\n", title, "old", "new", "delta"
+        for (i = 0; i < n_names; i++) {
+            name = names[i]
+            if (!(name in in_base)) continue
+            ov = bv[name]; cv = nv[name]
+            if (ov == "" || cv == "") continue
+            if (ov + 0 == 0)
+                delta = (cv + 0 == 0) ? "+0.0%" : "n/a"
+            else
+                delta = sprintf("%+.1f%%", (cv - ov) / ov * 100)
+            printf "%-44s %15.0f %15.0f %9s\n", name, ov, cv, delta
+        }
+    }
+    END {
+        printf "\ndelta vs %s:\n", base
+        section("time/op (ns)", b_ns, n_ns)
+        section("alloc/op (B)", b_by, n_by)
+        section("allocs/op", b_al, n_al)
+    }' "$base" "$out" >&2
+fi
