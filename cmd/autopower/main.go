@@ -16,13 +16,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"fantasticjoules/internal/autopower"
 	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/httpd"
 	"fantasticjoules/internal/meter"
 )
 
@@ -68,23 +69,36 @@ func serve(args []string) error {
 	}
 	defer srv.Close()
 	fmt.Println("autopower server listening on", bound)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var webDone chan error // nil (blocks forever) when the web interface is disabled
 	if *webAddr != "" {
+		webDone = make(chan error, 1)
 		go func() {
-			if err := http.ListenAndServe(*webAddr, srv.WebHandler()); err != nil {
-				fmt.Fprintln(os.Stderr, "autopower: web interface:", err)
-			}
+			// Configured timeouts plus graceful drain on shutdown — a
+			// bare http.ListenAndServe here left trace downloads to die
+			// mid-transfer on SIGTERM.
+			webDone <- httpd.ListenAndServe(ctx, *webAddr, srv.WebHandler(), httpd.Config{})
 		}()
 		fmt.Printf("web interface on http://%s/\n", *webAddr)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	ticker := time.NewTicker(*interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			fmt.Println("\nshutting down")
+			if webDone != nil {
+				if err := <-webDone; err != nil {
+					fmt.Fprintln(os.Stderr, "autopower: web interface:", err)
+				}
+			}
 			return nil
+		case err := <-webDone:
+			if err != nil {
+				return fmt.Errorf("web interface: %w", err)
+			}
+			webDone = nil // web server exited cleanly; keep the status loop
 		case <-ticker.C:
 			for _, u := range srv.Units() {
 				fmt.Printf("  %-12s router=%-16s connected=%-5v samples=%d\n",

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"fantasticjoules/internal/datasheet"
+	"fantasticjoules/internal/httpd"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/zoo"
 )
@@ -38,9 +41,14 @@ func main() {
 		fmt.Printf("preloaded %d records into %s\n", n, *dir)
 	}
 	fmt.Printf("Network Power Zoo on http://%s/api/v1/{datasheets,models,traces}\n", *addr)
-	if err := http.ListenAndServe(*addr, zoo.Handler(store)); err != nil {
+	// Configured timeouts and graceful SIGINT/SIGTERM shutdown with a
+	// drain deadline; the zoo previously ran a bare http.ListenAndServe.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := httpd.ListenAndServe(ctx, *addr, zoo.Handler(store), httpd.Config{}); err != nil {
 		fatal(err)
 	}
+	fmt.Println("shut down cleanly")
 }
 
 func preloadStore(store *zoo.Store) (int, error) {

@@ -1,0 +1,72 @@
+package autopower
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frameBytes encodes a frame for corpus seeding.
+func frameBytes(t testing.TB, f Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame drives the length-prefixed frame decoder with arbitrary
+// byte streams. The corpus mirrors what the chaos harness produces: valid
+// frames, byte-flipped frames, torn prefixes, and hostile length fields.
+// Invariants: no panic; the maxFrameBytes bound rejects oversized
+// lengths; anything accepted is typed, checksummed, and survives a
+// re-encode round trip.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(f, Frame{Type: TypeHello, UnitID: "unit-1", Router: "8201-32FH"}))
+	f.Add(frameBytes(f, Frame{Type: TypeUpload, UnitID: "unit-1", Seq: 42, Samples: []Sample{
+		{UnixMilli: 1_700_000_000_000, Watts: 358.2},
+		{UnixMilli: 1_700_000_000_500, Watts: 361.0},
+	}}))
+	f.Add(frameBytes(f, Frame{Type: TypeAck, Seq: 7}))
+	// Chaos-style corruption: single byte-flip in header and body.
+	flipped := frameBytes(f, Frame{Type: TypeAck, Seq: 9})
+	flipped[2] ^= 0x40
+	f.Add(flipped)
+	flipped2 := frameBytes(f, Frame{Type: TypeHello, UnitID: "u"})
+	flipped2[len(flipped2)-3] ^= 0x01
+	f.Add(flipped2)
+	// Torn write: a valid frame cut mid-body.
+	torn := frameBytes(f, Frame{Type: TypeStop})
+	f.Add(torn[:len(torn)-2])
+	// Hostile lengths: zero, huge, and just past the limit.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 'x'})
+	var past [8]byte
+	binary.BigEndian.PutUint32(past[:4], maxFrameBytes+1)
+	f.Add(past[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if fr.Type == "" {
+			t.Fatal("accepted frame without type")
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if buf.Len() > maxFrameBytes+frameHeaderBytes {
+			t.Fatalf("accepted frame re-encodes to %d bytes, past the limit", buf.Len())
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if back.Type != fr.Type || back.Seq != fr.Seq || len(back.Samples) != len(fr.Samples) {
+			t.Fatalf("round trip changed the frame: %+v vs %+v", fr, back)
+		}
+	})
+}

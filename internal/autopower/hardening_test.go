@@ -1,0 +1,136 @@
+package autopower
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/meter"
+)
+
+// TestCloseUnblocksSilentClients pins the Close-hang fix: a client that
+// connects and never sends its hello used to be invisible to Close (only
+// post-hello connections were tracked), so Close's wg.Wait blocked
+// forever on the handler goroutine.
+func TestCloseUnblocksSilentClients(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Give the server time to accept and park in the hello read.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged on a silent pre-hello connection")
+	}
+}
+
+// TestWriteFrameHonorsDeadline pins the stalled-peer fix: a frame write
+// against a peer that never drains must error out within the configured
+// write timeout instead of blocking until ctx cancel. net.Pipe has no
+// buffering, so an unread write models a fully stalled peer.
+func TestWriteFrameHonorsDeadline(t *testing.T) {
+	u, err := NewUnit(UnitConfig{
+		UnitID: "u", ServerAddr: "x", Meter: meter.New(1),
+		WriteTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	start := time.Now()
+	err = u.writeFrame(client, Frame{Type: TypeHello, UnitID: "u"})
+	if err == nil {
+		t.Fatal("write against a stalled peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("stalled write took %v, want ≈50ms", elapsed)
+	}
+}
+
+// TestBackoffJitterDecorrelatesUnits pins the thundering-herd fix: two
+// units must not share a backoff schedule, every delay must stay within
+// ±20 % of the nominal value, and doubling must cap at
+// MaxReconnectBackoff.
+func TestBackoffJitterDecorrelatesUnits(t *testing.T) {
+	mk := func(id string) *Unit {
+		u, err := NewUnit(UnitConfig{
+			UnitID: id, ServerAddr: "x", Meter: meter.New(1),
+			ReconnectBackoff:    100 * time.Millisecond,
+			MaxReconnectBackoff: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	a, b := mk("unit-a"), mk("unit-b")
+	base := 100 * time.Millisecond
+	identical := true
+	for i := 0; i < 32; i++ {
+		da, db := a.jittered(base), b.jittered(base)
+		for _, d := range []time.Duration{da, db} {
+			if d < 80*time.Millisecond || d > 120*time.Millisecond {
+				t.Fatalf("jittered(%v) = %v, outside ±20%%", base, d)
+			}
+		}
+		if da != db {
+			identical = false
+		}
+	}
+	if identical {
+		t.Error("two units drew identical jitter schedules (lockstep herd)")
+	}
+	// The same unit replays the same schedule run to run (determinism).
+	a2 := mk("unit-a")
+	a3 := mk("unit-a")
+	for i := 0; i < 8; i++ {
+		if d2, d3 := a2.jittered(base), a3.jittered(base); d2 != d3 {
+			t.Fatalf("same unit ID diverged at draw %d: %v vs %v", i, d2, d3)
+		}
+	}
+}
+
+// TestReadFrameRejectsByteFlips pins the checksum fix: any single
+// byte-flip anywhere in an encoded frame must be rejected, not decoded.
+// Before the CRC, flips inside JSON string or numeric literals decoded
+// cleanly and corrupted samples — or the ack seq a unit trims its spool
+// by.
+func TestReadFrameRejectsByteFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: TypeUpload, UnitID: "unit-1", Seq: 42,
+		Samples: []Sample{{UnixMilli: 1_700_000_000_000, Watts: 358.2}}}); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for pos := 0; pos < len(enc); pos++ {
+		for bit := uint(0); bit < 8; bit++ {
+			flipped := append([]byte(nil), enc...)
+			flipped[pos] ^= 1 << bit
+			if f, err := ReadFrame(bytes.NewReader(flipped)); err == nil {
+				t.Fatalf("flip at byte %d bit %d decoded to %+v", pos, bit, f)
+			}
+		}
+	}
+	// The pristine encoding still decodes.
+	if _, err := ReadFrame(bytes.NewReader(enc)); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}

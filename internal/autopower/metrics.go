@@ -23,3 +23,16 @@ var (
 		"time to ingest and acknowledge one upload frame",
 		[]float64{1e-5, 1e-4, 5e-4, 1e-3, 5e-3, .025, .1, .5, 1, 5})
 )
+
+// Unit-side instrumentation. The sample loop used to swallow meter read
+// errors and spool overflow silently; the chaos harness made both paths
+// observable so a deployment can tell "quiet unit" from "unit dropping
+// data on the floor".
+var (
+	metricMeterGlitches = telemetry.Default().Counter("autopower_meter_glitches_total",
+		"meter reads that failed; the sample slot is skipped")
+	metricSamplesDropped = telemetry.Default().Counter("autopower_samples_dropped_total",
+		"samples lost to local spool overflow while the server was unreachable")
+	metricReconnects = telemetry.Default().Counter("autopower_unit_reconnects_total",
+		"failed unit sessions followed by a jittered backoff and reconnect")
+)

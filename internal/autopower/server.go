@@ -11,6 +11,17 @@ import (
 	"fantasticjoules/internal/timeseries"
 )
 
+// helloTimeout bounds how long an accepted connection may sit silent
+// before identifying itself; without it a peer that connects and never
+// speaks pins a handler goroutine (and, before connection tracking was
+// added, wedged Close forever).
+const helloTimeout = 10 * time.Second
+
+// serverWriteTimeout bounds every server→unit frame write (acks and
+// commands) so a unit that stops draining its socket cannot stall a
+// handler.
+const serverWriteTimeout = 10 * time.Second
+
 // UnitStatus describes one unit known to the server.
 type UnitStatus struct {
 	UnitID    string
@@ -24,7 +35,9 @@ type UnitStatus struct {
 
 // Server is the collection side of Autopower: it accepts unit connections,
 // stores uploaded samples per unit, and can remotely start/stop
-// measurements. Create with NewServer, start with Start, stop with Close.
+// measurements. Create with NewServer, start with Start (or StartListener
+// to serve on an existing — possibly fault-injected — listener), stop with
+// Close.
 type Server struct {
 	mu     sync.Mutex
 	ln     net.Listener
@@ -32,6 +45,11 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	units map[string]*unitState
+	// conns tracks every accepted connection, including ones that have
+	// not completed a hello. Close closes them all; tracking only the
+	// post-hello connections (the old behaviour) let a silent client
+	// block Close's wg.Wait forever.
+	conns map[net.Conn]struct{}
 }
 
 type unitState struct {
@@ -41,11 +59,14 @@ type unitState struct {
 	lastSeen time.Time
 	// dedupe: highest sample timestamp stored, to drop re-uploaded overlap.
 	lastMilli int64
+	// writeMu serializes frame writes to conn: acks (handler goroutine)
+	// and commands (API callers) would otherwise interleave their bytes.
+	writeMu sync.Mutex
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{units: make(map[string]*unitState)}
+	return &Server{units: make(map[string]*unitState), conns: make(map[net.Conn]struct{})}
 }
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
@@ -55,29 +76,42 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("autopower: server listen: %w", err)
 	}
+	if err := s.StartListener(ln); err != nil {
+		ln.Close()
+		return "", err
+	}
+	return ln.Addr().String(), nil
+}
+
+// StartListener begins accepting unit connections from an existing
+// listener, which the server takes ownership of. The chaos harness uses
+// this to splice fault injection under the accept path.
+func (s *Server) StartListener(ln net.Listener) error {
 	s.mu.Lock()
 	if s.ln != nil {
 		s.mu.Unlock()
-		ln.Close()
-		return "", errors.New("autopower: server already started")
+		return errors.New("autopower: server already started")
 	}
 	s.ln = ln
 	s.mu.Unlock()
 
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return nil
 }
 
-// Close stops the server and drops all connections.
+// Close stops the server and drops all connections, including ones still
+// waiting on their hello.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	ln := s.ln
 	s.ln = nil
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	for _, u := range s.units {
 		if u.conn != nil {
-			u.conn.Close()
 			u.conn = nil
 			metricConnectedUnits.Add(-1)
 		}
@@ -98,9 +132,22 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -108,10 +155,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
 	hello, err := ReadFrame(conn)
 	if err != nil || hello.Type != TypeHello || hello.UnitID == "" {
 		return
 	}
+	_ = conn.SetReadDeadline(time.Time{}) // uploads may be arbitrarily far apart
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -164,7 +213,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		st.lastSeen = time.Now()
 		s.mu.Unlock()
-		if err := WriteFrame(conn, Frame{Type: TypeAck, Seq: f.Seq}); err != nil {
+		if err := writeToUnit(st, conn, Frame{Type: TypeAck, Seq: f.Seq}); err != nil {
 			return
 		}
 		metricUploads.Inc()
@@ -172,6 +221,17 @@ func (s *Server) handle(conn net.Conn) {
 		metricSamplesDuplicate.Add(duplicate)
 		metricUploadSeconds.ObserveSince(ingestStart)
 	}
+}
+
+// writeToUnit sends one frame to a unit connection, serialized against
+// concurrent command writes and bounded by the server write deadline.
+func writeToUnit(st *unitState, conn net.Conn, f Frame) error {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	if err := conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout)); err != nil {
+		return err
+	}
+	return WriteFrame(conn, f)
 }
 
 // Units lists all known units sorted by ID.
@@ -221,7 +281,7 @@ func (s *Server) command(unitID string, f Frame) error {
 	if conn == nil {
 		return fmt.Errorf("autopower: unit %q is not connected", unitID)
 	}
-	return WriteFrame(conn, f)
+	return writeToUnit(st, conn, f)
 }
 
 // StartMeasurement remotely resumes a unit's measurements.

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -29,8 +31,25 @@ type UnitConfig struct {
 	// (default 60, i.e. every 30 s at the default cadence).
 	UploadEvery int
 	// ReconnectBackoff is the initial backoff after a failed connection
-	// (default 200 ms, doubling up to 30×).
+	// (default 200 ms, doubling with ±20 % jitter up to
+	// MaxReconnectBackoff).
 	ReconnectBackoff time.Duration
+	// MaxReconnectBackoff caps the exponential backoff (default 30×
+	// ReconnectBackoff). The jitter below spreads a fleet's retries so a
+	// server restart does not trigger a reconnect thundering herd.
+	MaxReconnectBackoff time.Duration
+	// WriteTimeout bounds every frame write on the session connection
+	// (default 10 s). A peer that stops draining its socket — a stalled
+	// server, a half-dead NAT entry — errors the session out and triggers
+	// a reconnect instead of wedging the upload loop until ctx cancel.
+	WriteTimeout time.Duration
+	// MaxSpool bounds the local sample spool (default 1<<20); beyond it
+	// the oldest samples are dropped. A real unit's disk would hold
+	// weeks — this guards runaway growth when a server stays unreachable.
+	MaxSpool int
+	// Dial opens the server connection (default: net.Dialer with a 2 s
+	// timeout). The chaos harness injects fault-wrapped connections here.
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
 	// Now supplies timestamps (defaults to time.Now); the fleet simulator
 	// injects simulated clocks here.
 	Now func() time.Time
@@ -55,6 +74,21 @@ func (c *UnitConfig) applyDefaults() error {
 	if c.ReconnectBackoff <= 0 {
 		c.ReconnectBackoff = 200 * time.Millisecond
 	}
+	if c.MaxReconnectBackoff <= 0 {
+		c.MaxReconnectBackoff = 30 * c.ReconnectBackoff
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.MaxSpool <= 0 {
+		c.MaxSpool = 1 << 20
+	}
+	if c.Dial == nil {
+		c.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			d := net.Dialer{Timeout: 2 * time.Second}
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -68,6 +102,7 @@ func (c *UnitConfig) applyDefaults() error {
 // connection losses.
 type Unit struct {
 	cfg UnitConfig
+	rng *rand.Rand // backoff jitter; seeded from UnitID, used only by connectLoop
 
 	mu        sync.Mutex
 	spool     []Sample
@@ -77,17 +112,43 @@ type Unit struct {
 	dropped   int
 }
 
-// maxSpool bounds the local spool; beyond it the oldest samples are
-// dropped (a real unit's disk would hold weeks — this guards runaway
-// growth when a server stays unreachable).
-const maxSpool = 1 << 20
-
 // NewUnit validates the configuration and returns a unit ready to Run.
 func NewUnit(cfg UnitConfig) (*Unit, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	return &Unit{cfg: cfg, measuring: true}, nil
+	// The jitter stream is seeded from the unit ID so a fleet's backoff
+	// schedules are deterministic per unit yet decorrelated across units.
+	h := fnv.New64a()
+	h.Write([]byte(cfg.UnitID))
+	return &Unit{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(int64(h.Sum64()))),
+		measuring: true,
+	}, nil
+}
+
+// SpoolStats is a snapshot of the unit's spool and acknowledgement
+// bookkeeping. The chaos harness asserts its core invariant after every
+// fault run: Produced - Acked == SpoolLen, i.e. every sample is either
+// waiting in the spool or accounted for as acked/overflow-dropped.
+type SpoolStats struct {
+	// Produced is the sequence high-water mark: samples ever spooled.
+	Produced uint64
+	// Acked is the sequence acknowledged (including the overflow-dropped
+	// prefix, which can never be acked by the server).
+	Acked uint64
+	// Dropped counts samples lost to spool overflow.
+	Dropped int
+	// SpoolLen is the number of samples currently awaiting upload.
+	SpoolLen int
+}
+
+// Stats returns a consistent snapshot of the spool bookkeeping.
+func (u *Unit) Stats() SpoolStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return SpoolStats{Produced: u.seq, Acked: u.ackedSeq, Dropped: u.dropped, SpoolLen: len(u.spool)}
 }
 
 // SpoolLen returns the number of samples waiting for upload.
@@ -135,19 +196,21 @@ func (u *Unit) sampleLoop(ctx context.Context) {
 			}
 			w, err := u.cfg.Meter.Read(u.cfg.Channel)
 			if err != nil {
+				metricMeterGlitches.Inc()
 				continue // meter glitch: skip the sample
 			}
 			s := Sample{UnixMilli: u.cfg.Now().UnixMilli(), Watts: w.Watts()}
 			u.mu.Lock()
 			u.spool = append(u.spool, s)
 			u.seq++
-			if len(u.spool) > maxSpool {
-				drop := len(u.spool) - maxSpool
+			if len(u.spool) > u.cfg.MaxSpool {
+				drop := len(u.spool) - u.cfg.MaxSpool
 				u.spool = u.spool[drop:]
 				u.dropped += drop
 				// The dropped prefix can never be acked; keep the
 				// ack bookkeeping aligned with the spool head.
 				u.ackedSeq += uint64(drop)
+				metricSamplesDropped.Add(uint64(drop))
 			}
 			u.mu.Unlock()
 		}
@@ -165,14 +228,15 @@ func (u *Unit) connectLoop(ctx context.Context) {
 			return
 		}
 		if err != nil {
-			// Exponential backoff, capped.
+			metricReconnects.Inc()
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(backoff):
+			case <-time.After(u.jittered(backoff)):
 			}
-			if backoff < 30*u.cfg.ReconnectBackoff {
-				backoff *= 2
+			backoff *= 2
+			if backoff > u.cfg.MaxReconnectBackoff {
+				backoff = u.cfg.MaxReconnectBackoff
 			}
 			continue
 		}
@@ -180,21 +244,35 @@ func (u *Unit) connectLoop(ctx context.Context) {
 	}
 }
 
+// jittered spreads a backoff duration by ±20 % so a fleet of units whose
+// server restarts does not reconnect in lockstep.
+func (u *Unit) jittered(d time.Duration) time.Duration {
+	f := 1 + (u.rng.Float64()*2-1)*0.2
+	return time.Duration(float64(d) * f)
+}
+
 // session runs one server connection: hello, then alternating uploads and
 // command handling until the connection breaks.
 func (u *Unit) session(ctx context.Context) error {
-	d := net.Dialer{Timeout: 2 * time.Second}
-	conn, err := d.DialContext(ctx, "tcp", u.cfg.ServerAddr)
+	conn, err := u.cfg.Dial(ctx, u.cfg.ServerAddr)
 	if err != nil {
 		return fmt.Errorf("autopower: dial: %w", err)
 	}
 	defer conn.Close()
+	// Close the connection on ctx cancel to unblock reads; the watcher
+	// exits with the session so repeated reconnects don't accumulate one
+	// goroutine per attempt for the lifetime of the run.
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
 	go func() {
-		<-ctx.Done()
-		conn.Close() // unblock reads on shutdown
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-sessionDone:
+		}
 	}()
 
-	if err := WriteFrame(conn, Frame{Type: TypeHello, UnitID: u.cfg.UnitID, Router: u.cfg.Router}); err != nil {
+	if err := u.writeFrame(conn, Frame{Type: TypeHello, UnitID: u.cfg.UnitID, Router: u.cfg.Router}); err != nil {
 		return err
 	}
 
@@ -240,11 +318,20 @@ func (u *Unit) session(ctx context.Context) error {
 			if len(batch) == 0 {
 				continue
 			}
-			if err := WriteFrame(conn, Frame{Type: TypeUpload, UnitID: u.cfg.UnitID, Seq: seq, Samples: batch}); err != nil {
+			if err := u.writeFrame(conn, Frame{Type: TypeUpload, UnitID: u.cfg.UnitID, Seq: seq, Samples: batch}); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// writeFrame sends one frame under the configured write deadline so a
+// stalled peer surfaces as an error instead of blocking forever.
+func (u *Unit) writeFrame(conn net.Conn, f Frame) error {
+	if err := conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout)); err != nil {
+		return fmt.Errorf("autopower: set write deadline: %w", err)
+	}
+	return WriteFrame(conn, f)
 }
 
 // pendingBatch snapshots the unsent spool tail.

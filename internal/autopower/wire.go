@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
@@ -11,6 +12,13 @@ import (
 // maxFrameBytes bounds a single protocol frame; larger frames indicate a
 // corrupt stream and abort the connection.
 const maxFrameBytes = 4 << 20
+
+// frameHeaderBytes is the fixed frame header: a 4-byte big-endian body
+// length followed by a 4-byte IEEE CRC-32 of the body. The checksum was
+// added after chaos testing showed single byte-flips could survive JSON
+// decoding (e.g. inside a numeric literal) and silently corrupt samples
+// or — worse — the ack sequence number a unit trims its spool by.
+const frameHeaderBytes = 8
 
 // Frame types exchanged between unit and server.
 const (
@@ -51,8 +59,9 @@ type Frame struct {
 	IntervalMS int64 `json:"interval_ms,omitempty"`
 }
 
-// WriteFrame sends a frame as a 4-byte big-endian length prefix followed by
-// the JSON body.
+// WriteFrame sends a frame as an 8-byte header (big-endian body length,
+// then IEEE CRC-32 of the body) followed by the JSON body. Header and
+// body go out in a single Write so a deadline covers the whole frame.
 func WriteFrame(w io.Writer, f Frame) error {
 	body, err := json.Marshal(f)
 	if err != nil {
@@ -61,30 +70,35 @@ func WriteFrame(w io.Writer, f Frame) error {
 	if len(body) > maxFrameBytes {
 		return fmt.Errorf("autopower: frame of %d bytes exceeds limit", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("autopower: write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("autopower: write frame body: %w", err)
+	buf := make([]byte, frameHeaderBytes+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(body))
+	copy(buf[frameHeaderBytes:], body)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("autopower: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed, checksummed frame. Any header,
+// checksum, or decoding failure is an error: the stream is unrecoverable
+// past a corrupt frame, so callers drop the connection and let the unit's
+// reconnect-and-reupload path repair the data.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderBytes]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err // io.EOF passes through for clean shutdown
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[0:4])
 	if n == 0 || n > maxFrameBytes {
 		return Frame{}, fmt.Errorf("autopower: invalid frame length %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Frame{}, fmt.Errorf("autopower: read frame body: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(body); sum != binary.BigEndian.Uint32(hdr[4:8]) {
+		return Frame{}, fmt.Errorf("autopower: frame checksum mismatch (corrupt stream)")
 	}
 	var f Frame
 	if err := json.Unmarshal(body, &f); err != nil {

@@ -1,0 +1,128 @@
+// Package chaos is a deterministic fault-injection layer for the
+// collection plane: seeded wrappers around net.Conn, net.Listener, and
+// net.PacketConn that inject the failure modes a measurement substrate
+// meets over weeks of unattended operation against flaky hardware —
+// latency, fragmented and torn writes, short reads, connection resets,
+// byte flips, and dropped/duplicated/corrupted datagrams.
+//
+// A Profile is a fault schedule: per-operation probabilities and
+// magnitudes plus a seed. Every wrapper draws its decisions from its own
+// rand.Rand derived from that seed, so a given (profile, connection
+// index) pair replays the same fault sequence run after run; only the
+// interleaving with goroutine scheduling varies. Faults never violate
+// interface contracts — a torn write reports the bytes actually written
+// together with an error, exactly as a kernel socket would.
+//
+// The scenario runners (RunAutopower, RunSNMP) replay the full Autopower
+// unit↔server pipeline and the SNMP collector under a profile and check
+// the collection-plane invariants: no acked sample lost, spool/ack
+// bookkeeping aligned, series timestamps strictly monotonic, polls
+// bounded by their retry budget, and no goroutine leaks. The bugs this
+// harness originally flushed out — Server.Close wedging on pre-hello
+// connections, unbounded frame writes against stalled peers, lockstep
+// reconnect storms, silently swallowed meter glitches, and byte flips
+// surviving JSON decoding — are fixed in internal/autopower,
+// internal/snmp, and internal/meter; the suite in scenario_test.go keeps
+// them fixed.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Profile is a deterministic fault schedule. The zero value injects
+// nothing; wrappers built from it are transparent. Probabilities are per
+// operation (one Read, Write, ReadFrom, or WriteTo) in [0, 1].
+type Profile struct {
+	// Name labels the profile in reports and test output.
+	Name string
+	// Seed anchors every random decision; wrappers mix in a per-
+	// connection index so concurrent connections draw independent but
+	// reproducible streams.
+	Seed int64
+
+	// Latency is injected before every operation, plus a uniform extra
+	// in [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+
+	// Stream faults (Conn / Listener).
+	//
+	// SplitWrite fragments a Write into two underlying writes,
+	// exercising reassembly on the peer's read path. ShortRead truncates
+	// the buffer handed to the underlying Read to a small random prefix.
+	// Corrupt flips one byte per affected operation (write side: on a
+	// copy, the caller's buffer is never modified). Reset tears the
+	// connection: a Write delivers a prefix and fails, a Read fails
+	// immediately, and the underlying conn is closed.
+	SplitWrite float64
+	ShortRead  float64
+	Corrupt    float64
+	Reset      float64
+
+	// Datagram faults (PacketConn). Drop discards the datagram (silently
+	// on the write side, invisibly on the read side), Duplicate sends it
+	// twice, and Corrupt above flips one byte.
+	Drop      float64
+	Duplicate float64
+}
+
+// enabled reports whether the profile can inject anything at all.
+func (p Profile) enabled() bool {
+	return p.Latency > 0 || p.LatencyJitter > 0 ||
+		p.SplitWrite > 0 || p.ShortRead > 0 || p.Corrupt > 0 || p.Reset > 0 ||
+		p.Drop > 0 || p.Duplicate > 0
+}
+
+// dice is a mutex-guarded rand.Rand: connection wrappers are used from
+// multiple goroutines (a reader and a writer), and rand.Rand is not
+// concurrency-safe.
+type dice struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newDice(seed int64) *dice {
+	return &dice{rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll returns true with probability p.
+func (d *dice) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Float64() < p
+}
+
+// intn returns a uniform int in [0, n).
+func (d *dice) intn(n int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Intn(n)
+}
+
+// sleep injects the profile's base latency plus jitter.
+func (d *dice) sleep(p Profile) {
+	delay := p.Latency
+	if p.LatencyJitter > 0 {
+		delay += time.Duration(d.intn(int(p.LatencyJitter)))
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+}
+
+// mixSeed derives a per-connection seed from the profile seed and a
+// connection index, so each accepted or dialed connection replays its own
+// deterministic fault stream.
+func mixSeed(seed, index int64) int64 {
+	x := uint64(seed) ^ (uint64(index)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int64(x)
+}

@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeThrough writes payload through a fault-wrapped side of a TCP pair
+// and returns what the peer received before the connection ended.
+func pipeThrough(t *testing.T, p Profile, seed int64, payload []byte) []byte {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptc := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptc <- acceptResult{c, err}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := <-acceptc
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	defer ar.conn.Close()
+
+	wrapped := WrapConn(raw, p, seed)
+	go func() {
+		defer wrapped.Close()
+		_, _ = wrapped.Write(payload)
+	}()
+	var got bytes.Buffer
+	buf := make([]byte, 4096)
+	_ = ar.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		n, err := ar.conn.Read(buf)
+		got.Write(buf[:n])
+		if err != nil {
+			return got.Bytes()
+		}
+	}
+}
+
+func TestZeroProfileIsTransparent(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	got := pipeThrough(t, Profile{}, 1, payload)
+	if !bytes.Equal(got, payload) {
+		t.Errorf("zero profile altered the stream: %q", got)
+	}
+}
+
+func TestCorruptIsDeterministic(t *testing.T) {
+	p := Profile{Name: "corrupt", Seed: 42, Corrupt: 1}
+	payload := bytes.Repeat([]byte("abcdefgh"), 32)
+	first := pipeThrough(t, p, 7, payload)
+	second := pipeThrough(t, p, 7, payload)
+	if bytes.Equal(first, payload) {
+		t.Fatal("Corrupt=1 left the payload intact")
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("same (profile, seed) produced different corruption")
+	}
+	other := pipeThrough(t, p, 8, payload)
+	if bytes.Equal(first, other) {
+		t.Error("different connection seeds produced identical corruption")
+	}
+}
+
+func TestResetTearsTheConnection(t *testing.T) {
+	p := Profile{Name: "reset", Seed: 3, Reset: 1}
+	payload := bytes.Repeat([]byte{0xAA}, 1024)
+	got := pipeThrough(t, p, 1, payload)
+	if len(got) >= len(payload) {
+		t.Errorf("reset delivered the full %d-byte payload", len(got))
+	}
+}
+
+func TestSplitWriteDeliversEverything(t *testing.T) {
+	p := Profile{Name: "split", Seed: 5, SplitWrite: 1}
+	payload := bytes.Repeat([]byte("xy"), 512)
+	got := pipeThrough(t, p, 1, payload)
+	if !bytes.Equal(got, payload) {
+		t.Errorf("split write lost or altered bytes: got %d of %d", len(got), len(payload))
+	}
+}
+
+// udpPair returns a wrapped sender socket and a plain receiver socket.
+func udpPair(t *testing.T, p Profile) (*PacketConn, net.PacketConn, net.Addr) {
+	t.Helper()
+	recv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { recv.Close() })
+	send, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { send.Close() })
+	return WrapPacketConn(send, p, 1), recv, recv.LocalAddr()
+}
+
+func TestPacketConnDrop(t *testing.T) {
+	send, recv, addr := udpPair(t, Profile{Name: "drop", Seed: 9, Drop: 1})
+	if _, err := send.WriteTo([]byte("doomed"), addr); err != nil {
+		t.Fatal(err)
+	}
+	_ = recv.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 64)
+	if n, _, err := recv.ReadFrom(buf); err == nil {
+		t.Errorf("Drop=1 delivered %d bytes", n)
+	}
+}
+
+func TestPacketConnDuplicate(t *testing.T) {
+	send, recv, addr := udpPair(t, Profile{Name: "dup", Seed: 9, Duplicate: 1})
+	if _, err := send.WriteTo([]byte("twice"), addr); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 2; i++ {
+		_ = recv.SetReadDeadline(time.Now().Add(2 * time.Second))
+		n, _, err := recv.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if string(buf[:n]) != "twice" {
+			t.Fatalf("copy %d = %q", i, buf[:n])
+		}
+	}
+}
+
+func TestLeakedGoroutinesCleanAtRest(t *testing.T) {
+	if leaked := LeakedGoroutines(500 * time.Millisecond); len(leaked) > 0 {
+		t.Errorf("collection-plane goroutines at rest:\n%s", leaked[0])
+	}
+}

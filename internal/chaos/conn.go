@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+)
+
+// ErrInjectedReset is the error surfaced by a scheduled connection reset.
+// It satisfies the same handling paths as a kernel "connection reset by
+// peer": the underlying connection is closed, so every later operation
+// fails too.
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Conn wraps a stream connection with the profile's fault schedule. Safe
+// for the usual net.Conn concurrency contract (one reader plus one writer
+// goroutine, Close from anywhere).
+type Conn struct {
+	net.Conn
+	p Profile
+	d *dice
+}
+
+// WrapConn wraps c with the profile's stream faults. The extra seed term
+// decorrelates multiple connections sharing one profile; pass a
+// connection index or any stable discriminator.
+func WrapConn(c net.Conn, p Profile, seed int64) *Conn {
+	return &Conn{Conn: c, p: p, d: newDice(mixSeed(p.Seed, seed))}
+}
+
+// Read applies latency, short reads, resets, and byte flips, then
+// delegates.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.d.sleep(c.p)
+	if c.d.roll(c.p.Reset) {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if len(b) > 1 && c.d.roll(c.p.ShortRead) {
+		b = b[:1+c.d.intn(len(b)-1)]
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && c.d.roll(c.p.Corrupt) {
+		b[c.d.intn(n)] ^= 1 << uint(c.d.intn(8))
+	}
+	return n, err
+}
+
+// Write applies latency, resets (a torn write: a prefix is delivered,
+// then the connection dies), byte flips (on a copy — the caller's buffer
+// is never modified), and write fragmentation, then delegates.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.d.sleep(c.p)
+	if c.d.roll(c.p.Reset) {
+		n := 0
+		if len(b) > 1 {
+			n, _ = c.Conn.Write(b[:c.d.intn(len(b))])
+		}
+		c.Conn.Close()
+		return n, ErrInjectedReset
+	}
+	if c.d.roll(c.p.Corrupt) {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		if len(cp) > 0 {
+			cp[c.d.intn(len(cp))] ^= 1 << uint(c.d.intn(8))
+		}
+		b = cp
+	}
+	if len(b) > 1 && c.d.roll(c.p.SplitWrite) {
+		cut := 1 + c.d.intn(len(b)-1)
+		n, err := c.Conn.Write(b[:cut])
+		if err != nil {
+			return n, err
+		}
+		c.d.sleep(c.p)
+		m, err := c.Conn.Write(b[cut:])
+		return n + m, err
+	}
+	return c.Conn.Write(b)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// profile's fault schedule, each with its own per-connection seed.
+type Listener struct {
+	net.Listener
+	p Profile
+	n atomic.Int64
+}
+
+// WrapListener wraps ln with the profile.
+func WrapListener(ln net.Listener, p Profile) *Listener {
+	return &Listener{Listener: ln, p: p}
+}
+
+// Accept accepts from the underlying listener and wraps the connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.p, l.n.Add(1)), nil
+}

@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// LeakedGoroutines waits up to timeout for every collection-plane
+// goroutine to exit and returns the stacks of any that remain. A scenario
+// that returns with live unit, server, agent, or collector goroutines has
+// leaked — the exact failure mode that lets a long-running deployment
+// slowly strangle itself after weeks of reconnect churn.
+func LeakedGoroutines(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		gs := collectionGoroutines()
+		if len(gs) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return gs
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// collectionGoroutines returns the stacks of goroutines still running
+// collection-plane code. The caller's own stack (a test or scenario
+// function) is excluded by filtering out goroutines parked in testing or
+// in this function itself.
+func collectionGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(g, "fantasticjoules/internal/") {
+			continue
+		}
+		if strings.Contains(g, "testing.tRunner") ||
+			strings.Contains(g, "testing.(*M).Run") ||
+			strings.Contains(g, "collectionGoroutines") {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"net"
+)
+
+// PacketConn wraps a datagram socket with the profile's datagram faults:
+// loss, duplication, corruption, and latency. Wrapping an SNMP agent's
+// socket subjects both the requests it receives and the responses it
+// sends to the schedule, which is how the scenario runner models a lossy
+// management network without touching the agent or collector code.
+type PacketConn struct {
+	net.PacketConn
+	p Profile
+	d *dice
+}
+
+// WrapPacketConn wraps pc with the profile's datagram faults.
+func WrapPacketConn(pc net.PacketConn, p Profile, seed int64) *PacketConn {
+	return &PacketConn{PacketConn: pc, p: p, d: newDice(mixSeed(p.Seed, seed))}
+}
+
+// ReadFrom delegates, invisibly dropping and corrupting inbound
+// datagrams. A dropped datagram never returns to the caller — the read
+// blocks for the next one, exactly as if the network had eaten it.
+func (c *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(b)
+		if err != nil {
+			return n, addr, err
+		}
+		if c.d.roll(c.p.Drop) {
+			continue
+		}
+		if n > 0 && c.d.roll(c.p.Corrupt) {
+			b[c.d.intn(n)] ^= 1 << uint(c.d.intn(8))
+		}
+		return n, addr, nil
+	}
+}
+
+// WriteTo applies latency, then drops, duplicates, or corrupts the
+// outbound datagram. A dropped datagram reports success — the sender
+// cannot tell, exactly as with a real lossy network.
+func (c *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	c.d.sleep(c.p)
+	if c.d.roll(c.p.Drop) {
+		return len(b), nil
+	}
+	if c.d.roll(c.p.Corrupt) {
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		if len(cp) > 0 {
+			cp[c.d.intn(len(cp))] ^= 1 << uint(c.d.intn(8))
+		}
+		b = cp
+	}
+	if c.d.roll(c.p.Duplicate) {
+		if _, err := c.PacketConn.WriteTo(b, addr); err != nil {
+			return 0, err
+		}
+	}
+	return c.PacketConn.WriteTo(b, addr)
+}

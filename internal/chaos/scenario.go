@@ -1,0 +1,344 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fantasticjoules/internal/autopower"
+	"fantasticjoules/internal/meter"
+	"fantasticjoules/internal/snmp"
+	"fantasticjoules/internal/units"
+)
+
+// sampleEpochMilli anchors the scenarios' synthetic clocks. Samples carry
+// synthetic timestamps (strictly increasing, 500 ms apart per unit) so the
+// invariant checks are exact: every produced sample has a unique
+// timestamp, which makes the server's overlap dedup distinguish a genuine
+// re-upload from a lost sample.
+const sampleEpochMilli = 1_700_000_000_000
+
+// AutopowerScenario configures one replay of the Autopower unit↔server
+// pipeline under a fault profile. Zero fields take the listed defaults,
+// chosen so a full profile sweep stays inside a few seconds of test time.
+type AutopowerScenario struct {
+	Profile Profile
+	// Units is the fleet size (default 3).
+	Units int
+	// Duration is how long the pipeline runs (default 500 ms).
+	Duration time.Duration
+	// SampleInterval is the unit cadence (default 2 ms).
+	SampleInterval time.Duration
+	// UploadEvery batches samples per upload (default 5).
+	UploadEvery int
+	// MaxSpool bounds each unit's spool (default 1<<20); small values
+	// exercise the overflow-drop bookkeeping.
+	MaxSpool int
+	// GlitchEvery makes every nth meter read fail (default 0: none).
+	GlitchEvery int
+}
+
+// UnitOutcome is the per-unit result of an Autopower scenario.
+type UnitOutcome struct {
+	UnitID string
+	// Stats is the unit's final spool/ack bookkeeping.
+	Stats autopower.SpoolStats
+	// Stored is how many of the unit's samples the server holds.
+	Stored int
+}
+
+// AutopowerReport summarizes an Autopower scenario run.
+type AutopowerReport struct {
+	Profile string
+	Units   []UnitOutcome
+}
+
+// RunAutopower replays the full unit↔server pipeline under the scenario's
+// fault profile and checks the collection-plane invariants:
+//
+//   - spool/ack alignment: Produced - Acked == SpoolLen for every unit;
+//   - no acked sample lost: the server stores at least every
+//     acknowledged, non-overflow-dropped sample, and never more samples
+//     than were produced (byte flips must not forge data past the frame
+//     checksum);
+//   - per-unit server series have strictly increasing timestamps;
+//   - every pipeline goroutine exits after shutdown.
+//
+// A violated invariant — or a leak — is returned as an error naming the
+// profile.
+func RunAutopower(sc AutopowerScenario) (AutopowerReport, error) {
+	if sc.Units <= 0 {
+		sc.Units = 3
+	}
+	if sc.Duration <= 0 {
+		sc.Duration = 500 * time.Millisecond
+	}
+	if sc.SampleInterval <= 0 {
+		sc.SampleInterval = 2 * time.Millisecond
+	}
+	if sc.UploadEvery <= 0 {
+		sc.UploadEvery = 5
+	}
+	report := AutopowerReport{Profile: sc.Profile.Name}
+
+	srv := autopower.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return report, err
+	}
+	if err := srv.StartListener(WrapListener(ln, sc.Profile)); err != nil {
+		ln.Close()
+		return report, err
+	}
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), sc.Duration)
+	defer cancel()
+
+	type runningUnit struct {
+		id   string
+		unit *autopower.Unit
+	}
+	var fleet []runningUnit
+	var wg sync.WaitGroup
+	for i := 0; i < sc.Units; i++ {
+		id := fmt.Sprintf("chaos-%02d", i)
+		m := meter.New(sc.Profile.Seed + int64(i))
+		watts := 150 + 10*i
+		if err := m.Attach(0, meter.SourceFunc(func() units.Power {
+			return units.Power(watts)
+		})); err != nil {
+			cancel()
+			srv.Close()
+			return report, err
+		}
+		if sc.GlitchEvery > 0 {
+			m.GlitchEvery(sc.GlitchEvery)
+		}
+		var tick atomic.Int64
+		connSeed := int64(i)
+		u, err := autopower.NewUnit(autopower.UnitConfig{
+			UnitID:              id,
+			Router:              "chaos-rtr",
+			ServerAddr:          addr,
+			Meter:               m,
+			SampleInterval:      sc.SampleInterval,
+			UploadEvery:         sc.UploadEvery,
+			MaxSpool:            sc.MaxSpool,
+			ReconnectBackoff:    5 * time.Millisecond,
+			MaxReconnectBackoff: 40 * time.Millisecond,
+			WriteTimeout:        250 * time.Millisecond,
+			Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+				d := net.Dialer{Timeout: time.Second}
+				c, err := d.DialContext(ctx, "tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return WrapConn(c, sc.Profile, 1000+connSeed), nil
+			},
+			Now: func() time.Time {
+				return time.UnixMilli(sampleEpochMilli + tick.Add(1)*500)
+			},
+		})
+		if err != nil {
+			cancel()
+			srv.Close()
+			return report, err
+		}
+		fleet = append(fleet, runningUnit{id: id, unit: u})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = u.Run(ctx)
+		}()
+	}
+
+	<-ctx.Done()
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		return report, fmt.Errorf("chaos[%s]: server close: %w", sc.Profile.Name, err)
+	}
+
+	for _, ru := range fleet {
+		stats := ru.unit.Stats()
+		stored := 0
+		var prevMilli int64
+		if series, err := srv.Series(ru.id); err == nil {
+			stored = series.Len()
+			for _, p := range series.Points() {
+				milli := p.T.UnixMilli()
+				if milli <= prevMilli && prevMilli != 0 {
+					return report, fmt.Errorf("chaos[%s]: %s: non-monotonic server series at %v",
+						sc.Profile.Name, ru.id, p.T)
+				}
+				prevMilli = milli
+			}
+		}
+		report.Units = append(report.Units, UnitOutcome{UnitID: ru.id, Stats: stats, Stored: stored})
+
+		if stats.Produced-stats.Acked != uint64(stats.SpoolLen) {
+			return report, fmt.Errorf("chaos[%s]: %s: spool/ack misaligned: produced=%d acked=%d spool=%d",
+				sc.Profile.Name, ru.id, stats.Produced, stats.Acked, stats.SpoolLen)
+		}
+		ackedKept := int64(stats.Acked) - int64(stats.Dropped)
+		if int64(stored) < ackedKept {
+			return report, fmt.Errorf("chaos[%s]: %s: acked sample lost: server stores %d, acked-and-kept %d",
+				sc.Profile.Name, ru.id, stored, ackedKept)
+		}
+		if uint64(stored) > stats.Produced {
+			return report, fmt.Errorf("chaos[%s]: %s: server stores %d samples but only %d were produced (forged data)",
+				sc.Profile.Name, ru.id, stored, stats.Produced)
+		}
+	}
+
+	if leaked := LeakedGoroutines(3 * time.Second); len(leaked) > 0 {
+		return report, fmt.Errorf("chaos[%s]: %d leaked goroutines:\n%s",
+			sc.Profile.Name, len(leaked), leaked[0])
+	}
+	return report, nil
+}
+
+// SNMPScenario configures one replay of the SNMP collector pipeline under
+// a fault profile.
+type SNMPScenario struct {
+	Profile Profile
+	// Targets is the number of simulated router agents (default 2).
+	Targets int
+	// Rounds is how many PollOnce rounds to run (default 3).
+	Rounds int
+	// Timeout is the per-request client timeout (default 40 ms); the
+	// collector's retry budget per round trip is 2×Timeout (one retry).
+	Timeout time.Duration
+}
+
+// SNMPReport summarizes an SNMP scenario run.
+type SNMPReport struct {
+	Profile string
+	// FailedPolls is the collector's per-router failed-poll count.
+	FailedPolls map[string]int
+	// PowerPoints counts collected PSU power samples per router.
+	PowerPoints map[string]int
+	// MaxPoll is the slowest observed PollOnce round.
+	MaxPoll time.Duration
+	// Budget is the per-round upper bound implied by the client's retry
+	// budget; MaxPoll exceeding it is an invariant violation.
+	Budget time.Duration
+	// Malformed is how many datagrams failed BER decoding during the run.
+	Malformed uint64
+}
+
+// RunSNMP replays the fleet poller against fault-injected agents and
+// checks the collector-side invariants:
+//
+//   - every poll round returns within the configured retry budget
+//     (3 walks × 2 attempts × Timeout per target, plus slack for
+//     scheduling) — a malformed-datagram flood must not stretch it;
+//   - collected power series have strictly increasing timestamps;
+//   - every agent goroutine exits after shutdown.
+func RunSNMP(sc SNMPScenario) (SNMPReport, error) {
+	if sc.Targets <= 0 {
+		sc.Targets = 2
+	}
+	if sc.Rounds <= 0 {
+		sc.Rounds = 3
+	}
+	if sc.Timeout <= 0 {
+		sc.Timeout = 40 * time.Millisecond
+	}
+	report := SNMPReport{Profile: sc.Profile.Name}
+	malformedBefore := snmp.MalformedDatagrams()
+
+	var agents []*snmp.Agent
+	defer func() {
+		for _, a := range agents {
+			a.Close()
+		}
+	}()
+	var targets []snmp.Target
+	for i := 0; i < sc.Targets; i++ {
+		mib := &snmp.MIB{}
+		for p := 1; p <= 2; p++ {
+			mib.RegisterScalar(snmp.OIDPSUPower.Append(uint32(p)), snmp.Gauge32Value(uint32(400+10*p)))
+		}
+		for ifIdx := 1; ifIdx <= 4; ifIdx++ {
+			octets := new(atomic.Uint64)
+			mib.RegisterScalar(snmp.OIDIfName.Append(uint32(ifIdx)), snmp.StringValue(fmt.Sprintf("et-0/0/%d", ifIdx)))
+			mib.Register(snmp.OIDIfHCInOctets.Append(uint32(ifIdx)), func() snmp.Value {
+				return snmp.Counter64Value(octets.Add(1 << 20))
+			})
+		}
+		agent := snmp.NewAgent(mib, "public")
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return report, err
+		}
+		addr, err := agent.StartPacketConn(WrapPacketConn(pc, sc.Profile, int64(i)))
+		if err != nil {
+			pc.Close()
+			return report, err
+		}
+		agents = append(agents, agent)
+		targets = append(targets, snmp.Target{Router: fmt.Sprintf("rtr-%02d", i), Addr: addr})
+	}
+
+	var round atomic.Int64
+	coll, err := snmp.NewCollector(targets, snmp.CollectorConfig{
+		Timeout: sc.Timeout,
+		Now: func() time.Time {
+			return time.UnixMilli(sampleEpochMilli).Add(time.Duration(round.Load()) * 5 * time.Minute)
+		},
+	})
+	if err != nil {
+		return report, err
+	}
+
+	// Per round: each target runs 3 walks, each typically one round trip
+	// of at most 2 attempts × Timeout. Allow one extra sweep per walk
+	// plus scheduling slack.
+	report.Budget = time.Duration(sc.Targets)*3*2*2*sc.Timeout + 250*time.Millisecond
+	for r := 0; r < sc.Rounds; r++ {
+		round.Store(int64(r))
+		start := time.Now()
+		coll.PollOnce()
+		if d := time.Since(start); d > report.MaxPoll {
+			report.MaxPoll = d
+		}
+	}
+	report.FailedPolls = coll.Errors()
+	report.PowerPoints = make(map[string]int)
+	for _, t := range targets {
+		s, ok := coll.PowerSeries(t.Router)
+		if !ok {
+			continue
+		}
+		report.PowerPoints[t.Router] = s.Len()
+		prev := time.Time{}
+		for _, p := range s.Points() {
+			if !p.T.After(prev) {
+				return report, fmt.Errorf("chaos[%s]: %s: non-monotonic power series at %v",
+					sc.Profile.Name, t.Router, p.T)
+			}
+			prev = p.T
+		}
+	}
+	report.Malformed = snmp.MalformedDatagrams() - malformedBefore
+
+	if report.MaxPoll > report.Budget {
+		return report, fmt.Errorf("chaos[%s]: poll round took %v, budget %v",
+			sc.Profile.Name, report.MaxPoll, report.Budget)
+	}
+	for _, a := range agents {
+		if err := a.Close(); err != nil {
+			return report, fmt.Errorf("chaos[%s]: agent close: %w", sc.Profile.Name, err)
+		}
+	}
+	agents = nil
+	if leaked := LeakedGoroutines(3 * time.Second); len(leaked) > 0 {
+		return report, fmt.Errorf("chaos[%s]: %d leaked goroutines:\n%s",
+			sc.Profile.Name, len(leaked), leaked[0])
+	}
+	return report, nil
+}

@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/telemetry"
+)
+
+// autopowerProfiles is the fault sweep of the Autopower scenario suite:
+// each profile isolates one failure mode of a unit↔server deployment.
+var autopowerProfiles = []Profile{
+	{Name: "clean", Seed: 1},
+	{Name: "latency", Seed: 2, Latency: time.Millisecond, LatencyJitter: 2 * time.Millisecond},
+	{Name: "resets", Seed: 3, Reset: 0.02},
+	{Name: "fragmentation", Seed: 4, SplitWrite: 0.5, ShortRead: 0.5},
+	{Name: "corruption", Seed: 5, Corrupt: 0.05},
+	{Name: "everything", Seed: 6, Latency: 500 * time.Microsecond, SplitWrite: 0.3, ShortRead: 0.3, Corrupt: 0.02, Reset: 0.01},
+}
+
+func TestAutopowerFaultProfiles(t *testing.T) {
+	for _, p := range autopowerProfiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			report, err := RunAutopower(AutopowerScenario{Profile: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range report.Units {
+				t.Logf("%s: produced=%d acked=%d dropped=%d spool=%d stored=%d",
+					u.UnitID, u.Stats.Produced, u.Stats.Acked, u.Stats.Dropped, u.Stats.SpoolLen, u.Stored)
+				if u.Stats.Produced == 0 {
+					t.Errorf("%s produced no samples", u.UnitID)
+				}
+			}
+			if p.Name == "clean" {
+				for _, u := range report.Units {
+					if u.Stored == 0 {
+						t.Errorf("%s: clean run stored nothing at the server", u.UnitID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutopowerSpoolOverflow blackholes the server (every operation
+// resets) with a tiny spool: the unit must keep measuring, shed the
+// oldest samples, and keep its bookkeeping aligned — the exact regime of
+// a unit whose uplink dies for longer than its buffer.
+func TestAutopowerSpoolOverflow(t *testing.T) {
+	report, err := RunAutopower(AutopowerScenario{
+		Profile:  Profile{Name: "blackhole", Seed: 11, Reset: 1},
+		Units:    1,
+		MaxSpool: 16,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := report.Units[0]
+	if u.Stats.Dropped == 0 {
+		t.Errorf("blackholed unit with MaxSpool=16 dropped nothing: %+v", u.Stats)
+	}
+	if u.Stats.SpoolLen > 16 {
+		t.Errorf("spool exceeded its bound: %+v", u.Stats)
+	}
+}
+
+// TestAutopowerMeterGlitches injects periodic meter read failures and
+// verifies the pipeline survives and the glitch counter moves — the
+// sample loop used to swallow these errors invisibly.
+func TestAutopowerMeterGlitches(t *testing.T) {
+	glitches := telemetry.Default().Counter("autopower_meter_glitches_total", "")
+	before := glitches.Value()
+	report, err := RunAutopower(AutopowerScenario{
+		Profile:     Profile{Name: "glitchy-meter", Seed: 12},
+		Units:       1,
+		GlitchEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Units[0].Stored == 0 {
+		t.Error("glitchy meter stored nothing at the server")
+	}
+	if glitches.Value() == before {
+		t.Error("autopower_meter_glitches_total did not move under injected glitches")
+	}
+}
+
+// snmpProfiles is the fault sweep of the SNMP collector suite.
+var snmpProfiles = []Profile{
+	{Name: "clean", Seed: 21},
+	{Name: "latency", Seed: 22, Latency: 2 * time.Millisecond, LatencyJitter: 3 * time.Millisecond},
+	{Name: "loss", Seed: 23, Drop: 0.2},
+	{Name: "duplication", Seed: 24, Duplicate: 0.5},
+	{Name: "corruption", Seed: 25, Corrupt: 0.3},
+	{Name: "heavy-loss", Seed: 26, Drop: 0.5},
+}
+
+func TestSNMPFaultProfiles(t *testing.T) {
+	for _, p := range snmpProfiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			report, err := RunSNMP(SNMPScenario{Profile: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("maxPoll=%v budget=%v failed=%v points=%v malformed=%d",
+				report.MaxPoll, report.Budget, report.FailedPolls, report.PowerPoints, report.Malformed)
+			switch p.Name {
+			case "clean":
+				if len(report.FailedPolls) > 0 {
+					t.Errorf("clean run failed polls: %v", report.FailedPolls)
+				}
+				for r, n := range report.PowerPoints {
+					if n != 3 {
+						t.Errorf("%s: clean run collected %d power points, want 3", r, n)
+					}
+				}
+			case "corruption":
+				if report.Malformed == 0 {
+					t.Error("corruption run saw no malformed datagrams")
+				}
+			}
+		})
+	}
+}

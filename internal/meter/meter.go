@@ -6,6 +6,7 @@
 package meter
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,6 +46,12 @@ type Meter struct {
 	rng     *rand.Rand
 	gain    [Channels]float64
 	sources [Channels]Source
+	// Deterministic fault injection (see GlitchEvery): every nth read
+	// fails, simulating the serial-link glitches a real MCP39F511N unit
+	// shows over weeks of unattended operation. Zero disables injection
+	// and leaves the sample stream byte-identical to a fault-free meter.
+	glitchEvery int
+	reads       int
 }
 
 // accuracySpec is the datasheet accuracy of the MCP39F511N.
@@ -74,6 +81,21 @@ func (m *Meter) Attach(channel int, src Source) error {
 	return nil
 }
 
+// ErrGlitch is the read error injected by GlitchEvery, standing in for
+// the transient serial-communication failures of the real instrument.
+var ErrGlitch = errors.New("meter: communication glitch")
+
+// GlitchEvery makes every nth Read fail with ErrGlitch (counting across
+// channels), deterministically. n <= 0 disables injection — the default —
+// in which case the measurement stream is untouched. The chaos harness
+// uses this to drive the Autopower unit's glitch-skip path.
+func (m *Meter) GlitchEvery(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.glitchEvery = n
+	m.reads = 0
+}
+
 // Read samples a channel once and returns the measured power: the true
 // value with the channel's gain error, small per-sample noise, and 10 mW
 // quantization. Reading an unattached channel is an error.
@@ -83,6 +105,12 @@ func (m *Meter) Read(channel int) (units.Power, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.glitchEvery > 0 {
+		m.reads++
+		if m.reads%m.glitchEvery == 0 {
+			return 0, ErrGlitch
+		}
+	}
 	src := m.sources[channel]
 	if src == nil {
 		return 0, fmt.Errorf("meter: channel %d not attached", channel)

@@ -81,13 +81,14 @@ func (m *MIB) Next(oid OID) (OID, Value, bool) {
 const maxResponseBytes = 60000
 
 // Agent serves a MIB over SNMPv2c/UDP. Create with NewAgent, start with
-// Start, and stop with Close.
+// Start (or StartPacketConn to serve an existing — possibly
+// fault-injected — socket), and stop with Close.
 type Agent struct {
 	mib       *MIB
 	community string
 
 	mu   sync.Mutex
-	conn *net.UDPConn
+	conn net.PacketConn
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -110,10 +111,22 @@ func (a *Agent) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("snmp: agent: %w", err)
 	}
+	bound, err := a.StartPacketConn(conn)
+	if err != nil {
+		conn.Close()
+		return "", err
+	}
+	return bound, nil
+}
+
+// StartPacketConn begins serving on an existing packet socket, which the
+// agent takes ownership of. The chaos harness uses this to splice
+// deterministic datagram loss, duplication, and corruption under an
+// otherwise unmodified agent.
+func (a *Agent) StartPacketConn(conn net.PacketConn) (string, error) {
 	a.mu.Lock()
 	if a.conn != nil {
 		a.mu.Unlock()
-		conn.Close()
 		return "", errors.New("snmp: agent already started")
 	}
 	a.conn = conn
@@ -142,11 +155,11 @@ func (a *Agent) Close() error {
 	return err
 }
 
-func (a *Agent) serve(conn *net.UDPConn) {
+func (a *Agent) serve(conn net.PacketConn) {
 	defer a.wg.Done()
 	buf := make([]byte, 65535)
 	for {
-		n, raddr, err := conn.ReadFromUDP(buf)
+		n, raddr, err := conn.ReadFrom(buf)
 		if err != nil {
 			select {
 			case <-a.done:
@@ -158,6 +171,7 @@ func (a *Agent) serve(conn *net.UDPConn) {
 		}
 		msg, err := Unmarshal(buf[:n])
 		if err != nil {
+			metricMalformed.Inc()
 			continue // malformed datagrams are dropped, as real agents do
 		}
 		if msg.Community != a.community {
@@ -174,7 +188,7 @@ func (a *Agent) serve(conn *net.UDPConn) {
 				continue
 			}
 		}
-		_, _ = conn.WriteToUDP(out, raddr)
+		_, _ = conn.WriteTo(out, raddr)
 	}
 }
 

@@ -69,11 +69,21 @@ func (c *Client) roundTrip(req PDU) (PDU, error) {
 		return PDU{}, err
 	}
 	buf := make([]byte, 65535)
-	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+	attempts := c.opts.Retries + 1
+	// The retry budget is a hard wall-clock bound: attempts × Timeout.
+	// Every per-attempt deadline is clamped to it so an agent (or an
+	// attacker sharing its address) flooding malformed datagrams — each
+	// of which lands a successful Read — cannot stretch the round trip
+	// past the budget, no matter how the attempt loop interleaves.
+	budget := time.Now().Add(time.Duration(attempts) * c.opts.Timeout)
+	for attempt := 0; attempt < attempts; attempt++ {
 		if _, err := c.conn.Write(out); err != nil {
 			return PDU{}, fmt.Errorf("snmp: send: %w", err)
 		}
 		deadline := time.Now().Add(c.opts.Timeout)
+		if deadline.After(budget) {
+			deadline = budget
+		}
 		if err := c.conn.SetReadDeadline(deadline); err != nil {
 			return PDU{}, err
 		}
@@ -87,7 +97,8 @@ func (c *Client) roundTrip(req PDU) (PDU, error) {
 			}
 			msg, err := Unmarshal(buf[:n])
 			if err != nil {
-				continue // garbage datagram; keep waiting
+				metricMalformed.Inc()
+				continue // garbage datagram; deadline still caps the wait
 			}
 			if msg.PDU.Type != Response || msg.PDU.RequestID != req.RequestID {
 				continue // stale response from a retried request
@@ -95,7 +106,8 @@ func (c *Client) roundTrip(req PDU) (PDU, error) {
 			return msg.PDU, nil
 		}
 	}
-	return PDU{}, fmt.Errorf("%w after %d attempts", ErrTimeout, c.opts.Retries+1)
+	metricTimeouts.Inc()
+	return PDU{}, fmt.Errorf("%w after %d attempts", ErrTimeout, attempts)
 }
 
 // Get fetches the exact objects named by the OIDs.

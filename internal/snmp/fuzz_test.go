@@ -1,0 +1,62 @@
+package snmp
+
+import (
+	"testing"
+)
+
+// messageBytes encodes a message for corpus seeding.
+func messageBytes(t testing.TB, m Message) []byte {
+	t.Helper()
+	out, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// FuzzUnmarshal drives the BER decoder with arbitrary datagrams — the
+// exact input an agent or client read loop sees from the network. The
+// corpus mirrors the chaos harness's datagram corruption: valid requests
+// and responses, byte-flipped variants, and truncations. Invariants: no
+// panic, and anything accepted re-marshals without panicking (the agent
+// echoes decoded PDUs back onto the wire).
+func FuzzUnmarshal(f *testing.F) {
+	get := messageBytes(f, Message{Community: "public", PDU: PDU{
+		Type: GetRequest, RequestID: 1,
+		VarBinds: []VarBind{{OID: OIDSysName, Value: NullValue()}},
+	}})
+	f.Add(get)
+	f.Add(messageBytes(f, Message{Community: "public", PDU: PDU{
+		Type: GetBulkRequest, RequestID: 7, ErrorIndex: 32,
+		VarBinds: []VarBind{{OID: OIDPSUPower, Value: NullValue()}},
+	}}))
+	f.Add(messageBytes(f, Message{Community: "public", PDU: PDU{
+		Type: Response, RequestID: 9,
+		VarBinds: []VarBind{
+			{OID: OIDPSUPower.Append(1), Value: Gauge32Value(412)},
+			{OID: OIDIfName.Append(1), Value: StringValue("et-0/0/1")},
+			{OID: OIDIfHCInOctets.Append(1), Value: Counter64Value(1 << 40)},
+		},
+	}}))
+	// Chaos-style single byte-flips at a few positions.
+	for _, pos := range []int{1, len(get) / 2, len(get) - 2} {
+		flipped := append([]byte(nil), get...)
+		flipped[pos] ^= 0x20
+		f.Add(flipped)
+	}
+	// Torn datagram and hostile TLV lengths.
+	f.Add(get[:len(get)/2])
+	f.Add([]byte{0x30, 0x84, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x30, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted messages flow back through Marshal in the agent's
+		// response path; it may reject values it cannot encode, but it
+		// must not panic.
+		_, _ = Message{Community: msg.Community, PDU: msg.PDU}.Marshal()
+	})
+}

@@ -1,0 +1,83 @@
+package snmp
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRoundTripMalformedFloodStaysInBudget pins the retry-budget fix. A
+// hostile responder answers every request with a stream of malformed
+// datagrams. Each garbage datagram lands a successful Read, so before the
+// wall-clock budget every reply used to re-arm nothing — the inner read
+// loop only exited on a timeout whose deadline was reset per attempt,
+// letting a steady drip of garbage stretch one Get far past
+// attempts × Timeout. The Get must now fail with ErrTimeout inside the
+// budget, and every piece of garbage must be counted.
+func TestRoundTripMalformedFloodStaysInBudget(t *testing.T) {
+	responder, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer responder.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			responder.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			_, from, err := responder.ReadFromUDP(buf)
+			if err != nil {
+				select {
+				case <-stop:
+					return
+				default:
+					continue
+				}
+			}
+			// Drip garbage at the client faster than its per-attempt
+			// timeout so the read loop never goes quiet.
+			go func(addr *net.UDPAddr) {
+				for i := 0; i < 200; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					responder.WriteToUDP([]byte{0x30, 0x84, 0xff, 0xff, byte(i)}, addr)
+					time.Sleep(5 * time.Millisecond)
+				}
+			}(from)
+		}
+	}()
+
+	const timeout = 100 * time.Millisecond
+	const retries = 2
+	client, err := Dial(responder.LocalAddr().String(), ClientOptions{
+		Timeout: timeout, Retries: retries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	before := MalformedDatagrams()
+	budget := time.Duration(retries+1) * timeout
+	start := time.Now()
+	_, err = client.Get(OIDSysName)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Get = %v, want ErrTimeout", err)
+	}
+	// Generous slack for scheduler hiccups; without the budget clamp the
+	// flood held this Get open for many seconds.
+	if elapsed > budget+500*time.Millisecond {
+		t.Errorf("flooded Get took %v, budget is %v", elapsed, budget)
+	}
+	if got := MalformedDatagrams(); got <= before {
+		t.Errorf("malformed datagram counter did not move (before %d, after %d)", before, got)
+	}
+}

@@ -1,0 +1,22 @@
+package snmp
+
+import (
+	"fantasticjoules/internal/telemetry"
+)
+
+// Collection-plane instrumentation on the process-wide telemetry
+// registry. Malformed datagrams were previously dropped invisibly by both
+// the client (garbage or stale responses) and the agent (undecodable
+// requests); a fleet being flooded with junk now shows up on /metrics
+// instead of only as mysteriously slow polls.
+var (
+	metricMalformed = telemetry.Default().Counter("snmp_malformed_datagrams_total",
+		"datagrams that failed BER decoding, on either the client or agent side")
+	metricTimeouts = telemetry.Default().Counter("snmp_request_timeouts_total",
+		"client round trips that exhausted their retry budget")
+)
+
+// MalformedDatagrams reports the process-wide count of datagrams dropped
+// because they failed BER decoding. The chaos harness asserts this moves
+// under datagram corruption and stays flat on clean runs.
+func MalformedDatagrams() uint64 { return metricMalformed.Value() }
