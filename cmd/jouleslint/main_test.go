@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestListExitsZero(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("jouleslint -list = %d, want 0", got)
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	if got := run([]string{"-analyzers", "nope"}); got != 2 {
+		t.Fatalf("jouleslint -analyzers nope = %d, want 2", got)
+	}
+}
+
+// TestSeededViolation is the end-to-end gate check: a module with one
+// planted determinism violation must fail the multichecker.
+func TestSeededViolation(t *testing.T) {
+	if got := run([]string{"-C", "testdata/violating", "./..."}); got != 1 {
+		t.Fatalf("jouleslint over seeded violation = %d, want 1", got)
+	}
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	if got := run([]string{"-C", "testdata/clean", "./..."}); got != 0 {
+		t.Fatalf("jouleslint over clean module = %d, want 0", got)
+	}
+}

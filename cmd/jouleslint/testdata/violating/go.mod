@@ -1,0 +1,3 @@
+module example.com/violating
+
+go 1.22

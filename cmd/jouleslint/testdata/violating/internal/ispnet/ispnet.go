@@ -1,0 +1,10 @@
+// Package ispnet seeds one determinism violation for the multichecker
+// smoke test: jouleslint must exit 1 over this module.
+package ispnet
+
+import "time"
+
+// Stamp reads the wall clock inside a simulation-scoped package.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -71,7 +71,9 @@ func runDemo(community string) error {
 		return err
 	}
 	// Bring up a few loaded interfaces so the counters move.
-	for _, name := range r.InterfaceNames()[:4] {
+	names := r.InterfaceNames()[:4]
+	handles := make([]device.Handle, len(names))
+	for i, name := range names {
 		if err := r.PlugTransceiver(name, model.PassiveDAC, 100*units.GigabitPerSecond); err != nil {
 			return err
 		}
@@ -81,10 +83,20 @@ func runDemo(community string) error {
 		if err := r.SetLink(name, true); err != nil {
 			return err
 		}
-		if err := r.SetTraffic(name, 8*units.GigabitPerSecond, 1e6); err != nil {
+		h, err := r.Handle(name)
+		if err != nil {
+			return err
+		}
+		handles[i] = h
+	}
+	step := r.BeginStep()
+	for _, h := range handles {
+		if err := step.SetTraffic(h, 8*units.GigabitPerSecond, units.PacketRate(1e6)); err != nil {
+			step.End()
 			return err
 		}
 	}
+	step.End()
 	r.Advance(5 * time.Minute)
 
 	var mib snmp.MIB

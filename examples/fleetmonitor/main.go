@@ -16,6 +16,7 @@ import (
 	"fantasticjoules/internal/meter"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/snmp"
+	"fantasticjoules/internal/trafficgen"
 	"fantasticjoules/internal/units"
 )
 
@@ -40,12 +41,22 @@ func main() {
 		if spec.PortType == model.QSFP28 && name == "Nexus9336-FX2" {
 			trx = model.LR
 		}
-		for _, ifName := range r.InterfaceNames()[:4] {
+		ifNames := r.InterfaceNames()[:4]
+		handles := make([]device.Handle, len(ifNames))
+		for i, ifName := range ifNames {
 			must(r.PlugTransceiver(ifName, trx, 100*g))
 			must(r.SetAdmin(ifName, true))
 			must(r.SetLink(ifName, true))
-			must(r.SetTraffic(ifName, 5*g, units.PacketRateFor(5*g, 353, 24)))
+			h, err := r.Handle(ifName)
+			must(err)
+			handles[i] = h
 		}
+		pkts := units.PacketRateFor(5*g, trafficgen.IMIXMeanSize(), trafficgen.EthernetOverhead)
+		step := r.BeginStep()
+		for _, h := range handles {
+			must(step.SetTraffic(h, 5*g, pkts))
+		}
+		step.End()
 		routers = append(routers, r)
 
 		var mib snmp.MIB

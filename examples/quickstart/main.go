@@ -9,6 +9,7 @@ import (
 
 	fantasticjoules "fantasticjoules"
 	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/trafficgen"
 	"fantasticjoules/internal/units"
 )
 
@@ -28,13 +29,13 @@ func main() {
 			Name: "eth0", Profile: dac,
 			TransceiverPresent: true, AdminUp: true, OperUp: true,
 			Bits:    60 * g,
-			Packets: units.PacketRateFor(60*g, 1500, 24),
+			Packets: units.PacketRateFor(60*g, units.ByteSize(1500), trafficgen.EthernetOverhead),
 		},
 		{
 			Name: "eth1", Profile: dac,
 			TransceiverPresent: true, AdminUp: true, OperUp: true,
 			Bits:    15 * g,
-			Packets: units.PacketRateFor(15*g, 353, 24),
+			Packets: units.PacketRateFor(15*g, units.ByteSize(353), trafficgen.EthernetOverhead),
 		},
 		{
 			Name: "eth2", Profile: dac,

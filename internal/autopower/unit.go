@@ -279,6 +279,10 @@ func (u *Unit) session(ctx context.Context) error {
 	// Reader goroutine: acks and commands.
 	errc := make(chan error, 1)
 	go func() {
+		// Deliberately unbounded reads: commands arrive whenever the
+		// server sends them, and the ctx watcher above closes conn to
+		// fail ReadFrame on shutdown.
+		_ = conn.SetReadDeadline(time.Time{})
 		for {
 			f, err := ReadFrame(conn)
 			if err != nil {

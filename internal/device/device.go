@@ -147,7 +147,7 @@ type Router struct {
 	psus       []*PSUState
 	linecards  []LinecardType
 
-	// Static-power cache: the configuration-dependent part of dcLoad —
+	// Static-power cache: the configuration-dependent part of dcLoadLocked —
 	// chassis base, control plane, linecards, and the per-port /
 	// per-transceiver terms — changes only when a config event fires
 	// (plug/unplug, admin, link, OS upgrade, linecard install/remove), not
@@ -436,7 +436,7 @@ func (r *Router) PSUCount() int { return len(r.psus) }
 
 // invalidateStaticLocked marks the static-power cache dirty. Every mutator
 // that can change the configuration-dependent power terms calls it; the
-// next dcLoad rebuilds. Callers must hold r.mu.
+// next dcLoadLocked rebuilds. Callers must hold r.mu.
 func (r *Router) invalidateStaticLocked() { r.staticOK = false }
 
 // rebuildStaticLocked recomputes the configuration-dependent part of the
@@ -479,11 +479,11 @@ func (r *Router) rebuildStaticLocked() {
 	r.staticOK = true
 }
 
-// dcLoad computes the true DC-side power demand from the hidden spec:
+// dcLoadLocked computes the true DC-side power demand from the hidden spec:
 // the cached static configuration terms plus the per-step dynamic part
 // (fan power follows the chassis temperature, load terms follow the
 // offered traffic). Callers must hold r.mu.
-func (r *Router) dcLoad() units.Power {
+func (r *Router) dcLoadLocked() units.Power {
 	if !r.staticOK {
 		r.rebuildStaticLocked()
 	}
@@ -511,7 +511,7 @@ func (r *Router) WallPower() units.Power {
 }
 
 func (r *Router) wallPowerLocked() units.Power {
-	dc := r.dcLoad()
+	dc := r.dcLoadLocked()
 	// Zero-mean jitter models control-plane and environmental churn.
 	if r.spec.PowerJitter > 0 {
 		dc += units.Power(r.rng.NormFloat64() * r.spec.PowerJitter.Watts())
@@ -560,7 +560,7 @@ func (r *Router) advanceLocked(dt time.Duration) time.Time {
 	if tau := r.spec.ThermalTimeConstant.Seconds(); tau > 0 && sec > 0 {
 		// Equilibrium: ambient plus the dissipated load heating the
 		// chassis through its thermal resistance.
-		target := r.temperature + r.spec.ThermalResistance*r.dcLoad().Watts()
+		target := r.temperature + r.spec.ThermalResistance*r.dcLoadLocked().Watts()
 		alpha := 1 - math.Exp(-sec/tau)
 		r.internalTemp += (target - r.internalTemp) * alpha
 	}

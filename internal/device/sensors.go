@@ -35,7 +35,7 @@ func (r *Router) ReportedPSUPower(index int) (units.Power, error) {
 	case SensorAccurate:
 		return p.lastIn + units.Power(r.rng.NormFloat64()*0.5), nil
 	case SensorOffset:
-		return p.lastIn + r.spec.PSUSensorOffset/units.Power(float64(len(r.psus))) +
+		return p.lastIn + units.Power(r.spec.PSUSensorOffset.Watts()/float64(len(r.psus))) +
 			units.Power(r.rng.NormFloat64()*0.3), nil
 	case SensorPseudoConstant:
 		truth := p.lastIn

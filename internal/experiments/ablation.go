@@ -11,6 +11,7 @@ import (
 	"fantasticjoules/internal/meter"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/trafficgen"
 	"fantasticjoules/internal/units"
 )
 
@@ -86,14 +87,24 @@ func (s *Suite) AblationDynamicTerms() ([]AblationResult, error) {
 		cfg   model.Config
 		truth float64
 	}
+	handles := make([]device.Handle, len(names))
+	for i, n := range names {
+		h, err := dut.Handle(n)
+		if err != nil {
+			return nil, err
+		}
+		handles[i] = h
+	}
 	var points []point
 	for _, gbps := range []float64{0, 5, 20, 50, 90} {
 		for _, pkt := range []units.ByteSize{128, 512, 1500} {
+			bits := units.BitRate(gbps) * g
+			pkts := units.PacketRateFor(bits, pkt, trafficgen.EthernetOverhead)
 			cfg := model.Config{}
-			for _, n := range names {
-				bits := units.BitRate(gbps) * g
-				pkts := units.PacketRateFor(bits, pkt, 24)
-				if err := dut.SetTraffic(n, bits, pkts); err != nil {
+			step := dut.BeginStep()
+			for _, h := range handles {
+				if err := step.SetTraffic(h, bits, pkts); err != nil {
+					step.End()
 					return nil, err
 				}
 				cfg.Interfaces = append(cfg.Interfaces, model.Interface{
@@ -101,6 +112,7 @@ func (s *Suite) AblationDynamicTerms() ([]AblationResult, error) {
 					Bits: bits, Packets: pkts,
 				})
 			}
+			step.End()
 			// Average the jittered truth.
 			var sum float64
 			const samples = 20

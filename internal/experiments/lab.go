@@ -24,7 +24,7 @@ type ModelRow struct {
 	FitQuality float64
 }
 
-var g = units.GigabitPerSecond
+const g = units.GigabitPerSecond
 
 // table2Targets are the derivations of Table 2: four routers, seven
 // profiles.

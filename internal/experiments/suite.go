@@ -23,6 +23,7 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -299,9 +300,16 @@ func forEachLimit(n, workers int, f func(i int) error) error {
 // derived in the lab (§6.2: "we performed all the lab measurements
 // required to derive power models for those routers").
 func deployedProfiles(ds *ispnet.Dataset, routerName, routerModel string) []profileSpec {
+	byIface := ds.IfaceProfiles[routerName]
+	ifaceNames := make([]string, 0, len(byIface))
+	for name := range byIface {
+		ifaceNames = append(ifaceNames, name)
+	}
+	sort.Strings(ifaceNames)
 	seen := map[string]bool{}
 	var out []profileSpec
-	for _, key := range ds.IfaceProfiles[routerName] {
+	for _, name := range ifaceNames {
+		key := byIface[name]
 		ps := profileSpec{router: routerModel, trx: key.Transceiver, speed: key.Speed}
 		if seen[ps.key()] {
 			continue

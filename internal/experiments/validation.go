@@ -164,14 +164,19 @@ func PredictFromCounters(m *model.Model, ds *ispnet.Dataset, routerName string) 
 		pts []timeseries.Point
 		idx int
 	}
+	names := make([]string, 0, len(rates))
+	for name := range rates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var ifaces []*sample
 	var clockSrc []timeseries.Point
-	for name, series := range rates {
+	for _, name := range names {
 		key, ok := profiles[name]
 		if !ok {
 			return nil, fmt.Errorf("experiments: no profile for %s/%s", routerName, name)
 		}
-		sm := &sample{key: key, pts: series.Points()}
+		sm := &sample{key: key, pts: rates[name].Points()}
 		ifaces = append(ifaces, sm)
 		if len(sm.pts) > len(clockSrc) {
 			clockSrc = sm.pts

@@ -35,10 +35,9 @@ var (
 // occupancy, replay duration, and the shard's sample/event tallies.
 func (sh *routerShard) playInstrumented() error {
 	metricBusyWorkers.Add(1)
-	start := time.Now()
+	defer metricBusyWorkers.Add(-1)
+	defer metricShardSeconds.ObserveSince(time.Now())
 	err := sh.play()
-	metricShardSeconds.ObserveSince(start)
-	metricBusyWorkers.Add(-1)
 	metricRouters.Inc()
 	metricEvents.Add(uint64(sh.eventsApplied))
 	metricSteps.Add(uint64(len(sh.steps)))

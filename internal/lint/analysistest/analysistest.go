@@ -1,0 +1,163 @@
+// Package analysistest runs jouleslint analyzers over golden source
+// trees and checks their diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Golden trees live under a package's testdata directory in GOPATH shape
+// — testdata/src/<importpath>/*.go — and are loaded in GOPATH mode, so
+// the fake fantasticjoules packages they contain (internal/device,
+// internal/telemetry, ...) resolve under the same import-path suffixes
+// the analyzers scope on in the real tree.
+//
+// An expectation is a trailing comment of the form
+//
+//	conn.Read(buf) // want "without a deadline"
+//
+// where each double-quoted string is a regexp that must match exactly one
+// diagnostic reported on that line; diagnostics without a matching want,
+// and wants without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fantasticjoules/internal/lint/analysis"
+	"fantasticjoules/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling package's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// want is one expectation: a regexp attached to a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads the patterns from dir's src tree, applies the analyzer to
+// every loaded target package, and reports mismatches against the want
+// comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	res, err := loader.Load(loader.Config{
+		Dir: filepath.Join(dir, "src"),
+		Env: []string{"GOPATH=" + dir, "GO111MODULE=off", "GOFLAGS=", "GOWORK=off"},
+	}, patterns...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	var wants []*want
+	var diags []analysis.Diagnostic
+	var diagFiles []*ast.File
+	for _, pkg := range res.Packages {
+		wants = append(wants, collectWants(t, res.Fset, pkg.Syntax)...)
+		pkgDiags := runAnalyzer(t, res, pkg, a)
+		diags = append(diags, pkgDiags...)
+		diagFiles = append(diagFiles, pkg.Syntax...)
+	}
+
+	for _, d := range diags {
+		pos := res.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// runAnalyzer applies a to one package and returns its post-suppression
+// diagnostics.
+func runAnalyzer(t *testing.T, res *loader.Result, pkg *loader.Package, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      res.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Dep:       res.Dep,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+	}
+	return analysis.FilterSuppressed(res.Fset, pkg.Syntax, a.Name, diags)
+}
+
+// collectWants parses the // want comments of a package's files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants
+}
+
+// matchWant consumes the first unmatched want on the diagnostic's line
+// whose regexp matches the message.
+func matchWant(wants []*want, pos token.Position, message string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

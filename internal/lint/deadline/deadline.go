@@ -1,0 +1,275 @@
+// Package deadline checks that every network read and write in the
+// collection plane is governed by a deadline.
+//
+// The chaos harness (PR 4) showed what an undeadlined conn costs: a
+// silent pre-hello client wedged Server.Close forever, and a stalled
+// peer could pin an upload loop until context cancellation. The fixes
+// were all of one shape — a SetDeadline-family call before the I/O — and
+// this analyzer keeps that shape mandatory in internal/autopower and
+// internal/snmp.
+//
+// The rule is lexical: within the enclosing function (function literals
+// are their own scope — a goroutine body cannot inherit the deadline
+// discipline of its parent), a Read on a net.Conn/net.PacketConn must be
+// preceded by SetReadDeadline or SetDeadline, a Write by
+// SetWriteDeadline or SetDeadline. Passing a conn to a function that can
+// do I/O but cannot manage deadlines (an io.Reader/io.Writer parameter)
+// counts as I/O at the call site; passing it to a function that receives
+// deadline control (a net.Conn parameter) transfers the obligation to
+// the callee. A deliberately unbounded read is declared with
+// SetReadDeadline(time.Time{}) — the absence of a bound must be written
+// down, not implied.
+package deadline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fantasticjoules/internal/lint/analysis"
+)
+
+// ConnPackages are the import-path suffixes of the packages under the
+// deadline discipline: the two network-facing collection planes.
+var ConnPackages = []string{"internal/autopower", "internal/snmp"}
+
+// Analyzer is the deadline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadline",
+	Doc: "require every net.Conn/net.PacketConn read and write in the collection plane " +
+		"to be dominated by a SetDeadline-family call in the same function",
+	Run: run,
+}
+
+// direction is a bitset of the I/O sides an operation touches.
+type direction int
+
+const (
+	reads direction = 1 << iota
+	writes
+)
+
+var readMethods = map[string]bool{
+	"Read": true, "ReadFrom": true, "ReadFromUDP": true, "ReadMsgUDP": true,
+}
+var writeMethods = map[string]bool{
+	"Write": true, "WriteTo": true, "WriteToUDP": true, "WriteMsgUDP": true,
+}
+var deadlineMethods = map[string]direction{
+	"SetDeadline":      reads | writes,
+	"SetReadDeadline":  reads,
+	"SetWriteDeadline": writes,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathMatches(pass.Pkg.Path(), ConnPackages) {
+		return nil
+	}
+	connIfaces := connInterfaces(pass)
+	if len(connIfaces) == 0 {
+		return nil // package never touches net
+	}
+	// WalkStack visits calls in source order, so recording deadline calls
+	// as they appear makes "seen[fn] covers d" exactly the lexical
+	// domination check.
+	seen := make(map[ast.Node]direction)
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.FuncFor(stack)
+		if d, ok := deadlineCall(pass, call, connIfaces); ok {
+			seen[fn] |= d
+			return true
+		}
+		need, what := ioCall(pass, call, connIfaces)
+		if need == 0 {
+			return true
+		}
+		if seen[fn]&need == need {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s on a conn without a deadline: no %s precedes it in this function "+
+				"(set one, or declare it explicitly unbounded with SetReadDeadline(time.Time{}))",
+			what, missing(need&^seen[fn]))
+		return true
+	})
+	return nil
+}
+
+// missing names the deadline calls that would satisfy the unmet needs.
+func missing(need direction) string {
+	switch need {
+	case reads:
+		return "SetReadDeadline/SetDeadline"
+	case writes:
+		return "SetWriteDeadline/SetDeadline"
+	default:
+		return "SetDeadline"
+	}
+}
+
+// connInterfaces returns the net.Conn and net.PacketConn interface types
+// from the pass's dependency closure.
+func connInterfaces(pass *analysis.Pass) []*types.Interface {
+	netPkg := pass.Dep("net")
+	if netPkg == nil {
+		return nil
+	}
+	var out []*types.Interface
+	for _, name := range []string{"Conn", "PacketConn"} {
+		if obj := netPkg.Scope().Lookup(name); obj != nil {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				out = append(out, iface)
+			}
+		}
+	}
+	return out
+}
+
+// isConn reports whether a static type is (or implements) net.Conn or
+// net.PacketConn.
+func isConn(t types.Type, connIfaces []*types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	for _, iface := range connIfaces {
+		if types.Implements(t, iface) {
+			return true
+		}
+		if !types.IsInterface(t) && types.Implements(types.NewPointer(t), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// methodOnConn returns the called method name when call is a method call
+// on a conn-typed receiver.
+func methodOnConn(pass *analysis.Pass, call *ast.CallExpr, connIfaces []*types.Interface) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	if !isConn(selection.Recv(), connIfaces) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// deadlineCall reports whether call is a SetDeadline-family call on a
+// conn and which directions it governs.
+func deadlineCall(pass *analysis.Pass, call *ast.CallExpr, connIfaces []*types.Interface) (direction, bool) {
+	name, ok := methodOnConn(pass, call, connIfaces)
+	if !ok {
+		return 0, false
+	}
+	d, ok := deadlineMethods[name]
+	return d, ok
+}
+
+// ioCall classifies a call as conn I/O and returns the directions that
+// must already be governed, with a description for the diagnostic.
+func ioCall(pass *analysis.Pass, call *ast.CallExpr, connIfaces []*types.Interface) (direction, string) {
+	if name, ok := methodOnConn(pass, call, connIfaces); ok {
+		switch {
+		case readMethods[name]:
+			return reads, name
+		case writeMethods[name]:
+			return writes, name
+		}
+		return 0, ""
+	}
+	// Passing a conn into a function that can do I/O on it but cannot set
+	// deadlines (io.Reader/io.Writer-shaped parameters): the caller owns
+	// the deadline.
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return 0, ""
+	}
+	var need direction
+	name := "passing a conn"
+	for i, arg := range call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !isConn(tv.Type, connIfaces) {
+			continue
+		}
+		param := paramAt(sig, i)
+		if param == nil {
+			continue
+		}
+		iface, ok := param.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		var can direction
+		canDeadline := false
+		for m := 0; m < iface.NumMethods(); m++ {
+			switch n := iface.Method(m).Name(); {
+			case readMethods[n]:
+				can |= reads
+			case writeMethods[n]:
+				can |= writes
+			case deadlineMethods[n] != 0:
+				canDeadline = true
+			}
+		}
+		if canDeadline {
+			continue // callee receives deadline control along with the conn
+		}
+		need |= can
+		if fnName := calleeName(call); fnName != "" {
+			name = "passing a conn to " + fnName
+		}
+	}
+	return need, name
+}
+
+// calleeSignature returns the called function's signature, or nil for
+// conversions and built-ins.
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// calleeName renders a short name for the called function.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// paramAt returns the type of the i-th parameter, handling variadics.
+func paramAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return slice.Elem()
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}

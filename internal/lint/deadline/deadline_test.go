@@ -1,0 +1,12 @@
+package deadline_test
+
+import (
+	"testing"
+
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/deadline"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), deadline.Analyzer, "./...")
+}

@@ -1,0 +1,83 @@
+// Package snmp is a golden-test stand-in for the SNMP collection plane:
+// its import-path suffix puts it inside the deadline scope.
+package snmp
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Undisciplined does raw I/O with no deadline anywhere.
+func Undisciplined(conn net.Conn, buf []byte) {
+	conn.Read(buf)  // want "Read on a conn without a deadline"
+	conn.Write(buf) // want "Write on a conn without a deadline"
+}
+
+// HalfCovered sets only the read deadline; writes stay unbounded.
+func HalfCovered(conn net.Conn, buf []byte) {
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	conn.Read(buf)
+	conn.Write(buf) // want "Write on a conn without a deadline"
+}
+
+// Covered sets a full deadline before both directions.
+func Covered(conn net.Conn, buf []byte) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	conn.Read(buf)
+	conn.Write(buf)
+}
+
+// Unbounded declares the missing bound explicitly instead of implying it.
+func Unbounded(conn net.Conn, buf []byte) {
+	_ = conn.SetReadDeadline(time.Time{})
+	conn.Read(buf)
+}
+
+// Goroutine shows that function literals are their own scope: the parent
+// function's deadline discipline does not reach a goroutine body.
+func Goroutine(conn net.Conn, buf []byte) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	go func() {
+		conn.Read(buf) // want "Read on a conn without a deadline"
+	}()
+	conn.Read(buf)
+}
+
+// Packet covers the net.PacketConn surface.
+func Packet(pc net.PacketConn, buf []byte) {
+	pc.ReadFrom(buf) // want "ReadFrom on a conn without a deadline"
+	_ = pc.SetWriteDeadline(time.Now().Add(time.Second))
+	pc.WriteTo(buf, nil)
+}
+
+// Handoff passes the conn to a callee that also receives deadline
+// control: the obligation moves with it.
+func Handoff(conn net.Conn) {
+	serve(conn)
+}
+
+func serve(c net.Conn) {
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 1)
+	c.Read(buf)
+}
+
+// Leak hands the conn to readers that can do I/O but cannot set
+// deadlines, so the deadline is owed here, before the call.
+func Leak(conn net.Conn, buf []byte) {
+	io.ReadFull(conn, buf) // want "passing a conn to io.ReadFull"
+	drain(conn)            // want "passing a conn to drain"
+}
+
+// LeakCovered is the same handoff with the deadline paid up front.
+func LeakCovered(conn net.Conn, buf []byte) {
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	io.ReadFull(conn, buf)
+	drain(conn)
+}
+
+func drain(r io.Reader) {
+	buf := make([]byte, 64)
+	r.Read(buf)
+}

@@ -1,0 +1,210 @@
+// Package determinism checks that the simulation packages stay
+// bit-identical across runs and worker counts: no wall-clock reads, no
+// global math/rand state, and no map-iteration order leaking into
+// ordered outputs.
+//
+// The fleet replay's core guarantee — the golden Workers-1-vs-8 dataset
+// equality — holds only because every source of nondeterminism is
+// injected and seeded. This analyzer makes that a machine-checked
+// property of the simulation packages instead of a convention.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fantasticjoules/internal/lint/analysis"
+)
+
+// SimPackages are the import-path suffixes of the packages whose outputs
+// must be deterministic. The batch device model, the sharded fleet
+// replay, the suite's artifact graph, the power model, and the columnar
+// time series all feed the golden dataset.
+var SimPackages = []string{
+	"internal/ispnet",
+	"internal/device",
+	"internal/experiments",
+	"internal/model",
+	"internal/timeseries",
+}
+
+// randConstructors are the math/rand package functions that build seeded
+// generators rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// Analyzer is the determinism check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, global math/rand state, and map-ordered output " +
+		"in the simulation packages; replays must be bit-identical at any worker count",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathMatches(pass.Pkg.Path(), SimPackages) {
+		return nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, stack)
+		case *ast.RangeStmt:
+			checkMapRange(pass, n, stack)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkCall flags time.Now and global math/rand calls.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" && !inDeferArgs(call, stack) {
+			pass.Reportf(call.Pos(),
+				"time.Now in simulation package %s: simulated clocks must come from the replay config; "+
+					"telemetry timing is allowed only as a defer argument (defer h.ObserveSince(time.Now()))",
+				pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() != nil { // methods on a seeded *rand.Rand are fine
+			return
+		}
+		if randConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global math/rand.%s in simulation package %s: derive a seeded *rand.Rand from the config seed",
+			fn.Name(), pass.Pkg.Name())
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil for indirect calls,
+// built-ins, and conversions.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// inDeferArgs reports whether call sits in the argument list of a defer
+// statement — the hist.ObserveSince(time.Now()) telemetry idiom, whose
+// clock reading can only flow into a metric observation, never into
+// simulation state. A time.Now inside a deferred function body (executed
+// at return, free to flow anywhere) does not qualify.
+func inDeferArgs(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		d, ok := stack[i].(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		return call.Pos() > d.Call.Lparen && call.End() <= d.Call.End()
+	}
+	return false
+}
+
+// checkMapRange flags loops over maps that append to a slice declared
+// outside the loop: the append order is the map's iteration order, which
+// differs run to run. Two escapes: function literals inside the body are
+// skipped (they execute on their own schedule), and a slice that is
+// sorted after the loop is fine — collect-then-sort is the canonical way
+// to iterate a map deterministically.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	fn := analysis.FuncFor(stack)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[dst]
+		if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()) {
+			return true // loop-local accumulator: order never escapes
+		}
+		if sortedAfter(pass, fn, rng, obj) {
+			return true // collect-then-sort: the sort re-establishes order
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s while ranging over a map: the element order is the map's iteration order "+
+				"and changes run to run; sort %s afterwards or range over sorted keys", dst.Name, dst.Name)
+		return true
+	})
+}
+
+// sortFuncs are the sort/slices entry points that re-establish a
+// deterministic order.
+var sortFuncs = map[string]bool{
+	"Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true,
+	"Slice": true, "SliceStable": true, "SortFunc": true, "SortStableFunc": true,
+}
+
+// sortedAfter reports whether the enclosing function sorts the appended
+// slice lexically after the range loop.
+func sortedAfter(pass *analysis.Pass, fn ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil || !sortFuncs[callee.Name()] {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/determinism"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "./...")
+}

@@ -1,0 +1,8 @@
+// Package other sits outside the simulation scope; nothing here is
+// flagged even though it reads the wall clock.
+package other
+
+import "time"
+
+// Now is allowed: other is not a simulation package.
+func Now() time.Time { return time.Now() }

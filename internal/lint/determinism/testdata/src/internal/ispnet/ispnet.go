@@ -1,0 +1,66 @@
+// Package ispnet is a golden-test stand-in for the fleet replay: its
+// import-path suffix puts it inside the determinism scope.
+package ispnet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Replay mixes allowed and forbidden clock and randomness use.
+func Replay(seed int64) float64 {
+	start := time.Now() // want "time.Now in simulation package"
+	_ = start
+
+	defer observe(time.Now()) // telemetry defer-arg idiom: allowed
+
+	defer func() {
+		_ = time.Now() // want "time.Now in simulation package"
+	}()
+
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor: allowed
+	jitter := rng.Float64()               // method on a seeded *rand.Rand: allowed
+	jitter += rand.Float64()              // want "global math/rand.Float64"
+	return jitter
+}
+
+// Banner is the suppression escape hatch: audited, reasoned, greppable.
+func Banner() time.Time {
+	return time.Now() //jouleslint:ignore determinism -- wall clock feeds a log banner, never simulation state
+}
+
+// Order shows the map-iteration rules.
+func Order(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "map's iteration order"
+	}
+
+	for k, v := range m {
+		local := make([]int, 0, 1)
+		local = append(local, v) // loop-local accumulator: allowed
+		_ = local
+		_ = k
+	}
+
+	for k := range m {
+		f := func() { keys = append(keys, k) } // closure body: runs on its own schedule
+		_ = f
+	}
+	return keys
+}
+
+// Sorted is the canonical collect-then-sort idiom: the sort after the
+// loop re-establishes a deterministic order, so the append is allowed.
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// observe stands in for a telemetry histogram observation.
+func observe(time.Time) {}

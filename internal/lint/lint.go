@@ -1,0 +1,112 @@
+// Package lint assembles the jouleslint analyzer suite: the static
+// checks that machine-enforce the repository's simulation, locking,
+// wire-protocol, telemetry, and unit-dimension invariants.
+//
+// The suite runs from cmd/jouleslint (and scripts/lint.sh in CI). Each
+// analyzer lives in its own subpackage with an analysistest golden
+// suite; this package only registers them and drives a run over build
+// patterns. A finding can be suppressed at a specific line with
+//
+//	//jouleslint:ignore <analyzer> -- <why this site is exempt>
+//
+// which is itself auditable by grep.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"fantasticjoules/internal/lint/analysis"
+	"fantasticjoules/internal/lint/deadline"
+	"fantasticjoules/internal/lint/determinism"
+	"fantasticjoules/internal/lint/loader"
+	"fantasticjoules/internal/lint/lockdiscipline"
+	"fantasticjoules/internal/lint/metricname"
+	"fantasticjoules/internal/lint/unitsafety"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		deadline.Analyzer,
+		determinism.Analyzer,
+		lockdiscipline.Analyzer,
+		metricname.Analyzer,
+		unitsafety.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers, erroring on unknown names.
+func ByName(names []string) ([]*analysis.Analyzer, error) {
+	all := Analyzers()
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	out := make([]*analysis.Analyzer, 0, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Finding is one reported diagnostic, positioned for printing.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the file:line:col: [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run loads the patterns and applies the analyzers to every target
+// package, returning the post-suppression findings sorted by position.
+func Run(cfg loader.Config, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	res, err := loader.Load(cfg, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range res.Packages {
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      res.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Dep:       res.Dep,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range analysis.FilterSuppressed(res.Fset, pkg.Syntax, a.Name, diags) {
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: res.Fset.Position(d.Pos), Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

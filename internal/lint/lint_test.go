@@ -1,0 +1,57 @@
+package lint_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"fantasticjoules/internal/lint"
+)
+
+// TestSuiteRegistration pins the multichecker's analyzer set: every
+// analyzer is fully populated and names are unique and sorted, so the
+// -analyzers flag and the docs stay navigable.
+func TestSuiteRegistration(t *testing.T) {
+	all := lint.Analyzers()
+	want := []string{"deadline", "determinism", "lockdiscipline", "metricname", "unitsafety"}
+	if len(all) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	subset, err := lint.ByName([]string{"unitsafety", "deadline"})
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	if len(subset) != 2 || subset[0].Name != "unitsafety" || subset[1].Name != "deadline" {
+		t.Fatalf("ByName returned wrong subset: %v", subset)
+	}
+	if _, err := lint.ByName([]string{"nope"}); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("ByName(nope) error = %v, want unknown-analyzer error", err)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := lint.Finding{
+		Analyzer: "deadline",
+		Pos:      token.Position{Filename: "internal/snmp/client.go", Line: 80, Column: 9},
+		Message:  "Write on a conn without a deadline",
+	}
+	got := f.String()
+	want := "internal/snmp/client.go:80:9: [deadline] Write on a conn without a deadline"
+	if got != want {
+		t.Fatalf("Finding.String() = %q, want %q", got, want)
+	}
+}

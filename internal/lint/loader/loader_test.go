@@ -1,0 +1,72 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	res, err := Load(Config{Dir: repoRoot(t)}, "fantasticjoules/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 1 {
+		t.Fatalf("got %d target packages, want 1", len(res.Packages))
+	}
+	pkg := res.Packages[0]
+	if pkg.PkgPath != "fantasticjoules/internal/units" {
+		t.Fatalf("unexpected package path %q", pkg.PkgPath)
+	}
+	if !pkg.Target {
+		t.Fatal("named package not marked as target")
+	}
+	if pkg.Types.Scope().Lookup("Power") == nil {
+		t.Fatal("units.Power not in package scope")
+	}
+	if pkg.TypesInfo == nil || len(pkg.TypesInfo.Uses) == 0 {
+		t.Fatal("target package has no type info")
+	}
+}
+
+func TestLoadResolvesDeps(t *testing.T) {
+	res, err := Load(Config{Dir: repoRoot(t)}, "fantasticjoules/internal/autopower")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := res.Dep("net")
+	if net == nil {
+		t.Fatal("net not in dependency closure")
+	}
+	if net.Scope().Lookup("Conn") == nil {
+		t.Fatal("net.Conn not found")
+	}
+	if res.Dep("no/such/package") != nil {
+		t.Fatal("Dep invented a package")
+	}
+}
+
+func TestLoadUnknownPattern(t *testing.T) {
+	if _, err := Load(Config{Dir: repoRoot(t)}, "fantasticjoules/internal/nonexistent"); err == nil {
+		t.Fatal("expected error for unknown pattern")
+	}
+}

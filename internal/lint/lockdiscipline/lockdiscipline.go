@@ -1,0 +1,235 @@
+// Package lockdiscipline checks the repository's two locking
+// conventions around the batch device API.
+//
+// First, the *Locked-suffix convention: a function named fooLocked runs
+// with its receiver's mutex already held. Such helpers must not acquire
+// a lock themselves (re-entrant deadlock on Go's non-reentrant mutexes),
+// and may only be called from a context that demonstrably holds the lock
+// — another *Locked function, a method on a lock-owning view type such
+// as device.Step, or a function that locked a mutex (or began a batch
+// Step) earlier in its body.
+//
+// Second, the batch-API convention: the per-interface Router accessors
+// acquire the router mutex on every call, so calling them inside a loop
+// reintroduces exactly the per-step lock churn the BeginStep/Step batch
+// API removed. Loops must resolve handles once and drive a Step.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fantasticjoules/internal/lint/analysis"
+)
+
+// loopMethods are the device.Router accessors whose per-call locking the
+// batch API exists to amortize; calling them in a loop is a finding.
+var loopMethods = map[string]bool{
+	"SetTraffic":       true,
+	"SetTrafficAt":     true,
+	"InterfaceState":   true,
+	"InterfaceStateAt": true,
+}
+
+// heldTypes are receiver type names that represent an already-held
+// router lock; their methods may call *Locked helpers directly.
+// device.Step is the batch view handed out by BeginStep.
+var heldTypes = map[string]bool{"Step": true}
+
+// Analyzer is the lock-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "enforce the *Locked helper convention and the BeginStep/Step batch API: " +
+		"no re-entrant locking, no unheld *Locked calls, no per-interface Router accessors in loops",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkReentrantLock(pass, call, stack)
+		checkUnheldLockedCall(pass, call, stack)
+		checkLoopAccessor(pass, call, stack)
+		return true
+	})
+	return nil
+}
+
+// lockedFuncFor returns the enclosing *Locked function declaration when
+// the call executes on its stack — i.e. with no function literal between
+// (a closure runs on its own schedule, possibly after the lock is gone).
+func lockedFuncFor(stack []ast.Node) *ast.FuncDecl {
+	fn := analysis.FuncFor(stack)
+	fd, ok := fn.(*ast.FuncDecl)
+	if !ok || !strings.HasSuffix(fd.Name.Name, "Locked") {
+		return nil
+	}
+	return fd
+}
+
+// checkReentrantLock flags lock acquisitions inside *Locked helpers.
+func checkReentrantLock(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fd := lockedFuncFor(stack)
+	if fd == nil {
+		return
+	}
+	name, ok := acquisitionName(pass, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s inside %s: *Locked helpers run with the lock already held; acquiring again deadlocks",
+		name, fd.Name.Name)
+}
+
+// acquisitionName reports whether call acquires a lock — sync.Mutex/
+// RWMutex Lock/RLock, or the router batch BeginStep — and names it.
+func acquisitionName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case fn.Pkg().Path() == "sync" && (fn.Name() == "Lock" || fn.Name() == "RLock"):
+		return "sync " + fn.Name(), true
+	case fn.Name() == "BeginStep" && recvIsDeviceType(fn, "Router"):
+		return "BeginStep", true
+	}
+	return "", false
+}
+
+// checkUnheldLockedCall flags calls to *Locked helpers from contexts
+// that do not hold the lock.
+func checkUnheldLockedCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return
+	}
+	if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+		return
+	}
+	fn := analysis.FuncFor(stack)
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			return // Locked → Locked: caller already holds it
+		}
+		if recvTypeName(fd) != "" && heldTypes[recvTypeName(fd)] {
+			return // method on a lock-owning view (device.Step)
+		}
+	}
+	if fn != nil && acquiresBefore(pass, fn, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s without holding the lock: callers must lock the mutex (or hold a BeginStep batch) first",
+		sel.Sel.Name)
+}
+
+// acquiresBefore reports whether the function body contains a lock
+// acquisition lexically before pos, outside nested function literals.
+func acquiresBefore(pass *analysis.Pass, fn ast.Node, call *ast.CallExpr) bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && c.Pos() < call.Pos() {
+			if _, acquires := acquisitionName(pass, c); acquires {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recvTypeName returns the name of a method's receiver type, or "".
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkLoopAccessor flags per-interface Router accessors called inside a
+// loop body (function literals reset the loop context: a closure defined
+// in a loop runs per call, not per iteration).
+func checkLoopAccessor(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !loopMethods[sel.Sel.Name] {
+		return
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || !recvIsDeviceType(fn, "Router") {
+		return
+	}
+	if !insideLoop(stack) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"per-interface %s in a loop acquires the router lock every iteration; "+
+			"resolve handles once and batch the loop under BeginStep/Step", sel.Sel.Name)
+}
+
+// insideLoop reports whether the innermost enclosing statement context is
+// a for/range loop (stopping at function boundaries).
+func insideLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// recvIsDeviceType reports whether fn is a method whose receiver is the
+// named type in the device package (by import-path suffix, so the golden
+// trees' fake internal/device matches too).
+func recvIsDeviceType(fn *types.Func, typeName string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil &&
+		analysis.PkgPathMatches(obj.Pkg().Path(), []string{"internal/device"})
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/lockdiscipline"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockdiscipline.Analyzer, "./...")
+}

@@ -1,0 +1,51 @@
+// Package consumer drives the fake device both the per-interface way
+// (lock churn in loops: flagged) and the batch way (approved).
+package consumer
+
+import "internal/device"
+
+// Slow drives per-interface accessors inside loops.
+func Slow(r *device.Router, names []string, bits []float64) {
+	for i, name := range names {
+		_ = r.SetTraffic(name, bits[i], 0) // want "per-interface SetTraffic in a loop"
+	}
+	for _, name := range names {
+		_, _, _ = r.InterfaceState(name) // want "per-interface InterfaceState in a loop"
+	}
+}
+
+// Batch resolves handles once and drives a Step: the approved shape.
+// Step.SetTraffic shares its name with the flagged accessor but carries
+// the lock in its receiver, so loops over it are fine.
+func Batch(r *device.Router, names []string, bits []float64) error {
+	handles := make([]device.Handle, len(names))
+	for i, name := range names {
+		h, err := r.Handle(name)
+		if err != nil {
+			return err
+		}
+		handles[i] = h
+	}
+	step := r.BeginStep()
+	defer step.End()
+	for i, h := range handles {
+		if err := step.SetTraffic(h, bits[i], 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Single is a one-off accessor call outside any loop: allowed.
+func Single(r *device.Router, name string) error {
+	return r.SetTraffic(name, 1, 0)
+}
+
+// Deferred shows that a closure defined in a loop runs per call, not
+// per iteration: the loop context does not reach its body.
+func Deferred(r *device.Router, names []string) func() {
+	for _, name := range names {
+		return func() { _ = r.SetTraffic(name, 1, 0) }
+	}
+	return nil
+}

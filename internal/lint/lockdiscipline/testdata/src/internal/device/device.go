@@ -1,0 +1,59 @@
+// Package device is a golden-test stand-in for the batch device model:
+// a Router with per-interface accessors, a BeginStep/Step batch API, and
+// *Locked helpers.
+package device
+
+import "sync"
+
+// Router is the device under test.
+type Router struct {
+	mu   sync.Mutex
+	bits map[string]float64
+}
+
+// Handle is a pre-resolved interface index.
+type Handle int
+
+// Step is the lock-owning batch view handed out by BeginStep.
+type Step struct{ r *Router }
+
+// Handle resolves an interface name once, ahead of a batch.
+func (r *Router) Handle(name string) (Handle, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return 0, nil
+}
+
+// BeginStep locks the router and returns the batch view.
+func (r *Router) BeginStep() Step {
+	r.mu.Lock()
+	return Step{r: r}
+}
+
+// End releases the router lock.
+func (s Step) End() { s.r.mu.Unlock() }
+
+// SetTraffic is the per-interface accessor form: it locks on every call.
+func (r *Router) SetTraffic(name string, bits, pkts float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setTrafficLocked(name, bits)
+}
+
+// SetTraffic is the batch form: the Step already holds the lock.
+func (s Step) SetTraffic(h Handle, bits, pkts float64) error {
+	return s.r.setTrafficLocked("", bits)
+}
+
+// InterfaceState is the per-interface accessor form.
+func (r *Router) InterfaceState(name string) (bool, bool, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return true, true, true
+}
+
+// setTrafficLocked mutates state with r.mu held.
+func (r *Router) setTrafficLocked(name string, bits float64) error {
+	r.bits[name] = bits
+	return nil
+}

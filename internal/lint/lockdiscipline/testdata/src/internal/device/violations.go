@@ -1,0 +1,36 @@
+package device
+
+// badLocked acquires inside a *Locked helper: re-entrant deadlock.
+func (r *Router) badLocked(name string) {
+	r.mu.Lock() // want "sync Lock inside badLocked"
+	r.bits[name] = 0
+}
+
+// batchLocked begins a batch step inside a *Locked helper: BeginStep
+// takes the same mutex the helper's contract says is already held.
+func (r *Router) batchLocked() {
+	s := r.BeginStep() // want "BeginStep inside batchLocked"
+	s.End()
+}
+
+// Reset calls a *Locked helper without holding the lock.
+func (r *Router) Reset(name string) error {
+	return r.setTrafficLocked(name, 0) // want "without holding the lock"
+}
+
+// Drain locks first; the *Locked call downstream of it is fine.
+func (r *Router) Drain(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.setTrafficLocked(name, 0)
+}
+
+// Spawn shows that a closure does not inherit the caller's lock: it may
+// run after the mutex is long gone.
+func (r *Router) Spawn(name string) func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() {
+		_ = r.setTrafficLocked(name, 0) // want "without holding the lock"
+	}
+}

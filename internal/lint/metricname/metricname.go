@@ -1,0 +1,149 @@
+// Package metricname checks telemetry metric registrations against the
+// exposition naming rules the dashboards and docs rely on: snake_case,
+// subsystem-prefixed, counters ending in _total, histograms carrying a
+// base-unit suffix, and names known at compile time.
+//
+// The telemetry registry deliberately accepts any string — names are
+// data — so nothing at runtime stops a misnamed metric from silently
+// diverging from the catalog in README/EXPERIMENTS. This analyzer moves
+// that contract to build time.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"fantasticjoules/internal/lint/analysis"
+)
+
+// Analyzer is the metric-naming check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "telemetry registrations must use constant snake_case subsystem-prefixed names; " +
+		"counters end in _total, histograms in a base-unit suffix",
+	Run: run,
+}
+
+// registerMethods maps the Registry methods to their metric kind.
+var registerMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+}
+
+// nameRE is the allowed shape: lower-case snake_case with at least two
+// tokens, the first being the owning subsystem.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// unitSuffixes are the histogram base units in use across the repo.
+var unitSuffixes = []string{"_seconds", "_bytes", "_joules", "_watts", "_bits", "_ratio"}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := registryCall(pass, call)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name, ok := constantName(pass, call.Args[0])
+		if !ok {
+			pass.Reportf(call.Args[0].Pos(),
+				"%s name is not a compile-time constant: metric names are part of the exposition "+
+					"contract and must be auditable statically (labels go through telemetry.Label)", kind)
+			return true
+		}
+		check(pass, call.Args[0].Pos(), kind, name)
+		return true
+	})
+	return nil
+}
+
+// check validates one registered base name.
+func check(pass *analysis.Pass, pos token.Pos, kind, name string) {
+	base, _, _ := strings.Cut(name, "{")
+	switch {
+	case !nameRE.MatchString(base):
+		pass.Reportf(pos, "%s %q is not snake_case with a subsystem prefix (want subsystem_name[_unit])", kind, base)
+	case kind == "counter" && !strings.HasSuffix(base, "_total"):
+		pass.Reportf(pos, "counter %q must end in _total", base)
+	case kind != "counter" && strings.HasSuffix(base, "_total"):
+		pass.Reportf(pos, "%s %q must not end in _total (that suffix promises a monotonic counter)", kind, base)
+	case kind == "histogram" && !hasUnitSuffix(base):
+		pass.Reportf(pos, "histogram %q needs a base-unit suffix (%s)", base, strings.Join(unitSuffixes, ", "))
+	}
+}
+
+// hasUnitSuffix reports whether a histogram name ends in a known unit.
+func hasUnitSuffix(base string) bool {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(base, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// registryCall reports whether call registers a metric on a
+// telemetry.Registry and returns its kind.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok := registerMethods[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "", false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil ||
+		!analysis.PkgPathMatches(obj.Pkg().Path(), []string{"internal/telemetry"}) {
+		return "", false
+	}
+	return kind, true
+}
+
+// constantName resolves a metric-name argument to its constant string
+// value, looking through telemetry.Label calls (whose first argument is
+// the base name; label values may be dynamic).
+func constantName(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	arg = ast.Unparen(arg)
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil || fn.Name() != "Label" || fn.Pkg() == nil ||
+		!analysis.PkgPathMatches(fn.Pkg().Path(), []string{"internal/telemetry"}) {
+		return "", false
+	}
+	return constantName(pass, call.Args[0])
+}

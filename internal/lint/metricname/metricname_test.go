@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/metricname"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricname.Analyzer, "./...")
+}

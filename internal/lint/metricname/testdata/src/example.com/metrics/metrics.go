@@ -1,0 +1,29 @@
+// Package metrics registers metrics with good and bad names.
+package metrics
+
+import "internal/telemetry"
+
+var reg = telemetry.Default()
+
+var (
+	good     = reg.Counter("snmp_requests_total", "requests issued")
+	noTotal  = reg.Counter("snmp_requests", "requests issued")        // want "must end in _total"
+	gaugeTot = reg.Gauge("snmp_inflight_total", "in-flight requests") // want "must not end in _total"
+	camel    = reg.Counter("snmpRequests_total", "requests issued")   // want "not snake_case"
+	oneWord  = reg.Gauge("inflight", "in-flight requests")            // want "not snake_case"
+	okGauge  = reg.Gauge("snmp_inflight_requests", "in-flight requests")
+	histOK   = reg.Histogram("snmp_poll_seconds", "poll latency", nil)
+	histBad  = reg.Histogram("snmp_poll_duration", "poll latency", nil) // want "base-unit suffix"
+	labeled  = reg.Counter(`snmp_errors_total{kind="timeout"}`, "timeouts")
+)
+
+// Dynamic shows the compile-time-constant rule and the Label escape:
+// label values may be runtime data, base names may not.
+func Dynamic(suffix, router string) {
+	reg.Counter("snmp_"+suffix+"_total", "per-kind count") // want "not a compile-time constant"
+	reg.Histogram(telemetry.Label("snmp_poll_seconds", "router", router), "poll latency", nil)
+	reg.Histogram(telemetry.Label("snmpPoll_seconds", "router", router), "poll latency", nil) // want "not snake_case"
+
+	const name = "snmp_polls_total"
+	reg.Counter(name, "polls issued")
+}

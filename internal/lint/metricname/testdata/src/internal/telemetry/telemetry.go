@@ -1,0 +1,29 @@
+// Package telemetry is a golden-test stand-in for the metrics registry.
+package telemetry
+
+// Registry registers metrics by name.
+type Registry struct{}
+
+// Counter is a monotonic counter.
+type Counter struct{}
+
+// Gauge is a point-in-time value.
+type Gauge struct{}
+
+// Histogram is a bucketed distribution.
+type Histogram struct{}
+
+// Default returns the process-wide registry.
+func Default() *Registry { return &Registry{} }
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram { return &Histogram{} }
+
+// Label renders name{k="v",...} from alternating key/value pairs.
+func Label(name string, kv ...string) string { return name }

@@ -1,0 +1,33 @@
+// Package physics exercises the three unit-safety rules.
+package physics
+
+import "internal/units"
+
+// Products shows rule 1: unit×unit is dimension-blind, scalar scaling
+// with constants is fine, and float64 extraction is the approved fix.
+func Products(p, q units.Power) units.Power {
+	bad := p * q // want "dimension-blind Power \\* Power"
+	scaled := p * 3
+	halved := q / 2
+	wattsSquared := p.Watts() * q.Watts()
+	_ = wattsSquared
+	return bad + scaled + halved
+}
+
+// Conversions shows rule 2: relabeling a dimension via conversion.
+func Conversions(p units.Power, dt float64) units.Energy {
+	bad := units.Energy(p) // want "direct conversion Energy\\(Power\\)"
+	good := units.Energy(p.Watts() * dt)
+	fromConst := units.Energy(3600)
+	_ = fromConst
+	return bad + good
+}
+
+// Literals shows rule 3: bare numbers hide which unit they are in.
+func Literals(r units.BitRate) units.PacketRate {
+	bad := units.PacketRateFor(r, 353, 24) // want "bare literal 353" "bare literal 24"
+	good := units.PacketRateFor(r, units.ByteSize(353), units.ByteSize(24))
+	zero := units.PacketRateFor(r, 0, 0)
+	_ = zero
+	return bad + good
+}

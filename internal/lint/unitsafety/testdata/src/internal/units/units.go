@@ -1,0 +1,34 @@
+// Package units is a golden-test stand-in for the quantity types.
+package units
+
+// Power is watts.
+type Power float64
+
+// Energy is joules.
+type Energy float64
+
+// BitRate is bits per second.
+type BitRate float64
+
+// PacketRate is packets per second.
+type PacketRate float64
+
+// ByteSize is a size in bytes.
+type ByteSize float64
+
+// Watt is one watt.
+const Watt Power = 1
+
+// GigabitPerSecond is 1e9 bits per second.
+const GigabitPerSecond BitRate = 1e9
+
+// Watts unwraps to a float64.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Joules unwraps to a float64.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// PacketRateFor derives a packet rate from a bit rate and frame size.
+func PacketRateFor(r BitRate, packet, header ByteSize) PacketRate {
+	return PacketRate(float64(r) / ((float64(packet) + float64(header)) * 8))
+}

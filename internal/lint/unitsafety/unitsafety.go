@@ -1,0 +1,225 @@
+// Package unitsafety checks the dimensional discipline of the
+// internal/units quantity types.
+//
+// Go's type identity prevents adding watts to joules, but it cannot
+// track dimensions through multiplication: Power × Power type-checks and
+// stays Power, and Energy(p) converts watts straight into joules. Both
+// compile, both are wrong physics, and both are exactly the W·h-vs-W
+// class of mixup the units package exists to prevent. This analyzer
+// closes the gap with three rules:
+//
+//  1. multiplying or dividing two non-constant unit quantities is
+//     dimension-blind — extract plain float64s (p.Watts(), e.Joules())
+//     and convert the result explicitly;
+//  2. converting one unit type directly to another (Energy(power))
+//     silently relabels the dimension — route through float64
+//     arithmetic that makes the physics visible;
+//  3. passing a bare non-zero numeric literal where a function expects a
+//     unit quantity hides which unit the number is in — name it with a
+//     conversion (units.ByteSize(24)) or a package constant.
+//
+// Scalar scaling with constants (3 * units.Kilowatt, speed*2) stays
+// legal: a constant operand is an untyped scalar in spirit, and zero
+// literals are unambiguous.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fantasticjoules/internal/lint/analysis"
+)
+
+// unitTypes are the quantity types of internal/units.
+var unitTypes = map[string]bool{
+	"Power":      true,
+	"Energy":     true,
+	"BitRate":    true,
+	"PacketRate": true,
+	"ByteSize":   true,
+}
+
+// Analyzer is the unit-safety check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "flag dimension-blind arithmetic on internal/units quantities: unit×unit products, " +
+		"direct cross-unit conversions, and bare numeric literals passed as unit values",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkProduct(pass, n)
+		case *ast.CallExpr:
+			checkConversion(pass, n)
+			checkLiteralArgs(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// unitName returns the unit type's name when t is one of the
+// internal/units quantities.
+func unitName(t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !unitTypes[obj.Name()] ||
+		!analysis.PkgPathMatches(obj.Pkg().Path(), []string{"internal/units"}) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// operand describes one side of a binary expression.
+func operand(pass *analysis.Pass, e ast.Expr) (name string, isUnit, isConst bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return "", false, false
+	}
+	name, isUnit = unitName(tv.Type)
+	return name, isUnit, tv.Value != nil
+}
+
+// checkProduct flags unit×unit and unit÷unit between non-constant
+// operands (rule 1).
+func checkProduct(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL && bin.Op != token.QUO {
+		return
+	}
+	ln, lUnit, lConst := operand(pass, bin.X)
+	rn, rUnit, rConst := operand(pass, bin.Y)
+	if !lUnit || !rUnit || lConst || rConst {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"dimension-blind %s %s %s: the result stays typed %s but is not %s-dimensioned; "+
+			"extract plain float64s and convert the result explicitly",
+		ln, bin.Op, rn, ln, unitWord(ln))
+}
+
+// unitWord names a unit type's dimension for diagnostics.
+func unitWord(name string) string {
+	switch name {
+	case "Power":
+		return "watt"
+	case "Energy":
+		return "joule"
+	case "BitRate":
+		return "bit-rate"
+	case "PacketRate":
+		return "packet-rate"
+	default:
+		return "byte"
+	}
+}
+
+// checkConversion flags direct conversions between two different unit
+// types (rule 2).
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	to, ok := unitName(tv.Type)
+	if !ok {
+		return
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || argTV.Value != nil { // converting a constant picks its unit; fine
+		return
+	}
+	from, ok := unitName(argTV.Type)
+	if !ok || from == to {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"direct conversion %s(%s) relabels the dimension without arithmetic; "+
+			"write the physics in plain float64 (e.g. units.%s(x.%ss() * factor))",
+		to, from, to, from)
+}
+
+// checkLiteralArgs flags bare non-zero numeric literals passed where a
+// parameter has a unit type (rule 3).
+func checkLiteralArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversions ARE the fix for rule 3
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		lit := bareLiteral(arg)
+		if lit == nil {
+			continue
+		}
+		param := paramAt(sig, i)
+		if param == nil {
+			continue
+		}
+		name, ok := unitName(param)
+		if !ok {
+			continue
+		}
+		if v, ok := pass.TypesInfo.Types[arg]; ok && v.Value != nil && isZero(v) {
+			continue // zero is zero in every unit
+		}
+		pass.Reportf(arg.Pos(),
+			"bare literal %s passed as units.%s: name the quantity (units.%s(%s) or a package constant) "+
+				"so the unit is visible at the call site", lit.Value, name, name, lit.Value)
+	}
+}
+
+// bareLiteral unwraps parens and unary +/- down to a numeric literal.
+func bareLiteral(e ast.Expr) *ast.BasicLit {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			if v.Op != token.ADD && v.Op != token.SUB {
+				return nil
+			}
+			e = v.X
+		case *ast.BasicLit:
+			if v.Kind == token.INT || v.Kind == token.FLOAT {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// isZero reports whether a constant value is numerically zero.
+func isZero(tv types.TypeAndValue) bool {
+	return tv.Value.String() == "0"
+}
+
+// paramAt returns the type of the i-th parameter, handling variadics.
+func paramAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return slice.Elem()
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}

@@ -243,7 +243,7 @@ func (m *Model) Predict(cfg Config) (Breakdown, error) {
 		if !ok {
 			return Breakdown{}, fmt.Errorf("linecard %q: %w", lc, ErrUnknownProfile)
 		}
-		b.Linecard += units.Power(float64(n)) * pw
+		b.Linecard += units.Power(float64(n) * pw.Watts())
 	}
 	return b, nil
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
 
 // HandlerFunc produces the current value of one MIB object. Handlers run
@@ -157,6 +158,9 @@ func (a *Agent) Close() error {
 
 func (a *Agent) serve(conn net.PacketConn) {
 	defer a.wg.Done()
+	// Reads are deliberately unbounded: the agent parks on the next
+	// datagram until Close tears the socket down and fails ReadFrom.
+	_ = conn.SetReadDeadline(time.Time{})
 	buf := make([]byte, 65535)
 	for {
 		n, raddr, err := conn.ReadFrom(buf)
@@ -188,6 +192,9 @@ func (a *Agent) serve(conn net.PacketConn) {
 				continue
 			}
 		}
+		// A response is a single datagram; a short write deadline keeps a
+		// jammed socket from wedging the serve loop between reads.
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
 		_, _ = conn.WriteTo(out, raddr)
 	}
 }

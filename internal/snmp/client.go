@@ -77,15 +77,17 @@ func (c *Client) roundTrip(req PDU) (PDU, error) {
 	// past the budget, no matter how the attempt loop interleaves.
 	budget := time.Now().Add(time.Duration(attempts) * c.opts.Timeout)
 	for attempt := 0; attempt < attempts; attempt++ {
-		if _, err := c.conn.Write(out); err != nil {
-			return PDU{}, fmt.Errorf("snmp: send: %w", err)
-		}
 		deadline := time.Now().Add(c.opts.Timeout)
 		if deadline.After(budget) {
 			deadline = budget
 		}
-		if err := c.conn.SetReadDeadline(deadline); err != nil {
+		// Both directions share the per-attempt deadline: a full socket
+		// buffer must not stall the send past the budget either.
+		if err := c.conn.SetDeadline(deadline); err != nil {
 			return PDU{}, err
+		}
+		if _, err := c.conn.Write(out); err != nil {
+			return PDU{}, fmt.Errorf("snmp: send: %w", err)
 		}
 		for {
 			n, err := c.conn.Read(buf)

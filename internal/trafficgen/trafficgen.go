@@ -100,17 +100,19 @@ func ForRate(rate units.BitRate) Generator {
 // carries the flow once in each direction, i.e. a bidirectional rate sum
 // equal to the offered rate. It returns the number of interfaces loaded.
 func ApplySnake(r *device.Router, load Load) (int, error) {
+	names, handles, err := resolveHandles(r)
+	if err != nil {
+		return 0, err
+	}
 	n := 0
-	for _, name := range r.InterfaceNames() {
-		_, _, operUp, _, err := r.InterfaceState(name)
-		if err != nil {
-			return n, err
-		}
-		if !operUp {
+	step := r.BeginStep()
+	defer step.End()
+	for i, h := range handles {
+		if _, _, operUp := step.InterfaceState(h); !operUp {
 			continue
 		}
-		if err := r.SetTraffic(name, load.Bits, load.Packets); err != nil {
-			return n, fmt.Errorf("trafficgen: snake on %s: %w", name, err)
+		if err := step.SetTraffic(h, load.Bits, load.Packets); err != nil {
+			return n, fmt.Errorf("trafficgen: snake on %s: %w", names[i], err)
 		}
 		n++
 	}
@@ -119,19 +121,36 @@ func ApplySnake(r *device.Router, load Load) (int, error) {
 
 // StopSnake removes the snake load from every operational interface.
 func StopSnake(r *device.Router) error {
-	for _, name := range r.InterfaceNames() {
-		_, _, operUp, _, err := r.InterfaceState(name)
-		if err != nil {
-			return err
-		}
-		if !operUp {
+	names, handles, err := resolveHandles(r)
+	if err != nil {
+		return err
+	}
+	step := r.BeginStep()
+	defer step.End()
+	for i, h := range handles {
+		if _, _, operUp := step.InterfaceState(h); !operUp {
 			continue
 		}
-		if err := r.SetTraffic(name, 0, 0); err != nil {
-			return err
+		if err := step.SetTraffic(h, 0, 0); err != nil {
+			return fmt.Errorf("trafficgen: unload %s: %w", names[i], err)
 		}
 	}
 	return nil
+}
+
+// resolveHandles resolves every interface once, ahead of a batch step —
+// Handle locks the router, so it must run before BeginStep.
+func resolveHandles(r *device.Router) ([]string, []device.Handle, error) {
+	names := r.InterfaceNames()
+	handles := make([]device.Handle, len(names))
+	for i, name := range names {
+		h, err := r.Handle(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		handles[i] = h
+	}
+	return names, handles, nil
 }
 
 // Diurnal models the daily and weekly traffic rhythm of an ISP network:

@@ -12,9 +12,19 @@
 #
 # When the output is not BENCH_0.json itself and a BENCH_0.json baseline
 # exists, a benchstat-style delta table (time/op, B/op, allocs/op with
-# percent change per benchmark) is printed against that baseline.
+# percent change per benchmark) is printed against that baseline, and the
+# run fails (exit 1) when any benchmark's time/op regressed by more than
+# BENCH_GATE_PCT percent (default 20) — that failure is what lets the
+# bench-hotpath CI job actually gate. Benchmarks whose baseline time/op
+# is under BENCH_GATE_FLOOR_NS (default 1e6 ns) are reported but not
+# judged: a single -benchtime=1x iteration of a microsecond-scale
+# benchmark is scheduler noise, not signal.
 set -eu
 cd "$(dirname "$0")/.."
+
+# Preflight: the benchmarks time code that must first pass the repo's own
+# static analyzers — a run over lint-dirty code is not worth recording.
+scripts/lint.sh
 
 label="${1:-}"
 [ "$#" -gt 0 ] && shift
@@ -56,7 +66,7 @@ echo "wrote $out" >&2
 # JSON we just wrote (one "name": {...} entry per line), so no extra tools.
 base="BENCH_0.json"
 if [ -e "$base" ] && [ "$out" != "$base" ]; then
-    awk -v base="$base" '
+    awk -v base="$base" -v gate="${BENCH_GATE_PCT:-20}" -v floor="${BENCH_GATE_FLOOR_NS:-1000000}" '
     function metric(s, key,   m) {
         if (match(s, "\"" key "\": [0-9.eE+-]+")) {
             m = substr(s, RSTART, RLENGTH)
@@ -100,5 +110,24 @@ if [ -e "$base" ] && [ "$out" != "$base" ]; then
         section("time/op (ns)", b_ns, n_ns)
         section("alloc/op (B)", b_by, n_by)
         section("allocs/op", b_al, n_al)
-    }' "$base" "$out" >&2
+        # Regression gate: fail on any time/op increase beyond the
+        # threshold. Only benchmarks present in both files and above the
+        # baseline-time floor are judged.
+        bad = 0
+        for (i = 0; i < n_names; i++) {
+            name = names[i]
+            if (!(name in in_base)) continue
+            ov = b_ns[name]; cv = n_ns[name]
+            if (ov == "" || cv == "" || ov + 0 < floor + 0) continue
+            pct = (cv - ov) / ov * 100
+            if (pct > gate + 0) {
+                printf "bench: %s time/op regressed %+.1f%% (gate %s%%)\n", name, pct, gate
+                bad = 1
+            }
+        }
+        exit bad
+    }' "$base" "$out" >&2 || {
+        echo "bench: FAIL — time/op regression beyond ${BENCH_GATE_PCT:-20}% vs $base" >&2
+        exit 1
+    }
 fi

@@ -22,6 +22,14 @@ if ! go vet ./...; then
     fail=1
 fi
 
+# The repo's own analyzers ride along with vet: the documented invariants
+# below (package docs, export docs) are only half the contract — the
+# machine-checked half lives in cmd/jouleslint.
+echo "doccheck: jouleslint"
+if ! go run ./cmd/jouleslint ./...; then
+    fail=1
+fi
+
 echo "doccheck: package doc comments"
 for dir in internal/*/; do
     pkg=$(basename "$dir")

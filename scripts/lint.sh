@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# lint.sh — jouleslint gate for CI.
+#
+# Runs the repository's custom static-analyzer suite (cmd/jouleslint)
+# over every package: determinism of the simulation packages, the
+# *Locked/BeginStep lock discipline, deadline coverage on the collection
+# plane's conns, telemetry metric naming, and unit-dimension safety.
+#
+# jouleslint exits 1 on findings and 2 on load errors; both fail the
+# gate. Individual findings are suppressed in the source with
+# `//jouleslint:ignore <analyzer> -- <reason>`, never here.
+set -u
+cd "$(dirname "$0")/.."
+
+echo "lint: jouleslint ./..."
+if ! go run ./cmd/jouleslint ./...; then
+    echo "lint: FAIL" >&2
+    exit 1
+fi
+echo "lint: ok"
