@@ -12,11 +12,14 @@ package fantasticjoules
 // and see EXPERIMENTS.md for paper-vs-measured values.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"fantasticjoules/internal/experiments"
+	"fantasticjoules/internal/ispnet"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/stats"
 	"fantasticjoules/internal/units"
@@ -203,6 +206,87 @@ func BenchmarkAblationSweepDensity(b *testing.B) {
 		if _, err := s.AblationSweepDensity(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Incremental recomputation (DESIGN.md §11) ---
+
+// BenchmarkFig1Incremental times the perturb-and-remeasure loop the
+// incremental path exists for: scale one router's offered load, then
+// re-request Fig. 1. Only the dirty router's shard replays and only the
+// artifacts downstream of the dataset recompute — compare against
+// BenchmarkFig1NetworkPowerTraffic's cold first iteration. A dedicated
+// suite keeps the perturbations out of the shared benchmark suite.
+func BenchmarkFig1Incremental(b *testing.B) {
+	s := experiments.New(42)
+	if _, err := s.Fig1(); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := s.Dataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := ds.Network.AutopowerRouters()[0].Name
+	at := ds.Network.Config.Start.Add(21 * 24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate scale-up and the exact inverse so the merged schedule
+		// stays bounded while each iteration dirties exactly one router.
+		factor := 1.5
+		if i%2 == 1 {
+			factor = 1 / 1.5
+		}
+		if err := s.Perturb(ispnet.FleetEvent{
+			At: at, Router: router, Op: ispnet.OpScaleLoad, Factor: factor,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResimulatePerturbed times the fleet layer alone: Perturb +
+// Resimulate with 1 and 10 dirty routers out of the full fleet, at the
+// suite's dataset resolution. The replay cost should scale with the
+// dirty count, not the fleet size.
+func BenchmarkResimulatePerturbed(b *testing.B) {
+	for _, dirty := range []int{1, 10} {
+		b.Run(fmt.Sprintf("routers=%d", dirty), func(b *testing.B) {
+			f, err := ispnet.NewFleet(ispnet.Config{
+				Seed:          42,
+				SNMPStep:      15 * time.Minute,
+				AutopowerStep: 5 * time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			routers := f.Network().Routers
+			if dirty > len(routers) {
+				b.Fatalf("fleet has %d routers, need %d", len(routers), dirty)
+			}
+			at := f.Network().Config.Start.Add(21 * 24 * time.Hour)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				factor := 1.5
+				if i%2 == 1 {
+					factor = 1 / 1.5
+				}
+				evs := make([]ispnet.FleetEvent, dirty)
+				for j := 0; j < dirty; j++ {
+					evs[j] = ispnet.FleetEvent{
+						At: at, Router: routers[j].Name, Op: ispnet.OpScaleLoad, Factor: factor,
+					}
+				}
+				if err := f.Perturb(evs...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.Resimulate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

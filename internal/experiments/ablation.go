@@ -154,7 +154,20 @@ type SmoothingResult struct {
 // AblationSmoothing sweeps the Fig. 4 smoothing window and reports the
 // offset-corrected residual: wider windows suppress meter and jitter
 // noise until real events dominate.
+//
+// The sweep is the repo's smoothing hot path: every window smooths the
+// full-resolution Autopower trace and the model prediction. All
+// intermediates run through arena scratch buffers (SmoothInto/
+// BetweenInto/SubInto), so repeated sweeps — and the perturb-and-
+// remeasure loop that invalidates this cell — allocate almost nothing.
 func (s *Suite) AblationSmoothing() ([]SmoothingResult, error) {
+	return s.smoothing.get(func() ([]SmoothingResult, error) {
+		defer observeArtifact("ablation-smoothing", time.Now())
+		return s.ablationSmoothingUncached()
+	})
+}
+
+func (s *Suite) ablationSmoothingUncached() ([]SmoothingResult, error) {
 	ds, err := s.Dataset()
 	if err != nil {
 		return nil, err
@@ -173,11 +186,7 @@ func (s *Suite) AblationSmoothing() ([]SmoothingResult, error) {
 		return nil, fmt.Errorf("ablation: no 8201-32FH fig4 row")
 	}
 	raw := ds.Autopower[target.Router]
-	m, err := s.DerivedModel(target.Model, deployedProfiles(ds, target.Router, target.Model))
-	if err != nil {
-		return nil, err
-	}
-	pred, err := PredictFromCounters(m, ds, target.Router)
+	pred, err := s.prediction(ds, target.Router, target.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -186,18 +195,19 @@ func (s *Suite) AblationSmoothing() ([]SmoothingResult, error) {
 	// rather than inventory mismatches.
 	quietFrom := ds.Network.Config.Start.Add(5 * 24 * time.Hour)
 	quietTo := ds.Network.Config.Start.Add(20 * 24 * time.Hour)
+	smoothed, ap, pr, diff := s.scratch.get(), s.scratch.get(), s.scratch.get(), s.scratch.get()
+	defer s.scratch.put(smoothed, ap, pr, diff)
 	var out []SmoothingResult
 	for _, w := range []time.Duration{0, 5 * time.Minute, 30 * time.Minute, 2 * time.Hour} {
-		ap := raw.Smooth(w).Between(quietFrom, quietTo)
-		pr := pred.Smooth(w).Between(quietFrom, quietTo)
-		diff, err := timeseries.Sub(ap, pr)
-		if err != nil {
+		raw.SmoothInto(w, smoothed).BetweenInto(quietFrom, quietTo, ap)
+		pred.SmoothInto(w, smoothed).BetweenInto(quietFrom, quietTo, pr)
+		if _, err := timeseries.SubInto(ap, pr, diff); err != nil {
 			return nil, err
 		}
 		med := diff.Median()
 		var ss float64
-		for _, p := range diff.Points() {
-			d := p.V - med
+		for i := 0; i < diff.Len(); i++ {
+			d := diff.Value(i) - med
 			ss += d * d
 		}
 		out = append(out, SmoothingResult{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"fantasticjoules/internal/device"
 	"fantasticjoules/internal/model"
@@ -33,6 +34,13 @@ type BaselineRow struct {
 // with (a) the lab-derived model and (b) the datasheet interpolation, and
 // reports both errors against the external measurement.
 func (s *Suite) Baselines() ([]BaselineRow, error) {
+	return s.baselines.get(func() ([]BaselineRow, error) {
+		defer observeArtifact("baselines", time.Now())
+		return s.baselinesUncached()
+	})
+}
+
+func (s *Suite) baselinesUncached() ([]BaselineRow, error) {
 	ds, err := s.Dataset()
 	if err != nil {
 		return nil, err
@@ -68,31 +76,30 @@ func (s *Suite) Baselines() ([]BaselineRow, error) {
 		if total == nil {
 			return nil, fmt.Errorf("baseline: no traffic for %s", r.Name)
 		}
-		basePred := timeseries.New(r.Name + ".baseline")
-		for _, p := range total.Points() {
-			basePred.Append(p.T, baseline.PredictPower(units.BitRate(p.V)).Watts())
+		basePred := timeseries.NewWithCap(r.Name+".baseline", total.Len())
+		for i := 0; i < total.Len(); i++ {
+			basePred.Append(total.At(i).T, baseline.PredictPower(units.BitRate(total.Value(i))).Watts())
 		}
 
-		labModel, err := s.DerivedModel(r.Device.Model(), deployedProfiles(ds, r.Name, r.Device.Model()))
-		if err != nil {
-			return nil, err
-		}
-		labPred, err := PredictFromCounters(labModel, ds, r.Name)
+		labPred, err := s.prediction(ds, r.Name, r.Device.Model())
 		if err != nil {
 			return nil, err
 		}
 
-		truth := ds.Autopower[r.Name].Smooth(SmoothingWindow)
-		labMAE, err := maeAgainst(truth, labPred.Smooth(SmoothingWindow))
+		truth, smoothed, diff := s.scratch.get(), s.scratch.get(), s.scratch.get()
+		ds.Autopower[r.Name].SmoothInto(SmoothingWindow, truth)
+		labMAE, err := s.maeAgainst(truth, labPred.SmoothInto(SmoothingWindow, smoothed))
 		if err != nil {
+			s.scratch.put(truth, smoothed, diff)
 			return nil, err
 		}
-		baseMAE, err := maeAgainst(truth, basePred.Smooth(SmoothingWindow))
+		baseMAE, err := s.maeAgainst(truth, basePred.SmoothInto(SmoothingWindow, smoothed))
 		if err != nil {
+			s.scratch.put(truth, smoothed, diff)
 			return nil, err
 		}
-		diff, err := timeseries.Sub(basePred, ds.Autopower[r.Name])
-		if err != nil {
+		if _, err := timeseries.SubInto(basePred, ds.Autopower[r.Name], diff); err != nil {
+			s.scratch.put(truth, smoothed, diff)
 			return nil, err
 		}
 		rows = append(rows, BaselineRow{
@@ -102,21 +109,23 @@ func (s *Suite) Baselines() ([]BaselineRow, error) {
 			BaselineMAE:  baseMAE,
 			BaselineBias: units.Power(diff.Median()),
 		})
+		s.scratch.put(truth, smoothed, diff)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Model < rows[j].Model })
 	return rows, nil
 }
 
 // maeAgainst aligns prediction to truth and returns the mean absolute
-// error.
-func maeAgainst(truth, pred *timeseries.Series) (units.Power, error) {
-	diff, err := timeseries.Sub(truth, pred)
-	if err != nil {
+// error. The difference series lives in arena scratch.
+func (s *Suite) maeAgainst(truth, pred *timeseries.Series) (units.Power, error) {
+	diff := s.scratch.get()
+	defer s.scratch.put(diff)
+	if _, err := timeseries.SubInto(truth, pred, diff); err != nil {
 		return 0, err
 	}
 	var sum float64
-	for _, p := range diff.Points() {
-		sum += math.Abs(p.V)
+	for i := 0; i < diff.Len(); i++ {
+		sum += math.Abs(diff.Value(i))
 	}
 	if diff.Len() == 0 {
 		return 0, fmt.Errorf("experiments: no overlapping samples")

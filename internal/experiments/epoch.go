@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fantasticjoules/internal/timeseries"
+)
+
+// node is the dependency-graph core of an epoch cell: a name, a validity
+// flag, and the downstream edges the invalidation cascade walks. The
+// graph is a DAG whose edges point downstream (parent → dependents);
+// invalidating a node marks it and everything below it stale, and the
+// next get() of a stale cell recomputes by pulling its parents.
+//
+// The cascade maintains one invariant: a valid cell's transitive parents
+// are all valid (a cell only becomes valid by computing, which pulls its
+// parents valid first). That is why invalidate can stop at an
+// already-stale node — its dependents were marked when it was.
+type node struct {
+	name string
+
+	// valid is flipped false by invalidate and true by get — true
+	// *before* the compute runs, so an invalidation that lands while the
+	// compute is in flight sticks and forces the next get to recompute
+	// (the in-flight compute may have read pre-invalidation inputs).
+	valid atomic.Bool
+
+	// mu serializes same-cell computes (single-flight: concurrent gets of
+	// one artifact share one computation) and guards the value slots of
+	// the owning ecell. Distinct cells never share a mutex, so
+	// independent artifacts never serialize behind each other; a compute
+	// that pulls a parent takes the parent's mutex while holding its own,
+	// which is deadlock-free because edges form a DAG.
+	mu sync.Mutex
+
+	// edgeMu guards dependents: cells register downstream edges lazily
+	// (per-router cells are created on first use) while an invalidation
+	// may be walking the slice.
+	edgeMu     sync.Mutex
+	dependents []*node
+}
+
+// dependOn registers n as a dependent of each parent.
+func (n *node) dependOn(parents ...*node) {
+	for _, p := range parents {
+		p.edgeMu.Lock()
+		p.dependents = append(p.dependents, n)
+		p.edgeMu.Unlock()
+	}
+}
+
+// invalidate marks the node and its transitive dependents stale. Returns
+// without descending when the node was already stale (see the invariant
+// above). Each newly staled cell counts one epoch invalidation.
+func (n *node) invalidate() {
+	if !n.valid.CompareAndSwap(true, false) {
+		return
+	}
+	metricEpochInvalidations.Inc()
+	n.edgeMu.Lock()
+	deps := make([]*node, len(n.dependents))
+	copy(deps, n.dependents)
+	n.edgeMu.Unlock()
+	for _, d := range deps {
+		d.invalidate()
+	}
+}
+
+// ecell is an epoch-keyed memo cell: like the one-shot cell it replaces,
+// the first get computes and every later get returns the cached value —
+// until an upstream input is invalidated, after which exactly the stale
+// downstream slice of the graph recomputes on demand.
+type ecell[T any] struct {
+	node
+	val T
+	err error
+}
+
+// newCell allocates a cell, registers it in the suite's cell registry
+// under name (the handle Suite.Invalidate resolves), and wires its
+// upstream edges.
+func newCell[T any](s *Suite, name string, parents ...*node) *ecell[T] {
+	c := &ecell[T]{}
+	c.name = name
+	c.dependOn(parents...)
+	s.cellMu.Lock()
+	s.cells[name] = &c.node
+	s.cellMu.Unlock()
+	return c
+}
+
+func (c *ecell[T]) get(compute func() (T, error)) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.valid.Load() {
+		metricMemoHits.Inc()
+		return c.val, c.err
+	}
+	metricMemoMisses.Inc()
+	// Mark valid before computing so a mid-compute invalidation wins:
+	// the value stored below may then be stale, and the next get will
+	// recompute it.
+	c.valid.Store(true)
+	c.val, c.err = compute()
+	return c.val, c.err
+}
+
+// Invalidate marks the named artifact cell and everything downstream of
+// it stale; the next request for any of them recomputes. Artifact names
+// are the cell-registry handles: the inputs ("dataset", "corpus",
+// "records"), the figure caches ("fig1", "fig4", "fig9", "section7",
+// "section8", "baselines", "ablation-smoothing", "fig8"), and the
+// per-router dynamic cells ("model/<hardware>", "predict/<router>",
+// "derive/<profile-key>") once they exist.
+func (s *Suite) Invalidate(artifact string) error {
+	s.cellMu.Lock()
+	n, ok := s.cells[artifact]
+	s.cellMu.Unlock()
+	if !ok {
+		return fmt.Errorf("experiments: unknown artifact %q", artifact)
+	}
+	n.invalidate()
+	return nil
+}
+
+// arena is the suite's scratch-buffer pool for transient series: the
+// smoothing/resampling/subtraction intermediates of the validation and
+// ablation paths borrow a buffer, fill it with an Into-variant, and
+// return it. Buffers keep their capacity across uses, so steady-state
+// analyses allocate nothing for intermediates.
+//
+// Ownership rules (DESIGN.md §11): a borrowed series is owned by the
+// borrower until put back; anything cached or returned to a caller must
+// be a freshly allocated series, never a scratch buffer — and an Into
+// destination must not alias its source.
+type arena struct {
+	pool sync.Pool
+}
+
+func (a *arena) get() *timeseries.Series {
+	if s, ok := a.pool.Get().(*timeseries.Series); ok {
+		return s
+	}
+	return timeseries.New("")
+}
+
+func (a *arena) put(series ...*timeseries.Series) {
+	for _, s := range series {
+		if s != nil {
+			a.pool.Put(s)
+		}
+	}
+}

@@ -26,22 +26,26 @@ type Fig1Result struct {
 	PowerTrafficCorrelation float64
 }
 
-// Fig1 regenerates the network-wide power/traffic figure.
+// Fig1 regenerates the network-wide power/traffic figure. Cached until a
+// perturbation invalidates the dataset underneath.
 func (s *Suite) Fig1() (Fig1Result, error) {
-	ds, err := s.Dataset()
-	if err != nil {
-		return Fig1Result{}, err
-	}
-	res := Fig1Result{
-		Power:       ds.TotalPower.Smooth(2 * time.Hour),
-		Traffic:     ds.TotalTraffic.Smooth(2 * time.Hour),
-		CapacityBps: ds.TotalCapacity.BitsPerSecond(),
-	}
-	res.PowerTrafficCorrelation, err = alignedCorrelation(ds.TotalPower, ds.TotalTraffic)
-	if err != nil {
-		return Fig1Result{}, err
-	}
-	return res, nil
+	return s.fig1.get(func() (Fig1Result, error) {
+		defer observeArtifact("fig1", time.Now())
+		ds, err := s.Dataset()
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		res := Fig1Result{
+			Power:       ds.TotalPower.Smooth(2 * time.Hour),
+			Traffic:     ds.TotalTraffic.Smooth(2 * time.Hour),
+			CapacityBps: ds.TotalCapacity.BitsPerSecond(),
+		}
+		res.PowerTrafficCorrelation, err = s.alignedCorrelation(ds.TotalPower, ds.TotalTraffic)
+		if err != nil {
+			return Fig1Result{}, err
+		}
+		return res, nil
+	})
 }
 
 // Table5Row re-exports the per-port-type power constants used by the §8
@@ -73,6 +77,13 @@ type Section7Result struct {
 // the paper's average energy costs (5 pJ/bit, 15 nJ/packet) and datasheet
 // transceiver values.
 func (s *Suite) Section7() (Section7Result, error) {
+	return s.section7.get(func() (Section7Result, error) {
+		defer observeArtifact("section7", time.Now())
+		return s.section7Uncached()
+	})
+}
+
+func (s *Suite) section7Uncached() (Section7Result, error) {
 	ds, err := s.Dataset()
 	if err != nil {
 		return Section7Result{}, err
@@ -124,6 +135,13 @@ type Section8Result struct {
 // Section8 runs Hypnos over the synthetic network for a month and
 // evaluates the savings under the refined accounting.
 func (s *Suite) Section8() (Section8Result, error) {
+	return s.section8.get(func() (Section8Result, error) {
+		defer observeArtifact("section8", time.Now())
+		return s.section8Uncached()
+	})
+}
+
+func (s *Suite) section8Uncached() (Section8Result, error) {
 	ds, err := s.Dataset()
 	if err != nil {
 		return Section8Result{}, err
@@ -166,8 +184,17 @@ type Fig8Result struct {
 	RelativeBump float64
 }
 
-// Fig8 regenerates the OS-upgrade power-bump scenario.
+// Fig8 regenerates the OS-upgrade power-bump scenario. Its cell has no
+// dataset edge: the scenario simulates an isolated router, so fleet
+// perturbations never touch it.
 func (s *Suite) Fig8() (Fig8Result, error) {
+	return s.fig8.get(func() (Fig8Result, error) {
+		defer observeArtifact("fig8", time.Now())
+		return s.fig8Uncached()
+	})
+}
+
+func (s *Suite) fig8Uncached() (Fig8Result, error) {
 	series, upgrade, err := ispnet.SimulateOSUpgrade(s.seed)
 	if err != nil {
 		return Fig8Result{}, err

@@ -16,6 +16,8 @@ var (
 		"artifact requests served from a memo cell without recomputation")
 	metricMemoMisses = telemetry.Default().Counter("experiments_memo_misses_total",
 		"artifact requests that computed their memo cell")
+	metricEpochInvalidations = telemetry.Default().Counter("experiments_cell_epoch_invalidations_total",
+		"epoch cells marked stale by invalidation cascades (Perturb/Invalidate)")
 )
 
 // observeArtifact records the duration of one artifact computation under

@@ -33,57 +33,84 @@ import (
 	"fantasticjoules/internal/labbench"
 	"fantasticjoules/internal/meter"
 	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/timeseries"
 	"fantasticjoules/internal/units"
 )
 
-// cell is a one-shot memo: the first get computes the value; every later
-// get — including concurrent ones — returns the cached result. Distinct
-// cells never serialize behind each other's computation.
-type cell[T any] struct {
-	once sync.Once
-	val  T
-	err  error
-}
-
-func (c *cell[T]) get(compute func() (T, error)) (T, error) {
-	hit := true
-	c.once.Do(func() {
-		hit = false
-		metricMemoMisses.Inc()
-		c.val, c.err = compute()
-	})
-	if hit {
-		metricMemoHits.Inc()
-	}
-	return c.val, c.err
-}
-
 // Suite carries the cached artifacts shared by the experiments. All
 // methods are safe for concurrent use.
+//
+// Artifacts are memoized in epoch-keyed cells (epoch.go) wired into a
+// dependency DAG: a perturbation of the fleet (Perturb) invalidates the
+// dataset cell and exactly the artifacts downstream of it — the figure
+// and prediction caches — while the datasheet corpus and every lab
+// derivation stay cached. Re-requesting an invalidated figure therefore
+// costs O(what actually changed): the fleet replays only its dirty
+// router shards (ispnet.Fleet) and the figures reassemble from cached
+// lab models.
 type Suite struct {
 	seed    int64
 	workers int
 
-	dataset cell[*ispnet.Dataset]
-	corpus  cell[[]datasheet.Document]
-	records cell[[]datasheet.Extracted]
+	// cellMu guards the cell registry (name → node) Invalidate resolves.
+	cellMu sync.Mutex
+	cells  map[string]*node
+
+	// fleetMu guards the lazily built retained fleet behind the dataset
+	// cell.
+	fleetMu sync.Mutex
+	fleet   *ispnet.Fleet
+
+	dataset *ecell[*ispnet.Dataset]
+	corpus  *ecell[[]datasheet.Document]
+	records *ecell[[]datasheet.Extracted]
+
+	fig1      *ecell[Fig1Result]
+	fig4      *ecell[[]Fig4Row]
+	fig9      *ecell[[]Fig9Row]
+	fig8      *ecell[Fig8Result]
+	section7  *ecell[Section7Result]
+	section8  *ecell[Section8Result]
+	baselines *ecell[[]BaselineRow]
+	smoothing *ecell[[]SmoothingResult]
 
 	// mu guards only the memo maps below, never their computations: Derive
 	// and DerivedModel insert an empty cell under the lock and compute
 	// outside it, so two different profiles derive in parallel while two
 	// requests for the same profile share one run.
 	mu      sync.Mutex
-	derived map[string]*cell[*labbench.Result] // keyed by router|trx|speed
-	models  map[string]*cell[*model.Model]     // fully derived model per router
+	derived map[string]*ecell[*labbench.Result]   // keyed by router|trx|speed
+	models  map[string]*ecell[*model.Model]       // fully derived model per router hardware
+	predict map[string]*ecell[*timeseries.Series] // counter-driven prediction per router name
+
+	// scratch pools transient series buffers for the hot aggregation
+	// paths; see arena in epoch.go for the ownership rules.
+	scratch arena
 }
 
 // New returns a suite seeded for reproducibility.
 func New(seed int64) *Suite {
-	return &Suite{
+	s := &Suite{
 		seed:    seed,
-		derived: make(map[string]*cell[*labbench.Result]),
-		models:  make(map[string]*cell[*model.Model]),
+		cells:   make(map[string]*node),
+		derived: make(map[string]*ecell[*labbench.Result]),
+		models:  make(map[string]*ecell[*model.Model]),
+		predict: make(map[string]*ecell[*timeseries.Series]),
 	}
+	// The static artifact graph. Per-router cells (model/predict/derive)
+	// join lazily on first use.
+	s.dataset = newCell[*ispnet.Dataset](s, "dataset")
+	s.corpus = newCell[[]datasheet.Document](s, "corpus")
+	s.records = newCell[[]datasheet.Extracted](s, "records", &s.corpus.node)
+	s.fig1 = newCell[Fig1Result](s, "fig1", &s.dataset.node)
+	s.fig4 = newCell[[]Fig4Row](s, "fig4", &s.dataset.node)
+	s.fig9 = newCell[[]Fig9Row](s, "fig9", &s.fig4.node, &s.dataset.node)
+	s.fig8 = newCell[Fig8Result](s, "fig8")
+	s.section7 = newCell[Section7Result](s, "section7", &s.dataset.node)
+	s.section8 = newCell[Section8Result](s, "section8", &s.dataset.node)
+	s.baselines = newCell[[]BaselineRow](s, "baselines", &s.dataset.node)
+	s.smoothing = newCell[[]SmoothingResult](s, "ablation-smoothing", &s.dataset.node, &s.fig4.node)
+	return s
 }
 
 // SetWorkers bounds the concurrency of the suite's substrates: the
@@ -116,12 +143,49 @@ func (s *Suite) DatasetConfig() ispnet.Config {
 	}
 }
 
-// Dataset returns the (cached) fleet simulation output.
+// Dataset returns the (cached) fleet simulation output. The first call
+// pays the cold fleet simulation; after a Perturb, the recompute replays
+// only the dirty router shards.
 func (s *Suite) Dataset() (*ispnet.Dataset, error) {
 	return s.dataset.get(func() (*ispnet.Dataset, error) {
 		defer observeArtifact("dataset", time.Now())
-		return ispnet.Simulate(s.DatasetConfig())
+		f, err := s.ensureFleet()
+		if err != nil {
+			return nil, err
+		}
+		return f.Resimulate()
 	})
+}
+
+// ensureFleet lazily builds the retained fleet (paying the one cold
+// full-window simulation).
+func (s *Suite) ensureFleet() (*ispnet.Fleet, error) {
+	s.fleetMu.Lock()
+	defer s.fleetMu.Unlock()
+	if s.fleet == nil {
+		f, err := ispnet.NewFleet(s.DatasetConfig())
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = f
+	}
+	return s.fleet, nil
+}
+
+// Perturb queues declarative fleet events and invalidates the dataset
+// and every artifact downstream of it. Nothing recomputes here: the next
+// artifact request replays only the dirty routers and reassembles from
+// cached lab models — the perturb-and-remeasure loop of the optimizer
+// costs O(dirty), not O(fleet).
+func (s *Suite) Perturb(events ...ispnet.FleetEvent) error {
+	f, err := s.ensureFleet()
+	if err != nil {
+		return err
+	}
+	if err := f.Perturb(events...); err != nil {
+		return err
+	}
+	return s.Invalidate("dataset")
 }
 
 // Corpus returns the (cached) synthetic datasheet corpus.
@@ -167,7 +231,9 @@ func (s *Suite) Derive(router string, portOverride model.PortType, trx model.Tra
 	s.mu.Lock()
 	c, ok := s.derived[ps.key()]
 	if !ok {
-		c = &cell[*labbench.Result]{}
+		// Lab derivations depend only on the seed — no dataset edge, so
+		// fleet perturbations never re-run the lab.
+		c = newCell[*labbench.Result](s, "derive/"+ps.key())
 		s.derived[ps.key()] = c
 	}
 	s.mu.Unlock()
@@ -235,7 +301,10 @@ func (s *Suite) DerivedModel(router string, profiles []profileSpec) (*model.Mode
 	s.mu.Lock()
 	c, ok := s.models[router]
 	if !ok {
-		c = &cell[*model.Model]{}
+		// The profile list is read off the dataset's inventory view, so
+		// the assembled model is downstream of the dataset (reassembly is
+		// cheap: the underlying derivations have no dataset edge).
+		c = newCell[*model.Model](s, "model/"+router, &s.dataset.node)
 		s.models[router] = c
 	}
 	s.mu.Unlock()
@@ -293,6 +362,32 @@ func forEachLimit(n, workers int, f func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// prediction returns the (cached) counter-driven prediction for one
+// instrumented router: its lab-derived model evaluated over its rate
+// traces. Downstream of the dataset and the router's model cell, so a
+// fleet perturbation invalidates it while the lab derivations underneath
+// stay warm.
+func (s *Suite) prediction(ds *ispnet.Dataset, routerName, hardware string) (*timeseries.Series, error) {
+	// Resolve the model first: its cell must exist before the prediction
+	// cell can wire an edge onto it.
+	m, err := s.DerivedModel(hardware, deployedProfiles(ds, routerName, hardware))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	c, ok := s.predict[routerName]
+	if !ok {
+		c = newCell[*timeseries.Series](s, "predict/"+routerName,
+			&s.dataset.node, &s.models[hardware].node)
+		s.predict[routerName] = c
+	}
+	s.mu.Unlock()
+	return c.get(func() (*timeseries.Series, error) {
+		defer observeArtifact("predict/"+routerName, time.Now())
+		return PredictFromCounters(m, ds, routerName)
+	})
 }
 
 // deployedProfiles lists the profiles an Autopower router's deployment

@@ -53,28 +53,27 @@ type Fig4Row struct {
 // router, external measurements vs PSU reports vs lab-derived model
 // predictions over the deployment window.
 func (s *Suite) Fig4() ([]Fig4Row, error) {
-	ds, err := s.Dataset()
-	if err != nil {
-		return nil, err
-	}
-	var rows []Fig4Row
-	for _, r := range ds.Network.AutopowerRouters() {
-		row, err := s.fig4Row(ds, r)
+	return s.fig4.get(func() ([]Fig4Row, error) {
+		defer observeArtifact("fig4", time.Now())
+		ds, err := s.Dataset()
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Model < rows[j].Model })
-	return rows, nil
+		var rows []Fig4Row
+		for _, r := range ds.Network.AutopowerRouters() {
+			row, err := s.fig4Row(ds, r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Model < rows[j].Model })
+		return rows, nil
+	})
 }
 
 func (s *Suite) fig4Row(ds *ispnet.Dataset, r *ispnet.Router) (Fig4Row, error) {
-	m, err := s.DerivedModel(r.Device.Model(), deployedProfiles(ds, r.Name, r.Device.Model()))
-	if err != nil {
-		return Fig4Row{}, err
-	}
-	pred, err := PredictFromCounters(m, ds, r.Name)
+	pred, err := s.prediction(ds, r.Name, r.Device.Model())
 	if err != nil {
 		return Fig4Row{}, err
 	}
@@ -88,23 +87,25 @@ func (s *Suite) fig4Row(ds *ispnet.Dataset, r *ispnet.Router) (Fig4Row, error) {
 		row.SNMP = snmp.Smooth(SmoothingWindow)
 	}
 
-	// Offsets and shape agreement on the aligned series.
-	diff, err := timeseries.Sub(row.Autopower, row.Prediction)
-	if err != nil {
+	// Offsets and shape agreement on the aligned series. The difference
+	// series is a transient — computed into arena scratch, read, and
+	// returned to the pool.
+	diff := s.scratch.get()
+	defer s.scratch.put(diff)
+	if _, err := timeseries.SubInto(row.Autopower, row.Prediction, diff); err != nil {
 		return Fig4Row{}, fmt.Errorf("fig4 %s: %w", r.Name, err)
 	}
 	row.ModelOffset = units.Power(diff.Median())
-	row.ModelShapeCorrelation, err = alignedCorrelation(row.Autopower, row.Prediction)
+	row.ModelShapeCorrelation, err = s.alignedCorrelation(row.Autopower, row.Prediction)
 	if err != nil {
 		return Fig4Row{}, err
 	}
 	if row.SNMP != nil {
-		sd, err := timeseries.Sub(row.SNMP, row.Autopower)
-		if err != nil {
+		if _, err := timeseries.SubInto(row.SNMP, row.Autopower, diff); err != nil {
 			return Fig4Row{}, err
 		}
-		row.SNMPOffset = units.Power(sd.Median())
-		row.SNMPShapeCorrelation, err = alignedCorrelation(row.SNMP, row.Autopower)
+		row.SNMPOffset = units.Power(diff.Median())
+		row.SNMPShapeCorrelation, err = s.alignedCorrelation(row.SNMP, row.Autopower)
 		if err != nil {
 			return Fig4Row{}, err
 		}
@@ -113,32 +114,32 @@ func (s *Suite) fig4Row(ds *ispnet.Dataset, r *ispnet.Router) (Fig4Row, error) {
 }
 
 // alignedCorrelation resamples both series to 30-minute buckets and
-// returns their Pearson correlation.
-func alignedCorrelation(a, b *timeseries.Series) (float64, error) {
-	ra, err := a.Resample(SmoothingWindow, timeseries.AggMean)
-	if err != nil {
+// returns their Pearson correlation. All intermediates live in arena
+// scratch.
+func (s *Suite) alignedCorrelation(a, b *timeseries.Series) (float64, error) {
+	ra, rb, diff := s.scratch.get(), s.scratch.get(), s.scratch.get()
+	defer s.scratch.put(ra, rb, diff)
+	if _, err := a.ResampleInto(SmoothingWindow, timeseries.AggMean, ra); err != nil {
 		return 0, err
 	}
-	rb, err := b.Resample(SmoothingWindow, timeseries.AggMean)
-	if err != nil {
+	if _, err := b.ResampleInto(SmoothingWindow, timeseries.AggMean, rb); err != nil {
 		return 0, err
 	}
-	diff, err := timeseries.Sub(ra, rb)
-	if err != nil {
+	if _, err := timeseries.SubInto(ra, rb, diff); err != nil {
 		return 0, err
 	}
 	// Reconstruct the aligned pairs from the subtraction's timestamps.
 	bv := make(map[int64]float64, rb.Len())
-	for _, p := range rb.Points() {
-		bv[p.T.UnixNano()] = p.V
+	for i := 0; i < rb.Len(); i++ {
+		bv[rb.NanoAt(i)] = rb.Value(i)
 	}
 	var xs, ys []float64
-	for _, p := range diff.Points() {
-		base, ok := bv[p.T.UnixNano()]
+	for i := 0; i < diff.Len(); i++ {
+		base, ok := bv[diff.NanoAt(i)]
 		if !ok {
 			continue
 		}
-		xs = append(xs, p.V+base)
+		xs = append(xs, diff.Value(i)+base)
 		ys = append(ys, base)
 	}
 	return stats.PearsonCorrelation(xs, ys)
@@ -156,12 +157,13 @@ func PredictFromCounters(m *model.Model, ds *ispnet.Dataset, routerName string) 
 		return nil, fmt.Errorf("experiments: no counter traces for %s", routerName)
 	}
 	profiles := ds.IfaceProfiles[routerName]
-	out := timeseries.New(routerName + ".model")
 
-	// Collect the union of poll timestamps.
+	// Walk the columnar traces in place (index cursors, no Points()
+	// materialization: the rate traces total tens of megabytes of points
+	// per call otherwise).
 	type sample struct {
 		key model.ProfileKey
-		pts []timeseries.Point
+		s   *timeseries.Series
 		idx int
 	}
 	names := make([]string, 0, len(rates))
@@ -169,41 +171,50 @@ func PredictFromCounters(m *model.Model, ds *ispnet.Dataset, routerName string) 
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var ifaces []*sample
-	var clockSrc []timeseries.Point
+	ifaces := make([]sample, 0, len(names))
+	var clock *timeseries.Series
 	for _, name := range names {
 		key, ok := profiles[name]
 		if !ok {
 			return nil, fmt.Errorf("experiments: no profile for %s/%s", routerName, name)
 		}
-		sm := &sample{key: key, pts: rates[name].Points()}
-		ifaces = append(ifaces, sm)
-		if len(sm.pts) > len(clockSrc) {
-			clockSrc = sm.pts
+		ifaces = append(ifaces, sample{key: key, s: rates[name]})
+		if clock == nil || rates[name].Len() > clock.Len() {
+			clock = rates[name] // union of poll timestamps: the longest trace
 		}
 	}
 	// An interface whose counters stop updating for more than two polls is
 	// treated as removed (the paper's flapping case shows this inference
 	// can be wrong when the transceiver stays plugged — that error is the
 	// finding, and it shows up here too).
-	var staleAfter time.Duration
-	if len(clockSrc) > 1 {
-		staleAfter = 2 * clockSrc[1].T.Sub(clockSrc[0].T)
+	var staleAfter int64
+	if clock != nil && clock.Len() > 1 {
+		staleAfter = 2 * (clock.NanoAt(1) - clock.NanoAt(0))
 	}
 	meanPkt := trafficgen.IMIXMeanSize()
-	for _, tick := range clockSrc {
-		cfg := model.Config{}
-		for _, itf := range ifaces {
-			for itf.idx+1 < len(itf.pts) && !itf.pts[itf.idx+1].T.After(tick.T) {
+	n := 0
+	if clock != nil {
+		n = clock.Len()
+	}
+	out := timeseries.NewWithCap(routerName+".model", n)
+	// One interface-config buffer reused across ticks; Predict only reads
+	// it.
+	buf := make([]model.Interface, 0, len(ifaces))
+	for ti := 0; ti < n; ti++ {
+		tickNano := clock.NanoAt(ti)
+		cfg := model.Config{Interfaces: buf[:0]}
+		for ii := range ifaces {
+			itf := &ifaces[ii]
+			for itf.idx+1 < itf.s.Len() && itf.s.NanoAt(itf.idx+1) <= tickNano {
 				itf.idx++
 			}
-			if itf.idx >= len(itf.pts) || itf.pts[itf.idx].T.After(tick.T) {
+			if itf.idx >= itf.s.Len() || itf.s.NanoAt(itf.idx) > tickNano {
 				continue // interface not reporting yet
 			}
-			if staleAfter > 0 && tick.T.Sub(itf.pts[itf.idx].T) > staleAfter {
+			if staleAfter > 0 && tickNano-itf.s.NanoAt(itf.idx) > staleAfter {
 				continue // counters stopped: interface looks removed
 			}
-			rate := itf.pts[itf.idx].V
+			rate := itf.s.Value(itf.idx)
 			if rate <= 0 {
 				continue // no counters → treated as absent (§7)
 			}
@@ -217,11 +228,12 @@ func PredictFromCounters(m *model.Model, ds *ispnet.Dataset, routerName string) 
 				Packets:            units.PacketRateFor(bits, meanPkt, trafficgen.EthernetOverhead),
 			})
 		}
+		buf = cfg.Interfaces[:0]
 		p, err := m.PredictPower(cfg)
 		if err != nil {
 			return nil, err
 		}
-		out.Append(tick.T, p.Watts())
+		out.Append(clock.At(ti).T, p.Watts())
 	}
 	return out, nil
 }
@@ -243,6 +255,13 @@ type Fig9Row struct {
 // Fig9 regenerates the zoomed offset-corrected comparison: a 10-day
 // window with the model shifted onto the Autopower level.
 func (s *Suite) Fig9() ([]Fig9Row, error) {
+	return s.fig9.get(func() ([]Fig9Row, error) {
+		defer observeArtifact("fig9", time.Now())
+		return s.fig9Uncached()
+	})
+}
+
+func (s *Suite) fig9Uncached() ([]Fig9Row, error) {
 	rows4, err := s.Fig4()
 	if err != nil {
 		return nil, err
@@ -253,17 +272,19 @@ func (s *Suite) Fig9() ([]Fig9Row, error) {
 	}
 	start := ds.Network.Config.Start.Add(27 * 24 * time.Hour)
 	end := start.Add(10 * 24 * time.Hour)
+	diff := s.scratch.get()
+	defer s.scratch.put(diff)
 	var out []Fig9Row
 	for _, r4 := range rows4 {
 		ap := r4.Autopower.Between(start, end)
 		shifted := r4.Prediction.Shift(r4.ModelOffset.Watts()).Between(start, end)
-		diff, err := timeseries.Sub(ap, shifted)
-		if err != nil {
+		if _, err := timeseries.SubInto(ap, shifted, diff); err != nil {
 			return nil, fmt.Errorf("fig9 %s: %w", r4.Router, err)
 		}
 		var ss float64
-		for _, p := range diff.Points() {
-			ss += p.V * p.V
+		for i := 0; i < diff.Len(); i++ {
+			v := diff.Value(i)
+			ss += v * v
 		}
 		rmse := units.Power(0)
 		if diff.Len() > 0 {

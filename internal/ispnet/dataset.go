@@ -69,11 +69,19 @@ type Dataset struct {
 // producing the dataset every analysis consumes. It is deterministic for a
 // given config.
 func Simulate(cfg Config) (*Dataset, error) {
+	return SimulateWithEvents(cfg, nil)
+}
+
+// SimulateWithEvents is Simulate with extra deployment events merged into
+// the built-in schedule. It is the cold-recompute reference for the
+// incremental Fleet path: Perturb(extra)+Resimulate must reproduce it bit
+// for bit.
+func SimulateWithEvents(cfg Config, extra []FleetEvent) (*Dataset, error) {
 	n, err := Build(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return n.Run()
+	return n.RunWithEvents(extra)
 }
 
 // Run plays the study window over the already-built network.
@@ -87,66 +95,116 @@ func Simulate(cfg Config) (*Dataset, error) {
 // Dataset is bit-identical for every worker count, including the serial
 // Workers=1 path.
 func (n *Network) Run() (*Dataset, error) {
+	return n.RunWithEvents(nil)
+}
+
+// RunWithEvents plays the study window with extra declarative events
+// merged into the built-in schedule. The network must be freshly built:
+// events mutate routers, so a second Run over the same network replays a
+// different deployment.
+func (n *Network) RunWithEvents(extra []FleetEvent) (*Dataset, error) {
 	metricRuns.Inc()
-	cfg := n.Config
-	numSteps := 0
-	if cfg.SNMPStep > 0 {
-		numSteps = int(cfg.Duration/cfg.SNMPStep) + 1
-	}
-	ds := &Dataset{
-		Network:          n,
-		TotalPower:       timeseries.NewWithCap("total-power", numSteps),
-		TotalTraffic:     timeseries.NewWithCap("total-traffic", numSteps),
-		RouterWallMedian: make(map[string]units.Power),
-		Autopower:        make(map[string]*timeseries.Series),
-		SNMPPower:        make(map[string]*timeseries.Series),
-		IfaceRates:       make(map[string]map[string]*timeseries.Series),
-		IfaceProfiles:    make(map[string]map[string]model.ProfileKey),
-	}
-
-	for _, r := range n.Routers {
-		for _, itf := range r.Interfaces {
-			if !itf.Spare {
-				ds.TotalCapacity += itf.Profile.Speed / 2
-			}
-		}
-	}
-
-	// The shared step grid; every shard walks the same timestamps.
-	steps := make([]time.Time, 0, numSteps)
-	end := cfg.Start.Add(cfg.Duration)
-	for t := cfg.Start; t.Before(end); t = t.Add(cfg.SNMPStep) {
-		steps = append(steps, t)
-	}
+	steps := n.stepGrid()
+	// Capacity is a deployment property of the pristine build: scheduled
+	// events change what is up, not what was provisioned.
+	capacity := n.totalCapacity()
 
 	// One external meter per instrumented router. Seeds depend only on
 	// the instrumentation order, never on worker scheduling.
 	meters := make(map[string]*meter.Meter)
 	for i, r := range n.AutopowerRouters() {
-		m := meter.New(cfg.Seed + int64(i) + 1000)
+		m := meter.New(n.meterSeed(i))
 		if err := m.Attach(0, r.Device); err != nil {
 			return nil, err
 		}
 		meters[r.Name] = m
 	}
 
-	events := n.scheduleEvents()
-	ds.Events = describeEvents(events)
+	evs := append(n.baseEvents(), extra...)
+	sortFleetEvents(evs)
+	compiled, err := n.compileEvents(evs)
+	if err != nil {
+		return nil, err
+	}
 
 	// Shard the fleet: one worker plays one router's full timeline.
-	byRouter := partitionEvents(events)
+	byRouter := partitionEvents(compiled)
 	shards := make([]*routerShard, len(n.Routers))
 	for i, r := range n.Routers {
-		shards[i] = &routerShard{
-			net:    n,
-			router: r,
-			meter:  meters[r.Name],
-			events: byRouter[r.Name],
-			steps:  steps,
+		shards[i] = n.newShard(r, meters[r.Name], byRouter[r.Name], steps)
+	}
+	if err := playShards(shards, n.Config.Workers); err != nil {
+		return nil, err
+	}
+	return n.assembleDataset(steps, shards, evs, capacity), nil
+}
+
+// stepGrid returns the shared SNMP-cadence step grid; every shard walks
+// the same timestamps.
+func (n *Network) stepGrid() []time.Time {
+	cfg := n.Config
+	numSteps := 0
+	if cfg.SNMPStep > 0 {
+		numSteps = int(cfg.Duration/cfg.SNMPStep) + 1
+	}
+	steps := make([]time.Time, 0, numSteps)
+	end := cfg.Start.Add(cfg.Duration)
+	for t := cfg.Start; t.Before(end); t = t.Add(cfg.SNMPStep) {
+		steps = append(steps, t)
+	}
+	return steps
+}
+
+// totalCapacity sums the provisioned (non-spare) interface capacity, each
+// link counted once. Must be taken on the pristine build, before events
+// mutate interface lists.
+func (n *Network) totalCapacity() units.BitRate {
+	var c units.BitRate
+	for _, r := range n.Routers {
+		for _, itf := range r.Interfaces {
+			if !itf.Spare {
+				c += itf.Profile.Speed / 2
+			}
 		}
 	}
-	if err := playShards(shards, cfg.Workers); err != nil {
-		return nil, err
+	return c
+}
+
+// meterSeed derives the external-meter seed for the i-th instrumented
+// router (AutopowerRouters order). The formula is part of the dataset's
+// determinism contract: an incremental replay must recreate the exact
+// meter a cold run would have attached.
+func (n *Network) meterSeed(i int) int64 {
+	return n.Config.Seed + int64(i) + 1000
+}
+
+// newShard wires one router's replay unit.
+func (n *Network) newShard(r *Router, m *meter.Meter, evs []scheduledEvent, steps []time.Time) *routerShard {
+	return &routerShard{
+		net:    n,
+		router: r,
+		meter:  m,
+		events: evs,
+		steps:  steps,
+		snapAt: n.Config.Start.Add(n.Config.Duration / 2),
+	}
+}
+
+// assembleDataset reduces played shards into the network-wide dataset in
+// fixed fleet order, so the result is bit-identical for every worker
+// count — and for any replayed/reused shard mix in the incremental path.
+func (n *Network) assembleDataset(steps []time.Time, shards []*routerShard, evs []FleetEvent, capacity units.BitRate) *Dataset {
+	ds := &Dataset{
+		Network:          n,
+		TotalPower:       timeseries.NewWithCap("total-power", len(steps)),
+		TotalTraffic:     timeseries.NewWithCap("total-traffic", len(steps)),
+		TotalCapacity:    capacity,
+		RouterWallMedian: make(map[string]units.Power),
+		Autopower:        make(map[string]*timeseries.Series),
+		SNMPPower:        make(map[string]*timeseries.Series),
+		IfaceRates:       make(map[string]map[string]*timeseries.Series),
+		IfaceProfiles:    make(map[string]map[string]model.ProfileKey),
+		Events:           describeFleetEvents(evs),
 	}
 
 	// Deterministic reduction: totals sum the shards in fleet order at
@@ -174,22 +232,20 @@ func (n *Network) Run() (*Dataset, error) {
 				ds.SNMPPower[r.Name] = sh.snmp
 			}
 		}
-	}
-
-	// One-time PSU sensor export, mid-window (§9.2: a snapshot, not a
-	// trace — the SNMP data only carries Pin).
-	snapAt := cfg.Start.Add(cfg.Duration / 2)
-	for _, r := range n.Routers {
-		if !r.Active(snapAt) {
-			continue
+		// One-time PSU sensor export, mid-window (§9.2: a snapshot, not
+		// a trace — the SNMP data only carries Pin). Captured by the
+		// shard at the end of its replay so the per-router rng stream is
+		// advanced identically whether the shard was replayed cold or
+		// spliced back from a retained fleet.
+		if sh.psus != nil {
+			ds.PSUSnapshots = append(ds.PSUSnapshots, psu.RouterPSUs{
+				Router: r.Name,
+				Model:  r.Device.Model(),
+				PSUs:   sh.psus,
+			})
 		}
-		ds.PSUSnapshots = append(ds.PSUSnapshots, psu.RouterPSUs{
-			Router: r.Name,
-			Model:  r.Device.Model(),
-			PSUs:   r.Device.EnvSnapshot(),
-		})
 	}
-	return ds, nil
+	return ds
 }
 
 // scheduledEvent is an event with its mutation.
@@ -200,15 +256,17 @@ type scheduledEvent struct {
 	apply  func() error
 }
 
-// scheduleEvents wires the Fig. 4 trace events onto the instrumented
-// routers.
-func (n *Network) scheduleEvents() []scheduledEvent {
+// baseEvents returns the built-in Fig. 4 schedule as declarative
+// FleetEvents. The interface names are resolved from the network's current
+// deployment, so the schedule must be generated from the pristine build
+// (Fleet retains it from NewFleet for exactly that reason: after a replay
+// the FR4 is already unplugged and would no longer resolve).
+func (n *Network) baseEvents() []FleetEvent {
 	start := n.Config.Start
-	var evs []scheduledEvent
+	var evs []FleetEvent
 	day := func(d int) time.Time { return start.Add(time.Duration(d) * 24 * time.Hour) }
 
 	for _, r := range n.AutopowerRouters() {
-		r := r
 		switch r.Device.Model() {
 		case "8201-32FH":
 			// Fig. 4a. Find the FR4 interfaces and a mid-list DAC.
@@ -222,47 +280,49 @@ func (n *Network) scheduleEvents() []scheduledEvent {
 				}
 			}
 			if fr4 != "" {
-				evs = append(evs, scheduledEvent{
-					at: day(38), router: r.Name,
-					desc: "400G FR4 interface removed (transceiver unplugged); ≈13 W drop",
-					apply: func() error {
-						if err := r.Device.SetAdmin(fr4, false); err != nil {
-							return err
-						}
-						n.dropInterface(r, fr4)
-						return r.Device.UnplugTransceiver(fr4)
-					},
+				evs = append(evs, FleetEvent{
+					At: day(38), Router: r.Name, Op: OpUnplug, Iface: fr4,
+					Desc: "400G FR4 interface removed (transceiver unplugged); ≈13 W drop",
 				})
 			}
 			if dac != "" {
-				evs = append(evs, scheduledEvent{
-					at: day(51), router: r.Name,
-					desc:  "flapping interface taken down for repair; transceiver stays plugged",
-					apply: func() error { return r.Device.SetAdmin(dac, false) },
+				evs = append(evs, FleetEvent{
+					At: day(51), Router: r.Name, Op: OpAdminDown, Iface: dac,
+					Desc: "flapping interface taken down for repair; transceiver stays plugged",
 				})
-				evs = append(evs, scheduledEvent{
-					at: day(54), router: r.Name,
-					desc:  "repaired interface brought back up",
-					apply: func() error { return r.Device.SetAdmin(dac, true) },
+				evs = append(evs, FleetEvent{
+					At: day(54), Router: r.Name, Op: OpAdminUp, Iface: dac,
+					Desc: "repaired interface brought back up",
 				})
 			}
-			evs = append(evs, scheduledEvent{
-				at: day(60), router: r.Name,
-				desc:  "two interfaces added",
-				apply: func() error { return n.addInterfaces(r, 2) },
+			evs = append(evs, FleetEvent{
+				At: day(60), Router: r.Name, Op: OpAddInterfaces, Count: 2,
+				Desc: "two interfaces added",
 			})
 		case "NCS-55A1-24H":
 			// Fig. 4b: installing the Autopower meter power-cycles each
 			// PSU; the pseudo-constant sensor re-baselines ≈7 W lower.
-			evs = append(evs, scheduledEvent{
-				at: day(24), router: r.Name,
-				desc:  "Autopower meter installed: PSUs power-cycled, one sensor re-baselines",
-				apply: func() error { return r.Device.PowerCycle(0) },
+			evs = append(evs, FleetEvent{
+				At: day(24), Router: r.Name, Op: OpPowerCycle, PSU: 0,
+				Desc: "Autopower meter installed: PSUs power-cycled, one sensor re-baselines",
 			})
 		}
 	}
-	sortSchedule(evs)
 	return evs
+}
+
+// scheduleEvents compiles the built-in schedule against the current
+// network. Kept as the one-call form the schedule tests exercise.
+func (n *Network) scheduleEvents() []scheduledEvent {
+	evs := n.baseEvents()
+	sortFleetEvents(evs)
+	compiled, err := n.compileEvents(evs)
+	if err != nil {
+		// Unreachable: the built-in schedule only references routers and
+		// ops this network owns.
+		panic(err)
+	}
+	return compiled
 }
 
 // sortSchedule orders a schedule by due time. The sort is stable: events
@@ -332,14 +392,6 @@ func (n *Network) addInterfaces(r *Router, count int) error {
 		return fmt.Errorf("only %d free ports on %s", added, r.Name)
 	}
 	return nil
-}
-
-func describeEvents(evs []scheduledEvent) []Event {
-	out := make([]Event, len(evs))
-	for i, e := range evs {
-		out[i] = Event{Time: e.at, Router: e.router, Description: e.desc}
-	}
-	return out
 }
 
 // SimulateOSUpgrade reproduces the Fig. 8 scenario in isolation: an

@@ -1,0 +1,242 @@
+package ispnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFleetColdMatchesSimulate pins the retained-state entry point to the
+// batch path: a fresh Fleet's dataset is bit-identical to Simulate.
+func TestFleetColdMatchesSimulate(t *testing.T) {
+	want, err := Simulate(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFleet(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsIdentical(t, f.Dataset(), want)
+}
+
+// TestFleetResimulateGolden is the incremental-correctness golden test:
+// over the full 9-week window — with every built-in Fig. 4 event firing —
+// a fixed perturbation batch applied through Perturb+Resimulate must
+// reproduce, bit for bit, a cold SimulateWithEvents over the merged
+// event list.
+func TestFleetResimulateGolden(t *testing.T) {
+	f, err := NewFleet(fullCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := goldenPerturbation(t, f.Network())
+	if err := f.Perturb(extra...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Resimulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SimulateWithEvents(fullCfg(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsIdentical(t, got, want)
+
+	// Resimulate with nothing pending is a no-op returning the same
+	// dataset object.
+	again, err := f.Resimulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatal("no-op Resimulate rebuilt the dataset")
+	}
+}
+
+// goldenPerturbation builds a fixed three-router perturbation batch that
+// exercises every structural op: an interface taken down and brought back,
+// a load scale on an instrumented router, and a PSU power-cycle.
+func goldenPerturbation(t *testing.T, n *Network) []FleetEvent {
+	t.Helper()
+	start := n.Config.Start
+	plain := ""
+	for _, r := range n.Routers {
+		if !r.Autopower && len(r.Interfaces) > 0 {
+			plain = r.Name
+			break
+		}
+	}
+	if plain == "" {
+		t.Fatal("no uninstrumented router with interfaces")
+	}
+	r := n.byName[plain]
+	var iface string
+	for _, itf := range r.Interfaces {
+		if !itf.Spare {
+			iface = itf.Name
+			break
+		}
+	}
+	if iface == "" {
+		t.Fatalf("no configured interface on %s", plain)
+	}
+	auto := n.AutopowerRouters()
+	if len(auto) < 2 {
+		t.Fatal("want at least two instrumented routers")
+	}
+	return []FleetEvent{
+		{At: start.Add(10 * 24 * time.Hour), Router: plain, Op: OpAdminDown, Iface: iface},
+		{At: start.Add(20 * 24 * time.Hour), Router: plain, Op: OpAdminUp, Iface: iface},
+		{At: start.Add(15 * 24 * time.Hour), Router: auto[0].Name, Op: OpScaleLoad, Factor: 1.5},
+		{At: start.Add(30 * 24 * time.Hour), Router: auto[1].Name, Op: OpPowerCycle, PSU: 0},
+	}
+}
+
+// TestFleetResimulatePropertyRandom is the property test of the
+// incremental contract: for random event batches over random routers —
+// applied across multiple Perturb/Resimulate rounds — the final dataset
+// is bit-identical to one cold SimulateWithEvents holding the merged
+// event list, at Workers=1 and Workers=8.
+func TestFleetResimulatePropertyRandom(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		for trial := int64(0); trial < 3; trial++ {
+			cfg := quickCfg()
+			cfg.Workers = workers
+			rng := rand.New(rand.NewSource(4000 + trial))
+
+			f, err := NewFleet(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var all []FleetEvent
+			rounds := 1 + rng.Intn(3)
+			for round := 0; round < rounds; round++ {
+				batch := randomEvents(rng, f.Network(), 1+rng.Intn(5))
+				all = append(all, batch...)
+				if err := f.Perturb(batch...); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Resimulate(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := SimulateWithEvents(cfg, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("workers=%d trial=%d: %d events over %d rounds", workers, trial, len(all), rounds)
+			datasetsIdentical(t, f.Dataset(), want)
+		}
+	}
+}
+
+// randomEvents draws a batch of valid perturbations against the current
+// fleet. Ops are limited to mutations that cannot fail at apply time on
+// an arbitrary router (no unplug/add, whose preconditions depend on the
+// router's remaining ports).
+func randomEvents(rng *rand.Rand, n *Network, count int) []FleetEvent {
+	var evs []FleetEvent
+	start, dur := n.Config.Start, n.Config.Duration
+	for len(evs) < count {
+		r := n.Routers[rng.Intn(len(n.Routers))]
+		at := start.Add(time.Duration(rng.Int63n(int64(dur))))
+		switch rng.Intn(4) {
+		case 0, 1:
+			var names []string
+			for _, itf := range r.Interfaces {
+				if !itf.Spare {
+					names = append(names, itf.Name)
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			iface := names[rng.Intn(len(names))]
+			op := OpAdminDown
+			if rng.Intn(2) == 0 {
+				op = OpAdminUp
+			}
+			evs = append(evs, FleetEvent{At: at, Router: r.Name, Op: op, Iface: iface})
+		case 2:
+			evs = append(evs, FleetEvent{
+				At: at, Router: r.Name, Op: OpScaleLoad,
+				Factor: 0.5 + rng.Float64(),
+			})
+		case 3:
+			evs = append(evs, FleetEvent{At: at, Router: r.Name, Op: OpPowerCycle, PSU: 0})
+		}
+	}
+	return evs
+}
+
+// TestFleetShardCounters checks the dirty/reused telemetry: a cold build
+// replays the whole fleet, a 1-router perturbation replays exactly one
+// shard and reuses the rest.
+func TestFleetShardCounters(t *testing.T) {
+	replayed0 := metricShardsReplayed.Value()
+	reused0 := metricShardsReused.Value()
+
+	f, err := NewFleet(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricShardsReplayed.Value() - replayed0; got != NumRouters {
+		t.Fatalf("cold build replayed %d shards, want %d", got, NumRouters)
+	}
+	if got := metricShardsReused.Value() - reused0; got != 0 {
+		t.Fatalf("cold build reused %d shards, want 0", got)
+	}
+
+	target := f.Network().Routers[0]
+	if err := f.Perturb(FleetEvent{
+		At: f.cfg.Start.Add(24 * time.Hour), Router: target.Name,
+		Op: OpScaleLoad, Factor: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f.DirtyRouters() != 1 {
+		t.Fatalf("dirty = %d, want 1", f.DirtyRouters())
+	}
+	replayed1 := metricShardsReplayed.Value()
+	reused1 := metricShardsReused.Value()
+	if _, err := f.Resimulate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricShardsReplayed.Value() - replayed1; got != 1 {
+		t.Fatalf("resimulate replayed %d shards, want 1", got)
+	}
+	if got := metricShardsReused.Value() - reused1; got != NumRouters-1 {
+		t.Fatalf("resimulate reused %d shards, want %d", got, NumRouters-1)
+	}
+	if f.DirtyRouters() != 0 {
+		t.Fatalf("dirty after resimulate = %d, want 0", f.DirtyRouters())
+	}
+}
+
+// TestFleetPerturbValidates checks batch-atomic validation: a batch with
+// one bad event queues nothing.
+func TestFleetPerturbValidates(t *testing.T) {
+	f, err := NewFleet(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := FleetEvent{
+		At: f.cfg.Start, Router: f.Network().Routers[0].Name,
+		Op: OpScaleLoad, Factor: 2,
+	}
+	for _, bad := range []FleetEvent{
+		{At: f.cfg.Start, Router: "no-such-router", Op: OpScaleLoad, Factor: 2},
+		{At: f.cfg.Start, Router: good.Router, Op: "warp-core-breach"},
+		{At: f.cfg.Start, Router: good.Router, Op: OpScaleLoad, Factor: -1},
+		{At: f.cfg.Start, Router: good.Router, Op: OpAdminDown},
+	} {
+		if err := f.Perturb(good, bad); err == nil {
+			t.Fatalf("Perturb accepted bad event %+v", bad)
+		}
+		if f.DirtyRouters() != 0 {
+			t.Fatalf("bad batch left %d routers dirty", f.DirtyRouters())
+		}
+	}
+}

@@ -29,6 +29,10 @@ var (
 		"fine-grained external-meter (Autopower) samples produced")
 	metricBusyWorkers = telemetry.Default().Gauge("ispnet_busy_workers",
 		"replay workers currently playing a shard")
+	metricShardsReplayed = telemetry.Default().Counter("ispnet_shards_replayed_total",
+		"router shards replayed by the incremental Fleet path (dirty or cold)")
+	metricShardsReused = telemetry.Default().Counter("ispnet_shards_reused_total",
+		"router shards spliced back unchanged by Fleet.Resimulate")
 )
 
 // playInstrumented wraps one shard replay with its telemetry: worker-pool

@@ -10,6 +10,7 @@ import (
 	"fantasticjoules/internal/device"
 	"fantasticjoules/internal/meter"
 	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
 	"fantasticjoules/internal/timeseries"
 	"fantasticjoules/internal/units"
 )
@@ -30,6 +31,13 @@ type routerShard struct {
 	meter  *meter.Meter // nil unless instrumented
 	events []scheduledEvent
 	steps  []time.Time
+	// snapAt is the mid-window instant of the one-time PSU sensor export.
+	// The snapshot is taken by the shard itself (not by the dataset
+	// assembly) because EnvSnapshot draws from the router's private rng:
+	// capturing it at a fixed point in the shard's replay keeps the rng
+	// stream — and therefore every later draw — identical whether the
+	// shard ran in a cold Simulate or an incremental Fleet replay.
+	snapAt time.Time
 
 	// Per-step contributions to the network totals, indexed like steps.
 	// Steps where the router is not deployed contribute exactly 0, which
@@ -45,6 +53,9 @@ type routerShard struct {
 	snmp      *timeseries.Series
 	rates     map[string]*timeseries.Series
 	profiles  map[string]model.ProfileKey
+	// psus is the mid-window environment-sensor export (nil when the
+	// router was not active at snapAt).
+	psus []psu.Snapshot
 
 	// plan is the precomputed per-interface replay state: device handle
 	// and profile resolved once, rebuilt only when a scheduled event fires
@@ -220,6 +231,12 @@ func (sh *routerShard) play() error {
 		sh.power[si] = w
 		sh.traffic[si] = stepTraffic
 		sh.wall = append(sh.wall, w)
+	}
+	// One-time PSU export after the window (§9.2). Taken here — not by
+	// the caller — so the draws land at the same point of the router's
+	// rng stream in cold and incremental replays alike.
+	if !sh.snapAt.IsZero() && r.Active(sh.snapAt) {
+		sh.psus = r.Device.EnvSnapshot()
 	}
 	return nil
 }

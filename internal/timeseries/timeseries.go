@@ -124,6 +124,38 @@ func (s *Series) ensureSorted() {
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.ts) }
 
+// reset empties the series for reuse under a new name, keeping the
+// backing arrays so refilling to a similar length allocates nothing.
+// Every *Into operation starts with a reset of its destination.
+func (s *Series) reset(name string) {
+	s.Name = name
+	s.ts = s.ts[:0]
+	s.vs = s.vs[:0]
+	s.sorted = true
+	s.valsOK = false
+}
+
+// Reset empties the series for reuse, keeping its backing capacity. It
+// is the public entry point for scratch-buffer owners (the experiments
+// suite's arena); the *Into operations reset their destination
+// themselves.
+func (s *Series) Reset() { s.reset(s.Name) }
+
+// grow ensures the value column (and timestamp column) can hold n
+// points without reallocation, preserving current contents.
+func (s *Series) grow(n int) {
+	if cap(s.ts) < n {
+		ts := make([]int64, len(s.ts), n)
+		copy(ts, s.ts)
+		s.ts = ts
+	}
+	if cap(s.vs) < n {
+		vs := make([]float64, len(s.vs), n)
+		copy(vs, s.vs)
+		s.vs = vs
+	}
+}
+
 // At returns the i-th point in time order.
 func (s *Series) At(i int) Point {
 	s.ensureSorted()
@@ -141,6 +173,13 @@ func (s *Series) Value(i int) float64 {
 func (s *Series) TimeAt(i int) time.Time {
 	s.ensureSorted()
 	return time.Unix(0, s.ts[i]).UTC()
+}
+
+// NanoAt returns the i-th timestamp in time order as unix nanoseconds —
+// the allocation-free accessor for hot loops that only compare clocks.
+func (s *Series) NanoAt(i int) int64 {
+	s.ensureSorted()
+	return s.ts[i]
 }
 
 // Points returns the points in time order. With columnar storage the
@@ -175,14 +214,23 @@ func (s *Series) Times() []time.Time {
 
 // Between returns a new series restricted to points with from ≤ t < to.
 func (s *Series) Between(from, to time.Time) *Series {
+	return s.BetweenInto(from, to, New(s.Name))
+}
+
+// BetweenInto is Between writing into dst instead of allocating: dst is
+// reset (keeping its backing capacity) and filled with the points in
+// [from, to). It returns dst. dst must not alias s. The values are
+// bit-identical to Between's.
+func (s *Series) BetweenInto(from, to time.Time, dst *Series) *Series {
 	s.ensureSorted()
 	fromNs, toNs := from.UnixNano(), to.UnixNano()
 	lo := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= fromNs })
 	hi := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= toNs })
-	out := NewWithCap(s.Name, hi-lo)
-	out.ts = append(out.ts, s.ts[lo:hi]...)
-	out.vs = append(out.vs, s.vs[lo:hi]...)
-	return out
+	dst.reset(s.Name)
+	dst.grow(hi - lo)
+	dst.ts = append(dst.ts, s.ts[lo:hi]...)
+	dst.vs = append(dst.vs, s.vs[lo:hi]...)
+	return dst
 }
 
 // Clone returns an independent copy of the series under the given name (""
@@ -350,11 +398,21 @@ func AggLast(vs []float64) float64 { return vs[len(vs)-1] }
 // (truncated to the step). Empty buckets produce no point. A non-positive
 // step is an error.
 func (s *Series) Resample(step time.Duration, agg Aggregator) (*Series, error) {
+	return s.ResampleInto(step, agg, New(s.Name))
+}
+
+// ResampleInto is Resample writing into dst instead of allocating a new
+// series: dst is reset (keeping its backing capacity) and filled with
+// the aggregated buckets. It returns dst. dst must not alias s. A small
+// per-call bucket buffer is still allocated; the column arrays — the
+// bulk of a resample's footprint — are reused.
+func (s *Series) ResampleInto(step time.Duration, agg Aggregator, dst *Series) (*Series, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("timeseries: non-positive resample step %v", step)
 	}
 	s.ensureSorted()
-	out := New(s.Name)
+	out := dst
+	out.reset(s.Name)
 	var bucket []float64
 	var bucketStart int64
 	flush := func() {
@@ -382,14 +440,25 @@ func (s *Series) Resample(step time.Duration, agg Aggregator) (*Series, error) {
 // advanced by two monotone cursors — over the columnar arrays, with the
 // output preallocated to the input length.
 func (s *Series) Smooth(window time.Duration) *Series {
+	return s.SmoothInto(window, New(s.Name))
+}
+
+// SmoothInto is Smooth writing into dst instead of allocating: dst is
+// reset (keeping its backing capacity) and filled with the smoothed
+// points. It returns dst. dst must not alias s — the sliding window
+// re-reads input values both behind and ahead of the write cursor, so
+// an in-place smooth would consume its own output. The values are
+// bit-identical to Smooth's: same running sum, same division.
+func (s *Series) SmoothInto(window time.Duration, dst *Series) *Series {
 	s.ensureSorted()
 	n := len(s.ts)
-	out := NewWithCap(s.Name, n)
-	out.ts = append(out.ts, s.ts...)
-	out.vs = out.vs[:n]
+	dst.reset(s.Name)
+	dst.grow(n)
+	dst.ts = append(dst.ts, s.ts...)
+	dst.vs = dst.vs[:n]
 	if window <= 0 {
-		copy(out.vs, s.vs)
-		return out
+		copy(dst.vs, s.vs)
+		return dst
 	}
 	half := int64(window / 2)
 	lo, hi := 0, 0
@@ -405,9 +474,9 @@ func (s *Series) Smooth(window time.Duration) *Series {
 			sum -= s.vs[lo]
 			lo++
 		}
-		out.vs[i] = sum / float64(hi-lo)
+		dst.vs[i] = sum / float64(hi-lo)
 	}
-	return out
+	return dst
 }
 
 // ErrNoOverlap is returned by alignment operations when the inputs share no
@@ -487,12 +556,22 @@ func SumAligned(name string, step time.Duration, series ...*Series) (*Series, er
 // nearest-earlier point of b (sample-and-hold). Points of a before b's
 // first sample are dropped. It returns ErrNoOverlap when nothing matches.
 func Sub(a, b *Series) (*Series, error) {
+	return SubInto(a, b, New(""))
+}
+
+// SubInto is Sub writing into dst instead of allocating: dst is reset
+// (keeping its backing capacity) and filled with the matched
+// differences. It returns dst. dst must alias neither input. The values
+// are bit-identical to Sub's.
+func SubInto(a, b, dst *Series) (*Series, error) {
 	a.ensureSorted()
 	b.ensureSorted()
 	if len(b.ts) == 0 {
 		return nil, ErrNoOverlap
 	}
-	out := NewWithCap(a.Name+"-"+b.Name, len(a.ts))
+	out := dst
+	out.reset(a.Name + "-" + b.Name)
+	out.grow(len(a.ts))
 	j := 0
 	for i, ns := range a.ts {
 		for j+1 < len(b.ts) && b.ts[j+1] <= ns {
