@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fantasticjoules/internal/experiments"
+	"fantasticjoules/internal/hypnos"
 	"fantasticjoules/internal/ispnet"
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/stats"
@@ -287,6 +288,66 @@ func BenchmarkResimulatePerturbed(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkOptimizerStep times one closed-loop control step at the
+// optimizer's granularity: the greedy decision plus SLA guardrail
+// (hypnos.Planner.PlanStep over the full 169-link backbone) followed by
+// actuating a one-link perturbation through the incremental fleet path
+// (Perturb + Resimulate of the two endpoint routers). This is the cost
+// the online controller pays per hour of simulated time when one link
+// changes state; steps that decide "no change" skip the resimulate and
+// cost only the PlanStep part.
+func BenchmarkOptimizerStep(b *testing.B) {
+	cfg := ispnet.Config{
+		Seed:          42,
+		SNMPStep:      15 * time.Minute,
+		AutopowerStep: 5 * time.Minute,
+	}
+	f, err := ispnet.NewFleet(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pristine, err := ispnet.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, traffic, err := hypnos.FromNetwork(pristine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner, err := hypnos.NewPlanner(topo, hypnos.PlannerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := f.Network().Config.Start.Add(21 * 24 * time.Hour)
+	loads := make([]float64, len(topo.Links))
+	for i, l := range topo.Links {
+		loads[i] = traffic(l.ID, at).BitsPerSecond()
+	}
+	// One settling step: the first PlanStep on an idle backbone makes ~60
+	// sleep decisions; steady-state steps mostly revalidate.
+	planner.PlanStep(loads, nil)
+	link := topo.Links[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		planner.PlanStep(loads, nil) // decision + guardrail
+		// Alternate sleep and wake of one link so each iteration is a
+		// 1-action perturbation dirtying exactly the two endpoint routers.
+		op := ispnet.OpSleep
+		if i%2 == 1 {
+			op = ispnet.OpWake
+		}
+		if err := f.Perturb(
+			ispnet.FleetEvent{At: at, Router: link.A.Router, Op: op, Iface: link.A.Interface},
+			ispnet.FleetEvent{At: at, Router: link.B.Router, Op: op, Iface: link.B.Interface},
+		); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Resimulate(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

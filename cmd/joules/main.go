@@ -15,6 +15,9 @@
 //	                          default fans the fleet simulation and lab
 //	                          derivations out over all CPUs; the output
 //	                          is identical either way)
+//	joules -optimize          run the closed-loop energy optimizer over the
+//	                          full study window and report the realized
+//	                          (measured) savings against the §8 estimate
 //	joules -metrics :9090 run all
 //	                          serve live process telemetry while the run
 //	                          executes: /metrics (Prometheus text, or
@@ -67,6 +70,7 @@ func artifacts() []artifact {
 		{"fig8", "OS-upgrade fan power bump", runFig8},
 		{"section7", "traffic vs transceiver power split", runSection7},
 		{"section8", "Hypnos link-sleeping savings", runSection8},
+		{"section8online", "closed-loop optimizer: realized vs estimated savings", runSection8Online},
 		{"baselines", "lab models vs datasheet-interpolation baseline (§2)", runBaselines},
 		{"ablations", "design-choice ablations", runAblations},
 	}
@@ -79,9 +83,13 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve live telemetry on this address while running (/metrics and /debug/pprof); :0 picks a free port")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file when the run finishes")
+	optimize := flag.Bool("optimize", false, "run the closed-loop energy optimizer (shorthand for `run section8online`)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	if *optimize && len(args) == 0 {
+		args = []string{"run", "section8online"}
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)

@@ -399,3 +399,25 @@ func runAblations(s *experiments.Suite) error {
 	}
 	return nil
 }
+
+func runSection8Online(s *experiments.Suite) error {
+	res, err := s.Section8Online()
+	if err != nil {
+		return err
+	}
+	days := res.Window.Hours() / 24
+	fmt.Printf("Closed-loop run: %d hourly steps over %.0f days, %d actions (%d link transitions).\n",
+		res.Steps, days, res.Actions, res.Transitions)
+	fmt.Printf("Guardrail: %d vetoes, %d violations (must be 0), %d fleet resimulations.\n",
+		res.Vetoes, res.GuardrailViolations, res.Resimulates)
+	fmt.Printf("Realized sleep saving (measured at the wall):  %6.0f W (%.2f%% of fleet power, %.2e J)\n",
+		res.RealizedSavedWatts.Watts(), res.RealizedShare*100, res.RealizedSavedJoules.Joules())
+	fmt.Printf("Estimate envelope for the realized schedule:   %6.0f – %.0f W  → within: %v\n",
+		res.EnvelopeLow.Watts(), res.EnvelopeHigh.Watts(), res.WithinEnvelope)
+	fmt.Printf("Offline §8 estimate (hypothetical schedule):   %6.0f – %.0f W (%.1f–%.1f%%)\n",
+		res.Offline.Savings.RefinedLow.Watts(), res.Offline.Savings.RefinedHigh.Watts(),
+		res.Offline.LowShare*100, res.Offline.HighShare*100)
+	fmt.Printf("PSU shedding: %d supplies offlined, %.2e J saved on top (§9.3.4 provisioning).\n",
+		res.PSUsShed, res.PSUSavedJoules.Joules())
+	return nil
+}

@@ -1,12 +1,19 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"fantasticjoules/internal/timeseries"
 )
+
+// ErrUnknownArtifact is returned (wrapped) by Suite.Invalidate when the
+// artifact name resolves to no registered cell — a misspelled handle
+// would otherwise silently invalidate nothing and leave the caller
+// believing the cascade ran. Test with errors.Is.
+var ErrUnknownArtifact = errors.New("experiments: unknown artifact")
 
 // node is the dependency-graph core of an epoch cell: a name, a validity
 // flag, and the downstream edges the invalidation cascade walks. The
@@ -119,7 +126,7 @@ func (s *Suite) Invalidate(artifact string) error {
 	n, ok := s.cells[artifact]
 	s.cellMu.Unlock()
 	if !ok {
-		return fmt.Errorf("experiments: unknown artifact %q", artifact)
+		return fmt.Errorf("%w: %q", ErrUnknownArtifact, artifact)
 	}
 	n.invalidate()
 	return nil

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -12,15 +13,28 @@ import (
 )
 
 // TestInvalidateUnknownArtifact: Invalidate resolves names against the
-// cell registry and rejects handles that do not exist.
+// cell registry and rejects handles that do not exist with the named
+// sentinel, so callers in the DAG cascade path can distinguish "no such
+// cell" from a real failure instead of failing silently.
 func TestInvalidateUnknownArtifact(t *testing.T) {
 	s := New(99)
-	if err := s.Invalidate("no-such-artifact"); err == nil {
+	err := s.Invalidate("no-such-artifact")
+	if err == nil {
 		t.Fatal("Invalidate of unknown artifact: want error, got nil")
 	}
+	if !errors.Is(err, ErrUnknownArtifact) {
+		t.Fatalf("Invalidate error = %v, want errors.Is(ErrUnknownArtifact)", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-artifact") {
+		t.Fatalf("Invalidate error %q does not name the artifact", err)
+	}
 	// Dynamic cells only exist once used.
-	if err := s.Invalidate("predict("); err == nil {
-		t.Fatal("Invalidate of never-created dynamic cell: want error, got nil")
+	if err := s.Invalidate("predict("); !errors.Is(err, ErrUnknownArtifact) {
+		t.Fatalf("Invalidate of never-created dynamic cell = %v, want ErrUnknownArtifact", err)
+	}
+	// A known cell never trips the sentinel.
+	if err := s.Invalidate("corpus"); err != nil {
+		t.Fatalf("Invalidate(corpus) = %v, want nil", err)
 	}
 }
 

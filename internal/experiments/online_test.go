@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSection8OnlineWindow runs the online artifact's control loop over a
+// short window (the full 9-week acceptance run lives behind the cached
+// Section8Online artifact / `joules -optimize`): the optimizer must act,
+// the SLA guardrail must never fire, and the realized wall-side saving
+// must land inside the estimate envelope the result advertises.
+func TestSection8OnlineWindow(t *testing.T) {
+	s := New(42)
+	res, err := s.section8OnlineUncached(2 * 24 * time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 48 {
+		t.Errorf("Steps = %d, want 48 (2 days at 1h)", res.Steps)
+	}
+	if res.Actions == 0 {
+		t.Error("optimizer took no actions on the static fleet")
+	}
+	if res.GuardrailViolations != 0 {
+		t.Errorf("GuardrailViolations = %d, want 0", res.GuardrailViolations)
+	}
+	if res.RealizedSavedJoules <= 0 {
+		t.Errorf("RealizedSavedJoules = %v, want > 0", res.RealizedSavedJoules)
+	}
+	if res.PSUsShed == 0 || res.PSUSavedJoules <= 0 {
+		t.Errorf("PSU shed pass: shed=%d saved=%v, want both > 0",
+			res.PSUsShed, res.PSUSavedJoules)
+	}
+	if res.EnvelopeLow <= 0 || res.EnvelopeHigh <= res.EnvelopeLow {
+		t.Errorf("degenerate envelope [%v, %v]", res.EnvelopeLow, res.EnvelopeHigh)
+	}
+	if !res.WithinEnvelope {
+		t.Errorf("realized %v W outside envelope [%v, %v] W",
+			res.RealizedSavedWatts.Watts(),
+			res.EnvelopeLow.Watts(), res.EnvelopeHigh.Watts())
+	}
+	// The offline estimate rides along so the CLI can print both.
+	if res.Offline.Savings.RefinedHigh <= 0 {
+		t.Error("offline §8 estimate missing from the online result")
+	}
+	if res.RealizedShare <= 0 {
+		t.Error("RealizedShare not populated")
+	}
+}

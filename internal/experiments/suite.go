@@ -65,14 +65,17 @@ type Suite struct {
 	corpus  *ecell[[]datasheet.Document]
 	records *ecell[[]datasheet.Extracted]
 
-	fig1      *ecell[Fig1Result]
-	fig4      *ecell[[]Fig4Row]
-	fig9      *ecell[[]Fig9Row]
-	fig8      *ecell[Fig8Result]
-	section7  *ecell[Section7Result]
-	section8  *ecell[Section8Result]
-	baselines *ecell[[]BaselineRow]
-	smoothing *ecell[[]SmoothingResult]
+	fig1     *ecell[Fig1Result]
+	fig4     *ecell[[]Fig4Row]
+	fig9     *ecell[[]Fig9Row]
+	fig8     *ecell[Fig8Result]
+	section7 *ecell[Section7Result]
+	section8 *ecell[Section8Result]
+	// section8online depends on section8 (it embeds the offline estimate);
+	// the dataset edge is transitive through it.
+	section8online *ecell[Section8OnlineResult]
+	baselines      *ecell[[]BaselineRow]
+	smoothing      *ecell[[]SmoothingResult]
 
 	// mu guards only the memo maps below, never their computations: Derive
 	// and DerivedModel insert an empty cell under the lock and compute
@@ -108,6 +111,7 @@ func New(seed int64) *Suite {
 	s.fig8 = newCell[Fig8Result](s, "fig8")
 	s.section7 = newCell[Section7Result](s, "section7", &s.dataset.node)
 	s.section8 = newCell[Section8Result](s, "section8", &s.dataset.node)
+	s.section8online = newCell[Section8OnlineResult](s, "section8online", &s.section8.node)
 	s.baselines = newCell[[]BaselineRow](s, "baselines", &s.dataset.node)
 	s.smoothing = newCell[[]SmoothingResult](s, "ablation-smoothing", &s.dataset.node, &s.fig4.node)
 	return s

@@ -15,7 +15,6 @@ package hypnos
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"fantasticjoules/internal/ispnet"
@@ -173,6 +172,14 @@ type Schedule struct {
 	topo     Topology
 }
 
+// NewSchedule assembles a Schedule from an externally produced decision
+// trace over the given topology, so Evaluate and VerifySchedule can
+// score schedules the online optimizer (or any other scheduler) realized
+// rather than ones Run computed.
+func NewSchedule(topo Topology, times []time.Time, sleeping [][]int) Schedule {
+	return Schedule{topo: topo, Times: times, Sleeping: sleeping}
+}
+
 // MeanSleeping returns the time-averaged number of sleeping links.
 func (s Schedule) MeanSleeping() float64 {
 	if len(s.Sleeping) == 0 {
@@ -190,18 +197,22 @@ func (s Schedule) MeanSleeping() float64 {
 // connected and the slept traffic reroutes onto the shortest remaining
 // path without pushing any link beyond MaxUtilization.
 //
-// The scheduler runs one BFS per sleep candidate per step, so the graph is
-// indexed once up front (router names to dense ints, adjacency and link
-// endpoints in index space) and every per-step and per-BFS buffer is
-// reused across the whole window — the month-long §8 run allocates the
-// working set once instead of per step.
+// The per-step decision procedure lives in Planner (planner.go), shared
+// with the online optimizer: one BFS per sleep candidate per step over a
+// dense-index graph, with every per-step and per-BFS buffer reused
+// across the whole window — the month-long §8 run allocates the working
+// set once instead of per step.
 func Run(topo Topology, traffic TrafficFunc, opts Options) (Schedule, error) {
 	opts.applyDefaults()
 	if opts.Start.IsZero() {
 		return Schedule{}, errors.New("hypnos: options need a start time")
 	}
-	if len(topo.Links) == 0 {
-		return Schedule{}, errors.New("hypnos: topology has no internal links")
+	p, err := NewPlanner(topo, PlannerOptions{
+		MaxUtilization: opts.MaxUtilization,
+		MinDwellSteps:  opts.MinDwellSteps,
+	})
+	if err != nil {
+		return Schedule{}, err
 	}
 	numSteps := int(opts.Window/opts.Step) + 1
 	sched := Schedule{
@@ -209,89 +220,15 @@ func Run(topo Topology, traffic TrafficFunc, opts Options) (Schedule, error) {
 		Times:    make([]time.Time, 0, numSteps),
 		Sleeping: make([][]int, 0, numSteps),
 	}
-	g := buildGraph(topo)
-	sc := &bfsScratch{visited: make([]int, len(g.nodes))}
-
-	prev := make([]bool, len(topo.Links))
-	dwell := make([]int, len(topo.Links))
 	loads := make([]float64, len(topo.Links))
-	extra := make([]float64, len(topo.Links))
-	asleep := make([]bool, len(topo.Links))
-	order := make([]int, len(topo.Links))
 	end := opts.Start.Add(opts.Window)
 	for t := opts.Start; t.Before(end); t = t.Add(opts.Step) {
 		for i, l := range topo.Links {
 			loads[i] = traffic(l.ID, t).BitsPerSecond()
-			extra[i] = 0
-			asleep[i] = false
-			order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool { return loads[order[a]] < loads[order[b]] })
-
-		trySleep := func(id int) bool {
-			asleep[id] = true
-			a, b := g.ends[id][0], g.ends[id][1]
-			path, ok := shortestPath(g, asleep, a, b, sc)
-			if !ok {
-				asleep[id] = false // would disconnect
-				return false
-			}
-			// Check headroom along the reroute path.
-			for _, pid := range path {
-				pl := topo.Links[pid]
-				if loads[pid]+extra[pid]+loads[id] > opts.MaxUtilization*pl.Capacity.BitsPerSecond() {
-					asleep[id] = false
-					return false
-				}
-			}
-			for _, pid := range path {
-				extra[pid] += loads[id]
-			}
-			return true
-		}
-
-		// First pass: re-validate the links already asleep (hysteresis
-		// keeps them down, but safety wakes them if constraints fail).
-		for _, id := range order {
-			if prev[id] {
-				trySleep(id)
-			}
-		}
-		// Second pass: put new links to sleep, unless they woke too
-		// recently.
-		for _, id := range order {
-			if prev[id] || asleep[id] {
-				continue
-			}
-			if opts.MinDwellSteps > 0 && dwell[id] < opts.MinDwellSteps {
-				continue
-			}
-			trySleep(id)
-		}
-
-		count := 0
-		for _, a := range asleep {
-			if a {
-				count++
-			}
-		}
-		var ids []int
-		if count > 0 {
-			ids = make([]int, 0, count)
-		}
-		for id, a := range asleep {
-			if a {
-				ids = append(ids, id)
-			}
-			if a == prev[id] {
-				dwell[id]++
-			} else {
-				dwell[id] = 1
-			}
-			prev[id] = a
-		}
+		plan := p.PlanStep(loads, nil)
 		sched.Times = append(sched.Times, t)
-		sched.Sleeping = append(sched.Sleeping, ids)
+		sched.Sleeping = append(sched.Sleeping, plan.Sleeping)
 	}
 	return sched, nil
 }

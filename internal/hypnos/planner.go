@@ -1,0 +1,227 @@
+package hypnos
+
+import (
+	"errors"
+	"sort"
+)
+
+// VetoReason names why the guardrail rejected a sleep candidate.
+type VetoReason string
+
+const (
+	// VetoDisconnect: sleeping the link would split the awake graph, so
+	// the demand between its endpoints would have no path (blackholed).
+	VetoDisconnect VetoReason = "disconnect"
+	// VetoHeadroom: rerouting the link's traffic would push a surviving
+	// link beyond the configured utilization cap.
+	VetoHeadroom VetoReason = "headroom"
+)
+
+// Veto is one guardrail rejection: the policy proposed sleeping Link and
+// the SLA check refused.
+type Veto struct {
+	Link   int
+	Reason VetoReason
+}
+
+// PlannerOptions tune the per-step greedy scheduler.
+type PlannerOptions struct {
+	// MaxUtilization is the load cap on surviving links after rerouting
+	// (default 0.5, keeping failover headroom).
+	MaxUtilization float64
+	// MinDwellSteps adds hysteresis: after a link changes state it keeps
+	// that state for at least this many steps, except that safety always
+	// wins — a sleeping link whose constraints no longer hold wakes
+	// immediately. Zero disables hysteresis.
+	MinDwellSteps int
+}
+
+// StepPlan is one control step's outcome.
+type StepPlan struct {
+	// Sleeping lists the link IDs asleep after the step, ascending. Nil
+	// when nothing sleeps (matching Schedule.Sleeping's convention).
+	Sleeping []int
+	// Slept and Woke are this step's transitions, in the greedy decision
+	// order for Slept and ascending link order for Woke.
+	Slept []int
+	Woke  []int
+	// Vetoed records the guardrail rejections of this step: candidates
+	// the greedy policy proposed that failed the connectivity or headroom
+	// check. Re-validation failures of already-sleeping links surface as
+	// Woke entries, not vetoes — waking for safety is the guardrail
+	// working, not being overridden.
+	//
+	// Vetoed aliases the Planner's scratch buffer and is valid only until
+	// the next PlanStep; copy it to retain (a cold backbone vetoes ~100
+	// candidates per step, and reusing the buffer keeps the steady-state
+	// loop allocation-free).
+	Vetoed []Veto
+}
+
+// Planner is the reusable greedy scheduler plus SLA guardrail behind
+// hypnos.Run, exported so an online controller can drive the exact same
+// decision procedure step by step and veto-account its actions. It keeps
+// the dense-index graph, the BFS scratch, and the hysteresis state
+// between steps; one Planner instance replaces one Run loop.
+//
+// The guardrail invariant every accepted plan satisfies: the awake part
+// of the graph keeps the full topology's connectivity (no blackholed
+// demand), and every surviving link carries its own load plus all
+// rerouted load within MaxUtilization of its capacity.
+type Planner struct {
+	topo Topology
+	opts PlannerOptions
+	g    *graph
+	sc   *bfsScratch
+
+	prev    []bool
+	dwell   []int
+	loads   []float64
+	extra   []float64
+	asleep  []bool
+	blocked []bool // asleep or down; what the BFS must avoid
+	order   []int
+	vetoes  []Veto // scratch backing StepPlan.Vetoed, reused across steps
+}
+
+// NewPlanner indexes the topology and allocates the per-step working set
+// once, exactly as Run does for its whole window.
+func NewPlanner(topo Topology, opts PlannerOptions) (*Planner, error) {
+	if len(topo.Links) == 0 {
+		return nil, errors.New("hypnos: topology has no internal links")
+	}
+	if opts.MaxUtilization == 0 {
+		opts.MaxUtilization = 0.5
+	}
+	g := buildGraph(topo)
+	n := len(topo.Links)
+	return &Planner{
+		topo:    topo,
+		opts:    opts,
+		g:       g,
+		sc:      &bfsScratch{visited: make([]int, len(g.nodes))},
+		prev:    make([]bool, n),
+		dwell:   make([]int, n),
+		loads:   make([]float64, n),
+		extra:   make([]float64, n),
+		asleep:  make([]bool, n),
+		blocked: make([]bool, n),
+		order:   make([]int, n),
+	}, nil
+}
+
+// Sleeping reports whether link id was asleep after the last PlanStep.
+func (p *Planner) Sleeping(id int) bool {
+	return id >= 0 && id < len(p.prev) && p.prev[id]
+}
+
+// PlanStep runs one greedy scheduling step: links are proposed for sleep
+// in ascending load order, every proposal passes the guardrail
+// (connectivity plus reroute headroom) or is vetoed, and links slept on
+// previous steps are re-validated first — hysteresis keeps them down,
+// but safety wakes them the moment their constraints fail.
+//
+// loads is indexed by link ID (bits per second). down, when non-nil,
+// marks links that are unavailable at this step (faulted carriers): a
+// down link is never proposed for sleep, never carries rerouted traffic,
+// and — when it was already sleeping — stays asleep without re-validation
+// (waking an interface cannot restore a lost carrier). With down == nil
+// the procedure is exactly the Run inner loop.
+func (p *Planner) PlanStep(loads []float64, down []bool) StepPlan {
+	var plan StepPlan
+	p.vetoes = p.vetoes[:0]
+	for i := range p.topo.Links {
+		p.loads[i] = loads[i]
+		p.extra[i] = 0
+		p.asleep[i] = false
+		p.blocked[i] = down != nil && down[i]
+		p.order[i] = i
+	}
+	sort.Slice(p.order, func(a, b int) bool { return p.loads[p.order[a]] < p.loads[p.order[b]] })
+
+	trySleep := func(id int) (VetoReason, bool) {
+		p.asleep[id] = true
+		p.blocked[id] = true
+		a, b := p.g.ends[id][0], p.g.ends[id][1]
+		path, ok := shortestPath(p.g, p.blocked, a, b, p.sc)
+		if !ok {
+			p.asleep[id] = false // would disconnect
+			p.blocked[id] = down != nil && down[id]
+			return VetoDisconnect, false
+		}
+		// Check headroom along the reroute path.
+		for _, pid := range path {
+			pl := p.topo.Links[pid]
+			if p.loads[pid]+p.extra[pid]+p.loads[id] > p.opts.MaxUtilization*pl.Capacity.BitsPerSecond() {
+				p.asleep[id] = false
+				p.blocked[id] = down != nil && down[id]
+				return VetoHeadroom, false
+			}
+		}
+		for _, pid := range path {
+			p.extra[pid] += p.loads[id]
+		}
+		return "", true
+	}
+
+	// First pass: re-validate the links already asleep (hysteresis keeps
+	// them down, but safety wakes them if constraints fail). A sleeping
+	// link whose carrier is down stays asleep as-is: it carries nothing,
+	// and waking it cannot bring the carrier back.
+	for _, id := range p.order {
+		if !p.prev[id] {
+			continue
+		}
+		if down != nil && down[id] {
+			p.asleep[id] = true
+			continue
+		}
+		trySleep(id)
+	}
+	// Second pass: put new links to sleep, unless they woke too recently
+	// or their carrier is down.
+	for _, id := range p.order {
+		if p.prev[id] || p.asleep[id] {
+			continue
+		}
+		if down != nil && down[id] {
+			continue
+		}
+		if p.opts.MinDwellSteps > 0 && p.dwell[id] < p.opts.MinDwellSteps {
+			continue
+		}
+		if reason, ok := trySleep(id); !ok {
+			p.vetoes = append(p.vetoes, Veto{Link: id, Reason: reason})
+		} else {
+			plan.Slept = append(plan.Slept, id)
+		}
+	}
+
+	count := 0
+	for _, a := range p.asleep {
+		if a {
+			count++
+		}
+	}
+	if count > 0 {
+		plan.Sleeping = make([]int, 0, count)
+	}
+	for id, a := range p.asleep {
+		if a {
+			plan.Sleeping = append(plan.Sleeping, id)
+		}
+		if a == p.prev[id] {
+			p.dwell[id]++
+		} else {
+			p.dwell[id] = 1
+			if !a {
+				plan.Woke = append(plan.Woke, id)
+			}
+		}
+		p.prev[id] = a
+	}
+	if len(p.vetoes) > 0 {
+		plan.Vetoed = p.vetoes
+	}
+	return plan
+}

@@ -59,6 +59,16 @@ func VerifySchedule(topo Topology, sched Schedule, traffic TrafficFunc, maxUtil 
 	return nil
 }
 
+// Components returns the number of connected components of the topology
+// over the links not excluded (excluded may be nil for the full graph;
+// it is indexed by link ID and true entries are treated as absent).
+// Isolated nodes count as their own components. This is the reachability
+// primitive behind the no-blackholed-demand guardrail: a plan that keeps
+// Components unchanged leaves every demand a path.
+func Components(topo Topology, excluded []bool) int {
+	return componentCount(topo, excluded)
+}
+
 // componentCount returns the number of connected components over awake
 // links (asleep may be nil for the full graph). Isolated nodes count as
 // their own components.

@@ -40,6 +40,11 @@ type Dataset struct {
 	// RouterWallMedian is each router's median wall power over the window
 	// (Table 1 input).
 	RouterWallMedian map[string]units.Power
+	// RouterWallPeak is each router's peak wall power over the window —
+	// the provisioning figure the §9.3.4 PSU-shedding decision sizes
+	// against (a PSU may only go offline if the survivors cover the peak,
+	// not the median).
+	RouterWallPeak map[string]units.Power
 
 	// Autopower holds the external meter traces of the instrumented
 	// routers, keyed by router name.
@@ -200,6 +205,7 @@ func (n *Network) assembleDataset(steps []time.Time, shards []*routerShard, evs 
 		TotalTraffic:     timeseries.NewWithCap("total-traffic", len(steps)),
 		TotalCapacity:    capacity,
 		RouterWallMedian: make(map[string]units.Power),
+		RouterWallPeak:   make(map[string]units.Power),
 		Autopower:        make(map[string]*timeseries.Series),
 		SNMPPower:        make(map[string]*timeseries.Series),
 		IfaceRates:       make(map[string]map[string]*timeseries.Series),
@@ -223,6 +229,8 @@ func (n *Network) assembleDataset(steps []time.Time, shards []*routerShard, evs 
 		r := sh.router
 		if len(sh.wall) > 0 {
 			ds.RouterWallMedian[r.Name] = units.Power(medianOf(sh.wall))
+			// medianOf sorted the samples in place; the peak is the last.
+			ds.RouterWallPeak[r.Name] = units.Power(sh.wall[len(sh.wall)-1])
 		}
 		if sh.meter != nil {
 			ds.Autopower[r.Name] = sh.autopower

@@ -1,96 +1,16 @@
 package ispnet
 
 import (
-	"math"
-	"reflect"
 	"testing"
 	"time"
-
-	"fantasticjoules/internal/timeseries"
 )
 
-// seriesIdentical asserts two series are bit-for-bit identical: same
-// length, same timestamps, same IEEE-754 value bits at every point.
-func seriesIdentical(t *testing.T, label string, a, b *timeseries.Series) {
-	t.Helper()
-	if (a == nil) != (b == nil) {
-		t.Fatalf("%s: nil mismatch", label)
-	}
-	if a == nil {
-		return
-	}
-	if a.Len() != b.Len() {
-		t.Fatalf("%s: len %d vs %d", label, a.Len(), b.Len())
-	}
-	ap, bp := a.Points(), b.Points()
-	for i := range ap {
-		if !ap[i].T.Equal(bp[i].T) {
-			t.Fatalf("%s: point %d timestamp %v vs %v", label, i, ap[i].T, bp[i].T)
-		}
-		if math.Float64bits(ap[i].V) != math.Float64bits(bp[i].V) {
-			t.Fatalf("%s: point %d value %v (%#x) vs %v (%#x)",
-				label, i, ap[i].V, math.Float64bits(ap[i].V), bp[i].V, math.Float64bits(bp[i].V))
-		}
-	}
-}
-
 // datasetsIdentical compares every artifact of two datasets point for
-// point.
+// point, delegating to the exported DiffDatasets oracle.
 func datasetsIdentical(t *testing.T, a, b *Dataset) {
 	t.Helper()
-	seriesIdentical(t, "TotalPower", a.TotalPower, b.TotalPower)
-	seriesIdentical(t, "TotalTraffic", a.TotalTraffic, b.TotalTraffic)
-	if a.TotalCapacity != b.TotalCapacity {
-		t.Fatalf("TotalCapacity %v vs %v", a.TotalCapacity, b.TotalCapacity)
-	}
-
-	if len(a.RouterWallMedian) != len(b.RouterWallMedian) {
-		t.Fatalf("RouterWallMedian sizes %d vs %d", len(a.RouterWallMedian), len(b.RouterWallMedian))
-	}
-	for name, av := range a.RouterWallMedian {
-		bv, ok := b.RouterWallMedian[name]
-		if !ok {
-			t.Fatalf("median for %s missing in second run", name)
-		}
-		if math.Float64bits(av.Watts()) != math.Float64bits(bv.Watts()) {
-			t.Fatalf("median for %s: %v vs %v", name, av, bv)
-		}
-	}
-
-	if len(a.Autopower) != len(b.Autopower) {
-		t.Fatalf("Autopower sizes %d vs %d", len(a.Autopower), len(b.Autopower))
-	}
-	for name, as := range a.Autopower {
-		seriesIdentical(t, "Autopower["+name+"]", as, b.Autopower[name])
-	}
-	if len(a.SNMPPower) != len(b.SNMPPower) {
-		t.Fatalf("SNMPPower sizes %d vs %d", len(a.SNMPPower), len(b.SNMPPower))
-	}
-	for name, as := range a.SNMPPower {
-		seriesIdentical(t, "SNMPPower["+name+"]", as, b.SNMPPower[name])
-	}
-
-	if len(a.IfaceRates) != len(b.IfaceRates) {
-		t.Fatalf("IfaceRates sizes %d vs %d", len(a.IfaceRates), len(b.IfaceRates))
-	}
-	for name, am := range a.IfaceRates {
-		bm := b.IfaceRates[name]
-		if len(am) != len(bm) {
-			t.Fatalf("IfaceRates[%s] sizes %d vs %d", name, len(am), len(bm))
-		}
-		for ifName, as := range am {
-			seriesIdentical(t, "IfaceRates["+name+"]["+ifName+"]", as, bm[ifName])
-		}
-	}
-	if !reflect.DeepEqual(a.IfaceProfiles, b.IfaceProfiles) {
-		t.Fatal("IfaceProfiles differ")
-	}
-
-	if !reflect.DeepEqual(a.Events, b.Events) {
-		t.Fatalf("Events differ: %v vs %v", a.Events, b.Events)
-	}
-	if !reflect.DeepEqual(a.PSUSnapshots, b.PSUSnapshots) {
-		t.Fatal("PSUSnapshots differ")
+	if err := DiffDatasets(a, b); err != nil {
+		t.Fatal(err)
 	}
 }
 

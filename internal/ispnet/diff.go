@@ -1,0 +1,123 @@
+package ispnet
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// diffSeries reports the first bit-level difference between two series:
+// same length, same timestamps, same IEEE-754 value bits at every point.
+func diffSeries(label string, a, b *timeseries.Series) error {
+	if (a == nil) != (b == nil) {
+		return fmt.Errorf("%s: nil mismatch", label)
+	}
+	if a == nil {
+		return nil
+	}
+	if a.Len() != b.Len() {
+		return fmt.Errorf("%s: len %d vs %d", label, a.Len(), b.Len())
+	}
+	ap, bp := a.Points(), b.Points()
+	for i := range ap {
+		if !ap[i].T.Equal(bp[i].T) {
+			return fmt.Errorf("%s: point %d timestamp %v vs %v", label, i, ap[i].T, bp[i].T)
+		}
+		if math.Float64bits(ap[i].V) != math.Float64bits(bp[i].V) {
+			return fmt.Errorf("%s: point %d value %v (%#x) vs %v (%#x)",
+				label, i, ap[i].V, math.Float64bits(ap[i].V), bp[i].V, math.Float64bits(bp[i].V))
+		}
+	}
+	return nil
+}
+
+// diffPowerMap reports the first bit-level difference between two
+// router-name → power maps.
+func diffPowerMap(label string, a, b map[string]units.Power) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s sizes %d vs %d", label, len(a), len(b))
+	}
+	for name, av := range a {
+		bv, ok := b[name]
+		if !ok {
+			return fmt.Errorf("%s for %s missing in second dataset", label, name)
+		}
+		if math.Float64bits(av.Watts()) != math.Float64bits(bv.Watts()) {
+			return fmt.Errorf("%s for %s: %v vs %v", label, name, av, bv)
+		}
+	}
+	return nil
+}
+
+// DiffDatasets compares every artifact of two datasets at full precision
+// — series point for point at Float64bits, maps key for key, events and
+// PSU snapshots structurally — and returns a description of the first
+// difference found, or nil when the datasets are bit-identical. It is the
+// equality oracle behind the golden determinism tests and the
+// cold-vs-incremental replay property: Resimulate after Perturb must
+// match a cold SimulateWithEvents under this comparison, not merely
+// within a tolerance.
+func DiffDatasets(a, b *Dataset) error {
+	if err := diffSeries("TotalPower", a.TotalPower, b.TotalPower); err != nil {
+		return err
+	}
+	if err := diffSeries("TotalTraffic", a.TotalTraffic, b.TotalTraffic); err != nil {
+		return err
+	}
+	if a.TotalCapacity != b.TotalCapacity {
+		return fmt.Errorf("TotalCapacity %v vs %v", a.TotalCapacity, b.TotalCapacity)
+	}
+
+	if err := diffPowerMap("RouterWallMedian", a.RouterWallMedian, b.RouterWallMedian); err != nil {
+		return err
+	}
+	if err := diffPowerMap("RouterWallPeak", a.RouterWallPeak, b.RouterWallPeak); err != nil {
+		return err
+	}
+
+	if len(a.Autopower) != len(b.Autopower) {
+		return fmt.Errorf("Autopower sizes %d vs %d", len(a.Autopower), len(b.Autopower))
+	}
+	for name, as := range a.Autopower {
+		if err := diffSeries("Autopower["+name+"]", as, b.Autopower[name]); err != nil {
+			return err
+		}
+	}
+	if len(a.SNMPPower) != len(b.SNMPPower) {
+		return fmt.Errorf("SNMPPower sizes %d vs %d", len(a.SNMPPower), len(b.SNMPPower))
+	}
+	for name, as := range a.SNMPPower {
+		if err := diffSeries("SNMPPower["+name+"]", as, b.SNMPPower[name]); err != nil {
+			return err
+		}
+	}
+
+	if len(a.IfaceRates) != len(b.IfaceRates) {
+		return fmt.Errorf("IfaceRates sizes %d vs %d", len(a.IfaceRates), len(b.IfaceRates))
+	}
+	for name, am := range a.IfaceRates {
+		bm := b.IfaceRates[name]
+		if len(am) != len(bm) {
+			return fmt.Errorf("IfaceRates[%s] sizes %d vs %d", name, len(am), len(bm))
+		}
+		for ifName, as := range am {
+			if err := diffSeries("IfaceRates["+name+"]["+ifName+"]", as, bm[ifName]); err != nil {
+				return err
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.IfaceProfiles, b.IfaceProfiles) {
+		return fmt.Errorf("IfaceProfiles differ")
+	}
+
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		return fmt.Errorf("Events differ: %v vs %v", a.Events, b.Events)
+	}
+	if !reflect.DeepEqual(a.PSUSnapshots, b.PSUSnapshots) {
+		return fmt.Errorf("PSUSnapshots differ")
+	}
+	return nil
+}

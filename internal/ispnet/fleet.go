@@ -37,6 +37,21 @@ const (
 	// OpScaleLoad multiplies every deployed interface's mean offered load
 	// by Factor — the perturbation the optimizer's what-if loop uses.
 	OpScaleLoad FleetOp = "scale-load"
+	// OpSleep / OpWake are the optimizer's actuation ops: admin-down /
+	// admin-up an interface to stop paying its Pport and Ptrx,up (the
+	// transceiver stays plugged, so Ptrx,in keeps accruing — §7's refined
+	// accounting). Unlike the strict OpAdmin* ops they are best-effort:
+	// actuating an interface the deployment no longer has (e.g. a
+	// transceiver unplugged by a later-merged schedule) is a no-op, so a
+	// decision trace stays replayable against any deployment history.
+	OpSleep FleetOp = "sleep"
+	OpWake  FleetOp = "wake"
+	// OpPSUOffline / OpPSUOnline take the PSU at index PSU out of or back
+	// into the load-sharing pool (the §9.3.4 single-PSU measure). Taking
+	// the last online PSU offline fails the replay, exactly as the device
+	// refuses it.
+	OpPSUOffline FleetOp = "psu-offline"
+	OpPSUOnline  FleetOp = "psu-online"
 )
 
 // FleetEvent is one declarative deployment event. Zero-valued fields that
@@ -60,11 +75,11 @@ func (e FleetEvent) describe() string {
 		return e.Desc
 	}
 	switch e.Op {
-	case OpAdminDown, OpAdminUp, OpLinkDown, OpLinkUp, OpUnplug:
+	case OpAdminDown, OpAdminUp, OpLinkDown, OpLinkUp, OpUnplug, OpSleep, OpWake:
 		return fmt.Sprintf("%s %s", e.Op, e.Iface)
 	case OpAddInterfaces:
 		return fmt.Sprintf("%s x%d", e.Op, e.Count)
-	case OpPowerCycle:
+	case OpPowerCycle, OpPSUOffline, OpPSUOnline:
 		return fmt.Sprintf("%s psu%d", e.Op, e.PSU)
 	case OpScaleLoad:
 		return fmt.Sprintf("%s x%g", e.Op, e.Factor)
@@ -77,7 +92,7 @@ func (e FleetEvent) describe() string {
 // the network.
 func (e FleetEvent) validate() error {
 	switch e.Op {
-	case OpAdminDown, OpAdminUp, OpLinkDown, OpLinkUp, OpUnplug:
+	case OpAdminDown, OpAdminUp, OpLinkDown, OpLinkUp, OpUnplug, OpSleep, OpWake:
 		if e.Iface == "" {
 			return fmt.Errorf("ispnet: event %s on %s: missing interface", e.Op, e.Router)
 		}
@@ -85,7 +100,7 @@ func (e FleetEvent) validate() error {
 		if e.Count <= 0 {
 			return fmt.Errorf("ispnet: event %s on %s: count must be positive", e.Op, e.Router)
 		}
-	case OpPowerCycle:
+	case OpPowerCycle, OpPSUOffline, OpPSUOnline:
 		if e.PSU < 0 {
 			return fmt.Errorf("ispnet: event %s on %s: negative PSU index", e.Op, e.Router)
 		}
@@ -100,6 +115,19 @@ func (e FleetEvent) validate() error {
 		return fmt.Errorf("ispnet: event %s: missing router", e.Op)
 	}
 	return nil
+}
+
+// hasInterface reports whether the router's current deployment still has
+// an interface by that name. Evaluated at apply time, so a sleep/wake
+// schedule recorded against one deployment replays cleanly against a
+// deployment that has since unplugged or retired the interface.
+func hasInterface(r *Router, name string) bool {
+	for i := range r.Interfaces {
+		if r.Interfaces[i].Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // sortFleetEvents orders a declarative schedule by due time. Stable, so
@@ -150,10 +178,28 @@ func (n *Network) compileEvents(evs []FleetEvent) ([]scheduledEvent, error) {
 				n.dropInterface(r, e.Iface)
 				return r.Device.UnplugTransceiver(e.Iface)
 			}
+		case OpSleep:
+			apply = func() error {
+				if !hasInterface(r, e.Iface) {
+					return nil
+				}
+				return r.Device.SetAdmin(e.Iface, false)
+			}
+		case OpWake:
+			apply = func() error {
+				if !hasInterface(r, e.Iface) {
+					return nil
+				}
+				return r.Device.SetAdmin(e.Iface, true)
+			}
 		case OpAddInterfaces:
 			apply = func() error { return n.addInterfaces(r, e.Count) }
 		case OpPowerCycle:
 			apply = func() error { return r.Device.PowerCycle(e.PSU) }
+		case OpPSUOffline:
+			apply = func() error { return r.Device.SetPSUOnline(e.PSU, false) }
+		case OpPSUOnline:
+			apply = func() error { return r.Device.SetPSUOnline(e.PSU, true) }
 		case OpScaleLoad:
 			apply = func() error {
 				for i := range r.Interfaces {
@@ -250,6 +296,16 @@ func (f *Fleet) Network() *Network { return f.net }
 func (f *Fleet) Events() []FleetEvent {
 	evs := f.mergedEvents()
 	return evs
+}
+
+// ExtraEvents returns a copy of every perturbation applied since the
+// fleet was built (the schedule beyond the built-in base events). A cold
+// SimulateWithEvents(cfg, ExtraEvents()...) reproduces the current
+// dataset bit for bit.
+func (f *Fleet) ExtraEvents() []FleetEvent {
+	out := make([]FleetEvent, len(f.extra))
+	copy(out, f.extra)
+	return out
 }
 
 // DirtyRouters returns the number of routers queued for replay by

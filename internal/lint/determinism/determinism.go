@@ -24,7 +24,9 @@ var SimPackages = []string{
 	"internal/ispnet",
 	"internal/device",
 	"internal/experiments",
+	"internal/hypnos",
 	"internal/model",
+	"internal/optimizer",
 	"internal/timeseries",
 }
 

@@ -1,0 +1,212 @@
+package optimizer_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/hypnos"
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/optimizer"
+)
+
+var start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+
+func quickCfg() ispnet.Config {
+	return ispnet.Config{
+		Seed:          42,
+		Duration:      3 * 24 * time.Hour,
+		SNMPStep:      15 * time.Minute,
+		AutopowerStep: 5 * time.Minute,
+	}
+}
+
+// topoFor builds the controller's observation plane: topology and
+// traffic from a pristine build of the config, so the observed load
+// model is independent of any actuation on a retained fleet.
+func topoFor(t testing.TB, cfg ispnet.Config) (hypnos.Topology, hypnos.TrafficFunc) {
+	t.Helper()
+	pristine, err := ispnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, traffic, err := hypnos.FromNetwork(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, traffic
+}
+
+// rig builds a retained fleet plus the observation plane and applies a
+// scenario's environment events to the baseline.
+func rig(t testing.TB, cfg ispnet.Config, sc *optimizer.Scenario) (*ispnet.Fleet, hypnos.Topology, hypnos.TrafficFunc) {
+	t.Helper()
+	f, err := ispnet.NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, traffic := topoFor(t, cfg)
+	if sc != nil {
+		if len(sc.Events) > 0 {
+			if err := f.Perturb(sc.Events...); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Resimulate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sc.WrapTraffic != nil {
+			traffic = sc.WrapTraffic(traffic)
+		}
+	}
+	return f, topo, traffic
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := quickCfg()
+	f, topo, traffic := rig(t, cfg, nil)
+	if _, err := optimizer.New(nil, topo, traffic, optimizer.Config{Start: start}); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	if _, err := optimizer.New(f, topo, nil, optimizer.Config{Start: start}); err == nil {
+		t.Error("nil traffic accepted")
+	}
+	if _, err := optimizer.New(f, topo, traffic, optimizer.Config{}); err == nil {
+		t.Error("zero start accepted")
+	}
+	if _, err := optimizer.New(f, hypnos.Topology{}, traffic, optimizer.Config{Start: start}); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+// TestStaticTraceMatchesHypnos pins the epsilon-closeness requirement at
+// epsilon zero: with no faults and no hysteresis, the controller's
+// realized schedule is the §8 hypnos schedule — both drive the same
+// Planner over the same observed traffic.
+func TestStaticTraceMatchesHypnos(t *testing.T) {
+	cfg := quickCfg()
+	f, topo, traffic := rig(t, cfg, nil)
+	window := 2 * 24 * time.Hour
+
+	c, err := optimizer.New(f, topo, traffic, optimizer.Config{Start: start, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched, err := hypnos.Run(topo, traffic, hypnos.Options{Start: start, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != len(sched.Sleeping) {
+		t.Fatalf("controller took %d steps, hypnos %d", len(rep.Steps), len(sched.Sleeping))
+	}
+	for i, s := range rep.Steps {
+		if !reflect.DeepEqual(s.Sleeping, sched.Sleeping[i]) {
+			t.Fatalf("step %d: controller sleeps %v, hypnos %v", i, s.Sleeping, sched.Sleeping[i])
+		}
+	}
+
+	if rep.GuardrailViolations != 0 {
+		t.Errorf("guardrail violations = %d, want 0", rep.GuardrailViolations)
+	}
+	if rep.Actions == 0 {
+		t.Error("controller committed no actions")
+	}
+	if rep.SleepSavedJoules <= 0 {
+		t.Errorf("realized sleep savings = %v, want > 0", rep.SleepSavedJoules)
+	}
+}
+
+// TestSameSeedSameTrace is the determinism acceptance criterion: two
+// full runs — fresh fleets, same seed, same fault storm — produce
+// identical decision traces and bit-identical realized joules.
+func TestSameSeedSameTrace(t *testing.T) {
+	run := func() *optimizer.Report {
+		cfg := quickCfg()
+		topo0, _ := topoFor(t, cfg)
+		sc := optimizer.FaultStorm(topo0, 7, start, cfg.Duration)
+		f, topo, traffic := rig(t, cfg, &sc)
+		c, err := optimizer.New(f, topo, traffic, optimizer.Config{
+			Start: start, Window: 2 * 24 * time.Hour, MinDwellSteps: 4, Down: sc.Down,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Steps, b.Steps) {
+		t.Fatal("decision traces differ between same-seed runs")
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatal("committed event schedules differ between same-seed runs")
+	}
+	if math.Float64bits(a.SleepSavedJoules.Joules()) != math.Float64bits(b.SleepSavedJoules.Joules()) {
+		t.Fatalf("realized joules differ: %v vs %v", a.SleepSavedJoules, b.SleepSavedJoules)
+	}
+}
+
+// TestColdReplayMatchesIncremental is the replay property extended to
+// optimizer-generated events: the controller's whole committed schedule
+// (scenario faults, sleeps, wakes, PSU sheds), replayed cold through
+// SimulateWithEvents, reproduces the incrementally-resimulated dataset
+// bit for bit.
+func TestColdReplayMatchesIncremental(t *testing.T) {
+	cfg := quickCfg()
+	topo0, _ := topoFor(t, cfg)
+	sc := optimizer.FaultStorm(topo0, 11, start, cfg.Duration)
+	f, topo, traffic := rig(t, cfg, &sc)
+	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
+		Start: start, Window: 2 * 24 * time.Hour, MinDwellSteps: 4, Down: sc.Down, PSUShed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ispnet.SimulateWithEvents(cfg, f.ExtraEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ispnet.DiffDatasets(cold, f.Dataset()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPSUShedSavesEnergy checks the §9.3.4 provisioning pass: redundant
+// PSUs are shed where the peak wall draw fits fewer units, and the
+// realized wall power drops (fewer, better-loaded supplies convert more
+// efficiently).
+func TestPSUShedSavesEnergy(t *testing.T) {
+	cfg := quickCfg()
+	f, topo, traffic := rig(t, cfg, nil)
+	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
+		Start: start, Window: 24 * time.Hour, PSUShed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PSUsShed == 0 {
+		t.Fatal("no PSUs shed on the synthetic fleet")
+	}
+	if rep.PSUSavedJoules <= 0 {
+		t.Errorf("PSU shed saved %v, want > 0", rep.PSUSavedJoules)
+	}
+	if rep.FinalJoules >= rep.SleepJoules {
+		t.Errorf("final %v not below sleep-only %v", rep.FinalJoules, rep.SleepJoules)
+	}
+}

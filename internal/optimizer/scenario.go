@@ -1,0 +1,116 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fantasticjoules/internal/hypnos"
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/units"
+)
+
+// Scenario is a declarative stress environment for a control run: fleet
+// events to perturb the baseline with, a carrier-availability view for
+// the controller, and an observed-traffic modifier. Scenarios are pure
+// data derived from a seed — replaying the same scenario against the
+// same fleet config reproduces the same baseline and the same decision
+// trace.
+type Scenario struct {
+	Name string
+	// Events are perturbed into the fleet (and resimulated into the
+	// baseline) before the controller starts: the environment acts, the
+	// optimizer reacts.
+	Events []ispnet.FleetEvent
+	// Down reports whether a link's carrier is faulted at a time; nil
+	// when the scenario injects no faults. Wire it into Config.Down.
+	Down func(linkID int, t time.Time) bool
+	// WrapTraffic modifies the observed-traffic view to match what the
+	// scenario's events do to the realized load; nil when the scenario
+	// does not touch load.
+	WrapTraffic func(hypnos.TrafficFunc) hypnos.TrafficFunc
+}
+
+// outage is one closed-open carrier-loss interval.
+type outage struct {
+	from, to time.Time
+}
+
+// FaultStorm builds the optimizer-vs-chaos scenario: seeded random link
+// outages across the window — the fleet-level analogue of the collector
+// chaos profiles. Each internal link independently suffers up to two
+// outages of 2–12 h with probability stormProb; an outage emits
+// link-down events on both endpoints at its start and link-up events at
+// its end, and the Down view reports the interval to the controller. The
+// controller must neither blackhole demand (it never sleeps into a
+// partition the faults created) nor oscillate (hysteresis bounds the
+// transition count).
+func FaultStorm(topo hypnos.Topology, seed int64, start time.Time, window time.Duration) Scenario {
+	const stormProb = 0.15
+	rng := rand.New(rand.NewSource(seed))
+	intervals := make([][]outage, len(topo.Links))
+	var evs []ispnet.FleetEvent
+	for i, l := range topo.Links {
+		if rng.Float64() >= stormProb {
+			continue
+		}
+		n := 1 + rng.Intn(2)
+		for k := 0; k < n; k++ {
+			at := start.Add(time.Duration(rng.Int63n(int64(window))))
+			dur := 2*time.Hour + time.Duration(rng.Int63n(int64(10*time.Hour)))
+			end := at.Add(dur)
+			intervals[i] = append(intervals[i], outage{from: at, to: end})
+			desc := fmt.Sprintf("fault storm outage %s", l.A.Interface)
+			evs = append(evs,
+				ispnet.FleetEvent{At: at, Router: l.A.Router, Op: ispnet.OpLinkDown, Iface: l.A.Interface, Desc: desc},
+				ispnet.FleetEvent{At: at, Router: l.B.Router, Op: ispnet.OpLinkDown, Iface: l.B.Interface, Desc: desc},
+				ispnet.FleetEvent{At: end, Router: l.A.Router, Op: ispnet.OpLinkUp, Iface: l.A.Interface, Desc: desc},
+				ispnet.FleetEvent{At: end, Router: l.B.Router, Op: ispnet.OpLinkUp, Iface: l.B.Interface, Desc: desc},
+			)
+		}
+	}
+	return Scenario{
+		Name:   "fault-storm",
+		Events: evs,
+		Down: func(linkID int, t time.Time) bool {
+			if linkID < 0 || linkID >= len(intervals) {
+				return false
+			}
+			for _, o := range intervals[linkID] {
+				if !t.Before(o.from) && t.Before(o.to) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// FlashCrowd builds the optimizer-vs-flash-crowd scenario: at time at,
+// every router's offered load steps up by factor (a network-wide
+// scale-load event per router), and the observed-traffic view scales
+// identically from that instant. Links the optimizer put to sleep under
+// the pre-step load must wake — via the planner's re-validation pass —
+// before the post-step load pushes any surviving link past the SLA cap.
+func FlashCrowd(n *ispnet.Network, at time.Time, factor float64) Scenario {
+	evs := make([]ispnet.FleetEvent, 0, len(n.Routers))
+	for _, r := range n.Routers {
+		evs = append(evs, ispnet.FleetEvent{
+			At: at, Router: r.Name, Op: ispnet.OpScaleLoad, Factor: factor,
+			Desc: fmt.Sprintf("flash crowd x%g", factor),
+		})
+	}
+	return Scenario{
+		Name:   "flash-crowd",
+		Events: evs,
+		WrapTraffic: func(base hypnos.TrafficFunc) hypnos.TrafficFunc {
+			return func(linkID int, t time.Time) units.BitRate {
+				load := base(linkID, t)
+				if !t.Before(at) {
+					load = units.BitRate(load.BitsPerSecond() * factor)
+				}
+				return load
+			}
+		},
+	}
+}

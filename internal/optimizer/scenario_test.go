@@ -1,0 +1,135 @@
+package optimizer_test
+
+import (
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/optimizer"
+)
+
+// TestChaosScenario runs the controller through a fault storm: seeded
+// link outages land while the loop is deciding. The acceptance
+// invariants: no step blackholes demand (the committed plan never splits
+// the graph beyond what the faults already split — zero audit
+// violations), down links are never slept fresh, and hysteresis bounds
+// oscillation.
+func TestChaosScenario(t *testing.T) {
+	cfg := quickCfg()
+	topo0, _ := topoFor(t, cfg)
+	sc := optimizer.FaultStorm(topo0, 7, start, cfg.Duration)
+	if len(sc.Events) == 0 {
+		t.Fatal("fault storm generated no outages")
+	}
+	f, topo, traffic := rig(t, cfg, &sc)
+
+	const dwell = 4
+	window := 2 * 24 * time.Hour
+	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
+		Start: start, Window: window, MinDwellSteps: dwell, Down: sc.Down,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.GuardrailViolations != 0 {
+		t.Errorf("guardrail violations = %d, want 0 (blackholed demand or oversubscription)", rep.GuardrailViolations)
+	}
+	// A freshly slept link is never one whose carrier is down at that
+	// step (already-sleeping links may ride out a carrier loss).
+	for _, s := range rep.Steps {
+		for _, id := range s.Slept {
+			if sc.Down(id, s.Time) {
+				t.Errorf("step %v sleeps link %d whose carrier is down", s.Time, id)
+			}
+		}
+	}
+	// Hysteresis bound: a link transitions at most once per dwell window,
+	// plus its initial transition.
+	steps := len(rep.Steps)
+	maxPerLink := steps/dwell + 1
+	perLink := map[int]int{}
+	for _, s := range rep.Steps {
+		for _, id := range s.Slept {
+			perLink[id]++
+		}
+		for _, id := range s.Woke {
+			perLink[id]++
+		}
+	}
+	for id, n := range perLink {
+		if n > maxPerLink {
+			t.Errorf("link %d transitioned %d times in %d steps (dwell %d allows %d): oscillation",
+				id, n, steps, dwell, maxPerLink)
+		}
+	}
+	if rep.Transitions() == 0 {
+		t.Error("controller never actuated during the storm")
+	}
+	if rep.SleepSavedJoules <= 0 {
+		t.Errorf("realized savings %v, want > 0 even under faults", rep.SleepSavedJoules)
+	}
+}
+
+// TestFlashCrowdScenario steps the whole network's offered load mid-run.
+// Links slept under the calm load must wake — through the planner's
+// re-validation pass — the moment the surge makes their reroute unsafe,
+// before any surviving link is pushed past the SLA cap (zero audit
+// violations across the surge).
+func TestFlashCrowdScenario(t *testing.T) {
+	cfg := quickCfg()
+	crowdAt := start.Add(36 * time.Hour)
+	net, err := ispnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := optimizer.FlashCrowd(net, crowdAt, 4)
+	f, topo, traffic := rig(t, cfg, &sc)
+
+	// The synthetic fleet runs cold (median link utilization ~2 %), so a
+	// tight SLA cap makes the surge actually contend for headroom — the
+	// interesting regime for the wake-before-trip property.
+	window := 2 * 24 * time.Hour
+	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
+		Start: start, Window: window, MinDwellSteps: 4, MaxUtilization: 0.12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.GuardrailViolations != 0 {
+		t.Errorf("guardrail violations = %d, want 0 across the surge", rep.GuardrailViolations)
+	}
+	// The surge must force wakes: fewer links sleep right after the step
+	// than right before, and the first post-surge step wakes some.
+	var before, after *optimizer.StepRecord
+	for i := range rep.Steps {
+		s := &rep.Steps[i]
+		if s.Time.Before(crowdAt) {
+			before = s
+		} else if after == nil {
+			after = s
+		}
+	}
+	if before == nil || after == nil {
+		t.Fatal("surge not inside the control window")
+	}
+	if len(before.Sleeping) == 0 {
+		t.Fatal("nothing slept before the surge; scenario proves nothing")
+	}
+	if len(after.Sleeping) >= len(before.Sleeping) {
+		t.Errorf("surge did not reduce sleeping links: %d before, %d after",
+			len(before.Sleeping), len(after.Sleeping))
+	}
+	if len(after.Woke) == 0 {
+		t.Error("first post-surge step woke nothing")
+	}
+}
