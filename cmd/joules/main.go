@@ -18,6 +18,12 @@
 //	joules -optimize          run the closed-loop energy optimizer over the
 //	                          full study window and report the realized
 //	                          (measured) savings against the §8 estimate
+//	joules -stream            run the bounded-memory streaming scale study
+//	                          over the default fleet ladder (107, 1k, 10k)
+//	joules -stream -routers 50000
+//	                          stream one generated 50k-router fleet; the
+//	                          row reports tiers, subscribers, energy, and
+//	                          simulated joules per wall-clock second
 //	joules -metrics :9090 run all
 //	                          serve live process telemetry while the run
 //	                          executes: /metrics (Prometheus text, or
@@ -73,6 +79,7 @@ func artifacts() []artifact {
 		{"section8online", "closed-loop optimizer: realized vs estimated savings", runSection8Online},
 		{"baselines", "lab models vs datasheet-interpolation baseline (§2)", runBaselines},
 		{"ablations", "design-choice ablations", runAblations},
+		{"scale", "streaming fleet-scale study (hierarchical topologies; honors -routers)", runScale},
 	}
 }
 
@@ -84,12 +91,18 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof format)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file when the run finishes")
 	optimize := flag.Bool("optimize", false, "run the closed-loop energy optimizer (shorthand for `run section8online`)")
+	routers := flag.Int("routers", 0, "fleet size for the scale artifact: 107 = the calibrated build, anything else generates a hierarchical fleet; 0 sweeps a ladder")
+	stream := flag.Bool("stream", false, "run the bounded-memory streaming scale study (shorthand for `run scale`)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if *optimize && len(args) == 0 {
 		args = []string{"run", "section8online"}
 	}
+	if *stream && len(args) == 0 {
+		args = []string{"run", "scale"}
+	}
+	scaleSeed, scaleRouters = *seed, *routers
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)

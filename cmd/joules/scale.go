@@ -1,0 +1,81 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fantasticjoules/internal/experiments"
+)
+
+// The scale artifact is parameterized from the command line rather than
+// the suite: -routers picks one fleet size, and without it the artifact
+// sweeps a decade ladder. Wall-clock timing lives here — the experiments
+// package is determinism-linted and must not read the clock.
+var (
+	// scaleSeed and scaleRouters are set by main from -seed and -routers.
+	scaleSeed    int64 = 42
+	scaleRouters int
+)
+
+// scaleSweep is the default fleet ladder when -routers is absent.
+var scaleSweep = []int{107, 1000, 10000}
+
+// scaleWindow picks a study window that keeps the row interactive while
+// still exercising a multi-day diurnal cycle at every size.
+func scaleWindow(routers int) (time.Duration, time.Duration) {
+	switch {
+	case routers <= 200:
+		return 7 * 24 * time.Hour, 15 * time.Minute
+	case routers <= 2000:
+		return 7 * 24 * time.Hour, time.Hour
+	default:
+		return 2 * 24 * time.Hour, time.Hour
+	}
+}
+
+// runScale streams fleets through the bounded-memory replay and prints
+// one row per size: topology census, synthesized population, simulated
+// energy, spill volume, and simulated-joules-per-wallclock-second.
+func runScale(*experiments.Suite) error {
+	sizes := scaleSweep
+	if scaleRouters > 0 {
+		sizes = []int{scaleRouters}
+	}
+	fmt.Printf("%8s  %-34s  %11s  %6s  %11s  %9s  %8s  %12s\n",
+		"routers", "tiers", "subscribers", "steps", "mean power", "spilled", "wall", "joules/s")
+	for _, n := range sizes {
+		dur, step := scaleWindow(n)
+		start := time.Now()
+		row, err := experiments.RunScale(experiments.ScaleConfig{
+			Seed: scaleSeed, Routers: n, Duration: dur, Step: step,
+		})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		fmt.Printf("%8d  %-34s  %11d  %6d  %9.1f kW  %7.1f MB  %7.2fs  %12.3g\n",
+			row.Routers, tierCensus(row.Tiers), row.Subscribers, row.Steps,
+			float64(row.MeanPower)/1e3, float64(row.SpilledBytes)/(1<<20),
+			wall.Seconds(), row.Joules/wall.Seconds())
+	}
+	return nil
+}
+
+// tierCensus renders the per-tier router counts compactly.
+func tierCensus(tiers map[string]int) string {
+	if len(tiers) == 0 {
+		return "calibrated"
+	}
+	names := make([]string, 0, len(tiers))
+	for name := range tiers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s:%d", name, tiers[name])
+	}
+	return strings.Join(parts, " ")
+}

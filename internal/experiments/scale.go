@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fantasticjoules/internal/ispnet"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// The scale study exercises the hierarchical topology generator and the
+// bounded-memory streaming replay together: it builds fleets across
+// several orders of magnitude, streams a study window through a counting
+// sink, and reports how the synthesized population and the simulated
+// energy behave as the fleet grows. The CLI (`joules run scale`) wraps
+// each row with a wall-clock timer and prints simulated joules per
+// wall-clock second; the timer lives in the CLI because this package is
+// determinism-linted and must not read the clock.
+
+// ScaleRow is one fleet size's streaming-run summary.
+type ScaleRow struct {
+	// Routers is the requested fleet size (107 = the calibrated build).
+	Routers int
+	// Tiers counts routers per tier; empty for the calibrated build.
+	Tiers map[string]int
+	// Subscribers is the synthesized population behind the fleet.
+	Subscribers int64
+	// Steps is the number of SNMP grid steps simulated.
+	Steps int
+	// MeanPower is the fleet's mean total power over the window.
+	MeanPower units.Power
+	// Joules is the total simulated energy over the window.
+	Joules float64
+	// SpilledChunks and SpilledBytes tally the sink-side volume — the
+	// data a retained run would have held on the heap.
+	SpilledChunks int64
+	SpilledBytes  int64
+}
+
+// ScaleConfig shapes one streaming scale run.
+type ScaleConfig struct {
+	Seed     int64
+	Routers  int
+	Duration time.Duration
+	Step     time.Duration
+}
+
+// RunScale streams one fleet through its study window and summarizes the
+// run. It is a free function, not a Suite artifact: scale fleets are
+// parameterized by size, gain nothing from the 107-router memo graph, and
+// must not pin multi-gigabyte datasets in the suite cache.
+func RunScale(cfg ScaleConfig) (ScaleRow, error) {
+	if cfg.Routers <= 0 {
+		cfg.Routers = ispnet.NumRouters
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 7 * 24 * time.Hour
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = time.Hour
+	}
+	var sink ispnet.DiscardSink
+	ds, err := ispnet.SimulateStream(ispnet.Config{
+		Seed:          cfg.Seed,
+		Routers:       cfg.Routers,
+		Duration:      cfg.Duration,
+		SNMPStep:      cfg.Step,
+		AutopowerStep: cfg.Step,
+	}, &sink)
+	if err != nil {
+		return ScaleRow{}, fmt.Errorf("scale run (%d routers): %w", cfg.Routers, err)
+	}
+
+	row := ScaleRow{
+		Routers:       cfg.Routers,
+		Subscribers:   ds.Network.TotalSubscribers(),
+		Steps:         ds.TotalPower.Len(),
+		Joules:        timeseries.IntegratePower(ds.TotalPower),
+		SpilledChunks: sink.Chunks,
+		SpilledBytes:  sink.Bytes,
+	}
+	if ds.Network.Hierarchical() {
+		row.Tiers = make(map[string]int)
+		for _, r := range ds.Network.Routers {
+			row.Tiers[r.Tier]++
+		}
+	}
+	if row.Steps > 0 {
+		var sum float64
+		for i := 0; i < row.Steps; i++ {
+			sum += ds.TotalPower.Value(i)
+		}
+		row.MeanPower = units.Power(sum / float64(row.Steps))
+	}
+	return row, nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunScale checks the scale study's row across a calibrated and a
+// generated fleet: population, tiers, energy, and spill volume populate
+// sensibly, and the same config reproduces the same joules.
+func TestRunScale(t *testing.T) {
+	legacy, err := RunScale(ScaleConfig{Seed: 42, Duration: 24 * time.Hour, Step: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Routers != 107 || legacy.Tiers != nil || legacy.Subscribers != 0 {
+		t.Fatalf("calibrated row off: %+v", legacy)
+	}
+	if legacy.Joules <= 0 || legacy.MeanPower <= 0 || legacy.SpilledChunks == 0 {
+		t.Fatalf("calibrated run produced nothing: %+v", legacy)
+	}
+
+	hier, err := RunScale(ScaleConfig{Seed: 42, Routers: 500, Duration: 24 * time.Hour, Step: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Subscribers < 10_000 {
+		t.Fatalf("500-router fleet serves %d subscribers", hier.Subscribers)
+	}
+	if hier.Tiers["access"] == 0 || hier.Tiers["metro"] == 0 || hier.Tiers["core"] == 0 {
+		t.Fatalf("tier census incomplete: %v", hier.Tiers)
+	}
+	if hier.Steps != 24 || hier.Joules <= 0 {
+		t.Fatalf("hierarchical run off: %+v", hier)
+	}
+
+	again, err := RunScale(ScaleConfig{Seed: 42, Routers: 500, Duration: 24 * time.Hour, Step: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Joules != hier.Joules || again.SpilledBytes != hier.SpilledBytes {
+		t.Fatalf("scale run not reproducible: %v J vs %v J", again.Joules, hier.Joules)
+	}
+}

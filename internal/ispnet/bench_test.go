@@ -3,6 +3,8 @@ package ispnet
 import (
 	"testing"
 	"time"
+
+	"fantasticjoules/internal/timeseries"
 )
 
 // benchSimulate times a cold fleet simulation — build plus replay — at the
@@ -31,3 +33,56 @@ func BenchmarkSimulateSerial(b *testing.B) { benchSimulate(b, 1) }
 // ratio to BenchmarkSimulateSerial is the sharding speedup on this
 // machine.
 func BenchmarkSimulateParallel(b *testing.B) { benchSimulate(b, 0) }
+
+// benchSimulateStream times the bounded-memory streaming path — build,
+// replay, spill — and reports simulated joules per wall-clock second, the
+// fleet-throughput figure EXPERIMENTS.md tracks per fleet size.
+func benchSimulateStream(b *testing.B, cfg Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var joules float64
+	for i := 0; i < b.N; i++ {
+		var sink DiscardSink
+		ds, err := SimulateStream(cfg, &sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		joules += timeseries.IntegratePower(ds.TotalPower)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(joules/sec, "joules/s")
+	}
+}
+
+// BenchmarkSimulateStream measures streaming throughput across fleet
+// sizes: the calibrated 107-router build at full study resolution, and
+// generated 1k/10k fleets at coarser grids sized so one iteration stays
+// in benchmark territory.
+func BenchmarkSimulateStream(b *testing.B) {
+	b.Run("routers=107", func(b *testing.B) {
+		benchSimulateStream(b, Config{
+			Seed:          42,
+			Duration:      7 * 24 * time.Hour,
+			SNMPStep:      15 * time.Minute,
+			AutopowerStep: 5 * time.Minute,
+		})
+	})
+	b.Run("routers=1k", func(b *testing.B) {
+		benchSimulateStream(b, Config{
+			Seed:          42,
+			Routers:       1000,
+			Duration:      2 * 24 * time.Hour,
+			SNMPStep:      30 * time.Minute,
+			AutopowerStep: 30 * time.Minute,
+		})
+	})
+	b.Run("routers=10k", func(b *testing.B) {
+		benchSimulateStream(b, Config{
+			Seed:          42,
+			Routers:       10000,
+			Duration:      24 * time.Hour,
+			SNMPStep:      time.Hour,
+			AutopowerStep: time.Hour,
+		})
+	})
+}

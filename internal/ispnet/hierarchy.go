@@ -1,0 +1,484 @@
+package ispnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fantasticjoules/internal/device"
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/trafficgen"
+	"fantasticjoules/internal/units"
+)
+
+// The hierarchical topology generator: Config.Routers != NumRouters builds
+// a continental-scale access → metro → core fleet instead of the paper's
+// calibrated 107-router network.
+//
+// The generator preserves the calibrated fleet's structural invariants at
+// every size (hierarchy_test.go asserts them at 107, 1k, and 10k):
+//
+//   - The per-model deployment templates are reused verbatim, so the
+//     external-interface share stays at the paper's ≈51 %-of-capacity /
+//     ≈45 %-of-count level and the spare-transceiver discipline carries
+//     over.
+//   - The tier proportions mirror the calibrated fleet's model mix
+//     (56 access / 32 aggregation / 19 core out of 107).
+//   - Redundancy: access PoPs dual-home into their metro PoP, metro PoPs
+//     dual-home into two core PoPs, core PoP gateways form a ring with
+//     chords — every fleet is connected (hypnos.Components == 1) and
+//     single-link failures between PoPs do not partition it.
+//
+// Demand is synthesized bottom-up instead of hand-set: access interfaces
+// home subscriber populations (trafficgen.SubscribersFor), uplinks carry
+// the closed-form per-cohort aggregate of everything below them, clamped
+// to half the slower end's line rate. Everything is derived from seeded,
+// structurally keyed mixers — no name hashing, no map iteration — so
+// generation is deterministic and O(N).
+
+// hierMinRouters is the smallest hierarchical fleet: two routers per tier
+// leave nothing to wire below that.
+const hierMinRouters = 8
+
+// Per-tier PoP sizes and model rotations. The gateway (position 0) is the
+// member with the richest internal port budget — it terminates the chain,
+// the intra-PoP ring closure, and the inter-tier uplinks.
+const (
+	accessPopSize = 6
+	metroPopSize  = 4
+	corePopSize   = 4
+)
+
+var (
+	accessGatewayModel = "ASR-920-24SZ-M"
+	accessMemberModels = []string{"N540-24Z8Q2C-M", "ASR-920-24SZ-M", "N540X-8Z16G-SYS-A", "ASR-920-24SZ-M", "N540-24Z8Q2C-M"}
+	metroGatewayModel  = "NCS-55A1-24H"
+	metroMemberModels  = []string{"ASR-9001", "NCS-55A1-24Q6H-SS", "NCS-55A1-48Q6H"}
+	coreGatewayModel   = "8201-32FH"
+	coreMemberModels   = []string{"Nexus9336-FX2", "8201-24H8FH", "8201-32FH"}
+)
+
+// hierPop is one point of presence under construction.
+type hierPop struct {
+	name string
+	tier string
+	// sizeHint is the member count splitPops assigned; routers is filled
+	// to that size by deployment.
+	sizeHint int
+	routers  []*Router
+	// demand is the per-cohort mean traffic (bit/s) the PoP aggregates
+	// toward the core: its own external demand plus, for metro and core
+	// PoPs, the demand of every PoP homed beneath it.
+	demand [trafficgen.NumCohorts]float64
+}
+
+// buildHierarchy generates the hierarchical fleet for cfg. It is the
+// Config.Routers != NumRouters arm of Build.
+func buildHierarchy(cfg Config) (*Network, error) {
+	if cfg.Routers < hierMinRouters {
+		return nil, fmt.Errorf("ispnet: hierarchical fleet needs ≥ %d routers, got %d", hierMinRouters, cfg.Routers)
+	}
+	n := &Network{
+		Config:  cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		diurnal: trafficgen.DefaultDiurnal(),
+		byName:  make(map[string]*Router, cfg.Routers),
+		hier:    true,
+	}
+
+	// Tier split, proportional to the calibrated fleet's model mix.
+	nCore := int(math.Round(float64(cfg.Routers) * 19.0 / 107.0))
+	if nCore < 2 {
+		nCore = 2
+	}
+	nMetro := int(math.Round(float64(cfg.Routers) * 32.0 / 107.0))
+	if nMetro < 2 {
+		nMetro = 2
+	}
+	nAccess := cfg.Routers - nCore - nMetro
+	if nAccess < 2 {
+		return nil, fmt.Errorf("ispnet: fleet of %d leaves no access tier", cfg.Routers)
+	}
+
+	corePops := splitPops("c", "core", nCore, corePopSize)
+	metroPops := splitPops("m", "metro", nMetro, metroPopSize)
+	accessPops := splitPops("a", "access", nAccess, accessPopSize)
+
+	// Instantiate routers tier by tier, core outward, so router indices —
+	// and with them device seeds and noise keys — depend only on
+	// (Routers, Seed).
+	specs := map[string]device.ModelSpec{}
+	plan := fleetPlan()
+	idx := 0
+	deployPop := func(p *hierPop, size int, gatewayModel string, memberModels []string) error {
+		for j := 0; j < size; j++ {
+			modelName := gatewayModel
+			if j > 0 {
+				modelName = memberModels[(j-1)%len(memberModels)]
+			}
+			spec, ok := specs[modelName]
+			if !ok {
+				s, err := device.Spec(modelName)
+				if err != nil {
+					return err
+				}
+				specs[modelName] = s
+				spec = s
+			}
+			name := fmt.Sprintf("%s-r%d", p.name, j)
+			dev, err := device.New(spec, name, cfg.Seed+int64(idx)*7919)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			r := &Router{Name: name, PoP: p.name, Tier: p.tier, Device: dev}
+			if err := n.deployHier(r, plan[modelName], p.tier, idx); err != nil {
+				return fmt.Errorf("deploy %s: %w", name, err)
+			}
+			n.Routers = append(n.Routers, r)
+			n.byName[name] = r
+			p.routers = append(p.routers, r)
+			idx++
+		}
+		return nil
+	}
+	for _, tier := range []struct {
+		pops    []*hierPop
+		gateway string
+		members []string
+	}{
+		{corePops, coreGatewayModel, coreMemberModels},
+		{metroPops, metroGatewayModel, metroMemberModels},
+		{accessPops, accessGatewayModel, accessMemberModels},
+	} {
+		for _, p := range tier.pops {
+			if err := deployPop(p, p.sizeHint, tier.gateway, tier.members); err != nil {
+				return nil, fmt.Errorf("ispnet: %w", err)
+			}
+		}
+	}
+
+	if err := n.wireHierarchy(corePops, metroPops, accessPops); err != nil {
+		return nil, err
+	}
+	for _, r := range n.Routers {
+		for i := range r.Interfaces {
+			n.subscribers += int64(r.Interfaces[i].Subscribers)
+		}
+	}
+	return n, nil
+}
+
+// splitPops partitions count routers into PoPs of at most per members,
+// sizes as even as possible, every PoP non-empty.
+func splitPops(prefix, tier string, count, per int) []*hierPop {
+	numPops := (count + per - 1) / per
+	base := count / numPops
+	extra := count % numPops
+	pops := make([]*hierPop, numPops)
+	for i := range pops {
+		size := base
+		if i < extra {
+			size++
+		}
+		pops[i] = &hierPop{
+			name:     fmt.Sprintf("%s%05d", prefix, i),
+			tier:     tier,
+			sizeHint: size,
+		}
+	}
+	return pops
+}
+
+// deployHier populates one hierarchical router from its model template.
+// It mirrors the calibrated deploy() — same groups, same spare
+// discipline, same ±40 % utilization spread — but the spread comes from
+// the interface's structural noise key (not the shared build rng, whose
+// consumption order would couple distant routers), and the mean load is
+// expressed as per-cohort subscriber demand:
+//
+//   - access external interfaces home subscriber populations sized to the
+//     template's target utilization;
+//   - metro/core external interfaces carry the same target as a wholesale
+//     (transit/peering) aggregate;
+//   - internal interfaces get a provisional wholesale load standing in
+//     for locally attached infrastructure; wiring overwrites it on every
+//     interface that becomes an inter-router link.
+func (n *Network) deployHier(r *Router, tpl deployTemplate, tier string, routerIdx int) error {
+	names := r.Device.InterfaceNames()
+	next := 0
+	take := func() (string, error) {
+		if next >= len(names) {
+			return "", fmt.Errorf("out of ports (%d)", len(names))
+		}
+		name := names[next]
+		next++
+		return name, nil
+	}
+	for _, grp := range tpl.groups {
+		for i := 0; i < grp.n; i++ {
+			ifName, err := take()
+			if err != nil {
+				return err
+			}
+			if err := r.Device.PlugTransceiver(ifName, grp.trx, grp.speed); err != nil {
+				return err
+			}
+			if err := r.Device.SetAdmin(ifName, true); err != nil {
+				return err
+			}
+			if err := r.Device.SetLink(ifName, true); err != nil {
+				return err
+			}
+			key := ifaceNoiseKey(routerIdx, next-1)
+			// ±40 % spread around the template utilization, as deploy()
+			// applies, but keyed structurally.
+			spread := 0.6 + 0.8*keyFloat(key, n.Config.Seed)
+			target := grp.utilization * spread * grp.speed.BitsPerSecond()
+			var sub [trafficgen.NumCohorts]float64
+			subs := 0
+			if grp.external && tier == "access" {
+				counts, demand := trafficgen.SubscribersFor(units.BitRate(target))
+				sub = demand
+				subs = counts[trafficgen.Residential] + counts[trafficgen.Business] + counts[trafficgen.Wholesale]
+			} else {
+				sub[trafficgen.Wholesale] = target
+			}
+			r.Interfaces = append(r.Interfaces, Interface{
+				Name:        ifName,
+				Profile:     model.ProfileKey{Port: r.Device.Spec().PortType, Transceiver: grp.trx, Speed: grp.speed},
+				External:    grp.external,
+				MeanLoad:    units.BitRate(sub[0] + sub[1] + sub[2]),
+				Subscribers: subs,
+				SubDemand:   sub,
+				noiseKey:    key,
+			})
+		}
+	}
+	for i := 0; i < tpl.spares && len(tpl.groups) > 0; i++ {
+		ifName, err := take()
+		if err != nil {
+			return err
+		}
+		grp := tpl.groups[tpl.spareGroupIndex()]
+		if err := r.Device.PlugTransceiver(ifName, grp.trx, grp.speed); err != nil {
+			return err
+		}
+		r.Interfaces = append(r.Interfaces, Interface{
+			Name:     ifName,
+			Profile:  model.ProfileKey{Port: r.Device.Spec().PortType, Transceiver: grp.trx, Speed: grp.speed},
+			Spare:    true,
+			noiseKey: ifaceNoiseKey(routerIdx, next-1),
+		})
+	}
+	return nil
+}
+
+// keyFloat maps a structural key and the build seed to a uniform [0, 1)
+// double — the rng-free spread source of the hierarchical deploy.
+func keyFloat(key uint64, seed int64) float64 {
+	return float64(mixKey(key, seed)>>11) / (1 << 53)
+}
+
+// wireHierarchy builds the inter-router links: intra-PoP chains with ring
+// closures, dual-homed access→metro and metro→core uplinks, and the core
+// gateway ring with chords. Link demand is propagated bottom-up so every
+// uplink carries the cohort aggregate of the demand below it.
+func (n *Network) wireHierarchy(corePops, metroPops, accessPops []*hierPop) error {
+	// Free internal (non-spare) interface indices per router, in port order.
+	free := make(map[string][]int, len(n.Routers))
+	for _, r := range n.Routers {
+		for i := range r.Interfaces {
+			itf := &r.Interfaces[i]
+			if !itf.External && !itf.Spare {
+				free[r.Name] = append(free[r.Name], i)
+			}
+		}
+	}
+	// pair links the next free internal interface of each end and installs
+	// the given cohort demand on the link, clamped to half the slower
+	// end's line rate (cohort mix preserved).
+	pair := func(a, b *Router, d [trafficgen.NumCohorts]float64) bool {
+		if a == b {
+			return false
+		}
+		fa, fb := free[a.Name], free[b.Name]
+		if len(fa) == 0 || len(fb) == 0 {
+			return false
+		}
+		ai, bi := &a.Interfaces[fa[0]], &b.Interfaces[fb[0]]
+		free[a.Name], free[b.Name] = fa[1:], fb[1:]
+		ai.PeerRouter, ai.PeerInterface = b.Name, bi.Name
+		bi.PeerRouter, bi.PeerInterface = a.Name, ai.Name
+		tot := d[0] + d[1] + d[2]
+		if lim := 0.5 * math.Min(ai.Profile.Speed.BitsPerSecond(), bi.Profile.Speed.BitsPerSecond()); tot > lim && tot > 0 {
+			scale := lim / tot
+			for c := range d {
+				d[c] *= scale
+			}
+			tot = lim
+		}
+		ai.SubDemand, bi.SubDemand = d, d
+		ai.MeanLoad, bi.MeanLoad = units.BitRate(tot), units.BitRate(tot)
+		return true
+	}
+
+	// extDemand is the cohort demand a router injects (its external
+	// interfaces); homed accumulates demand terminated on a router by
+	// uplinks from the tier below.
+	extDemand := func(r *Router) (d [trafficgen.NumCohorts]float64) {
+		for i := range r.Interfaces {
+			itf := &r.Interfaces[i]
+			if itf.External && !itf.Spare {
+				for c := range d {
+					d[c] += itf.SubDemand[c]
+				}
+			}
+		}
+		return d
+	}
+	homed := make(map[*Router][trafficgen.NumCohorts]float64)
+
+	// wirePop chains the PoP members in order and closes a best-effort
+	// ring; chain link i→i+1 carries everything that funnels from the
+	// tail of the chain toward the gateway at position 0.
+	wirePop := func(p *hierPop) {
+		rs := p.routers
+		agg := make([][trafficgen.NumCohorts]float64, len(rs)+1)
+		for i := len(rs) - 1; i >= 0; i-- {
+			agg[i] = agg[i+1]
+			d := extDemand(rs[i])
+			h := homed[rs[i]]
+			for c := range agg[i] {
+				agg[i][c] += d[c] + h[c]
+			}
+		}
+		p.demand = agg[0]
+		for i := 0; i+1 < len(rs); i++ {
+			pair(rs[i], rs[i+1], agg[i+1])
+		}
+		if len(rs) >= 3 {
+			pair(rs[len(rs)-1], rs[0], scaleDemand(p.demand, 0.25))
+		}
+	}
+
+	// uplink dual-homes a PoP gateway (and deputy, when the PoP has one)
+	// into the parent PoP: the first termination is required — it is what
+	// keeps the fleet connected — the second is redundancy, best-effort.
+	// Each uplink link is sized to half the child's aggregate; the full
+	// aggregate is accounted upstream either way.
+	uplink := func(child *hierPop, parent *hierPop, k int, deputy bool) error {
+		gw := child.routers[0]
+		half := scaleDemand(child.demand, 0.5)
+		t1 := parent.routers[(2*k)%len(parent.routers)]
+		if !pair(gw, t1, half) {
+			ok := false
+			for _, m := range parent.routers {
+				if pair(gw, m, half) {
+					t1, ok = m, true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("ispnet: no free %s port terminates %s", parent.name, child.name)
+			}
+		}
+		src := gw
+		if deputy && len(child.routers) > 1 {
+			src = child.routers[1]
+		}
+		if t2 := parent.routers[(2*k+1)%len(parent.routers)]; t2 != t1 && pair(src, t2, half) {
+			addDemand(homed, t1, half)
+			addDemand(homed, t2, half)
+		} else {
+			addDemand(homed, t1, child.demand)
+		}
+		return nil
+	}
+
+	// Bottom-up: access PoPs first (their demand is fixed by deployment),
+	// then their uplinks feed the metro aggregates, and so on to the core.
+	for _, p := range accessPops {
+		wirePop(p)
+	}
+	for k, p := range accessPops {
+		if err := uplink(p, metroPops[k%len(metroPops)], k, false); err != nil {
+			return err
+		}
+	}
+	for _, p := range metroPops {
+		wirePop(p)
+	}
+	for k, p := range metroPops {
+		if err := uplink(p, corePops[k%len(corePops)], k, true); err != nil {
+			return err
+		}
+		if len(corePops) > 1 {
+			// Second core PoP: metro dual-homes across PoPs, not just
+			// across routers — a whole core PoP can fail.
+			second := corePops[(k+1)%len(corePops)]
+			if pair(p.routers[0], second.routers[k%len(second.routers)], scaleDemand(p.demand, 0.25)) {
+				addDemand(homed, second.routers[k%len(second.routers)], scaleDemand(p.demand, 0.25))
+			}
+		}
+	}
+	for _, p := range corePops {
+		wirePop(p)
+	}
+
+	// Core backbone: gateway ring plus chords every fourth PoP. The ring
+	// links are required — they are what joins the core PoPs (and through
+	// them everything else) into one component.
+	if len(corePops) > 1 {
+		var fleet [trafficgen.NumCohorts]float64
+		for _, p := range corePops {
+			for c := range fleet {
+				fleet[c] += p.demand[c]
+			}
+		}
+		ringShare := scaleDemand(fleet, 1/float64(2*len(corePops)))
+		for i, p := range corePops {
+			q := corePops[(i+1)%len(corePops)]
+			if !ringLink(pair, p, q, ringShare) {
+				return fmt.Errorf("ispnet: core ring cannot link %s to %s", p.name, q.name)
+			}
+			if i%4 == 0 && len(corePops) > 4 {
+				far := corePops[(i+len(corePops)/2)%len(corePops)]
+				pair(p.routers[0], far.routers[0], scaleDemand(ringShare, 0.5))
+			}
+		}
+	}
+	return nil
+}
+
+// ringLink joins two core PoPs, preferring their gateways and falling
+// back over every member pair before giving up.
+func ringLink(pair func(a, b *Router, d [trafficgen.NumCohorts]float64) bool, p, q *hierPop, d [trafficgen.NumCohorts]float64) bool {
+	if pair(p.routers[0], q.routers[0], d) {
+		return true
+	}
+	for _, a := range p.routers {
+		for _, b := range q.routers {
+			if pair(a, b, d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scaleDemand returns d scaled by f.
+func scaleDemand(d [trafficgen.NumCohorts]float64, f float64) [trafficgen.NumCohorts]float64 {
+	for c := range d {
+		d[c] *= f
+	}
+	return d
+}
+
+// addDemand accumulates d onto m[r].
+func addDemand(m map[*Router][trafficgen.NumCohorts]float64, r *Router, d [trafficgen.NumCohorts]float64) {
+	cur := m[r]
+	for c := range cur {
+		cur[c] += d[c]
+	}
+	m[r] = cur
+}

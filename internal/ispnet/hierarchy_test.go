@@ -1,0 +1,164 @@
+package ispnet_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fantasticjoules/internal/hypnos"
+	"fantasticjoules/internal/ispnet"
+)
+
+// hierTestCfg is the short study window the cross-scale property tests
+// simulate: long enough to cover a diurnal swing, cheap enough to run at
+// 10k routers.
+func hierTestCfg(routers int, d time.Duration) ispnet.Config {
+	return ispnet.Config{
+		Seed:          42,
+		Routers:       routers,
+		Duration:      d,
+		SNMPStep:      time.Hour,
+		AutopowerStep: 30 * time.Minute,
+	}
+}
+
+// TestTopologyInvariantsAcrossScales asserts the structural invariants the
+// hierarchical generator must preserve at every fleet size — on the
+// calibrated 107-router build and on generated 1k and 10k fleets:
+// external-interface share near the paper's level, full connectivity of
+// the internal topology, and deterministic generation (same seed ⇒
+// bit-identical datasets under the DiffDatasets oracle).
+func TestTopologyInvariantsAcrossScales(t *testing.T) {
+	cases := []struct {
+		routers int
+		dur     time.Duration
+	}{
+		{107, 24 * time.Hour},
+		{1000, 24 * time.Hour},
+		{10000, 6 * time.Hour},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("routers=%d", tc.routers), func(t *testing.T) {
+			if tc.routers > 1000 && testing.Short() {
+				t.Skip("10k fleet build is not a -short test")
+			}
+			cfg := hierTestCfg(tc.routers, tc.dur)
+			n, err := ispnet.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(n.Routers) != tc.routers {
+				t.Fatalf("built %d routers, want %d", len(n.Routers), tc.routers)
+			}
+
+			// ≈51 % external share (the calibrated fleet sits at ≈45 % of
+			// interface count; the generator reuses its deploy templates,
+			// so the share must stay in the same band at every size).
+			ext, tot := 0, 0
+			for _, r := range n.Routers {
+				for i := range r.Interfaces {
+					if r.Interfaces[i].Spare {
+						continue
+					}
+					tot++
+					if r.Interfaces[i].External {
+						ext++
+					}
+				}
+			}
+			share := float64(ext) / float64(tot)
+			if share < 0.40 || share > 0.55 {
+				t.Errorf("external interface share %.3f outside [0.40, 0.55] (%d/%d)", share, ext, tot)
+			}
+
+			// Connectivity: the internal topology is one component.
+			topo, _, err := hypnos.FromNetwork(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hypnos.Components(topo, make([]bool, len(topo.Links))); got != 1 {
+				t.Errorf("internal topology has %d components, want 1", got)
+			}
+
+			// Determinism: same seed, same config ⇒ bit-identical dataset.
+			ds1, err := ispnet.Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds2, err := ispnet.Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ispnet.DiffDatasets(ds1, ds2); err != nil {
+				t.Errorf("same-seed datasets differ: %v", err)
+			}
+			if ds1.TotalPower.Len() == 0 || ds1.TotalPower.Value(0) <= 0 {
+				t.Errorf("implausible total power series: len %d", ds1.TotalPower.Len())
+			}
+		})
+	}
+}
+
+// TestHierarchyStructure checks the generated fleet's shape: all three
+// tiers present, a subscriber population in the right order of magnitude,
+// dual-homed access gateways, and hand-set-demand bookkeeping consistent
+// with the cohort vectors.
+func TestHierarchyStructure(t *testing.T) {
+	cfg := hierTestCfg(1000, time.Hour)
+	n, err := ispnet.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Hierarchical() {
+		t.Fatal("1000-router build must be hierarchical")
+	}
+	tiers := map[string]int{}
+	for _, r := range n.Routers {
+		tiers[r.Tier]++
+	}
+	for _, tier := range []string{"access", "metro", "core"} {
+		if tiers[tier] == 0 {
+			t.Errorf("no %s routers in a 1000-router fleet (%v)", tier, tiers)
+		}
+	}
+	if tiers["access"] <= tiers["metro"] || tiers["metro"] <= tiers["core"] {
+		t.Errorf("tier pyramid violated: %v", tiers)
+	}
+
+	// ~520 access routers × O(1000) subscribers each.
+	if subs := n.TotalSubscribers(); subs < 100_000 || subs > 5_000_000 {
+		t.Errorf("synthetic subscriber count %d outside the plausible band for 1k routers", subs)
+	}
+
+	// MeanLoad must equal the cohort-demand sum on every interface, and
+	// subscriber populations live only on access external interfaces.
+	for _, r := range n.Routers {
+		for i := range r.Interfaces {
+			itf := &r.Interfaces[i]
+			sum := itf.SubDemand[0] + itf.SubDemand[1] + itf.SubDemand[2]
+			if diff := itf.MeanLoad.BitsPerSecond() - sum; diff > 1 || diff < -1 {
+				t.Fatalf("%s/%s: MeanLoad %v != cohort sum %v", r.Name, itf.Name, itf.MeanLoad.BitsPerSecond(), sum)
+			}
+			if itf.Subscribers > 0 && (r.Tier != "access" || !itf.External) {
+				t.Fatalf("%s/%s: subscribers on a %s %s interface", r.Name, itf.Name, r.Tier, map[bool]string{true: "external", false: "internal"}[itf.External])
+			}
+		}
+	}
+
+	// The calibrated build reports no synthetic subscribers.
+	legacy, err := ispnet.Build(ispnet.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Hierarchical() || legacy.TotalSubscribers() != 0 {
+		t.Errorf("107-router build must stay on the calibrated path (hier=%v subs=%d)", legacy.Hierarchical(), legacy.TotalSubscribers())
+	}
+}
+
+// TestHierarchyRejectsTinyFleets pins the minimum size error.
+func TestHierarchyRejectsTinyFleets(t *testing.T) {
+	if _, err := ispnet.Build(ispnet.Config{Seed: 1, Routers: 4}); err == nil {
+		t.Fatal("want an error for a 4-router hierarchical fleet")
+	}
+}

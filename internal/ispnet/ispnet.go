@@ -46,6 +46,13 @@ type Config struct {
 	// default to 1 min here, which is already far denser than the
 	// 30-minute smoothing the analyses apply.
 	AutopowerStep time.Duration
+	// Routers selects the fleet size. The default (0, normalized to
+	// NumRouters) builds the paper's calibrated 107-router Switch network,
+	// bit-identical to every prior release. Any other value builds the
+	// hierarchical access → metro → core fleet of that many routers
+	// (hierarchy.go) with subscriber-synthesized demand; 8 is the minimum,
+	// 100k the intended ceiling.
+	Routers int
 	// Workers bounds how many router shards Run simulates concurrently.
 	// Per-router state is independent (each router owns its device, its
 	// meter, and its events), so the fleet replay is embarrassingly
@@ -58,6 +65,9 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
+	if c.Routers == 0 {
+		c.Routers = NumRouters
+	}
 	if c.Start.IsZero() {
 		c.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
 	}
@@ -94,6 +104,21 @@ type Interface struct {
 	// empty for external and spare interfaces.
 	PeerRouter    string
 	PeerInterface string
+	// Subscribers counts the synthetic subscribers homed on this interface.
+	// Only hierarchical fleets populate it; the calibrated 107-router
+	// build hand-sets MeanLoad instead and leaves it 0.
+	Subscribers int
+	// SubDemand is the per-cohort aggregate mean demand in bit/s
+	// (hierarchical fleets only; see trafficgen's subscriber synthesis).
+	// MeanLoad is its sum.
+	SubDemand [trafficgen.NumCohorts]float64
+	// noiseKey seeds the per-(interface, step) traffic noise on
+	// hierarchical fleets. It is derived from the (router index, interface
+	// index) pair through a bijective mixer, so it is collision-free by
+	// construction at any fleet size — unlike hashing the interface's
+	// name, which at 100k-router cardinality (millions of names) would
+	// correlate the noise of birthday-colliding interfaces.
+	noiseKey uint64
 }
 
 // Router is one deployed router: the simulated device plus its deployment
@@ -104,6 +129,9 @@ type Router struct {
 	// anonymization preserves this).
 	Name string
 	PoP  string
+	// Tier is the PoP tier on hierarchical fleets ("access", "metro",
+	// "core"); empty on the calibrated 107-router build.
+	Tier string
 	// Device is the electrical simulation.
 	Device *device.Router
 	// Interfaces lists the deployed interfaces (configured or spare).
@@ -138,7 +166,22 @@ type Network struct {
 	rng     *rand.Rand
 	diurnal trafficgen.Diurnal
 	byName  map[string]*Router
+	// hier marks a hierarchical fleet: loads come from the per-interface
+	// cohort demand vectors instead of the calibrated MeanLoad path.
+	hier bool
+	// subscribers is the fleet-wide synthetic subscriber count.
+	subscribers int64
 }
+
+// Hierarchical reports whether the network was built by the hierarchical
+// topology generator (Config.Routers != NumRouters) rather than the
+// calibrated 107-router plan.
+func (n *Network) Hierarchical() bool { return n.hier }
+
+// TotalSubscribers returns the number of synthetic subscribers the fleet
+// serves. The calibrated 107-router build reports 0 — its demand is
+// hand-set per interface, not synthesized from a population.
+func (n *Network) TotalSubscribers() int64 { return n.subscribers }
 
 // RouterByName looks a router up by its anonymized name.
 func (n *Network) RouterByName(name string) (*Router, bool) {
@@ -247,9 +290,15 @@ func fleetPlan() map[string]deployTemplate {
 	}
 }
 
-// Build constructs the deterministic synthetic network.
+// Build constructs the deterministic synthetic network. The default
+// Config.Routers builds the paper's calibrated 107-router fleet — that
+// path is frozen and bit-identical across releases (golden_test.go pins
+// it); any other size dispatches to the hierarchical generator.
 func Build(cfg Config) (*Network, error) {
 	cfg.applyDefaults()
+	if cfg.Routers != NumRouters {
+		return buildHierarchy(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := &Network{
 		Config:  cfg,
@@ -484,16 +533,44 @@ func (n *Network) markSpecialRouters() {
 }
 
 // LoadAt returns an interface's bidirectional load at time t: the mean
-// modulated by the network-wide diurnal pattern plus deterministic
-// per-interface noise.
+// modulated by the diurnal pattern plus deterministic per-interface
+// noise. On the calibrated fleet the mean is the hand-set MeanLoad under
+// the network-wide diurnal shape; on hierarchical fleets it is the
+// subscriber-cohort aggregate under per-cohort shapes.
 func (n *Network) LoadAt(itf *Interface, r *Router, t time.Time) units.BitRate {
-	return n.loadAt(itf, r, t, n.diurnal.Multiplier(t, nil))
+	var cm [trafficgen.NumCohorts]float64
+	if n.hier {
+		trafficgen.CohortMultipliers(t, &cm)
+	}
+	return n.loadAt(itf, r, t, n.diurnal.Multiplier(t, nil), &cm)
 }
 
-// loadAt is LoadAt with the diurnal multiplier hoisted: the multiplier
-// depends only on t, so the replay computes it once per step instead of
-// once per interface (it is a handful of trigonometric evaluations).
-func (n *Network) loadAt(itf *Interface, r *Router, t time.Time, mult float64) units.BitRate {
+// loadAt is LoadAt with the time-dependent multipliers hoisted: the
+// network-wide diurnal multiplier and the cohort multiplier vector depend
+// only on t, so the replay computes them once per step instead of once
+// per interface (they are a handful of trigonometric evaluations). The
+// per-interface work is O(1) and allocation-free on both paths.
+func (n *Network) loadAt(itf *Interface, r *Router, t time.Time, mult float64, cm *[trafficgen.NumCohorts]float64) units.BitRate {
+	if n.hier {
+		if itf.Spare {
+			return 0
+		}
+		// Closed-form cohort aggregation: a NumCohorts-term dot product,
+		// never a per-subscriber loop.
+		d := itf.SubDemand[0]*cm[0] + itf.SubDemand[1]*cm[1] + itf.SubDemand[2]*cm[2]
+		if d == 0 {
+			return 0
+		}
+		h := mixKey(itf.noiseKey, t.Unix())
+		load := units.BitRate(d * (1 + 0.15*(float64(h%2000)/1000-1)))
+		if load < 0 {
+			load = 0
+		}
+		if max := itf.Profile.Speed * 2; load > max {
+			load = max
+		}
+		return load
+	}
 	if itf.Spare || itf.MeanLoad == 0 {
 		return 0
 	}
@@ -522,6 +599,15 @@ func PacketRateAt(load units.BitRate) units.PacketRate {
 // sequence matches the original variadic implementation exactly, so the
 // noise values (and with them every published dataset figure) are
 // unchanged.
+//
+// Audit note (scale): hash64 keys the noise on interface *names*, which
+// is fine for the calibrated 107-router fleet the published figures pin,
+// but at 100k-router cardinality (millions of (router, iface) strings in
+// a 64-bit space) birthday collisions become likely, and two colliding
+// interfaces would share their entire noise trajectory. Hierarchical
+// fleets therefore key their noise on ifaceNoiseKey — a bijective mix of
+// (router index, interface index), collision-free by construction — and
+// hash64 remains, byte for byte, the frozen legacy path.
 func hash64(router, iface string, unix int64) uint64 {
 	var h uint64 = 1469598103934665603
 	const prime = 1099511628211
@@ -544,4 +630,31 @@ func hash64(router, iface string, unix int64) uint64 {
 	h ^= 0xff
 	h *= prime
 	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijection on uint64 with
+// strong avalanche behavior. Being a bijection, distinct inputs give
+// distinct outputs — the property the hierarchical noise keys rely on.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ifaceNoiseKey derives the per-interface noise key for hierarchical
+// fleets from the (router index, interface index) pair. The packing is
+// injective for fleets below 2^43 routers with fewer than 2^20 ports
+// each, and splitmix64 is a bijection, so no two interfaces in any
+// buildable fleet share a key (golden_test.go checks this exhaustively
+// on a generated fleet).
+func ifaceNoiseKey(routerIdx, ifaceIdx int) uint64 {
+	return splitmix64(uint64(routerIdx+1)<<20 | uint64(ifaceIdx))
+}
+
+// mixKey folds a step time into an interface noise key, giving the
+// per-(interface, step) noise hash for hierarchical fleets — the
+// structural-key counterpart of hash64.
+func mixKey(key uint64, unix int64) uint64 {
+	return splitmix64(key ^ uint64(unix)*0x9e3779b97f4a7c15)
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package ispnet
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; the large-fleet memory-budget test skips under it (shadow
+// memory multiplies the heap several-fold).
+const raceEnabled = false

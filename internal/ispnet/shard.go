@@ -12,6 +12,7 @@ import (
 	"fantasticjoules/internal/model"
 	"fantasticjoules/internal/psu"
 	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/trafficgen"
 	"fantasticjoules/internal/units"
 )
 
@@ -117,9 +118,18 @@ func (sh *routerShard) buildPlan() error {
 func (sh *routerShard) play() error {
 	n, r := sh.net, sh.router
 	cfg := n.Config
-	sh.power = make([]float64, len(sh.steps))
-	sh.traffic = make([]float64, len(sh.steps))
-	sh.wall = make([]float64, 0, len(sh.steps))
+	// The streaming path (stream.go) pre-attaches pooled, zeroed buffers
+	// so a bounded working set cycles through the whole fleet; a cold
+	// shard allocates its own.
+	if sh.power == nil {
+		sh.power = make([]float64, len(sh.steps))
+	}
+	if sh.traffic == nil {
+		sh.traffic = make([]float64, len(sh.steps))
+	}
+	if sh.wall == nil {
+		sh.wall = make([]float64, 0, len(sh.steps))
+	}
 	if sh.meter != nil {
 		subSteps := int(cfg.SNMPStep / cfg.AutopowerStep)
 		if cfg.SNMPStep%cfg.AutopowerStep != 0 {
@@ -134,6 +144,7 @@ func (sh *routerShard) play() error {
 	}
 
 	events := sh.events
+	var cm [trafficgen.NumCohorts]float64
 	for si, t := range sh.steps {
 		// Apply this router's due events in schedule order; events are the
 		// only mutation of the interface list, so the plan is rebuilt here
@@ -157,9 +168,12 @@ func (sh *routerShard) play() error {
 		}
 
 		// Offer this step's loads: one lock acquisition for the whole
-		// batch, handle-addressed interface access, one diurnal multiplier
-		// evaluation for the step.
+		// batch, handle-addressed interface access, one diurnal (or cohort)
+		// multiplier evaluation for the step.
 		mult := n.diurnal.Multiplier(t, nil)
+		if n.hier {
+			trafficgen.CohortMultipliers(t, &cm)
+		}
 		st := r.Device.BeginStep()
 		var stepTraffic float64
 		for pi := range sh.plan {
@@ -174,7 +188,7 @@ func (sh *routerShard) play() error {
 			if !present || !admin || !oper {
 				continue
 			}
-			load := n.loadAt(p.itf, r, t, mult)
+			load := n.loadAt(p.itf, r, t, mult, &cm)
 			if err := st.SetTraffic(p.handle, load, PacketRateAt(load)); err != nil {
 				st.End()
 				return fmt.Errorf("ispnet: %s/%s: %w", r.Name, p.itf.Name, err)

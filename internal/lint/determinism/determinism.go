@@ -28,6 +28,7 @@ var SimPackages = []string{
 	"internal/model",
 	"internal/optimizer",
 	"internal/timeseries",
+	"internal/trafficgen",
 }
 
 // randConstructors are the math/rand package functions that build seeded

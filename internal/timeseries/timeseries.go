@@ -103,6 +103,45 @@ func (s *Series) appendNano(ns int64, v float64) {
 	s.vs = append(s.vs, v)
 }
 
+// AppendBlock appends parallel timestamp (unix-nanosecond) and value
+// columns in one call — the bulk form of Append used by spill readers
+// reassembling a series from decoded chunks. The columns must be the same
+// length; ordering is fixed up lazily exactly as for Append.
+func (s *Series) AppendBlock(ts []int64, vs []float64) {
+	if len(ts) != len(vs) {
+		panic(fmt.Sprintf("timeseries: AppendBlock column lengths %d vs %d", len(ts), len(vs)))
+	}
+	s.grow(len(s.ts) + len(ts))
+	for i, ns := range ts {
+		s.appendNano(ns, vs[i])
+	}
+}
+
+// Blocks calls fn over the series in time order, in runs of at most size
+// points (size ≤ 0 means one run covering everything). The slices passed
+// to fn alias the series' internal columns: they are valid only for the
+// duration of the call and must not be mutated. It is the zero-copy
+// iteration the streaming spill path uses to chunk a trace.
+func (s *Series) Blocks(size int, fn func(ts []int64, vs []float64) error) error {
+	s.ensureSorted()
+	if size <= 0 {
+		size = len(s.ts)
+		if size == 0 {
+			return nil
+		}
+	}
+	for i := 0; i < len(s.ts); i += size {
+		j := i + size
+		if j > len(s.ts) {
+			j = len(s.ts)
+		}
+		if err := fn(s.ts[i:j], s.vs[i:j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // byTime sorts the two columns together, stably, by timestamp.
 type byTime struct{ s *Series }
 

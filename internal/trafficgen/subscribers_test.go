@@ -1,0 +1,93 @@
+package trafficgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestCohortMultipliersWeeklyMean checks every cohort multiplier averages
+// ≈1 over a full week at a 5-minute grid, so cohort mean demand is also
+// mean offered load.
+func TestCohortMultipliersWeeklyMean(t *testing.T) {
+	start := time.Date(2024, 9, 2, 0, 0, 0, 0, time.UTC) // a Monday
+	var sum [NumCohorts]float64
+	var cm [NumCohorts]float64
+	n := 0
+	for ts := start; ts.Before(start.Add(7 * 24 * time.Hour)); ts = ts.Add(5 * time.Minute) {
+		CohortMultipliers(ts, &cm)
+		for i, m := range cm {
+			if m < 0 {
+				t.Fatalf("cohort %d multiplier %v < 0 at %v", i, m, ts)
+			}
+			sum[i] += m
+		}
+		n++
+	}
+	for i, p := range Cohorts() {
+		mean := sum[i] / float64(n)
+		// The weekend scaling pulls the mean off 1 by 2/7 of the dip.
+		want := 1 - 2.0/7.0*p.WeekendDip
+		if math.Abs(mean-want) > 0.02 {
+			t.Errorf("cohort %s weekly mean %.3f, want ≈%.3f", p.Name, mean, want)
+		}
+	}
+}
+
+// TestCohortMultipliersShapes pins the qualitative cohort shapes: business
+// traffic peaks in working hours and collapses on weekends, residential
+// peaks in the evening and does not.
+func TestCohortMultipliersShapes(t *testing.T) {
+	var noon2pm, evening, satNoon [NumCohorts]float64
+	tue := time.Date(2024, 9, 3, 0, 0, 0, 0, time.UTC)
+	CohortMultipliers(tue.Add(14*time.Hour), &noon2pm)
+	CohortMultipliers(tue.Add(21*time.Hour), &evening)
+	CohortMultipliers(tue.AddDate(0, 0, 4).Add(14*time.Hour), &satNoon) // Saturday
+	if noon2pm[Business] <= evening[Business] {
+		t.Errorf("business should peak mid-afternoon: 14h %.3f vs 21h %.3f", noon2pm[Business], evening[Business])
+	}
+	if evening[Residential] <= noon2pm[Residential] {
+		t.Errorf("residential should peak in the evening: 21h %.3f vs 14h %.3f", evening[Residential], noon2pm[Residential])
+	}
+	if satNoon[Business] >= 0.6*noon2pm[Business] {
+		t.Errorf("business weekend dip missing: sat %.3f vs tue %.3f", satNoon[Business], noon2pm[Business])
+	}
+	if satNoon[Residential] <= noon2pm[Residential] {
+		t.Errorf("residential weekend boost missing: sat %.3f vs tue %.3f", satNoon[Residential], noon2pm[Residential])
+	}
+}
+
+// TestSubscribersFor checks the closed-form population synthesis: the
+// realized aggregate demand tracks the target, the 85/15 cohort split
+// holds, tiny targets still home one subscriber, and equal targets give
+// identical populations.
+func TestSubscribersFor(t *testing.T) {
+	counts, demand := SubscribersFor(800e6) // a 10G access port at 8%
+	if counts[Residential] < 200 || counts[Business] < 5 {
+		t.Fatalf("implausible population for 800 Mb/s: %+v", counts)
+	}
+	if counts[Wholesale] != 0 || demand[Wholesale] != 0 {
+		t.Fatalf("access synthesis must not produce wholesale demand: %+v %+v", counts, demand)
+	}
+	total := demand[Residential] + demand[Business]
+	if math.Abs(total-800e6) > 0.02*800e6 {
+		t.Errorf("realized demand %.0f strays from the 800e6 target", total)
+	}
+	if share := demand[Residential] / total; math.Abs(share-residentialShare) > 0.05 {
+		t.Errorf("residential share %.3f, want ≈%.2f", share, residentialShare)
+	}
+
+	c2, d2 := SubscribersFor(800e6)
+	if c2 != counts || d2 != demand {
+		t.Errorf("SubscribersFor is not deterministic: %+v vs %+v", d2, demand)
+	}
+
+	small, _ := SubscribersFor(1e3)
+	if small[Residential] != 1 {
+		t.Errorf("a positive target must home ≥1 residential subscriber, got %d", small[Residential])
+	}
+	zero, zd := SubscribersFor(0)
+	if zero != ([NumCohorts]int{}) || zd != ([NumCohorts]float64{}) {
+		t.Errorf("zero target must synthesize nothing: %+v %+v", zero, zd)
+	}
+}

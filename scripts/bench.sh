@@ -60,22 +60,27 @@ awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; jps = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i - 1)
         if ($i == "B/op") bytes = $(i - 1)
         if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "joules/s") jps = $(i - 1)
     }
     if (ns == "") next
     if (!(name in seen)) {
         seen[name] = 1
         names[n_names++] = name
         min_ns[name] = ns; min_by[name] = bytes; min_al[name] = allocs
+        max_jps[name] = jps
         next
     }
     if (ns + 0 < min_ns[name] + 0) min_ns[name] = ns
     if (bytes != "" && (min_by[name] == "" || bytes + 0 < min_by[name] + 0)) min_by[name] = bytes
     if (allocs != "" && (min_al[name] == "" || allocs + 0 < min_al[name] + 0)) min_al[name] = allocs
+    # joules/s is a throughput: keep the best (max) run, the noise-robust
+    # counterpart of the time/op minimum. Recorded, never gated.
+    if (jps != "" && (max_jps[name] == "" || jps + 0 > max_jps[name] + 0)) max_jps[name] = jps
 }
 END {
     print "{"
@@ -84,6 +89,7 @@ END {
         entry = sprintf("  %c%s%c: {\"ns_per_op\": %s", 34, name, 34, min_ns[name])
         if (min_by[name] != "") entry = entry sprintf(", \"bytes_per_op\": %s", min_by[name])
         if (min_al[name] != "") entry = entry sprintf(", \"allocs_per_op\": %s", min_al[name])
+        if (max_jps[name] != "") entry = entry sprintf(", \"joules_per_wallclock_s\": %s", max_jps[name])
         entry = entry "}"
         printf "%s%s\n", entry, (i < n_names - 1 ? "," : "")
     }
