@@ -12,7 +12,6 @@ package fantasticjoules
 // and see EXPERIMENTS.md for paper-vs-measured values.
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -249,17 +248,39 @@ func BenchmarkFig1Incremental(b *testing.B) {
 }
 
 // BenchmarkResimulatePerturbed times the fleet layer alone: Perturb +
-// Resimulate with 1 and 10 dirty routers out of the full fleet, at the
-// suite's dataset resolution. The replay cost should scale with the
-// dirty count, not the fleet size.
+// Resimulate with 1 and 10 dirty routers out of the calibrated fleet at
+// the suite's dataset resolution, plus 1 dirty router out of a generated
+// 1k-router hierarchical fleet (the chunk-retained path, at the
+// optimize-scale artifact's hourly resolution). The replay cost should
+// scale with the dirty count, not the fleet size.
 func BenchmarkResimulatePerturbed(b *testing.B) {
-	for _, dirty := range []int{1, 10} {
-		b.Run(fmt.Sprintf("routers=%d", dirty), func(b *testing.B) {
-			f, err := ispnet.NewFleet(ispnet.Config{
-				Seed:          42,
-				SNMPStep:      15 * time.Minute,
-				AutopowerStep: 5 * time.Minute,
-			})
+	cases := []struct {
+		name string
+		cfg  ispnet.Config
+		// dirty routers perturbed per iteration.
+		dirty int
+	}{
+		{"routers=1", ispnet.Config{
+			Seed:          42,
+			SNMPStep:      15 * time.Minute,
+			AutopowerStep: 5 * time.Minute,
+		}, 1},
+		{"routers=10", ispnet.Config{
+			Seed:          42,
+			SNMPStep:      15 * time.Minute,
+			AutopowerStep: 5 * time.Minute,
+		}, 10},
+		{"routers=1k", ispnet.Config{
+			Seed:     42,
+			Routers:  1000,
+			Duration: 7 * 24 * time.Hour,
+			SNMPStep: time.Hour,
+		}, 1},
+	}
+	for _, tc := range cases {
+		dirty := tc.dirty
+		b.Run(tc.name, func(b *testing.B) {
+			f, err := ispnet.NewFleet(tc.cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -267,7 +288,7 @@ func BenchmarkResimulatePerturbed(b *testing.B) {
 			if dirty > len(routers) {
 				b.Fatalf("fleet has %d routers, need %d", len(routers), dirty)
 			}
-			at := f.Network().Config.Start.Add(21 * 24 * time.Hour)
+			at := f.Network().Config.Start.Add(f.Network().Config.Duration / 3)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				factor := 1.5
@@ -335,6 +356,61 @@ func BenchmarkOptimizerStep(b *testing.B) {
 		planner.PlanStep(loads, nil) // decision + guardrail
 		// Alternate sleep and wake of one link so each iteration is a
 		// 1-action perturbation dirtying exactly the two endpoint routers.
+		op := ispnet.OpSleep
+		if i%2 == 1 {
+			op = ispnet.OpWake
+		}
+		if err := f.Perturb(
+			ispnet.FleetEvent{At: at, Router: link.A.Router, Op: op, Iface: link.A.Interface},
+			ispnet.FleetEvent{At: at, Router: link.B.Router, Op: op, Iface: link.B.Interface},
+		); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Resimulate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizerStep1k is BenchmarkOptimizerStep on a generated
+// 1k-router hierarchical fleet: the PlanStep decision covers ~1.5k
+// links and the actuation resimulates two dirty routers through the
+// chunk-retained path (decode-splice of the other ~998 routers' columns
+// included). This is the per-step cost of `joules -optimize -routers
+// 1000`.
+func BenchmarkOptimizerStep1k(b *testing.B) {
+	cfg := ispnet.Config{
+		Seed:     42,
+		Routers:  1000,
+		Duration: 7 * 24 * time.Hour,
+		SNMPStep: time.Hour,
+	}
+	f, err := ispnet.NewFleet(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pristine, err := ispnet.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, traffic, err := hypnos.FromNetwork(pristine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner, err := hypnos.NewPlanner(topo, hypnos.PlannerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := f.Network().Config.Start.Add(f.Network().Config.Duration / 3)
+	loads := make([]float64, len(topo.Links))
+	for i, l := range topo.Links {
+		loads[i] = traffic(l.ID, at).BitsPerSecond()
+	}
+	planner.PlanStep(loads, nil)
+	link := topo.Links[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		planner.PlanStep(loads, nil)
 		op := ispnet.OpSleep
 		if i%2 == 1 {
 			op = ispnet.OpWake

@@ -18,6 +18,10 @@
 //	joules -optimize          run the closed-loop energy optimizer over the
 //	                          full study window and report the realized
 //	                          (measured) savings against the §8 estimate
+//	joules -optimize -routers 1000
+//	                          close the loop on a generated 1000-router
+//	                          hierarchical fleet instead of the calibrated
+//	                          build, against the same estimate envelope
 //	joules -stream            run the bounded-memory streaming scale study
 //	                          over the default fleet ladder (107, 1k, 10k)
 //	joules -stream -routers 50000
@@ -80,6 +84,7 @@ func artifacts() []artifact {
 		{"baselines", "lab models vs datasheet-interpolation baseline (§2)", runBaselines},
 		{"ablations", "design-choice ablations", runAblations},
 		{"scale", "streaming fleet-scale study (hierarchical topologies; honors -routers)", runScale},
+		{"optscale", "closed-loop optimizer on a generated hierarchical fleet (honors -routers)", runOptimizeScale},
 	}
 }
 
@@ -97,7 +102,13 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if *optimize && len(args) == 0 {
-		args = []string{"run", "section8online"}
+		// Bare -optimize runs the calibrated section8online acceptance run;
+		// with -routers N it closes the loop on a generated N-router fleet.
+		if *routers > 0 {
+			args = []string{"run", "optscale"}
+		} else {
+			args = []string{"run", "section8online"}
+		}
 	}
 	if *stream && len(args) == 0 {
 		args = []string{"run", "scale"}

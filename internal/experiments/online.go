@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"fantasticjoules/internal/hypnos"
-	"fantasticjoules/internal/ispnet"
 	"fantasticjoules/internal/optimizer"
 	"fantasticjoules/internal/units"
 )
@@ -79,34 +78,29 @@ func (s *Suite) section8OnlineUncached(window time.Duration) (Section8OnlineResu
 		return Section8OnlineResult{}, err
 	}
 
-	// A dedicated fleet: the controller perturbs its fleet's event
+	// A dedicated rig: the controller perturbs its fleet's event
 	// schedule, which must never leak into the suite's shared dataset.
 	cfg := s.DatasetConfig()
-	fleet, err := ispnet.NewFleet(cfg)
+	rig, err := optimizer.NewRig(cfg)
 	if err != nil {
 		return Section8OnlineResult{}, err
 	}
-	pristine, err := ispnet.Build(cfg)
-	if err != nil {
-		return Section8OnlineResult{}, err
-	}
-	topo, traffic, err := hypnos.FromNetwork(pristine)
-	if err != nil {
-		return Section8OnlineResult{}, err
-	}
+	topo := rig.Topo
 	if window == 0 {
-		window = fleet.Network().Config.Duration
+		window = rig.Fleet.Network().Config.Duration
 	}
 
-	ctl, err := optimizer.New(fleet, topo, traffic, optimizer.Config{
-		Start:  fleet.Network().Config.Start,
+	ctl, err := rig.Controller(optimizer.Config{
+		Start:  rig.Fleet.Network().Config.Start,
 		Window: window,
 		Step:   time.Hour,
 		// Operational hysteresis: a link that transitions holds its state
 		// for four control steps, the EXPERIMENTS.md optimizer-scenario
 		// setting (flapping is the §6.2 cautionary tale).
-		MinDwellSteps: 4,
-		PSUShed:       true,
+		MinDwellSteps:  4,
+		MaxUtilization: optimizer.DefaultMaxUtilization,
+		PSUShed:        true,
+		PSUMaxLoad:     optimizer.DefaultPSUMaxLoad,
 	})
 	if err != nil {
 		return Section8OnlineResult{}, err

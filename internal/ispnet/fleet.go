@@ -207,6 +207,13 @@ func (n *Network) compileEvents(evs []FleetEvent) ([]scheduledEvent, error) {
 						continue
 					}
 					r.Interfaces[i].MeanLoad = units.BitRate(r.Interfaces[i].MeanLoad.BitsPerSecond() * e.Factor)
+					// Hierarchical loads are evaluated from the per-cohort
+					// demand, not MeanLoad; scale both so the op means the
+					// same thing on generated fleets (SubDemand is all-zero
+					// on the calibrated build, where this is a no-op).
+					for c := range r.Interfaces[i].SubDemand {
+						r.Interfaces[i].SubDemand[c] *= e.Factor
+					}
 				}
 				return nil
 			}
@@ -251,9 +258,17 @@ type Fleet struct {
 	// captured once (the AutopowerRouters order of the pristine build).
 	meterSeeds map[string]int64
 
-	shards []*routerShard
-	dirty  map[string]bool
-	ds     *Dataset
+	// Exactly one retention representation is populated. The calibrated
+	// fleet keeps live shards (their instrumented traces are part of the
+	// dataset); hierarchical fleets keep the bounded chunk retention of
+	// fleet_chunks.go.
+	shards    []*routerShard
+	chunked   bool
+	chunks    []routerChunks
+	stepNanos []int64
+
+	dirty map[string]bool
+	ds    *Dataset
 }
 
 // NewFleet builds the network and plays the full study window once,
@@ -275,12 +290,22 @@ func NewFleet(cfg Config) (*Fleet, error) {
 	for i, r := range n.AutopowerRouters() {
 		f.meterSeeds[r.Name] = n.meterSeed(i)
 	}
+	// Generated hierarchical fleets retain encoded chunks instead of live
+	// shards (fleet_chunks.go): they carry no instrumented routers, and at
+	// 10k+ routers the live-shard working set would not fit a bounded
+	// heap. The calibrated build keeps the shard path and its traces.
+	f.chunked = n.Hierarchical() && len(f.meterSeeds) == 0
 	metricRuns.Inc()
 	if err := f.replay(nil); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
+
+// ChunkRetained reports whether the fleet runs in the bounded-memory
+// chunk-retained mode (hierarchical configs) rather than retaining live
+// shards.
+func (f *Fleet) ChunkRetained() bool { return f.chunked }
 
 // Dataset returns the dataset of the last (re)simulation. The caller must
 // treat it as immutable; Resimulate replaces it.
@@ -292,10 +317,14 @@ func (f *Fleet) Network() *Network { return f.net }
 
 // Events returns the merged declarative schedule (built-in plus every
 // perturbation), sorted by due time — the event list a cold
-// SimulateWithEvents needs to reproduce the current dataset.
+// SimulateWithEvents needs to reproduce the current dataset. Like
+// ExtraEvents it returns a defensive copy: callers may mutate or re-sort
+// the slice without corrupting the retained replay state.
 func (f *Fleet) Events() []FleetEvent {
 	evs := f.mergedEvents()
-	return evs
+	out := make([]FleetEvent, len(evs))
+	copy(out, evs)
+	return out
 }
 
 // ExtraEvents returns a copy of every perturbation applied since the
@@ -378,6 +407,9 @@ func (f *Fleet) mergedEvents() []FleetEvent {
 // shard list. The merged schedule is recompiled each time so event
 // closures capture the current router objects.
 func (f *Fleet) replay(dirty map[string]bool) error {
+	if f.chunked {
+		return f.replayChunked(dirty)
+	}
 	n := f.net
 	evs := f.mergedEvents()
 	compiled, err := n.compileEvents(evs)

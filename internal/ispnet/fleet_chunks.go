@@ -1,0 +1,287 @@
+package ispnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fantasticjoules/internal/model"
+	"fantasticjoules/internal/psu"
+	"fantasticjoules/internal/telemetry"
+	"fantasticjoules/internal/timeseries"
+	"fantasticjoules/internal/units"
+)
+
+// Chunk-retained fleet mode: the bounded-memory form of the incremental
+// Fleet used for hierarchical (generated) configs, where retaining every
+// router's live shard — three full-window float columns plus the replay
+// plan — would put the fleet-size × duration product back on the heap
+// that stream.go worked to get off it.
+//
+// Instead of live shards, the fleet retains each router's power and
+// traffic columns as the same delta-of-delta columnar chunks RunStream
+// spills (timeseries.AppendChunk), plus the two wall-power scalars and
+// the PSU snapshot the dataset assembly needs. Encoded timestamps cost
+// ≈1 byte/point on the regular SNMP grid and values keep their raw
+// Float64bits — which is what makes the mode exact: a Resimulate decodes
+// every clean router's chunks back into the fold (decode-on-splice) and
+// accumulates the identical addition sequence, in fleet order, that the
+// cold path's reduction performs. The golden and property tests pin
+// DiffDatasets-bit-identity to cold SimulateWithEvents at 1k and 10k.
+//
+// The replay itself runs the bounded producer/worker/consumer pipeline of
+// RunStream: at most workers+streamWindowSlack live shards exist at any
+// instant, their step buffers pooled, so peak heap is O(fleet metadata) +
+// O(window × steps) and steady-state heap is the encoded chunks.
+//
+// The mode is reserved for hierarchical fleets, which have no
+// instrumented (Autopower) routers: the calibrated 107-router build keeps
+// the live-shard path so its meter/SNMP/rate traces stay retained.
+
+var (
+	metricFleetChunkBytes = telemetry.Default().Gauge("ispnet_fleet_chunk_bytes",
+		"encoded bytes retained by chunk-mode Fleets (all live fleets)")
+	metricFleetChunkSplices = telemetry.Default().Counter("ispnet_fleet_chunk_splices_total",
+		"clean-router chunk decodes spliced into Resimulate folds")
+)
+
+// routerChunks is one router's retained replay result in chunk mode: the
+// encoded step columns plus the scalars assembleDataset derives from a
+// live shard.
+type routerChunks struct {
+	power   []byte // AppendChunk-encoded (stepNanos, power) column
+	traffic []byte // AppendChunk-encoded (stepNanos, traffic) column
+	// wallMedian / wallPeak are the router's median and peak wall power
+	// over its deployed steps, in watts; hasWall distinguishes "never
+	// deployed" from zero.
+	wallMedian float64
+	wallPeak   float64
+	hasWall    bool
+	// psus is the mid-window environment-sensor export (nil when the
+	// router was not active at snapAt).
+	psus []psu.Snapshot
+}
+
+// retainedBytes is the encoded footprint of one router's retention.
+func (rc *routerChunks) retainedBytes() int { return len(rc.power) + len(rc.traffic) }
+
+// appendChunked encodes parallel columns as a sequence of
+// streamChunkPoints-sized chunks, appending to dst — the retention-side
+// twin of the RunStream spill.
+func appendChunked(dst []byte, ts []int64, vs []float64) []byte {
+	for i := 0; i < len(vs); i += streamChunkPoints {
+		j := i + streamChunkPoints
+		if j > len(vs) {
+			j = len(vs)
+		}
+		dst = timeseries.AppendChunk(dst, ts[i:j], vs[i:j])
+	}
+	return dst
+}
+
+// decodeChunkedInto decodes an encoded column into scratch and adds its
+// values element-wise onto totals — the clean-router splice. The decoded
+// bits are exactly the encoded bits (AppendChunk stores raw Float64bits),
+// so the addition contributes the same sequence a live shard would.
+func decodeChunkedInto(totals []float64, data []byte, scratch *timeseries.Series) error {
+	scratch.Reset()
+	for len(data) > 0 {
+		rest, err := timeseries.DecodeChunk(scratch, data)
+		if err != nil {
+			return fmt.Errorf("ispnet: retained chunk: %w", err)
+		}
+		data = rest
+	}
+	if scratch.Len() != len(totals) {
+		return fmt.Errorf("ispnet: retained chunk decoded %d points, want %d", scratch.Len(), len(totals))
+	}
+	for si := range totals {
+		totals[si] += scratch.Value(si)
+	}
+	return nil
+}
+
+// replayChunked is the chunk-retained form of Fleet.replay: play the
+// dirty routers (nil means all) through a bounded pipeline, fold their
+// fresh columns into the step totals in fleet order, re-encode their
+// retention, and splice every clean router in by decoding its retained
+// chunks — never holding more than the worker window of live shards.
+func (f *Fleet) replayChunked(dirty map[string]bool) error {
+	n := f.net
+	evs := f.mergedEvents()
+	compiled, err := n.compileEvents(evs)
+	if err != nil {
+		return err
+	}
+	byRouter := partitionEvents(compiled)
+
+	if f.chunks == nil {
+		f.chunks = make([]routerChunks, len(n.Routers))
+	}
+	if f.stepNanos == nil {
+		f.stepNanos = make([]int64, len(f.steps))
+		for i, t := range f.steps {
+			f.stepNanos[i] = t.UnixNano()
+		}
+	}
+
+	ndirty := 0
+	for _, r := range n.Routers {
+		if dirty == nil || dirty[r.Name] {
+			ndirty++
+		}
+	}
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ndirty {
+		workers = ndirty
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	window := workers + streamWindowSlack
+
+	// Bounded pipeline over the dirty routers, exactly as RunStream admits
+	// the whole fleet: slots preserves fleet order and its buffer is the
+	// admission window.
+	pool := sync.Pool{New: func() any { return &streamBufs{} }}
+	slots := make(chan *streamSlot, window)
+	work := make(chan *streamSlot)
+	go func() {
+		for _, r := range n.Routers {
+			if dirty != nil && !dirty[r.Name] {
+				continue
+			}
+			sh := n.newShard(r, nil, byRouter[r.Name], f.steps)
+			bufs := pool.Get().(*streamBufs)
+			sh.power = zeroedFloats(bufs.power, len(f.steps))
+			sh.traffic = zeroedFloats(bufs.traffic, len(f.steps))
+			sh.wall = bufs.wall[:0]
+			s := &streamSlot{sh: sh, bufs: bufs, done: make(chan struct{})}
+			slots <- s
+			work <- s
+		}
+		close(slots)
+		close(work)
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				s.sh.err = s.sh.playInstrumented()
+				close(s.done)
+			}
+		}()
+	}
+
+	// The consumer walks the whole fleet in order: dirty routers are taken
+	// from the pipeline (which emits them in fleet order), clean routers
+	// are decoded from their retention. Either way the totals accumulate
+	// router contributions in fleet order — the cold reduction's exact
+	// floating-point sequence.
+	totalPower := make([]float64, len(f.steps))
+	totalTraffic := make([]float64, len(f.steps))
+	scratch := timeseries.NewWithCap("chunk-splice", len(f.steps))
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	retainedDelta := 0
+	for i, r := range n.Routers {
+		if dirty != nil && !dirty[r.Name] {
+			metricShardsReused.Inc()
+			metricFleetChunkSplices.Inc()
+			if firstErr == nil {
+				rc := &f.chunks[i]
+				if err := decodeChunkedInto(totalPower, rc.power, scratch); err != nil {
+					fail(err)
+				} else if err := decodeChunkedInto(totalTraffic, rc.traffic, scratch); err != nil {
+					fail(err)
+				}
+			}
+			continue
+		}
+		s, ok := <-slots
+		if !ok {
+			return fmt.Errorf("ispnet: chunk replay pipeline ended before router %q", r.Name)
+		}
+		<-s.done
+		sh := s.sh
+		if sh.router != r {
+			fail(fmt.Errorf("ispnet: chunk replay order: got %q, want %q", sh.router.Name, r.Name))
+		}
+		if sh.err != nil {
+			fail(sh.err)
+		}
+		if firstErr == nil {
+			for si := range f.steps {
+				totalPower[si] += sh.power[si]
+				totalTraffic[si] += sh.traffic[si]
+			}
+			rc := &f.chunks[i]
+			retainedDelta -= rc.retainedBytes()
+			rc.power = appendChunked(rc.power[:0], f.stepNanos, sh.power)
+			rc.traffic = appendChunked(rc.traffic[:0], f.stepNanos, sh.traffic)
+			retainedDelta += rc.retainedBytes()
+			rc.hasWall = len(sh.wall) > 0
+			if rc.hasWall {
+				rc.wallMedian = medianOf(sh.wall)
+				// medianOf sorted in place; the peak is the last sample.
+				rc.wallPeak = sh.wall[len(sh.wall)-1]
+			} else {
+				rc.wallMedian, rc.wallPeak = 0, 0
+			}
+			rc.psus = sh.psus
+		}
+		// Recycle the step buffers (wall may have grown under append).
+		s.bufs.power, s.bufs.traffic, s.bufs.wall = sh.power, sh.traffic, sh.wall
+		sh.power, sh.traffic, sh.wall = nil, nil, nil
+		pool.Put(s.bufs)
+	}
+	wg.Wait()
+	metricShardsReplayed.Add(uint64(ndirty))
+	metricFleetChunkBytes.Add(float64(retainedDelta))
+	if firstErr != nil {
+		return firstErr
+	}
+
+	ds := &Dataset{
+		Network:          n,
+		TotalPower:       timeseries.NewWithCap("total-power", len(f.steps)),
+		TotalTraffic:     timeseries.NewWithCap("total-traffic", len(f.steps)),
+		TotalCapacity:    f.capacity,
+		RouterWallMedian: make(map[string]units.Power),
+		RouterWallPeak:   make(map[string]units.Power),
+		Autopower:        make(map[string]*timeseries.Series),
+		SNMPPower:        make(map[string]*timeseries.Series),
+		IfaceRates:       make(map[string]map[string]*timeseries.Series),
+		IfaceProfiles:    make(map[string]map[string]model.ProfileKey),
+		Events:           describeFleetEvents(evs),
+	}
+	for si, t := range f.steps {
+		ds.TotalPower.Append(t, totalPower[si])
+		ds.TotalTraffic.Append(t, totalTraffic[si])
+	}
+	for i, r := range n.Routers {
+		rc := &f.chunks[i]
+		if rc.hasWall {
+			ds.RouterWallMedian[r.Name] = units.Power(rc.wallMedian)
+			ds.RouterWallPeak[r.Name] = units.Power(rc.wallPeak)
+		}
+		if rc.psus != nil {
+			ds.PSUSnapshots = append(ds.PSUSnapshots, psu.RouterPSUs{
+				Router: r.Name,
+				Model:  r.Device.Model(),
+				PSUs:   rc.psus,
+			})
+		}
+	}
+	f.ds = ds
+	return nil
+}

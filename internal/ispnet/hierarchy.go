@@ -87,17 +87,9 @@ func buildHierarchy(cfg Config) (*Network, error) {
 	}
 
 	// Tier split, proportional to the calibrated fleet's model mix.
-	nCore := int(math.Round(float64(cfg.Routers) * 19.0 / 107.0))
-	if nCore < 2 {
-		nCore = 2
-	}
-	nMetro := int(math.Round(float64(cfg.Routers) * 32.0 / 107.0))
-	if nMetro < 2 {
-		nMetro = 2
-	}
-	nAccess := cfg.Routers - nCore - nMetro
-	if nAccess < 2 {
-		return nil, fmt.Errorf("ispnet: fleet of %d leaves no access tier", cfg.Routers)
+	nCore, nMetro, nAccess, err := tierSplit(cfg.Routers)
+	if err != nil {
+		return nil, err
 	}
 
 	corePops := splitPops("c", "core", nCore, corePopSize)
@@ -166,6 +158,63 @@ func buildHierarchy(cfg Config) (*Network, error) {
 		}
 	}
 	return n, nil
+}
+
+// tierMin is the per-tier connectivity minimum: one router to terminate
+// the required uplinks/ring links plus one for the redundant path.
+const tierMin = 2
+
+// tierSplit apportions the fleet into core/metro/access counts
+// proportional to the calibrated network's 19/32/56 model mix. The split
+// is exact by construction — largest-remainder apportionment, so the
+// three tiers always sum to routers — and every tier is then topped up to
+// its connectivity minimum from the largest tier. (The former independent
+// math.Round calls could overdraw the access remainder at small or
+// awkward sizes; at the sizes the suite exercises — 240, 1k, 10k — the
+// apportionment reproduces the rounded split bit for bit.)
+func tierSplit(routers int) (nCore, nMetro, nAccess int, err error) {
+	if routers < hierMinRouters {
+		return 0, 0, 0, fmt.Errorf("ispnet: hierarchical fleet needs ≥ %d routers, got %d", hierMinRouters, routers)
+	}
+	weights := [3]float64{19, 32, 56} // core, metro, access
+	var counts [3]int
+	var rem [3]float64
+	total := 0
+	for i, w := range weights {
+		q := float64(routers) * w / 107.0
+		counts[i] = int(q)
+		rem[i] = q - float64(counts[i])
+		total += counts[i]
+	}
+	// Hand the flooring leftovers (at most two) to the largest fractional
+	// remainders; ties break toward the core so the order is fixed.
+	for total < routers {
+		best := 0
+		for i := 1; i < len(counts); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		total++
+	}
+	// Top up any tier below its connectivity minimum from the largest
+	// tier. With routers ≥ hierMinRouters = 8 the largest tier always has
+	// slack: the quotas sum to routers and access alone holds > half.
+	for i := range counts {
+		for counts[i] < tierMin {
+			big := 0
+			for j := 1; j < len(counts); j++ {
+				if counts[j] > counts[big] {
+					big = j
+				}
+			}
+			counts[big]--
+			counts[i]++
+		}
+	}
+	return counts[0], counts[1], counts[2], nil
 }
 
 // splitPops partitions count routers into PoPs of at most per members,

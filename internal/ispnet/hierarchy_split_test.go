@@ -1,0 +1,86 @@
+package ispnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTierSplitProperty sweeps every fleet size from the minimum to 10k:
+// the split must be exact by construction — tiers sum to the requested
+// router count — with every tier at or above its connectivity minimum,
+// and the access tier must dominate (the hierarchy is a pyramid) once
+// sizes leave the clamp regime.
+func TestTierSplitProperty(t *testing.T) {
+	for routers := hierMinRouters; routers <= 10000; routers++ {
+		nCore, nMetro, nAccess, err := tierSplit(routers)
+		if err != nil {
+			t.Fatalf("tierSplit(%d): %v", routers, err)
+		}
+		if sum := nCore + nMetro + nAccess; sum != routers {
+			t.Fatalf("tierSplit(%d) = %d+%d+%d = %d, want exact sum", routers, nCore, nMetro, nAccess, sum)
+		}
+		for tier, nx := range map[string]int{"core": nCore, "metro": nMetro, "access": nAccess} {
+			if nx < tierMin {
+				t.Fatalf("tierSplit(%d): %s tier %d below connectivity minimum %d", routers, tier, nx, tierMin)
+			}
+		}
+		if routers >= 20 && (nAccess < nMetro || nMetro < nCore) {
+			t.Fatalf("tierSplit(%d) = core %d / metro %d / access %d: not a pyramid", routers, nCore, nMetro, nAccess)
+		}
+	}
+	// Below the minimum the split must refuse, matching buildHierarchy.
+	if _, _, _, err := tierSplit(hierMinRouters - 1); err == nil {
+		t.Fatal("tierSplit below hierMinRouters should error")
+	}
+}
+
+// TestTierSplitMatchesRoundedSizes pins the apportionment to the rounded
+// split at the sizes the rest of the suite (and the recorded BENCH
+// numbers) were generated with, so the refactor is a pure
+// edge-case fix, not a topology change.
+func TestTierSplitMatchesRoundedSizes(t *testing.T) {
+	for _, tc := range []struct{ routers, core, metro, access int }{
+		{240, 43, 72, 125},
+		{1000, 178, 299, 523},
+		{10000, 1776, 2991, 5233},
+	} {
+		nCore, nMetro, nAccess, err := tierSplit(tc.routers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nCore != tc.core || nMetro != tc.metro || nAccess != tc.access {
+			t.Fatalf("tierSplit(%d) = %d/%d/%d, want %d/%d/%d",
+				tc.routers, nCore, nMetro, nAccess, tc.core, tc.metro, tc.access)
+		}
+	}
+}
+
+// TestBuildAwkwardSizes builds full fleets at small and awkward sizes —
+// the regime the old independent-rounding split could degenerate in —
+// and asserts router count and per-tier minimums end to end.
+func TestBuildAwkwardSizes(t *testing.T) {
+	for _, routers := range []int{8, 9, 10, 11, 13, 17, 23, 107 + 1, 107 - 1} {
+		cfg := Config{
+			Seed:     7,
+			Routers:  routers,
+			Duration: 2 * time.Hour,
+			SNMPStep: time.Hour,
+		}
+		n, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("Build(%d): %v", routers, err)
+		}
+		if len(n.Routers) != routers {
+			t.Fatalf("Build(%d) deployed %d routers", routers, len(n.Routers))
+		}
+		tiers := map[string]int{}
+		for _, r := range n.Routers {
+			tiers[r.Tier]++
+		}
+		for _, tier := range []string{"core", "metro", "access"} {
+			if tiers[tier] < tierMin {
+				t.Fatalf("Build(%d): %s tier has %d routers, want ≥ %d", routers, tier, tiers[tier], tierMin)
+			}
+		}
+	}
+}

@@ -11,6 +11,28 @@ import (
 	"fantasticjoules/internal/units"
 )
 
+// The §8 control knobs. Callers must set Config.MaxUtilization (and
+// PSUMaxLoad, when PSUShed is on) explicitly — pass these constants for
+// the paper's values.
+const (
+	// DefaultMaxUtilization is the §8 guardrail cap: surviving links may
+	// carry at most half their capacity after rerouting, keeping failover
+	// headroom.
+	DefaultMaxUtilization = 0.5
+	// DefaultPSUMaxLoad is the §9.3.4 provisioning cap: surviving PSUs
+	// may carry at most 80 % of their rated capacity at the peak.
+	DefaultPSUMaxLoad = 0.8
+)
+
+// ErrNonPositiveConfig is returned by New when a Config ratio that the
+// run would consume is zero or negative. There is no silent defaulting
+// for these: a zero MaxUtilization is indistinguishable from an unset
+// field, and treating it as "0.5" masked real caller bugs (an explicit
+// "no headroom" cap silently became the paper default). Callers choose a
+// value — DefaultMaxUtilization / DefaultPSUMaxLoad for the §8/§9
+// figures — or get this error, testable via errors.Is.
+var ErrNonPositiveConfig = errors.New("optimizer: non-positive config value")
+
 // Config tunes a control run.
 type Config struct {
 	// Start and Window bound the control loop (default window: the §8
@@ -20,7 +42,8 @@ type Config struct {
 	// Step is the control interval (default 1 h, the §8 granularity).
 	Step time.Duration
 	// MaxUtilization is the guardrail's load cap on surviving links after
-	// rerouting (default 0.5, keeping failover headroom).
+	// rerouting. Required: must be positive (DefaultMaxUtilization is the
+	// §8 value); New rejects non-positive values with ErrNonPositiveConfig.
 	MaxUtilization float64
 	// MinDwellSteps adds actuation hysteresis: a link that changed state
 	// keeps it for at least this many steps (safety wakes excepted). Zero
@@ -34,7 +57,9 @@ type Config struct {
 	Down func(linkID int, t time.Time) bool
 	// PSUShed enables the §9.3.4 provisioning pass: after the sleep loop,
 	// shed redundant PSUs on routers whose peak wall draw fits in fewer
-	// units at no more than PSUMaxLoad of their capacity (default 0.8).
+	// units at no more than PSUMaxLoad of their capacity. PSUMaxLoad is
+	// required whenever PSUShed is set (DefaultPSUMaxLoad is the §9.3.4
+	// value) and rejected with ErrNonPositiveConfig otherwise.
 	PSUShed    bool
 	PSUMaxLoad float64
 }
@@ -46,12 +71,24 @@ func (c *Config) applyDefaults() {
 	if c.Step == 0 {
 		c.Step = time.Hour
 	}
-	if c.MaxUtilization == 0 {
-		c.MaxUtilization = 0.5
+}
+
+// validate rejects ratio knobs the run would consume at non-positive
+// values; see ErrNonPositiveConfig.
+func (c *Config) validate() error {
+	if c.MaxUtilization <= 0 {
+		return fmt.Errorf("%w: MaxUtilization = %v (set it explicitly; DefaultMaxUtilization is the §8 cap)", ErrNonPositiveConfig, c.MaxUtilization)
 	}
-	if c.PSUMaxLoad == 0 {
-		c.PSUMaxLoad = 0.8
+	if c.PSUShed && c.PSUMaxLoad <= 0 {
+		return fmt.Errorf("%w: PSUShed with PSUMaxLoad = %v (set it explicitly; DefaultPSUMaxLoad is the §9.3.4 cap)", ErrNonPositiveConfig, c.PSUMaxLoad)
 	}
+	if c.Window < 0 {
+		return fmt.Errorf("%w: Window = %v", ErrNonPositiveConfig, c.Window)
+	}
+	if c.Step < 0 {
+		return fmt.Errorf("%w: Step = %v", ErrNonPositiveConfig, c.Step)
+	}
+	return nil
 }
 
 // StepRecord is one control step of the decision trace.
@@ -146,6 +183,9 @@ func New(fleet *ispnet.Fleet, topo hypnos.Topology, traffic hypnos.TrafficFunc, 
 	}
 	if cfg.Start.IsZero() {
 		return nil, errors.New("optimizer: config needs a start time")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	cfg.applyDefaults()
 	p, err := hypnos.NewPlanner(topo, hypnos.PlannerOptions{

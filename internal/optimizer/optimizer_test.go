@@ -1,6 +1,7 @@
 package optimizer_test
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -39,44 +40,57 @@ func topoFor(t testing.TB, cfg ispnet.Config) (hypnos.Topology, hypnos.TrafficFu
 }
 
 // rig builds a retained fleet plus the observation plane and applies a
-// scenario's environment events to the baseline.
+// scenario's environment events to the baseline, through the package's
+// own Rig so the tests exercise the same derivation the artifacts use.
 func rig(t testing.TB, cfg ispnet.Config, sc *optimizer.Scenario) (*ispnet.Fleet, hypnos.Topology, hypnos.TrafficFunc) {
 	t.Helper()
-	f, err := ispnet.NewFleet(cfg)
+	r, err := optimizer.NewRig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	topo, traffic := topoFor(t, cfg)
-	if sc != nil {
-		if len(sc.Events) > 0 {
-			if err := f.Perturb(sc.Events...); err != nil {
-				t.Fatal(err)
-			}
-			if _, err := f.Resimulate(); err != nil {
-				t.Fatal(err)
-			}
-		}
-		if sc.WrapTraffic != nil {
-			traffic = sc.WrapTraffic(traffic)
-		}
+	if err := r.Apply(sc); err != nil {
+		t.Fatal(err)
 	}
-	return f, topo, traffic
+	return r.Fleet, r.Topo, r.Traffic
 }
 
 func TestNewValidation(t *testing.T) {
 	cfg := quickCfg()
 	f, topo, traffic := rig(t, cfg, nil)
-	if _, err := optimizer.New(nil, topo, traffic, optimizer.Config{Start: start}); err == nil {
+	util := optimizer.DefaultMaxUtilization
+	if _, err := optimizer.New(nil, topo, traffic, optimizer.Config{Start: start, MaxUtilization: util}); err == nil {
 		t.Error("nil fleet accepted")
 	}
-	if _, err := optimizer.New(f, topo, nil, optimizer.Config{Start: start}); err == nil {
+	if _, err := optimizer.New(f, topo, nil, optimizer.Config{Start: start, MaxUtilization: util}); err == nil {
 		t.Error("nil traffic accepted")
 	}
-	if _, err := optimizer.New(f, topo, traffic, optimizer.Config{}); err == nil {
+	if _, err := optimizer.New(f, topo, traffic, optimizer.Config{MaxUtilization: util}); err == nil {
 		t.Error("zero start accepted")
 	}
-	if _, err := optimizer.New(f, hypnos.Topology{}, traffic, optimizer.Config{Start: start}); err == nil {
+	if _, err := optimizer.New(f, hypnos.Topology{}, traffic, optimizer.Config{Start: start, MaxUtilization: util}); err == nil {
 		t.Error("empty topology accepted")
+	}
+
+	// The zero-value footgun: ratio knobs the run consumes must be set
+	// explicitly — non-positive values are rejected with the sentinel, not
+	// silently replaced by the paper defaults.
+	for name, bad := range map[string]optimizer.Config{
+		"zero MaxUtilization":        {Start: start},
+		"negative MaxUtilization":    {Start: start, MaxUtilization: -0.5},
+		"PSUShed without PSUMaxLoad": {Start: start, MaxUtilization: util, PSUShed: true},
+		"negative PSUMaxLoad":        {Start: start, MaxUtilization: util, PSUShed: true, PSUMaxLoad: -1},
+		"negative Window":            {Start: start, MaxUtilization: util, Window: -time.Hour},
+		"negative Step":              {Start: start, MaxUtilization: util, Step: -time.Minute},
+	} {
+		_, err := optimizer.New(f, topo, traffic, bad)
+		if !errors.Is(err, optimizer.ErrNonPositiveConfig) {
+			t.Errorf("%s: err = %v, want ErrNonPositiveConfig", name, err)
+		}
+	}
+	// PSUMaxLoad is only consumed when PSUShed is on: zero without the
+	// pass is fine.
+	if _, err := optimizer.New(f, topo, traffic, optimizer.Config{Start: start, MaxUtilization: util}); err != nil {
+		t.Errorf("PSUMaxLoad unset without PSUShed rejected: %v", err)
 	}
 }
 
@@ -89,7 +103,9 @@ func TestStaticTraceMatchesHypnos(t *testing.T) {
 	f, topo, traffic := rig(t, cfg, nil)
 	window := 2 * 24 * time.Hour
 
-	c, err := optimizer.New(f, topo, traffic, optimizer.Config{Start: start, Window: window})
+	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
+		Start: start, Window: window, MaxUtilization: optimizer.DefaultMaxUtilization,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +149,7 @@ func TestSameSeedSameTrace(t *testing.T) {
 		f, topo, traffic := rig(t, cfg, &sc)
 		c, err := optimizer.New(f, topo, traffic, optimizer.Config{
 			Start: start, Window: 2 * 24 * time.Hour, MinDwellSteps: 4, Down: sc.Down,
+			MaxUtilization: optimizer.DefaultMaxUtilization,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -166,7 +183,9 @@ func TestColdReplayMatchesIncremental(t *testing.T) {
 	sc := optimizer.FaultStorm(topo0, 11, start, cfg.Duration)
 	f, topo, traffic := rig(t, cfg, &sc)
 	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
-		Start: start, Window: 2 * 24 * time.Hour, MinDwellSteps: 4, Down: sc.Down, PSUShed: true,
+		Start: start, Window: 2 * 24 * time.Hour, MinDwellSteps: 4, Down: sc.Down,
+		MaxUtilization: optimizer.DefaultMaxUtilization,
+		PSUShed:        true, PSUMaxLoad: optimizer.DefaultPSUMaxLoad,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +210,8 @@ func TestPSUShedSavesEnergy(t *testing.T) {
 	cfg := quickCfg()
 	f, topo, traffic := rig(t, cfg, nil)
 	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
-		Start: start, Window: 24 * time.Hour, PSUShed: true,
+		Start: start, Window: 24 * time.Hour, MaxUtilization: optimizer.DefaultMaxUtilization,
+		PSUShed: true, PSUMaxLoad: optimizer.DefaultPSUMaxLoad,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -27,6 +27,7 @@ func TestChaosScenario(t *testing.T) {
 	window := 2 * 24 * time.Hour
 	c, err := optimizer.New(f, topo, traffic, optimizer.Config{
 		Start: start, Window: window, MinDwellSteps: dwell, Down: sc.Down,
+		MaxUtilization: optimizer.DefaultMaxUtilization,
 	})
 	if err != nil {
 		t.Fatal(err)
