@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+
+	"fantasticjoules/internal/lint"
+)
+
+// applyFixes applies every finding's resolved suggested-fix edits to the
+// files on disk and returns the findings that remain: those with no
+// mechanical fix, plus any whose edits overlapped an already-applied fix
+// (a re-run picks those up — the applier never guesses about conflicting
+// rewrites). Rewritten files are gofmt-formatted before writing, so a
+// clean tree stays clean byte-for-byte and the whole operation is
+// idempotent: fixed findings do not re-fire.
+func applyFixes(findings []lint.Finding) (applied int, remaining []lint.Finding, err error) {
+	type span struct{ start, end int }
+	accepted := make(map[string][]span)
+	overlaps := func(fe lint.FixEdit) bool {
+		for _, s := range accepted[fe.Filename] {
+			if fe.Start < s.end && s.start < fe.End {
+				return true
+			}
+		}
+		return false
+	}
+
+	edits := make(map[string][]lint.FixEdit)
+	for _, f := range findings {
+		if len(f.Fix) == 0 {
+			remaining = append(remaining, f)
+			continue
+		}
+		conflict := false
+		for _, fe := range f.Fix {
+			if overlaps(fe) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			remaining = append(remaining, f)
+			continue
+		}
+		for _, fe := range f.Fix {
+			accepted[fe.Filename] = append(accepted[fe.Filename], span{fe.Start, fe.End})
+			edits[fe.Filename] = append(edits[fe.Filename], fe)
+		}
+		applied++
+	}
+
+	files := make([]string, 0, len(edits))
+	for name := range edits {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		if err := rewriteFile(name, edits[name]); err != nil {
+			return applied, remaining, err
+		}
+	}
+	return applied, remaining, nil
+}
+
+// rewriteFile splices the edits into one file, back to front so earlier
+// offsets stay valid, formats the result, and writes it back under the
+// file's original permissions.
+func rewriteFile(name string, edits []lint.FixEdit) error {
+	src, err := os.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+	for _, e := range edits {
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return fmt.Errorf("jouleslint: fix edit out of range in %s: [%d,%d) of %d bytes", name, e.Start, e.End, len(src))
+		}
+		src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		return fmt.Errorf("jouleslint: fixed %s does not parse: %v", name, err)
+	}
+	mode := os.FileMode(0o644)
+	if st, err := os.Stat(name); err == nil {
+		mode = st.Mode().Perm()
+	}
+	return os.WriteFile(name, formatted, mode)
+}

@@ -4,18 +4,24 @@
 //
 // Usage:
 //
-//	jouleslint [-analyzers a,b] [-list] [packages...]
+//	jouleslint [-analyzers a,b] [-list] [-fix] [-json] [-time] [packages...]
 //
 // With no packages it checks ./... . It exits 1 when any finding is
 // reported, 2 on usage or load errors, and prints findings as
 //
 //	path/file.go:12:3: [deadline] Read on a conn without a deadline: ...
 //
+// -fix applies every suggested fix to the files in place (gofmt-clean and
+// idempotent: a fixed finding does not re-fire), leaving only the findings
+// with no mechanical cure. -json emits the findings as a JSON array for
+// tooling; -time prints per-fact and per-analyzer wall times to stderr.
+//
 // Suppress an individual finding with a trailing
 // //jouleslint:ignore <analyzer> -- <reason> comment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,9 @@ func run(args []string) int {
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	dir := fs.String("C", "", "change to this directory before loading packages")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place; only unfixable findings fail the run")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array instead of plain lines")
+	timing := fs.Bool("time", false, "print per-fact and per-analyzer wall times to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,19 +68,73 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := lint.Run(loader.Config{Dir: *dir}, analyzers, patterns...)
+	findings, stats, err := lint.RunWithStats(loader.Config{Dir: *dir}, analyzers, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *timing {
+		for _, s := range stats {
+			fmt.Fprintf(os.Stderr, "%-24s %v\n", s.Name, s.Elapsed)
+		}
+	}
+	if *fix {
+		applied, remaining, err := applyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "jouleslint: applied %d fix(es)\n", applied)
+		}
+		findings = remaining
+	}
+	if *jsonOut {
+		if err := printJSON(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "jouleslint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Fixable    bool   `json:"fixable"`
+	FixMessage string `json:"fix_message,omitempty"`
+}
+
+// printJSON writes the findings as one indented JSON array on stdout. An
+// empty run prints [] so consumers always get valid JSON.
+func printJSON(findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer:   f.Analyzer,
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Column:     f.Pos.Column,
+			Message:    f.Message,
+			Fixable:    len(f.Fix) > 0,
+			FixMessage: f.FixMessage,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // firstLine returns the summary line of an analyzer doc.

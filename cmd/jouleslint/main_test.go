@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestListExitsZero(t *testing.T) {
 	if got := run([]string{"-list"}); got != 0 {
@@ -25,5 +32,130 @@ func TestSeededViolation(t *testing.T) {
 func TestCleanTreeExitsZero(t *testing.T) {
 	if got := run([]string{"-C", "testdata/clean", "./..."}); got != 0 {
 		t.Fatalf("jouleslint over clean module = %d, want 0", got)
+	}
+}
+
+// copyTree copies a testdata module into dst so -fix can rewrite it.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying %s: %v", src, err)
+	}
+}
+
+// snapshotGoFiles returns path->contents for every .go file under dir.
+func snapshotGoFiles(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out[path] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("snapshot %s: %v", dir, err)
+	}
+	return out
+}
+
+// TestFixRewritesAndConverges drives -fix end to end: the seeded
+// fixable module must come back clean in one pass, the rewritten
+// literals must carry the corrected names, and a second -fix pass must
+// be a byte-for-byte no-op (idempotence, the property CI enforces with
+// git diff --exit-code).
+func TestFixRewritesAndConverges(t *testing.T) {
+	tmp := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "fixable"), tmp)
+
+	if got := run([]string{"-C", tmp, "-fix", "./..."}); got != 0 {
+		t.Fatalf("jouleslint -fix over fixable module = %d, want 0 (all findings fixable)", got)
+	}
+	fixed := snapshotGoFiles(t, tmp)
+	joined := ""
+	for _, content := range fixed {
+		joined += content
+	}
+	for _, want := range []string{`"fleet_runs_total"`, `"fleet_pending_shards"`} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("after -fix, no file contains %s", want)
+		}
+	}
+	for _, stale := range []string{`"fleet_runs"`, `"fleetPendingShards"`} {
+		if strings.Contains(joined, stale) {
+			t.Errorf("after -fix, stale literal %s survives", stale)
+		}
+	}
+
+	if got := run([]string{"-C", tmp, "-fix", "./..."}); got != 0 {
+		t.Fatalf("second jouleslint -fix = %d, want 0", got)
+	}
+	again := snapshotGoFiles(t, tmp)
+	for path, content := range fixed {
+		if again[path] != content {
+			t.Errorf("-fix is not idempotent: %s changed on the second pass", path)
+		}
+	}
+}
+
+// TestJSONOutput checks the -json stream: valid JSON, one entry per
+// finding, fixability flagged.
+func TestJSONOutput(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run([]string{"-C", "testdata/fixable", "-json", "./..."})
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("jouleslint -json over fixable module = %d, want 1", code)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+		Fixable  bool   `json:"fixable"`
+	}
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, data)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("-json reported %d findings, want 2:\n%s", len(findings), data)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "metricname" || !f.Fixable || f.File == "" || f.Line == 0 {
+			t.Errorf("malformed finding in -json output: %+v", f)
+		}
 	}
 }

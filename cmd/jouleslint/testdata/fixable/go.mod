@@ -1,0 +1,3 @@
+module example.com/fixable
+
+go 1.22

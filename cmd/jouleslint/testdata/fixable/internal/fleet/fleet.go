@@ -1,0 +1,11 @@
+// Package fleet seeds mechanically fixable metricname violations: a
+// counter without its _total suffix and a camelCase gauge. jouleslint
+// -fix must rewrite both literals and leave a clean, gofmt-stable tree.
+package fleet
+
+import "example.com/fixable/internal/telemetry"
+
+var (
+	runs    = telemetry.Default().Counter("fleet_runs", "fleet replays started")
+	pending = telemetry.Default().Gauge("fleetPendingShards", "shards awaiting their fold turn")
+)

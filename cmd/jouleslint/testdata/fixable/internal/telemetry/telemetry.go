@@ -1,0 +1,22 @@
+// Package telemetry is the minimal registry surface the metricname
+// analyzer matches on; the fixable module seeds misnamed registrations
+// against it for the -fix round-trip test.
+package telemetry
+
+// Registry registers metrics.
+type Registry struct{}
+
+// Counter is a metric handle.
+type Counter struct{}
+
+// Gauge is a metric handle.
+type Gauge struct{}
+
+// Default returns the process registry.
+func Default() *Registry { return &Registry{} }
+
+// Counter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }

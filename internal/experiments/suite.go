@@ -123,6 +123,8 @@ func New(seed int64) *Suite {
 // serial paths. Cached artifacts are unaffected — results are identical
 // for every worker count — so it may be called at any time, though setting
 // it before the first artifact is the useful order.
+//
+//jouleslint:ignore epochdiscipline -- workers only bounds fan-out; artifacts are bit-identical at any worker count, so no cell can go stale
 func (s *Suite) SetWorkers(n int) { s.workers = n }
 
 // poolSize resolves the effective fan-out width.

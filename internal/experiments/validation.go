@@ -161,24 +161,19 @@ func PredictFromCounters(m *model.Model, ds *ispnet.Dataset, routerName string) 
 	// Walk the columnar traces in place (index cursors, no Points()
 	// materialization: the rate traces total tens of megabytes of points
 	// per call otherwise).
-	type sample struct {
-		key model.ProfileKey
-		s   *timeseries.Series
-		idx int
-	}
 	names := make([]string, 0, len(rates))
 	for name := range rates {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	ifaces := make([]sample, 0, len(names))
+	ifaces := make([]counterCursor, 0, len(names))
 	var clock *timeseries.Series
 	for _, name := range names {
 		key, ok := profiles[name]
 		if !ok {
 			return nil, fmt.Errorf("experiments: no profile for %s/%s", routerName, name)
 		}
-		ifaces = append(ifaces, sample{key: key, s: rates[name]})
+		ifaces = append(ifaces, counterCursor{key: key, s: rates[name]})
 		if clock == nil || rates[name].Len() > clock.Len() {
 			clock = rates[name] // union of poll timestamps: the longest trace
 		}
@@ -201,41 +196,60 @@ func PredictFromCounters(m *model.Model, ds *ispnet.Dataset, routerName string) 
 	// it.
 	buf := make([]model.Interface, 0, len(ifaces))
 	for ti := 0; ti < n; ti++ {
-		tickNano := clock.NanoAt(ti)
-		cfg := model.Config{Interfaces: buf[:0]}
-		for ii := range ifaces {
-			itf := &ifaces[ii]
-			for itf.idx+1 < itf.s.Len() && itf.s.NanoAt(itf.idx+1) <= tickNano {
-				itf.idx++
-			}
-			if itf.idx >= itf.s.Len() || itf.s.NanoAt(itf.idx) > tickNano {
-				continue // interface not reporting yet
-			}
-			if staleAfter > 0 && tickNano-itf.s.NanoAt(itf.idx) > staleAfter {
-				continue // counters stopped: interface looks removed
-			}
-			rate := itf.s.Value(itf.idx)
-			if rate <= 0 {
-				continue // no counters → treated as absent (§7)
-			}
-			bits := units.BitRate(rate)
-			cfg.Interfaces = append(cfg.Interfaces, model.Interface{
-				Profile:            itf.key,
-				TransceiverPresent: true,
-				AdminUp:            true,
-				OperUp:             true,
-				Bits:               bits,
-				Packets:            units.PacketRateFor(bits, meanPkt, trafficgen.EthernetOverhead),
-			})
-		}
-		buf = cfg.Interfaces[:0]
-		p, err := m.PredictPower(cfg)
+		p, next, err := predictTick(m, ifaces, clock.NanoAt(ti), staleAfter, meanPkt, buf)
 		if err != nil {
 			return nil, err
 		}
+		buf = next
 		out.Append(clock.At(ti).T, p.Watts())
 	}
 	return out, nil
+}
+
+// counterCursor walks one interface's rate trace with an index cursor so
+// the tick loop never materializes the columnar points.
+type counterCursor struct {
+	key model.ProfileKey
+	s   *timeseries.Series
+	idx int
+}
+
+// predictTick evaluates the model at one poll tick: every cursor advances
+// to the tick, the live counters assemble an interface config in buf, and
+// the model predicts. The (possibly grown) buffer is handed back for the
+// next tick, so the steady state appends into warm capacity and the loop
+// over a multi-week trace allocates nothing per tick.
+//
+//joules:hotpath
+func predictTick(m *model.Model, ifaces []counterCursor, tickNano, staleAfter int64, meanPkt units.ByteSize, buf []model.Interface) (units.Power, []model.Interface, error) {
+	cfg := model.Config{Interfaces: buf[:0]}
+	for ii := range ifaces {
+		itf := &ifaces[ii]
+		for itf.idx+1 < itf.s.Len() && itf.s.NanoAt(itf.idx+1) <= tickNano {
+			itf.idx++
+		}
+		if itf.idx >= itf.s.Len() || itf.s.NanoAt(itf.idx) > tickNano {
+			continue // interface not reporting yet
+		}
+		if staleAfter > 0 && tickNano-itf.s.NanoAt(itf.idx) > staleAfter {
+			continue // counters stopped: interface looks removed
+		}
+		rate := itf.s.Value(itf.idx)
+		if rate <= 0 {
+			continue // no counters → treated as absent (§7)
+		}
+		bits := units.BitRate(rate)
+		cfg.Interfaces = append(cfg.Interfaces, model.Interface{
+			Profile:            itf.key,
+			TransceiverPresent: true,
+			AdminUp:            true,
+			OperUp:             true,
+			Bits:               bits,
+			Packets:            units.PacketRateFor(bits, meanPkt, trafficgen.EthernetOverhead),
+		})
+	}
+	p, err := m.PredictPower(cfg)
+	return p, cfg.Interfaces[:0], err
 }
 
 // Fig9Row is one panel of Fig. 9: the offset-corrected zoom showing the

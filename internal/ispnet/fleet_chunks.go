@@ -159,6 +159,7 @@ func (f *Fleet) replayChunked(dirty map[string]bool) error {
 			sh.power = zeroedFloats(bufs.power, len(f.steps))
 			sh.traffic = zeroedFloats(bufs.traffic, len(f.steps))
 			sh.wall = bufs.wall[:0]
+			//jouleslint:ignore scratchsafety -- bounded handoff: the fold is the slot's only consumer and puts the buffers back before admitting another slot past the window
 			s := &streamSlot{sh: sh, bufs: bufs, done: make(chan struct{})}
 			slots <- s
 			work <- s

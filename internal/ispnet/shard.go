@@ -111,16 +111,12 @@ func (sh *routerShard) buildPlan() error {
 	return nil
 }
 
-// play replays the router's full study window. It is the sharded port of
-// the former time×routers loop: the same event application, traffic
-// offering, metering cadence, and device advances, restricted to one
-// router.
-func (sh *routerShard) play() error {
-	n, r := sh.net, sh.router
-	cfg := n.Config
-	// The streaming path (stream.go) pre-attaches pooled, zeroed buffers
-	// so a bounded working set cycles through the whole fleet; a cold
-	// shard allocates its own.
+// ensureBuffers allocates any step buffers the shard arrived without.
+// The streaming path (stream.go) pre-attaches pooled, zeroed buffers so
+// a bounded working set cycles through the whole fleet; a cold shard
+// allocates its own here, once per window.
+func (sh *routerShard) ensureBuffers(cfg Config) {
+	r := sh.router
 	if sh.power == nil {
 		sh.power = make([]float64, len(sh.steps))
 	}
@@ -139,6 +135,19 @@ func (sh *routerShard) play() error {
 		sh.rates = make(map[string]*timeseries.Series, len(r.Interfaces))
 		sh.profiles = make(map[string]model.ProfileKey, len(r.Interfaces))
 	}
+}
+
+// play replays the router's full study window. It is the sharded port of
+// the former time×routers loop: the same event application, traffic
+// offering, metering cadence, and device advances, restricted to one
+// router.
+//
+//joules:hotpath
+func (sh *routerShard) play() error {
+	n, r := sh.net, sh.router
+	cfg := n.Config
+	//jouleslint:ignore hotpath -- cold start: allocates each shard's working set once, before its window replays
+	sh.ensureBuffers(cfg)
 	if err := sh.buildPlan(); err != nil {
 		return err
 	}
@@ -216,6 +225,7 @@ func (sh *routerShard) play() error {
 				if p.rateSeries == nil {
 					rates, ok := sh.rates[p.itf.Name]
 					if !ok {
+						//jouleslint:ignore hotpath -- lazy per-interface series creation: first metered step for that interface only
 						rates = timeseries.NewWithCap(r.Name+"."+p.itf.Name+".rate", len(sh.steps))
 						sh.rates[p.itf.Name] = rates
 					}
@@ -231,6 +241,7 @@ func (sh *routerShard) play() error {
 			}
 			if rep, err := r.Device.ReportedTotalPower(); err == nil {
 				if sh.snmp == nil {
+					//jouleslint:ignore hotpath -- lazy one-time creation of the reported-power series
 					sh.snmp = timeseries.NewWithCap(r.Name+".snmp", len(sh.steps))
 				}
 				sh.snmp.Append(t, rep.Watts())
@@ -250,6 +261,7 @@ func (sh *routerShard) play() error {
 	// the caller — so the draws land at the same point of the router's
 	// rng stream in cold and incremental replays alike.
 	if !sh.snapAt.IsZero() && r.Active(sh.snapAt) {
+		//jouleslint:ignore hotpath -- one-time PSU export after the window (§9.2), not per step
 		sh.psus = r.Device.EnvSnapshot()
 	}
 	return nil

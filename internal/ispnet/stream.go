@@ -183,6 +183,7 @@ func (n *Network) RunStreamWithEvents(extra []FleetEvent, sink SeriesSink) (*Dat
 			sh.power = zeroedFloats(bufs.power, len(steps))
 			sh.traffic = zeroedFloats(bufs.traffic, len(steps))
 			sh.wall = bufs.wall[:0]
+			//jouleslint:ignore scratchsafety -- bounded handoff: the fold is the slot's only consumer and puts the buffers back before admitting another slot past the window
 			s := &streamSlot{sh: sh, bufs: bufs, done: make(chan struct{})}
 			slots <- s
 			work <- s

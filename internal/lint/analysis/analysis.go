@@ -24,6 +24,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the analyzer's help text; the first line is its summary.
 	Doc string
+	// Requires lists the whole-unit facts the analyzer reads through
+	// Pass.Unit.FactOf. The driver precomputes them (and times them
+	// separately), so per-package runs never pay for fact construction.
+	Requires []*Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
 }
@@ -44,6 +48,10 @@ type Pass struct {
 	// package is not in the import closure). Analyzers use it to look up
 	// well-known types such as net.Conn.
 	Dep func(path string) *types.Package
+	// Unit is the whole load this package belongs to; interprocedural
+	// analyzers read shared facts from it via FactOf. Nil under drivers
+	// that have no whole-unit view.
+	Unit *Unit
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
 }
@@ -57,6 +65,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// SuggestedFixes are mechanical rewrites that resolve the finding;
+	// `jouleslint -fix` applies the first fix of every finding. Fixes
+	// must be correct in isolation — the applier skips edits that
+	// overlap an already-applied one.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained rewrite resolving a diagnostic.
+type SuggestedFix struct {
+	// Message says what the fix does, e.g. "rename to snmp_polls_total".
+	Message string
+	// TextEdits are the byte-range replacements; they must not overlap.
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // IgnoreDirective is the comment prefix that suppresses a finding on its
@@ -96,6 +124,25 @@ func suppressedLines(fset *token.FileSet, files []*ast.File, name string) map[st
 		}
 	}
 	return out
+}
+
+// IgnoredLines is the per-file set of source lines a //jouleslint:ignore
+// directive covers for one analyzer, keyed by filename then line.
+// Interprocedural analyzers consult it at non-diagnostic positions too:
+// the hotpath analyzer treats an ignore on a call site as cutting that
+// call edge out of the hot region.
+type IgnoredLines map[string]map[int]bool
+
+// Has reports whether the position's line is suppressed.
+func (ig IgnoredLines) Has(pos token.Position) bool {
+	return ig[pos.Filename][pos.Line]
+}
+
+// IgnoredLinesFor collects the lines suppressed for the named analyzer
+// across the given files. A directive covers its own line and the next,
+// exactly as FilterSuppressed honors it.
+func IgnoredLinesFor(fset *token.FileSet, files []*ast.File, name string) IgnoredLines {
+	return suppressedLines(fset, files, name)
 }
 
 // FilterSuppressed drops diagnostics whose position carries a

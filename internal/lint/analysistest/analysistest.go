@@ -65,12 +65,19 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 		t.Fatalf("analysistest: %v", err)
 	}
 
+	unit := res.Unit()
+	for _, f := range a.Requires {
+		if _, err := unit.FactOf(f); err != nil {
+			t.Fatalf("analysistest: fact %s: %v", f.Name, err)
+		}
+	}
+
 	var wants []*want
 	var diags []analysis.Diagnostic
 	var diagFiles []*ast.File
 	for _, pkg := range res.Packages {
 		wants = append(wants, collectWants(t, res.Fset, pkg.Syntax)...)
-		pkgDiags := runAnalyzer(t, res, pkg, a)
+		pkgDiags := runAnalyzer(t, res, unit, pkg, a)
 		diags = append(diags, pkgDiags...)
 		diagFiles = append(diagFiles, pkg.Syntax...)
 	}
@@ -90,7 +97,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 
 // runAnalyzer applies a to one package and returns its post-suppression
 // diagnostics.
-func runAnalyzer(t *testing.T, res *loader.Result, pkg *loader.Package, a *analysis.Analyzer) []analysis.Diagnostic {
+func runAnalyzer(t *testing.T, res *loader.Result, unit *analysis.Unit, pkg *loader.Package, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
@@ -100,6 +107,7 @@ func runAnalyzer(t *testing.T, res *loader.Result, pkg *loader.Package, a *analy
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		Dep:       res.Dep,
+		Unit:      unit,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 	}
 	if err := a.Run(pass); err != nil {

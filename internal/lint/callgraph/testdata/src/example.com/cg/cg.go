@@ -1,0 +1,55 @@
+// Package cg is a golden tree exercising the call-graph builder: direct
+// calls, cross-package calls, concrete and interface method dispatch,
+// closure attribution, and unresolvable function-value calls.
+package cg
+
+import "example.com/cg/sub"
+
+// Stepper is implemented by Fast and Slow below; calls through it
+// resolve by class-hierarchy analysis.
+type Stepper interface {
+	Step() int
+}
+
+// Fast is one Stepper implementation.
+type Fast struct{ n int }
+
+// Step implements Stepper.
+func (f *Fast) Step() int { return f.n + 1 }
+
+// Slow is the other Stepper implementation.
+type Slow struct{ n int }
+
+// Step implements Stepper.
+func (s Slow) Step() int { return s.n + sub.Helper(s.n) }
+
+// Root fans out through every call shape the builder resolves.
+func Root(st Stepper) int {
+	total := direct()
+	total += sub.Helper(total)
+	f := &Fast{n: total}
+	total += f.Step()  // concrete method: edge to (*Fast).Step only
+	total += st.Step() // interface dispatch: CHA edges to both Steps
+	fn := indirectValue()
+	total += fn(total)   // func value: no edge
+	add := func(x int) { // closure body attributed to Root
+		total += leaf(x)
+	}
+	add(total)
+	return total
+}
+
+// direct is a plain same-package callee.
+func direct() int { return leaf(1) }
+
+// leaf terminates every chain.
+func leaf(x int) int { return x }
+
+// indirectValue returns a function value, so its caller gets an edge to
+// indirectValue but none to the returned function's body.
+func indirectValue() func(int) int {
+	return func(x int) int { return x }
+}
+
+// unreached exists to prove reachability walks do not include it.
+func unreached() int { return leaf(99) }

@@ -1,0 +1,14 @@
+// Package sub provides a cross-package callee for the call-graph
+// golden tree.
+package sub
+
+// Helper is called from package cg.
+func Helper(x int) int { return clamp(x) }
+
+// clamp is reachable only through Helper.
+func clamp(x int) int {
+	if x < 0 {
+		return 0
+	}
+	return x
+}

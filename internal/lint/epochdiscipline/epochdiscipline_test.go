@@ -1,0 +1,12 @@
+package epochdiscipline_test
+
+import (
+	"testing"
+
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/epochdiscipline"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochdiscipline.Analyzer, "example.com/epoch/...")
+}

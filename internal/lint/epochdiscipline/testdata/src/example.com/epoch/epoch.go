@@ -1,0 +1,98 @@
+// Package epoch exercises the epochdiscipline analyzer against a
+// miniature of the experiments suite: memo cells keyed by validity, a
+// Perturb that bumps the epoch, and mutators that do or do not follow
+// their writes with a bump.
+package epoch
+
+// node carries the validity flag and the invalidate cascade.
+type node struct {
+	valid bool
+	deps  []*node
+}
+
+// invalidate marks the node and its dependents stale.
+func (n *node) invalidate() {
+	n.valid = false
+	for _, d := range n.deps {
+		d.invalidate()
+	}
+}
+
+// cell is a memo cell; get recomputes when stale.
+type cell struct {
+	node
+	val int
+}
+
+// get returns the cached value, recomputing when invalid.
+func (c *cell) get(compute func() (int, error)) (int, error) {
+	if c.valid {
+		return c.val, nil
+	}
+	c.valid = true
+	v, err := compute()
+	c.val = v
+	return v, err
+}
+
+// Suite owns artifact inputs: cfg and workers feed the dataset compute.
+type Suite struct {
+	cfg     int
+	workers int
+	label   string
+	data    *cell
+}
+
+// New constructs a suite; constructor writes are exempt.
+func New(cfg int) *Suite {
+	s := &Suite{data: &cell{}}
+	s.cfg = cfg
+	s.workers = 1
+	return s
+}
+
+// Dataset is the registered artifact: its compute closure reads cfg and
+// workers, making them tracked fields.
+func (s *Suite) Dataset() (int, error) {
+	return s.data.get(func() (int, error) {
+		return s.cfg * s.workers, nil
+	})
+}
+
+// Perturb is the epoch bump; its own writes are exempt.
+func (s *Suite) Perturb(delta int) {
+	s.cfg += delta
+	s.data.invalidate()
+}
+
+// SetCfg mutates artifact input with no bump: stale cells would follow.
+func (s *Suite) SetCfg(v int) {
+	s.cfg = v // want "write to Suite field cfg .artifact input. is not followed by an epoch bump"
+}
+
+// SetWorkers bumps via Perturb directly after the write: clean.
+func (s *Suite) SetWorkers(n int) {
+	s.workers = n
+	s.Perturb(0)
+}
+
+// SetCfgIndirect bumps through a helper that reaches Perturb: clean.
+func (s *Suite) SetCfgIndirect(v int) {
+	s.cfg = v
+	s.refresh()
+}
+
+// refresh reaches the bump through one more call.
+func (s *Suite) refresh() { s.Perturb(0) }
+
+// SetLabel writes a field no artifact reads: clean.
+func (s *Suite) SetLabel(v string) {
+	s.label = v
+}
+
+// SetCfgDeliberate documents a batched-perturb contract and suppresses
+// the finding with a reason.
+func (s *Suite) SetCfgDeliberate(v int) {
+	//jouleslint:ignore epochdiscipline -- caller batches one Perturb after a run of setters
+	s.cfg = v
+}

@@ -1,0 +1,532 @@
+// Package hotpath implements the jouleslint analyzer that machine-
+// enforces the repository's zero-allocation hot paths.
+//
+// A function annotated with a doc comment line
+//
+//	//joules:hotpath
+//
+// declares that it — and everything it transitively calls, per the
+// shared call graph — must not allocate: the per-step simulation
+// kernels (LoadAt's 3-term dot product, the device batch Step, the
+// steady-state chunk codec) hold their benchmark-gated 0 allocs/op
+// because nothing on those paths touches the heap, and this analyzer
+// keeps that true as the code evolves instead of waiting for an
+// allocs/op gate to trip.
+//
+// Flagged constructs: make of slices/maps/channels, new, address-of
+// composite literals, slice and map literals, append to fresh local
+// slices, closures that capture variables, go statements, string
+// concatenation and string<->[]byte conversions, interface boxing of
+// non-pointer-shaped values at call arguments, calls with loose
+// variadic arguments, and calls into known-allocating stdlib helpers
+// (fmt, errors, regexp, encoding/json, and the allocating parts of
+// strings/strconv). Plain struct and array value literals, appends to
+// fields and parameters (the repo's amortized-reuse idiom), and calls
+// to non-denylisted out-of-unit functions are not flagged.
+//
+// Cold exits stay exempt so hot functions keep their guardrails: an
+// allocation inside panic arguments, inside a return operand of type
+// error, or inside a block whose last statement returns or panics (the
+// `if err != nil { return fmt.Errorf(...) }` shape) is not part of the
+// steady state and is not flagged.
+//
+// A //jouleslint:ignore hotpath directive on a call site cuts that call
+// edge out of the hot region — the annotated caller remains checked,
+// the callee is excused with an auditable reason — while the same
+// directive on an allocation suppresses just that finding.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fantasticjoules/internal/lint/analysis"
+	"fantasticjoules/internal/lint/callgraph"
+)
+
+// Annotation is the doc-comment marker declaring a hot path root.
+const Annotation = "//joules:hotpath"
+
+// name is the analyzer name, named apart from Analyzer so computeSet
+// can use it without an initialization cycle.
+const name = "hotpath"
+
+// Analyzer flags heap allocations in //joules:hotpath functions and
+// their transitive callees.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "functions marked //joules:hotpath (and their callees) must be allocation-free",
+	Requires: []*analysis.Fact{callgraph.Fact, SetFact},
+	Run:      run,
+}
+
+// SetFact is the memoized hot-function set: the //joules:hotpath roots
+// plus everything reachable from them through non-ignored call edges.
+var SetFact = &analysis.Fact{
+	Name:    "hotpathset",
+	Compute: computeSet,
+}
+
+// Set is SetFact's value.
+type Set struct {
+	// Graph is the unit call graph the set was derived from.
+	Graph *callgraph.Graph
+	// Reached maps every hot function to its discovery edge (roots map
+	// to a zero edge), exactly as callgraph.Reach returns it.
+	Reached map[*types.Func]callgraph.Edge
+}
+
+// computeSet finds the annotated roots and walks the call graph,
+// cutting edges whose call site carries a hotpath ignore directive.
+func computeSet(u *analysis.Unit) (any, error) {
+	gv, err := u.FactOf(callgraph.Fact)
+	if err != nil {
+		return nil, err
+	}
+	g := gv.(*callgraph.Graph)
+	ignored := analysis.IgnoredLines{}
+	var roots []*types.Func
+	for _, up := range u.Packages {
+		for file, lines := range analysis.IgnoredLinesFor(u.Fset, up.Files, name) {
+			ignored[file] = lines
+		}
+		if up.TypesInfo == nil {
+			continue
+		}
+		for _, f := range up.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if c.Text == Annotation || strings.HasPrefix(c.Text, Annotation+" ") {
+						if fn, ok := up.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+							roots = append(roots, fn)
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	reached := g.Reach(roots, func(e callgraph.Edge) bool {
+		return ignored.Has(u.Fset.Position(e.Pos))
+	})
+	return &Set{Graph: g, Reached: reached}, nil
+}
+
+// run checks every hot function declared in the pass's package.
+func run(pass *analysis.Pass) error {
+	sv, err := pass.Unit.FactOf(SetFact)
+	if err != nil {
+		return err
+	}
+	set := sv.(*Set)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if _, hot := set.Reached[fn]; !hot {
+				continue
+			}
+			checkBody(pass, fd, chainSuffix(set, fn))
+		}
+	}
+	return nil
+}
+
+// chainSuffix renders how a non-root function became hot, e.g.
+// " (hot via (*Network).LoadAt -> loadAt)"; empty for roots.
+func chainSuffix(set *Set, fn *types.Func) string {
+	edges := set.Graph.Chain(set.Reached, fn)
+	if len(edges) == 0 {
+		return ""
+	}
+	parts := []string{funcLabel(edges[0].Caller)}
+	for _, e := range edges {
+		parts = append(parts, funcLabel(e.Callee))
+	}
+	return " (hot via " + strings.Join(parts, " -> ") + ")"
+}
+
+// funcLabel renders Name or (Recv).Name.
+func funcLabel(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		if named, ok := p.Elem().(*types.Named); ok {
+			return "(*" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// checkBody walks one hot function body and reports allocation sites
+// outside cold exit paths.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, suffix string) {
+	info := pass.TypesInfo
+	params := paramVars(info, fd)
+	report := func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, "hot path: "+fmt.Sprintf(format, args...)+suffix)
+	}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !cold(info, fd, stack, n) {
+			checkNode(info, params, report, n)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// paramVars collects the receiver, parameter, and named-result objects
+// of the declaration and every function literal nested in it. (go/types
+// puts top-level body locals in the same scope as parameters, so the
+// distinction has to come from the syntax.)
+func paramVars(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+	}
+	addList(fd.Recv)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if ft, ok := n.(*ast.FuncType); ok {
+			addList(ft.Params)
+			addList(ft.Results)
+		}
+		return true
+	})
+	return set
+}
+
+// cold reports whether n sits on an exempt cold exit: inside panic
+// arguments, inside a return operand of type error, or inside a
+// non-body block whose final statement returns or panics.
+func cold(info *types.Info, fd *ast.FuncDecl, stack []ast.Node, n ast.Node) bool {
+	for i, anc := range stack {
+		switch a := anc.(type) {
+		case *ast.CallExpr:
+			if isBuiltin(info, a, "panic") {
+				return true
+			}
+		case *ast.ReturnStmt:
+			operand := n
+			if i+1 < len(stack) {
+				operand = stack[i+1]
+			}
+			if expr, ok := operand.(ast.Expr); ok && isErrorType(info.TypeOf(expr)) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if a != fd.Body && blockExits(info, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockExits reports whether the block's last statement leaves the
+// function (return or panic).
+func blockExits(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			return isBuiltin(info, call, "panic")
+		}
+	}
+	return false
+}
+
+// checkNode flags n if it is an allocation site.
+func checkNode(info *types.Info, params map[types.Object]bool, report func(token.Pos, string, ...any), n ast.Node) {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		checkCall(info, params, report, n)
+	case *ast.CompositeLit:
+		t := info.TypeOf(n)
+		if t == nil {
+			return
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			report(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			report(n.Pos(), "map literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				report(n.Pos(), "address of composite literal allocates")
+			}
+		}
+	case *ast.FuncLit:
+		if captures(info, n) {
+			report(n.Pos(), "closure capturing variables allocates")
+		}
+	case *ast.GoStmt:
+		report(n.Pos(), "go statement allocates")
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringType(info.TypeOf(n)) && info.Types[n].Value == nil {
+			report(n.Pos(), "string concatenation allocates")
+		}
+	}
+}
+
+// checkCall classifies one call expression.
+func checkCall(info *types.Info, params map[types.Object]bool, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	// Builtins.
+	switch {
+	case isBuiltin(info, call, "make"):
+		switch info.TypeOf(call).Underlying().(type) {
+		case *types.Slice:
+			report(call.Pos(), "make of slice allocates")
+		case *types.Map:
+			report(call.Pos(), "make of map allocates")
+		case *types.Chan:
+			report(call.Pos(), "make of channel allocates")
+		}
+		return
+	case isBuiltin(info, call, "new"):
+		report(call.Pos(), "new allocates")
+		return
+	case isBuiltin(info, call, "append"):
+		checkAppend(info, params, report, call)
+		return
+	}
+	// Conversions: string <-> []byte/[]rune copy.
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		checkConversion(info, report, call, tv.Type)
+		return
+	}
+	// Known-allocating stdlib callees.
+	if callee := callgraph.StaticCallee(info, call); callee != nil {
+		if name, denied := deniedCallee(callee); denied {
+			report(call.Pos(), "call to %s allocates", name)
+			return
+		}
+	}
+	// Signature-driven checks: variadic spreads and interface boxing.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+		report(call.Pos(), "call with loose variadic arguments allocates a slice")
+	}
+	fixed := sig.Params().Len()
+	if sig.Variadic() {
+		fixed--
+	}
+	for i, arg := range call.Args {
+		if i >= fixed {
+			break
+		}
+		if boxes(info, arg, sig.Params().At(i).Type()) {
+			report(arg.Pos(), "passing %s as interface %s allocates", info.TypeOf(arg), sig.Params().At(i).Type())
+		}
+	}
+}
+
+// checkAppend flags appends that grow a fresh local slice; appends to
+// fields and parameters follow the repo's amortized-reuse idiom and are
+// allowed.
+func checkAppend(info *types.Info, params map[types.Object]bool, report func(token.Pos, string, ...any), call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return // package-level slice: amortized across steps
+	}
+	if params[v] {
+		return // caller-owned buffer (AppendChunk-style dst)
+	}
+	report(call.Pos(), "append to local slice %s may allocate; reuse a preallocated buffer", id.Name)
+}
+
+// checkConversion flags allocating conversions.
+func checkConversion(info *types.Info, report func(token.Pos, string, ...any), call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := info.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isStringType(src) && isByteOrRuneSlice(target):
+		report(call.Pos(), "string to %s conversion allocates", target)
+	case isByteOrRuneSlice(src) && isStringType(target):
+		report(call.Pos(), "%s to string conversion allocates", src)
+	case types.IsInterface(target) && boxes(info, call.Args[0], target):
+		report(call.Pos(), "converting %s to interface %s allocates", src, target)
+	}
+}
+
+// boxes reports whether passing arg as interface-typed param allocates:
+// the param is an interface, the argument is a non-constant concrete
+// value that is not pointer-shaped (pointers, maps, channels, and funcs
+// fit the interface data word without heap copies).
+func boxes(info *types.Info, arg ast.Expr, param types.Type) bool {
+	if !types.IsInterface(param) {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value != nil {
+		return false // constants are exempt (small-value caches, static data)
+	}
+	t := tv.Type
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		// Ints, floats, strings, bools all box through the heap.
+		return b.Kind() != types.UntypedNil && b.Kind() != types.UnsafePointer
+	}
+	return !pointerShaped(t)
+}
+
+// pointerShaped mirrors the runtime's direct-interface rule: a value
+// whose representation is exactly one pointer word is stored in the
+// interface data word with no heap copy. Besides pointers, maps,
+// channels, and funcs, that covers one-field structs and one-element
+// arrays wrapping such a value — sort.Interface adapter structs holding
+// a single pointer are the common hot-path case.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 1 && pointerShaped(u.Field(0).Type())
+	case *types.Array:
+		return u.Len() == 1 && pointerShaped(u.Elem())
+	}
+	return false
+}
+
+// deniedCallee reports whether the callee is a stdlib helper known to
+// allocate, returning its printable name.
+func deniedCallee(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	name := pkg.Path() + "." + fn.Name()
+	switch pkg.Path() {
+	case "fmt", "errors", "regexp", "encoding/json":
+		return name, true
+	case "strings":
+		switch fn.Name() {
+		case "Join", "Repeat", "Split", "SplitN", "Fields", "Replace", "ReplaceAll", "ToUpper", "ToLower", "Map":
+			return name, true
+		}
+	case "strconv":
+		if strings.HasPrefix(fn.Name(), "Format") || fn.Name() == "Itoa" || fn.Name() == "Quote" {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// captures reports whether the function literal closes over variables
+// declared outside it (package-level variables and fields do not count:
+// only stack captures force a heap-allocated closure).
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

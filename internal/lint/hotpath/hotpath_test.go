@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/hotpath"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "example.com/hot/...")
+}

@@ -1,0 +1,103 @@
+// Package hot exercises the hotpath analyzer: allocation sites in an
+// annotated kernel and its transitive callees are flagged, cold exit
+// paths and amortized-reuse idioms are not, and ignore directives both
+// suppress findings and cut call edges.
+package hot
+
+import (
+	"fmt"
+
+	"example.com/hot/sub"
+)
+
+type point struct{ x, y int }
+
+// wrap is a one-pointer-word struct: the runtime stores it directly in
+// an interface, so passing it boxes nothing.
+type wrap struct{ p *point }
+
+func sink(v any)        { _ = v }
+func sum(xs ...int) int { return len(xs) }
+func work()             {}
+
+//joules:hotpath
+func Kernel(buf []float64, prefix string, n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative n %d", n) // cold: error return operand
+	}
+	if n > 1<<40 {
+		panic(fmt.Sprintf("absurd n %d", n)) // cold: panic argument
+	}
+	if n > 1<<20 {
+		big := make([]float64, n) // cold: block ends by leaving the function
+		return float64(len(big)), nil
+	}
+
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += step(i)
+	}
+
+	s := make([]float64, n) // want "make of slice allocates"
+	_ = s
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	p := new(point) // want "new allocates"
+	_ = p
+	q := &point{x: 1} // want "address of composite literal allocates"
+	_ = q
+	pt := point{x: 2} // struct value literal: stack, not flagged
+	_ = pt
+
+	f := func() float64 { return total } // want "closure capturing variables allocates"
+	total += f()
+	g := func(x float64) float64 { return x } // non-capturing: not flagged
+	total += g(total)
+
+	name := prefix + "x" // want "string concatenation allocates"
+	b := []byte(name)    // want "string to \\[\\]byte conversion allocates"
+	_ = b
+	fmt.Sprintf("%d", n)        // want "call to fmt.Sprintf allocates"
+	sink(n)                     // want "passing int as interface"
+	sink(pt)                    // want "passing example.com/hot.point as interface"
+	sink(wrap{p: q})            // pointer-shaped wrapper: stored in the data word, not flagged
+	total += float64(sum(1, 2)) // want "loose variadic arguments allocates"
+
+	var tmp []int
+	tmp = append(tmp, n) // want "append to local slice tmp may allocate"
+	_ = tmp
+	buf = append(buf, total) // append to parameter: caller-owned, not flagged
+
+	go work() // want "go statement allocates"
+
+	scratch := make([]int, 4) //jouleslint:ignore hotpath -- bounded one-time warmup buffer
+	_ = scratch
+
+	//jouleslint:ignore hotpath -- setup path runs once per replay, not per step
+	warm := lazy(n)
+	_ = warm
+
+	grown := sub.Grow(nil)
+	_ = grown
+
+	return total, nil
+}
+
+// step is hot transitively: reached from Kernel through the call graph.
+func step(i int) float64 {
+	vals := make([]float64, 1) // want "make of slice allocates .hot via Kernel -> step."
+	vals[0] = float64(i)
+	return vals[0]
+}
+
+// lazy allocates, but the only call edge into it is ignored above, so
+// it never joins the hot region.
+func lazy(n int) []float64 {
+	return make([]float64, n)
+}
+
+// NotHot is unannotated and unreachable from any root: free to allocate.
+func NotHot(n int) []int {
+	out := make([]int, n)
+	return out
+}

@@ -1,0 +1,11 @@
+// Package sub proves the hot region crosses package boundaries: Grow is
+// reached from hot.Kernel, so its allocations are flagged here with the
+// discovery chain in the message.
+package sub
+
+// Grow is called from the annotated kernel in package hot.
+func Grow(xs []int) []int {
+	extra := map[int]bool{} // want "map literal allocates .hot via Kernel -> Grow."
+	_ = extra
+	return xs
+}

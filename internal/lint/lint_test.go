@@ -13,7 +13,7 @@ import (
 // -analyzers flag and the docs stay navigable.
 func TestSuiteRegistration(t *testing.T) {
 	all := lint.Analyzers()
-	want := []string{"deadline", "determinism", "lockdiscipline", "metricname", "unitsafety"}
+	want := []string{"deadline", "determinism", "epochdiscipline", "hotpath", "lockdiscipline", "metricname", "scratchsafety", "unitsafety"}
 	if len(all) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(all), len(want))
 	}
@@ -31,15 +31,42 @@ func TestSuiteRegistration(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	subset, err := lint.ByName([]string{"unitsafety", "deadline"})
-	if err != nil {
-		t.Fatalf("ByName: %v", err)
+	cases := []struct {
+		name    string
+		in      []string
+		want    []string
+		wantErr string
+	}{
+		{name: "subset in request order", in: []string{"unitsafety", "deadline"}, want: []string{"unitsafety", "deadline"}},
+		{name: "duplicates collapse", in: []string{"hotpath", "hotpath", "deadline", "hotpath"}, want: []string{"hotpath", "deadline"}},
+		{name: "unknown name errors", in: []string{"nope"}, wantErr: "nope"},
+		{name: "empty request", in: nil, want: []string{}},
 	}
-	if len(subset) != 2 || subset[0].Name != "unitsafety" || subset[1].Name != "deadline" {
-		t.Fatalf("ByName returned wrong subset: %v", subset)
-	}
-	if _, err := lint.ByName([]string{"nope"}); err == nil || !strings.Contains(err.Error(), "nope") {
-		t.Fatalf("ByName(nope) error = %v, want unknown-analyzer error", err)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := lint.ByName(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ByName(%v) error = %v, want error mentioning %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ByName(%v): %v", tc.in, err)
+			}
+			names := make([]string, len(got))
+			for i, a := range got {
+				names[i] = a.Name
+			}
+			if len(names) != len(tc.want) {
+				t.Fatalf("ByName(%v) = %v, want %v", tc.in, names, tc.want)
+			}
+			for i := range names {
+				if names[i] != tc.want[i] {
+					t.Fatalf("ByName(%v) = %v, want %v", tc.in, names, tc.want)
+				}
+			}
+		})
 	}
 }
 

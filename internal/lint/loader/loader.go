@@ -22,6 +22,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+
+	"fantasticjoules/internal/lint/analysis"
 )
 
 // Config controls where and how packages are resolved.
@@ -77,6 +79,22 @@ type Result struct {
 // Dep returns the type-checked package with the given import path, or
 // nil; it is the Pass.Dep hook handed to analyzers.
 func (r *Result) Dep(path string) *types.Package { return r.byPath[path] }
+
+// Unit assembles the analysis.Unit for this load: the whole-program view
+// the interprocedural facts (call graph, hot-path set) are computed over.
+// Target packages appear in load order, sharing the result's file set.
+func (r *Result) Unit() *analysis.Unit {
+	pkgs := make([]*analysis.UnitPackage, 0, len(r.Packages))
+	for _, p := range r.Packages {
+		pkgs = append(pkgs, &analysis.UnitPackage{
+			PkgPath:   p.PkgPath,
+			Files:     p.Syntax,
+			Pkg:       p.Types,
+			TypesInfo: p.TypesInfo,
+		})
+	}
+	return analysis.NewUnit(r.Fset, pkgs, r.Dep)
+}
 
 // Load resolves the patterns and type-checks their dependency closure.
 // Type errors in a target package are returned as errors — an analyzer

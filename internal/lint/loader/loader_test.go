@@ -3,7 +3,11 @@ package loader
 import (
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"fantasticjoules/internal/lint/analysis"
 )
 
 // repoRoot walks up from the working directory to the module root.
@@ -68,5 +72,72 @@ func TestLoadResolvesDeps(t *testing.T) {
 func TestLoadUnknownPattern(t *testing.T) {
 	if _, err := Load(Config{Dir: repoRoot(t)}, "fantasticjoules/internal/nonexistent"); err == nil {
 		t.Fatal("expected error for unknown pattern")
+	}
+}
+
+// TestUnitFactConcurrent hammers Unit.FactOf from many goroutines: the
+// fact must be computed exactly once and every caller must see the same
+// value. CI's -race run turns any unlocked access into a failure.
+func TestUnitFactConcurrent(t *testing.T) {
+	res, err := Load(Config{Dir: repoRoot(t)}, "fantasticjoules/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := res.Unit()
+	var computed atomic.Int32
+	fact := &analysis.Fact{
+		Name: "concurrency-probe",
+		Compute: func(u *analysis.Unit) (any, error) {
+			computed.Add(1)
+			return len(u.Packages), nil
+		},
+	}
+	const workers = 16
+	results := make([]any, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = unit.FactOf(fact)
+		}(i)
+	}
+	wg.Wait()
+	if got := computed.Load(); got != 1 {
+		t.Fatalf("fact computed %d times, want 1", got)
+	}
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("worker %d saw %v, worker 0 saw %v", i, results[i], results[0])
+		}
+	}
+}
+
+// TestLoadMultiplePatterns loads two sibling packages at once: both are
+// targets with type info, and the unit exposes each in load order.
+func TestLoadMultiplePatterns(t *testing.T) {
+	res, err := Load(Config{Dir: repoRoot(t)},
+		"fantasticjoules/internal/units", "fantasticjoules/internal/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Packages) != 2 {
+		t.Fatalf("got %d target packages, want 2", len(res.Packages))
+	}
+	unit := res.Unit()
+	if len(unit.Packages) != 2 {
+		t.Fatalf("unit exposes %d packages, want 2", len(unit.Packages))
+	}
+	for i, pkg := range res.Packages {
+		if pkg.TypesInfo == nil {
+			t.Errorf("target %s has no type info", pkg.PkgPath)
+		}
+		if unit.Packages[i].PkgPath != pkg.PkgPath {
+			t.Errorf("unit package %d = %s, want %s (load order)", i, unit.Packages[i].PkgPath, pkg.PkgPath)
+		}
 	}
 }

@@ -10,11 +10,13 @@
 package metricname
 
 import (
+	"fmt"
 	"go/ast"
 	"go/constant"
 	"go/token"
 	"go/types"
 	"regexp"
+	"strconv"
 	"strings"
 
 	"fantasticjoules/internal/lint/analysis"
@@ -59,25 +61,94 @@ func run(pass *analysis.Pass) error {
 					"contract and must be auditable statically (labels go through telemetry.Label)", kind)
 			return true
 		}
-		check(pass, call.Args[0].Pos(), kind, name)
+		check(pass, call.Args[0], kind, name)
 		return true
 	})
 	return nil
 }
 
-// check validates one registered base name.
-func check(pass *analysis.Pass, pos token.Pos, kind, name string) {
-	base, _, _ := strings.Cut(name, "{")
+// check validates one registered base name. When the name reaches the
+// registry as a direct string literal, rule violations with a mechanical
+// cure carry a suggested fix rewriting the literal.
+func check(pass *analysis.Pass, arg ast.Expr, kind, name string) {
+	pos := arg.Pos()
+	base, rest, hasLabels := strings.Cut(name, "{")
+	if hasLabels {
+		rest = "{" + rest
+	}
+	report := func(msg, fixed string) {
+		d := analysis.Diagnostic{Pos: pos, Message: msg}
+		if fixed != "" && nameRE.MatchString(fixed) {
+			if fix, ok := renameFix(arg, kind, fixed+rest); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			}
+		}
+		pass.Report(d)
+	}
 	switch {
 	case !nameRE.MatchString(base):
-		pass.Reportf(pos, "%s %q is not snake_case with a subsystem prefix (want subsystem_name[_unit])", kind, base)
+		// Fold the suffix rules into the rename so one -fix pass converges.
+		fixed := sanitize(base)
+		if kind == "counter" && !strings.HasSuffix(fixed, "_total") {
+			fixed += "_total"
+		} else if kind != "counter" {
+			fixed = strings.TrimSuffix(fixed, "_total")
+		}
+		report(fmt.Sprintf("%s %q is not snake_case with a subsystem prefix (want subsystem_name[_unit])", kind, base), fixed)
 	case kind == "counter" && !strings.HasSuffix(base, "_total"):
-		pass.Reportf(pos, "counter %q must end in _total", base)
+		report(fmt.Sprintf("counter %q must end in _total", base), base+"_total")
 	case kind != "counter" && strings.HasSuffix(base, "_total"):
-		pass.Reportf(pos, "%s %q must not end in _total (that suffix promises a monotonic counter)", kind, base)
+		report(fmt.Sprintf("%s %q must not end in _total (that suffix promises a monotonic counter)", kind, base),
+			strings.TrimSuffix(base, "_total"))
 	case kind == "histogram" && !hasUnitSuffix(base):
-		pass.Reportf(pos, "histogram %q needs a base-unit suffix (%s)", base, strings.Join(unitSuffixes, ", "))
+		// No fix: the base unit is semantic, not mechanical.
+		report(fmt.Sprintf("histogram %q needs a base-unit suffix (%s)", base, strings.Join(unitSuffixes, ", ")), "")
 	}
+}
+
+// renameFix rewrites a direct string-literal metric name. Names built
+// through constants or concatenation get no fix — rewriting those needs
+// human judgment about where the name lives.
+func renameFix(arg ast.Expr, kind, newName string) (analysis.SuggestedFix, bool) {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return analysis.SuggestedFix{}, false
+	}
+	return analysis.SuggestedFix{
+		Message: "rename the " + kind + " to " + strconv.Quote(newName),
+		TextEdits: []analysis.TextEdit{{
+			Pos:     lit.Pos(),
+			End:     lit.End(),
+			NewText: strconv.Quote(newName),
+		}},
+	}, true
+}
+
+// sanitize mechanically converts a name to snake_case: camelCase humps
+// become underscore-separated tokens, runs of other separators collapse
+// to single underscores, and everything lowers.
+func sanitize(name string) string {
+	var b strings.Builder
+	prevUnderscore := true // suppress a leading underscore
+	for _, r := range name {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			if !prevUnderscore {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+			prevUnderscore = false
+		case (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			b.WriteRune(r)
+			prevUnderscore = false
+		default:
+			if !prevUnderscore {
+				b.WriteByte('_')
+			}
+			prevUnderscore = true
+		}
+	}
+	return strings.TrimRight(b.String(), "_")
 }
 
 // hasUnitSuffix reports whether a histogram name ends in a known unit.

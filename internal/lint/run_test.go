@@ -1,0 +1,94 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fantasticjoules/internal/lint"
+	"fantasticjoules/internal/lint/loader"
+)
+
+// multiDir is the seeded multi-package module: findings from two
+// analyzers across two files.
+func multiDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "multi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunStableOrder pins the driver's output contract: findings come
+// back sorted by (file, line, column, analyzer), and two identical runs
+// produce byte-identical finding lists — no map-iteration order leaks
+// into the report, so CI diffs and the ratchet stay deterministic.
+func TestRunStableOrder(t *testing.T) {
+	cfg := loader.Config{Dir: multiDir(t)}
+	first, err := lint.Run(cfg, lint.Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) < 4 {
+		t.Fatalf("seeded module produced %d findings, want at least 4: %v", len(first), first)
+	}
+	analyzers := make(map[string]bool)
+	for _, f := range first {
+		analyzers[f.Analyzer] = true
+	}
+	if !analyzers["determinism"] || !analyzers["metricname"] {
+		t.Fatalf("want findings from determinism and metricname, got %v", analyzers)
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line == b.Pos.Line && a.Pos.Column > b.Pos.Column) {
+			t.Fatalf("findings out of order at %d:\n%v\n%v", i, a, b)
+		}
+	}
+
+	second, err := lint.Run(cfg, lint.Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two identical runs diverged:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}
+
+// TestRunWithStatsPhases checks the timing side-channel: one stat per
+// distinct required fact, then one per analyzer in argument order.
+func TestRunWithStatsPhases(t *testing.T) {
+	_, stats, err := lint.RunWithStats(loader.Config{Dir: multiDir(t)}, lint.Analyzers(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var facts, analyzers []string
+	for _, s := range stats {
+		if len(s.Name) > 5 && s.Name[:5] == "fact:" {
+			facts = append(facts, s.Name)
+		} else {
+			analyzers = append(analyzers, s.Name)
+		}
+	}
+	if len(analyzers) != len(lint.Analyzers()) {
+		t.Fatalf("got %d analyzer stats, want %d: %v", len(analyzers), len(lint.Analyzers()), analyzers)
+	}
+	for i, a := range lint.Analyzers() {
+		if analyzers[i] != a.Name {
+			t.Fatalf("analyzer stat %d = %s, want %s", i, analyzers[i], a.Name)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, f := range facts {
+		if seen[f] {
+			t.Fatalf("fact %s timed twice", f)
+		}
+		seen[f] = true
+	}
+	if !seen["fact:callgraph"] {
+		t.Fatalf("no callgraph fact stat in %v", facts)
+	}
+}

@@ -1,0 +1,54 @@
+package scratchsafety_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fantasticjoules/internal/lint/analysis"
+	"fantasticjoules/internal/lint/analysistest"
+	"fantasticjoules/internal/lint/loader"
+	"fantasticjoules/internal/lint/scratchsafety"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), scratchsafety.Analyzer, "example.com/scratch/...")
+}
+
+// TestCloneFix pins the suggested fix on escapes of Clone-able values:
+// the finding on `return b` must offer rewriting it to b.Clone().
+func TestCloneFix(t *testing.T) {
+	dir := analysistest.TestData()
+	res, err := loader.Load(loader.Config{
+		Dir: filepath.Join(dir, "src"),
+		Env: []string{"GOPATH=" + dir, "GO111MODULE=off", "GOFLAGS=", "GOWORK=off"},
+	}, "example.com/scratch/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := res.Packages[0]
+	var fixes []string
+	pass := &analysis.Pass{
+		Analyzer:  scratchsafety.Analyzer,
+		Fset:      res.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Dep:       res.Dep,
+		Unit:      res.Unit(),
+		Report: func(d analysis.Diagnostic) {
+			for _, f := range d.SuggestedFixes {
+				for _, e := range f.TextEdits {
+					fixes = append(fixes, e.NewText)
+				}
+			}
+		},
+	}
+	if err := scratchsafety.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(fixes, "\n")
+	if !strings.Contains(joined, "b.Clone()") {
+		t.Fatalf("expected a b.Clone() suggested fix, got fixes:\n%q", joined)
+	}
+}

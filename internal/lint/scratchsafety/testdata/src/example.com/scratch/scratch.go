@@ -1,0 +1,83 @@
+// Package scratch exercises the scratchsafety analyzer: pool-arena
+// values may be used within a cycle but must not be returned
+// second-hand, stored into retained state, sent on channels, or placed
+// in composite literals.
+package scratch
+
+import "sync"
+
+type buf struct {
+	vals []float64
+}
+
+// Clone deep-copies the buffer; escaping findings on buf values carry
+// it as the suggested fix.
+func (b *buf) Clone() *buf {
+	out := &buf{vals: make([]float64, len(b.vals))}
+	copy(out.vals, b.vals)
+	return out
+}
+
+type arena struct {
+	pool sync.Pool
+}
+
+// get is the accessor: a direct pool Get followed by return is the
+// legal way scratch values enter circulation.
+func (a *arena) get() *buf {
+	v, ok := a.pool.Get().(*buf)
+	if !ok {
+		v = &buf{}
+	}
+	return v
+}
+
+// put returns a buffer to the pool, ending its cycle.
+func (a *arena) put(b *buf) { a.pool.Put(b) }
+
+type holder struct {
+	b *buf
+}
+
+type state struct {
+	retained *buf
+	results  chan *buf
+	scratch  arena
+}
+
+var global *buf
+
+// misuse collects every escape shape.
+func (s *state) misuse() *buf {
+	b := s.scratch.get()
+	s.retained = b     // want "escapes the pool cycle via field store"
+	global = b         // want "escapes the pool cycle via package-variable store"
+	s.results <- b     // want "escapes the pool cycle via channel send"
+	h := &holder{b: b} // want "escapes the pool cycle via composite literal"
+	_ = h
+	return b // want "escapes the pool cycle via return"
+}
+
+// aliased proves tracking follows same-function aliases.
+func (s *state) aliased() {
+	b := s.scratch.get()
+	alias := b
+	s.retained = alias // want "escapes the pool cycle via field store"
+	s.scratch.put(b)
+}
+
+// legitimate uses scratch within the cycle and puts it back: clean.
+func (s *state) legitimate(out []float64) []float64 {
+	b := s.scratch.get()
+	b.vals = append(b.vals[:0], 1, 2, 3)
+	out = append(out, b.vals...)
+	s.scratch.put(b)
+	return out
+}
+
+// handoff is a deliberate bounded handoff, suppressed with a reason.
+func (s *state) handoff() {
+	b := s.scratch.get()
+	//jouleslint:ignore scratchsafety -- consumer puts the buffer back before the next cycle begins
+	s.results <- b
+}

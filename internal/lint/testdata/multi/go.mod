@@ -1,0 +1,3 @@
+module example.com/multi
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package ispnet seeds one determinism violation and one metricname
+// violation, so a full-suite run produces findings from two analyzers in
+// one file — the raw material for the stable-order golden test.
+package ispnet
+
+import (
+	"time"
+
+	"example.com/multi/internal/telemetry"
+)
+
+var steps = telemetry.Default().Counter("ispnet_steps", "steps played")
+
+// Stamp reads the wall clock inside a simulation-scoped package.
+func Stamp() time.Time {
+	return time.Now()
+}

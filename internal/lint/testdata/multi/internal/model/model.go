@@ -1,0 +1,10 @@
+// Package model seeds a second file of metricname violations so the
+// sorted finding order spans multiple files and packages.
+package model
+
+import "example.com/multi/internal/telemetry"
+
+var (
+	fits    = telemetry.Default().Counter("modelFits", "fits performed")
+	rejects = telemetry.Default().Counter("model_rejects", "fits rejected")
+)

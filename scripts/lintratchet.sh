@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# lintratchet.sh — suppression-budget ratchet for jouleslint.
+#
+# Counts the //jouleslint:ignore <analyzer> directives in the tree
+# (testdata trees excluded — golden suites deliberately exercise the
+# suppression syntax) and compares each analyzer's count against the
+# checked-in budget in lint_budget.txt. A count above budget fails: new
+# suppressions need a reviewed budget bump in the same diff. A count
+# below budget is reported so the budget can be tightened.
+#
+# Usage: scripts/lintratchet.sh
+set -u
+cd "$(dirname "$0")/.."
+
+budget_file="lint_budget.txt"
+if [ ! -f "$budget_file" ]; then
+    echo "lintratchet: missing $budget_file" >&2
+    exit 2
+fi
+
+# count_ignores <analyzer> — real directives only: the leading-comment
+# and trailing-comment forms, but not directives quoted inside another
+# comment (doc examples render as "//\t//jouleslint:ignore ...").
+count_ignores() {
+    grep -rn --include='*.go' "//jouleslint:ignore $1 " . \
+        | grep -v '/testdata/' \
+        | grep -cv ':[0-9]*:[[:space:]]*//.*//jouleslint:ignore' || true
+}
+
+fail=0
+while read -r analyzer budget; do
+    case "$analyzer" in
+        ''|'#'*) continue ;;
+    esac
+    count=$(count_ignores "$analyzer")
+    if [ "$count" -gt "$budget" ]; then
+        echo "lintratchet: $analyzer has $count ignores, budget is $budget — fix a suppression or bump lint_budget.txt in a reviewed diff" >&2
+        fail=1
+    elif [ "$count" -lt "$budget" ]; then
+        echo "lintratchet: $analyzer has $count ignores, budget is $budget — tighten the budget"
+    else
+        echo "lintratchet: $analyzer $count/$budget"
+    fi
+done < "$budget_file"
+
+# An ignore naming no registered analyzer suppresses nothing; catch the
+# typo here rather than letting the finding and the directive coexist.
+known=$(go run ./cmd/jouleslint -list | awk '{printf "%s|", $1}' | sed 's/|$//')
+unknown=$(grep -rn --include='*.go' '//jouleslint:ignore [a-z]' . \
+    | grep -v '/testdata/' \
+    | grep -v ':[0-9]*:[[:space:]]*//.*//jouleslint:ignore' \
+    | grep -Ev "//jouleslint:ignore ($known) " || true)
+if [ -n "$unknown" ]; then
+    echo "lintratchet: directives naming unknown analyzers:" >&2
+    echo "$unknown" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lintratchet: FAIL" >&2
+    exit 1
+fi
+echo "lintratchet: ok"
